@@ -1,0 +1,54 @@
+"""Ablation: the MPI controller's in-memory message optimization.
+
+Section IV-A: "To avoid unnecessary de-/serialization and copying of
+data, the controller checks explicitly for inter-rank messages for which
+it skips the serialization and instead transfers the memory directly."
+This bench toggles that shortcut on a merge tree whose task map packs
+neighboring tasks onto the same ranks (many intra-rank edges) and
+measures the saved serialization time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import bench_field, print_series
+from repro.analysis.mergetree import MergeTreeWorkload
+from repro.core.taskmap import BlockMap
+from repro.runtimes import DEFAULT_COSTS, MPIController
+
+LEAVES = 512
+CORES = [16, 64]
+
+
+def run_point(cores: int, in_memory: bool):
+    wl = MergeTreeWorkload(
+        bench_field(), LEAVES, threshold=0.45, valence=8,
+        sim_shape=(1024, 1024, 1024),
+    )
+    costs = DEFAULT_COSTS.with_(mpi_in_memory=in_memory)
+    c = MPIController(cores, cost_model=wl.cost_model(), costs=costs)
+    return wl.run(c, BlockMap(cores, wl.graph.size()))
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    out = {"in-memory on": {}, "in-memory off": {}, "serialize time (off)": {}}
+    for cores in CORES:
+        r_on = run_point(cores, True)
+        r_off = run_point(cores, False)
+        out["in-memory on"][cores] = r_on.makespan
+        out["in-memory off"][cores] = r_off.makespan
+        out["serialize time (off)"][cores] = r_off.stats.get("serialize")
+    return out
+
+
+def test_ablation_inmemory_messages(sweep, benchmark):
+    benchmark.pedantic(run_point, args=(CORES[0], True), rounds=1, iterations=1)
+    print_series("Ablation: MPI in-memory messages (BlockMap placement)",
+                 "ranks", CORES, sweep)
+    for cores in CORES:
+        on, off = sweep["in-memory on"][cores], sweep["in-memory off"][cores]
+        # The shortcut never hurts and saves measurable serialization.
+        assert on <= off
+        assert sweep["serialize time (off)"][cores] > 0

@@ -1,0 +1,73 @@
+"""Ablation: sensitivity to the machine model.
+
+The simulator's headline outputs are only as meaningful as their
+sensitivity to the hardware constants is sane.  This bench perturbs the
+Shaheen-like machine — slower network, faster cores — and checks the
+merge-tree makespan moves in the right direction by plausible amounts
+(a compute-bound workload must respond strongly to core speed and weakly
+to bandwidth).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import bench_field, print_series
+from repro.analysis.mergetree import MergeTreeWorkload
+from repro.runtimes import MPIController
+from repro.sim.machine import SHAHEEN_II
+
+LEAVES = 512
+CORES = 64
+
+MACHINES = {
+    0: ("baseline", SHAHEEN_II),
+    1: ("10x slower network", SHAHEEN_II.with_(
+        inter_bandwidth=SHAHEEN_II.inter_bandwidth / 10,
+        inter_latency=SHAHEEN_II.inter_latency * 10,
+    )),
+    2: ("2x faster cores", SHAHEEN_II.with_(core_speed=2.0)),
+    3: ("2x slower cores", SHAHEEN_II.with_(core_speed=0.5)),
+}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return MergeTreeWorkload(
+        bench_field(), LEAVES, threshold=0.45, valence=8,
+        sim_shape=(1024, 1024, 1024),
+    )
+
+
+def run_point(workload, machine):
+    c = MPIController(CORES, machine=machine, cost_model=workload.cost_model())
+    return workload.run(c)
+
+
+@pytest.fixture(scope="module")
+def sweep(workload):
+    out = {"makespan": {}}
+    for idx, (_, machine) in MACHINES.items():
+        out["makespan"][idx] = run_point(workload, machine).makespan
+    return out
+
+
+def test_ablation_machine_sensitivity(workload, sweep, benchmark):
+    benchmark.pedantic(
+        run_point, args=(workload, SHAHEEN_II), rounds=1, iterations=1
+    )
+    names = {i: n for i, (n, _) in MACHINES.items()}
+    print(f"\n(machines: {names})")
+    print_series(
+        f"Ablation: machine sensitivity ({LEAVES} blocks, {CORES} ranks)",
+        "machine", sorted(MACHINES), sweep,
+    )
+    mk = sweep["makespan"]
+    # Compute-bound: core speed dominates.
+    assert mk[2] < mk[0] < mk[3]
+    assert mk[2] == pytest.approx(mk[0] / 2, rel=0.15)
+    assert mk[3] == pytest.approx(mk[0] * 2, rel=0.15)
+    # The network is not on the critical path at this calibration: a 10x
+    # slower fabric costs far less than 2x slower cores.
+    assert mk[1] - mk[0] < mk[3] - mk[0]
+    assert mk[1] >= mk[0] * 0.999

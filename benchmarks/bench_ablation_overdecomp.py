@@ -1,0 +1,69 @@
+"""Ablation: over-decomposition and Charm++ load balancing.
+
+Section I: "the design naturally allows over-decomposition, which is not
+only useful for runtimes that provide load balancing but also simplifies
+debugging at scale."  This bench runs an artificially imbalanced flat
+workload (a few heavy tasks) at several tasks-per-PE factors and compares
+the statically-mapped MPI backend against Charm++ with periodic LB: with
+enough over-decomposition, migration erases the imbalance that static
+placement cannot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import print_series
+from repro.core.payload import Payload
+from repro.graphs import DataParallel
+from repro.runtimes import DEFAULT_COSTS, CharmController, MPIController
+from repro.runtimes.costs import CallableCost
+
+PES = 16
+FACTORS = [1, 4, 16]  # tasks per PE
+HEAVY = 0.5
+LIGHT = 0.005
+
+
+def imbalanced_cost(n_tasks: int) -> CallableCost:
+    # Heavy tasks cluster on the PEs the static modulo map gives them to:
+    # ids congruent mod PES land on the same PE.
+    return CallableCost(
+        lambda t, i: HEAVY if t.id % PES in (0, 1) else LIGHT
+    )
+
+
+def run_point(ctor, factor: int, lb: bool = True):
+    n = PES * factor
+    costs = DEFAULT_COSTS.with_(charm_lb_period=0.05 if lb else 0.0)
+    c = ctor(PES, cost_model=imbalanced_cost(n), costs=costs)
+    g = DataParallel(n)
+    c.initialize(g)
+    c.register_callback(g.WORK, lambda ins, tid: [ins[0]])
+    return c.run({t: Payload(1) for t in range(n)})
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    out = {"MPI (static)": {}, "Charm++ (periodic LB)": {}, "Charm++ (LB off)": {}}
+    for f in FACTORS:
+        out["MPI (static)"][f] = run_point(MPIController, f).makespan
+        out["Charm++ (periodic LB)"][f] = run_point(CharmController, f).makespan
+        out["Charm++ (LB off)"][f] = run_point(CharmController, f, lb=False).makespan
+    return out
+
+
+def test_ablation_overdecomposition(sweep, benchmark):
+    benchmark.pedantic(run_point, args=(CharmController, 4), rounds=1, iterations=1)
+    print_series("Ablation: over-decomposition under induced imbalance",
+                 "tasks per PE", FACTORS, sweep)
+    mpi = sweep["MPI (static)"]
+    charm = sweep["Charm++ (periodic LB)"]
+    charm_off = sweep["Charm++ (LB off)"]
+    # With one task per PE there is nothing to migrate: all comparable.
+    assert charm[1] < 1.3 * mpi[1]
+    # With over-decomposition, LB beats both the static map and LB-off.
+    assert charm[16] < mpi[16]
+    assert charm[16] < charm_off[16]
+    # The LB win grows with the over-decomposition factor.
+    assert mpi[16] / charm[16] > mpi[4] / charm[4] * 0.9

@@ -1,0 +1,79 @@
+"""Ablation: task placement for the merge-tree dataflow.
+
+The MPI controller's task map is the user's main tuning knob (Section
+IV-A).  This sweep compares the round-robin default (`ModuloMap`), a
+contiguous `BlockMap`, and the workload-aware locality map that pins each
+leaf's correction chain to the leaf's rank — measuring makespan and the
+bytes that actually cross the network.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import bench_field, print_series
+from repro.analysis.mergetree import MergeTreeWorkload, mergetree_locality_map
+from repro.core.taskmap import BlockMap, ModuloMap
+from repro.runtimes import MPIController
+
+LEAVES = 512
+CORES = 64
+VALENCE = 8
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return MergeTreeWorkload(
+        bench_field(), LEAVES, threshold=0.45, valence=VALENCE,
+        sim_shape=(1024, 1024, 1024),
+    )
+
+
+def make_maps(graph):
+    return {
+        "ModuloMap": ModuloMap(CORES, graph.size()),
+        "BlockMap": BlockMap(CORES, graph.size()),
+        "locality map": mergetree_locality_map(graph, CORES),
+    }
+
+
+def run_point(workload, tmap):
+    c = MPIController(CORES, cost_model=workload.cost_model())
+    return workload.run(c, tmap)
+
+
+@pytest.fixture(scope="module")
+def sweep(workload):
+    out = {"makespan": {}, "network MB": {}, "serialize s": {}}
+    maps = make_maps(workload.graph)
+    for i, (name, tmap) in enumerate(maps.items()):
+        r = run_point(workload, tmap)
+        # Network bytes: total minus intra-rank traffic is not directly
+        # separable from stats, so use the serialize category (charged
+        # only on inter-rank edges) plus raw byte counts for context.
+        out["makespan"][i] = r.makespan
+        out["network MB"][i] = r.stats.bytes_sent / 1e6
+        out["serialize s"][i] = r.stats.get("serialize")
+    out["_names"] = {i: n for i, n in enumerate(maps)}
+    return out
+
+
+def test_ablation_placement(workload, sweep, benchmark):
+    maps = make_maps(workload.graph)
+    benchmark.pedantic(
+        run_point, args=(workload, maps["ModuloMap"]), rounds=1, iterations=1
+    )
+    names = sweep.pop("_names")
+    xs = sorted(names)
+    print(f"\n(placements: {names})")
+    print_series(
+        f"Ablation: merge-tree task placement ({LEAVES} blocks, {CORES} ranks)",
+        "placement", xs, sweep, unit="s / MB",
+    )
+    ser = sweep["serialize s"]
+    # The locality map serializes less than round robin: the correction
+    # chains stay on-rank and use in-memory messages.
+    assert ser[2] < ser[0]
+    # And it must not cost correctness or blow up the makespan.
+    mk = sweep["makespan"]
+    assert mk[2] <= 1.5 * min(mk.values())

@@ -1,0 +1,58 @@
+"""Ablation: compositing radix (extension beyond the paper).
+
+Radix-k spans the spectrum between binary swap (k=2: most rounds, fewest
+bytes per round) and direct-send (k=n: one round, all-to-all).  This
+sweep runs the compositing-only workload at a fixed image count for
+several radices and reports makespan, exchange rounds, and messages — the
+latency-vs-bandwidth trade-off IceT navigates internally.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import bench_field, print_series
+from repro.analysis.rendering import RenderingCostParams, RenderingWorkload
+from repro.runtimes import MPIController
+
+N = 16
+RADICES = [2, 4, 16]
+FIELD = bench_field()
+
+
+def run_point(k: int):
+    wl = RenderingWorkload(
+        FIELD, N, image_shape=(24, 24), mode="radixk", valence=k,
+        sim_image_shape=(2048, 2048), sim_shape=(1024, 1024, 1024),
+        cost_params=RenderingCostParams(render_per_sample=0.0),
+    )
+    c = MPIController(N, cost_model=wl.cost_model())
+    r = wl.run(c)
+    return r, wl
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    out = {"makespan": {}, "rounds": {}, "messages": {}}
+    for k in RADICES:
+        r, wl = run_point(k)
+        out["makespan"][k] = r.makespan
+        out["rounds"][k] = float(wl.graph.stages)
+        out["messages"][k] = float(r.stats.messages)
+    return out
+
+
+def test_ablation_radix(sweep, benchmark):
+    benchmark.pedantic(run_point, args=(4,), rounds=1, iterations=1)
+    print_series(f"Ablation: compositing radix ({N} images, compositing only)",
+                 "radix", RADICES, sweep, unit="s / count")
+    # Rounds fall monotonically with the radix.
+    rounds = sweep["rounds"]
+    assert rounds[16] < rounds[4] < rounds[2]
+    # Direct-send floods the network relative to binary swap.
+    assert sweep["messages"][16] > sweep["messages"][2]
+    # The intermediate radix is at least as good as both extremes
+    # (the reason radix-k exists).
+    best_mid = sweep["makespan"][4]
+    assert best_mid <= sweep["makespan"][2] * 1.001
+    assert best_mid <= sweep["makespan"][16] * 1.001

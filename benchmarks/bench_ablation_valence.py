@@ -1,0 +1,54 @@
+"""Ablation: reduction valence k in the merge-tree dataflow.
+
+The paper: "In practice, we typically use 8-way reductions (i.e., k = 8)
+to reduce the height of the tree."  Higher valence means fewer rounds
+(shorter critical path, fewer correction stages per leaf) at the price of
+larger fan-in joins.  This sweep quantifies that trade-off on the real
+workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import bench_field, print_series
+from repro.analysis.mergetree import MergeTreeWorkload
+from repro.runtimes import MPIController
+
+LEAVES = 4096  # = 2^12 = 4^6 = 8^4: valid for every valence below
+CORES = 256
+VALENCES = [2, 4, 8]
+
+
+def run_point(valence: int):
+    wl = MergeTreeWorkload(
+        bench_field(), LEAVES, threshold=0.45, valence=valence,
+        sim_shape=(1024, 1024, 1024),
+    )
+    c = MPIController(CORES, cost_model=wl.cost_model())
+    r = wl.run(c)
+    return r, wl
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    out = {"makespan": {}, "tasks": {}, "messages": {}}
+    for k in VALENCES:
+        r, wl = run_point(k)
+        out["makespan"][k] = r.makespan
+        out["tasks"][k] = float(wl.graph.size())
+        out["messages"][k] = float(r.stats.messages)
+    return out
+
+
+def test_ablation_valence(sweep, benchmark):
+    benchmark.pedantic(run_point, args=(8,), rounds=1, iterations=1)
+    print_series(
+        f"Ablation: merge-tree valence ({LEAVES} blocks on {CORES} cores)",
+        "valence", VALENCES, sweep, unit="s / count",
+    )
+    # Higher valence -> flatter graph: fewer tasks and fewer messages.
+    assert sweep["tasks"][8] < sweep["tasks"][4] < sweep["tasks"][2]
+    assert sweep["messages"][8] < sweep["messages"][2]
+    # The paper's k=8 choice is at least as fast as binary reduction.
+    assert sweep["makespan"][8] <= sweep["makespan"][2] * 1.05

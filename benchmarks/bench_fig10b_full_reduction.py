@@ -1,0 +1,39 @@
+"""Figure 10b: full dataflow (rendering + reduction compositing).
+
+The paper's totals for IceT/MPI/Charm++/Legion nearly coincide because
+the strongly-scaled rendering stage dominates the composite: "the total
+time for all runtimes is practically equivalent".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.compositing_common import SIZES, compositing_sweep, make_workload
+from benchmarks.harness import print_series
+from repro.runtimes import MPIController
+
+
+def run_point(n: int):
+    wl = make_workload(n, "reduction", render=True)
+    return wl.run(MPIController(n, cost_model=wl.cost_model()))
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return compositing_sweep("reduction", True)
+
+
+def test_fig10b_full_reduction(sweep, benchmark):
+    benchmark.pedantic(run_point, args=(SIZES[0],), rounds=1, iterations=1)
+    print_series("Figure 10b: rendering + reduction compositing totals",
+                 "cores", SIZES, sweep)
+    # Totals decrease with cores (rendering strong-scales) ...
+    for name in ("MPI", "Charm++", "Legion", "IceT"):
+        t = sweep[name]
+        assert t[SIZES[-1]] < t[SIZES[0]], name
+    # ... and the runtimes practically coincide: rendering dominates.
+    for n in SIZES:
+        vals = [sweep[name][n] for name in ("MPI", "Charm++", "Legion")]
+        assert max(vals) < 1.25 * min(vals), n
+        assert sweep["IceT"][n] < 1.25 * min(vals)

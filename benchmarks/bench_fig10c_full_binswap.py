@@ -1,0 +1,35 @@
+"""Figure 10c: full dataflow (rendering + binary-swap compositing).
+
+As with Fig. 10b the rendering stage dominates, so the totals of all
+runtimes and the IceT baseline are close and fall with the core count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.compositing_common import SIZES, compositing_sweep, make_workload
+from benchmarks.harness import print_series
+from repro.runtimes import MPIController
+
+
+def run_point(n: int):
+    wl = make_workload(n, "binswap", render=True)
+    return wl.run(MPIController(n, cost_model=wl.cost_model()))
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return compositing_sweep("binswap", True)
+
+
+def test_fig10c_full_binswap(sweep, benchmark):
+    benchmark.pedantic(run_point, args=(SIZES[0],), rounds=1, iterations=1)
+    print_series("Figure 10c: rendering + binary-swap compositing totals",
+                 "cores", SIZES, sweep)
+    for name in ("MPI", "Charm++", "Legion", "IceT"):
+        t = sweep[name]
+        assert t[SIZES[-1]] < t[SIZES[0]], name
+    for n in SIZES:
+        vals = [sweep[name][n] for name in ("MPI", "Charm++", "Legion")]
+        assert max(vals) < 1.25 * min(vals), n

@@ -1,0 +1,65 @@
+"""Figure 2: Legion index launches (IL) vs SPMD, merge-tree dataflow.
+
+The paper runs the parallel merge tree on a 512^3 HCCI dataset with both
+Legion controllers over 128-2048 cores: the SPMD implementation is faster
+throughout and the index-launch version scales worse — the IL parent
+spawns every task serially, so as the core count (and with it the task
+count) grows while per-task work shrinks, its total *rises*.
+
+Here: the real distributed merge tree over the HCCI proxy field with one
+block per core (4-way reduction so every sweep point is a valid leaf
+count), cost model calibrated to the 512^3 problem.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import bench_field, print_series, sweep_sizes
+from repro.analysis.mergetree import MergeTreeWorkload
+from repro.runtimes import LegionIndexController, LegionSPMDController
+
+SIZES = sweep_sizes(small=[64, 256, 1024], full=[64, 256, 1024, 4096])
+VALENCE = 4
+FIELD = bench_field()
+
+
+def make_workload(leaves: int) -> MergeTreeWorkload:
+    return MergeTreeWorkload(
+        FIELD, leaves, threshold=0.45, valence=VALENCE,
+        sim_shape=(512, 512, 512),
+    )
+
+
+def run_point(ctor, cores: int):
+    wl = make_workload(cores)
+    c = ctor(cores, cost_model=wl.cost_model())
+    return wl.run(c)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    out = {"Legion SPMD": {}, "Legion IL": {}}
+    for cores in SIZES:
+        out["Legion SPMD"][cores] = run_point(LegionSPMDController, cores).makespan
+        out["Legion IL"][cores] = run_point(LegionIndexController, cores).makespan
+    return out
+
+
+def test_fig2_legion_il_vs_spmd(sweep, benchmark):
+    benchmark.pedantic(
+        run_point, args=(LegionSPMDController, SIZES[0]), rounds=1, iterations=1
+    )
+    print_series("Figure 2: Legion IL vs SPMD (merge tree, blocks = cores)",
+                 "cores", SIZES, sweep)
+    spmd, il = sweep["Legion SPMD"], sweep["Legion IL"]
+    # SPMD wins at every core count...
+    for cores in SIZES:
+        assert spmd[cores] < il[cores], cores
+    # ...the gap widens with scale (IL scales worse)...
+    gap_small = il[SIZES[0]] / spmd[SIZES[0]]
+    gap_large = il[SIZES[-1]] / spmd[SIZES[-1]]
+    assert gap_large > gap_small
+    # ...and IL eventually *rises* while SPMD keeps improving or holds.
+    assert il[SIZES[-1]] > il[SIZES[-2]]
+    assert spmd[SIZES[-1]] <= spmd[SIZES[0]]

@@ -1,0 +1,74 @@
+"""Figure 3: Legion index vs must-epoch launcher overhead.
+
+The paper launches one round of N data-parallel tasks on N cores (strong
+scaling of a fixed total compute budget) and plots: per-task compute time
+(scales ~perfectly), task staging (flat at a low level), and the total
+time for the index launcher and the must-epoch (SPMD) launcher — both of
+which *increase* with N because the parent prepares subtasks serially.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import print_series, sweep_sizes
+from repro.core.payload import Payload
+from repro.graphs import DataParallel
+from repro.runtimes import LegionIndexController, LegionSPMDController
+from repro.runtimes.costs import CallableCost
+
+#: Fixed total compute budget split evenly over the N tasks (seconds).
+TOTAL_WORK = 4.0
+
+SIZES = sweep_sizes(small=[128, 256, 512, 1024, 2048], full=[128, 256, 512, 1024, 2048, 4096])
+
+
+def run_point(ctor, n: int):
+    g = DataParallel(n)
+    c = ctor(n, cost_model=CallableCost(lambda t, i: TOTAL_WORK / n))
+    c.initialize(g)
+    c.register_callback(g.WORK, lambda ins, tid: [ins[0]])
+    return c.run({t: Payload(1, nbytes=1 << 20) for t in range(n)})
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    out = {
+        "total (index launch)": {},
+        "total (must epoch)": {},
+        "task computation": {},
+        "task staging": {},
+    }
+    for n in SIZES:
+        r_idx = run_point(LegionIndexController, n)
+        r_spmd = run_point(LegionSPMDController, n)
+        out["total (index launch)"][n] = r_idx.makespan
+        out["total (must epoch)"][n] = r_spmd.makespan
+        out["task computation"][n] = TOTAL_WORK / n  # per-task compute
+        out["task staging"][n] = r_idx.stats.get("staging") / n  # per task
+    return out
+
+
+def test_fig3_launcher_overhead(sweep, benchmark):
+    benchmark.pedantic(run_point, args=(LegionIndexController, SIZES[0]), rounds=1, iterations=1)
+    print_series("Figure 3: launcher overhead strong scaling",
+                 "tasks=cores", SIZES, sweep)
+
+    idx = sweep["total (index launch)"]
+    spmd = sweep["total (must epoch)"]
+    comp = sweep["task computation"]
+    staging = sweep["task staging"]
+
+    # Per-task compute scales ~perfectly (it is exactly W/N).
+    assert comp[SIZES[-1]] == pytest.approx(
+        comp[SIZES[0]] * SIZES[0] / SIZES[-1]
+    )
+    # Staging per task stays constant at a low level.
+    assert staging[SIZES[-1]] == pytest.approx(staging[SIZES[0]], rel=0.05)
+    assert staging[SIZES[0]] < 1e-3
+    # Totals grow with task count despite the shrinking work (the
+    # parent-borne spawn overhead dominates)...
+    assert idx[SIZES[-1]] > idx[SIZES[0]]
+    assert spmd[SIZES[-1]] > spmd[SIZES[0]]
+    # ...and the index launcher is the more expensive of the two at scale.
+    assert idx[SIZES[-1]] > spmd[SIZES[-1]]

@@ -1,0 +1,72 @@
+"""Shared sweep machinery for the compositing figures (10b/c/e/f).
+
+Weak scaling as in the paper: one rendered image per core, so the number
+of images to composite grows with the core count.  The *compositing-only*
+sweeps zero the render cost so makespans isolate the compositing stage
+(Figs. 10e/f); the *full* sweeps keep it (Figs. 10b/c).
+
+Results are cached per (mode, render) so the binary-swap figure can
+compare against the reduction numbers without re-running them.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from benchmarks.harness import bench_field, sweep_sizes
+from repro.analysis.rendering import (
+    RenderingCostParams,
+    RenderingWorkload,
+    icet_composite_time,
+)
+from repro.runtimes import CharmController, LegionSPMDController, MPIController
+from repro.sim.machine import SHAHEEN_II
+
+SIZES = sweep_sizes(small=[64, 256, 1024], full=[128, 512, 2048, 8192])
+
+#: Simulated output image and volume (the paper's setup).
+SIM_IMAGE = (2048, 2048)
+SIM_VOLUME = (1024, 1024, 1024)
+
+RUNTIMES = [
+    ("MPI", MPIController),
+    ("Charm++", CharmController),
+    ("Legion", LegionSPMDController),
+]
+
+_FIELD = bench_field()
+
+
+def make_workload(n: int, mode: str, render: bool) -> RenderingWorkload:
+    """Build the workload for ``n`` images; ``render=False`` zeroes the
+    render cost so only compositing shapes the makespan."""
+    params = RenderingCostParams() if render else RenderingCostParams(
+        render_per_sample=0.0
+    )
+    return RenderingWorkload(
+        _FIELD, n, image_shape=(24, 24), mode=mode, valence=2,
+        sim_image_shape=SIM_IMAGE, sim_shape=SIM_VOLUME, cost_params=params,
+    )
+
+
+@lru_cache(maxsize=None)
+def compositing_sweep(mode: str, render: bool) -> dict[str, dict[int, float]]:
+    """Run every runtime over the size sweep; returns series name -> data.
+
+    Includes the IceT baseline: the compositing model alone when
+    ``render=False``, plus the (identical) rendering stage estimate when
+    ``render=True``.
+    """
+    out: dict[str, dict[int, float]] = {"IceT": {}}
+    for name, _ in RUNTIMES:
+        out[name] = {}
+    for n in SIZES:
+        wl = make_workload(n, mode, render)
+        for name, ctor in RUNTIMES:
+            c = ctor(n, cost_model=wl.cost_model())
+            out[name][n] = wl.run(c).makespan
+        icet = icet_composite_time(n, SIM_IMAGE[0] * SIM_IMAGE[1], SHAHEEN_II)
+        if render:
+            icet += max(wl.render_cost(b) for b in range(n))
+        out["IceT"][n] = icet
+    return out

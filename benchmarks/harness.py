@@ -1,0 +1,79 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every module in this directory regenerates one figure of the paper's
+evaluation section: it sweeps the simulated core count, runs the real
+workload through the real controllers on the discrete-event substrate,
+prints the same series the paper plots, and *asserts the paper's
+qualitative shape* (who wins, by roughly what factor, where behaviour
+changes) so the reproduction claims are regression-checked.
+
+Scale control: the sweeps default to a laptop-friendly range; set
+``REPRO_BENCH_SCALE=full`` to extend toward the paper's core counts
+(slower; minutes per figure).
+
+Absolute seconds are *virtual* (simulated) time and are not expected to
+match the paper's testbed — see EXPERIMENTS.md for the per-figure
+comparison of shapes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.data import hcci_proxy
+
+#: "small" (default) or "full" sweep ranges.
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+def sweep_sizes(small: Sequence[int], full: Sequence[int]) -> list[int]:
+    """Pick the sweep points for the configured scale."""
+    return list(full if SCALE == "full" else small)
+
+
+def bench_field(shape=(48, 48, 48), n_features=40, seed=2018) -> np.ndarray:
+    """The benchmark's HCCI stand-in field (small but feature-rich)."""
+    return hcci_proxy(shape, n_features=n_features, feature_sigma=2.0, seed=seed)
+
+
+def print_series(
+    title: str,
+    xlabel: str,
+    xs: Sequence[int],
+    series: Mapping[str, Mapping[int, float]],
+    unit: str = "s",
+) -> None:
+    """Print one figure's data as the paper-style table.
+
+    Args:
+        title: figure name.
+        xlabel: the x-axis label (cores / nodes / tasks).
+        xs: x values in order.
+        series: series name -> {x: value}.
+        unit: value unit for the header.
+    """
+    print(f"\n=== {title} ===")
+    name_w = max(len(xlabel), *(len(n) for n in series)) + 2
+    header = f"{xlabel:<{name_w}}" + "".join(f"{x:>12}" for x in xs)
+    print(header)
+    print("-" * len(header))
+    for name, values in series.items():
+        cells = "".join(
+            f"{values[x]:>12.4f}" if x in values else f"{'-':>12}" for x in xs
+        )
+        print(f"{name:<{name_w}}{cells}  [{unit}]")
+
+
+def speedups(values: Mapping[int, float]) -> dict[int, float]:
+    """Normalize a series to its first point (strong-scaling speedup)."""
+    xs = sorted(values)
+    base = values[xs[0]]
+    return {x: base / values[x] for x in xs}
+
+
+def run_and_time(make_controller: Callable, workload, task_map=None) -> float:
+    """Run a workload on a fresh controller; return the virtual makespan."""
+    return workload.run(make_controller(), task_map).makespan

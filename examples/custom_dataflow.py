@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Writing a custom task graph: a pipelined halo-exchange stencil.
+
+The stock graphs cover the common patterns, but the point of the EDSL is
+that new dataflows take a page of code (paper Listing 2): implement
+``size()`` and ``task()``, and every backend can run it.  This example
+defines a 1D Jacobi stencil over ``W`` chunks for ``R`` sweeps — each
+task averages its chunk with halo values from its neighbors' previous
+iteration — and runs it on MPI and Charm++.
+
+Also demonstrates graph composition: the stencil's outputs feed a stock
+Reduction that computes the global residual.
+
+Run:  python examples/custom_dataflow.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import EXTERNAL, TNULL, ComposedGraph, Payload, Task, TaskGraph
+from repro.graphs import Reduction
+from repro.runtimes import CharmController, MPIController, SerialController
+
+W = 8   # chunks
+R = 4   # sweeps
+
+
+class HaloStencil(TaskGraph):
+    """R rounds of W chunk tasks; round r chunk i reads (r-1, i-1..i+1)."""
+
+    STEP = 0
+
+    def __init__(self, width: int, rounds: int) -> None:
+        self.width, self.rounds_n = width, rounds
+
+    def size(self) -> int:
+        return self.width * self.rounds_n
+
+    def callbacks(self):
+        return [self.STEP]
+
+    def tid(self, r: int, i: int) -> int:
+        return r * self.width + i
+
+    def task(self, tid: int) -> Task:
+        r, i = divmod(tid, self.width)
+        if r == 0:
+            incoming = [EXTERNAL]
+        else:
+            incoming = [
+                self.tid(r - 1, j)
+                for j in (i - 1, i, i + 1)
+                if 0 <= j < self.width
+            ]
+        if r == self.rounds_n - 1:
+            outgoing = [[TNULL]]
+        else:
+            outgoing = [
+                [self.tid(r + 1, j)]
+                for j in (i - 1, i, i + 1)
+                if 0 <= j < self.width
+            ]
+        return Task(tid, self.STEP, incoming, outgoing)
+
+
+def step(inputs: list[Payload], tid: int) -> list[Payload]:
+    """Average own chunk with received halo chunks; fan out copies."""
+    arrays = [p.data for p in inputs]
+    mixed = np.mean(arrays, axis=0)
+    graph_r, i = divmod(tid, W)
+    n_out = len([j for j in (i - 1, i, i + 1) if 0 <= j < W])
+    if graph_r == R - 1:
+        return [Payload(mixed)]
+    return [Payload(mixed) for _ in range(n_out)]
+
+
+def main() -> None:
+    stencil = HaloStencil(W, R)
+    stencil.validate()
+    print(f"custom stencil graph: {stencil.size()} tasks, "
+          f"{len(stencil.rounds())} rounds")
+
+    rng = np.random.default_rng(0)
+    chunks = {stencil.tid(0, i): Payload(rng.random(16)) for i in range(W)}
+
+    results = []
+    for name, ctor in [
+        ("Serial", SerialController),
+        ("MPI", lambda: MPIController(4)),
+        ("Charm++", lambda: CharmController(4)),
+    ]:
+        c = ctor()
+        c.initialize(stencil)
+        c.register_callback(stencil.STEP, step)
+        res = c.run(chunks)
+        final = np.concatenate(
+            [res.output(stencil.tid(R - 1, i)).data for i in range(W)]
+        )
+        results.append(final)
+        print(f"{name:<8}: final mean {final.mean():.6f}, "
+              f"spread {final.std():.6f}")
+    assert all(np.array_equal(r, results[0]) for r in results[1:])
+
+    # --- Composition: stencil -> stock reduction for a global sum. ------
+    comp = ComposedGraph()
+    comp.add("stencil", HaloStencil(W, R))
+    red = Reduction(W, 2)
+    comp.add("sum", red)
+    for i in range(W):
+        comp.link("stencil", stencil.tid(R - 1, i), 0,
+                  "sum", red.leaf_id(i), 0)
+    comp.validate()
+
+    c = MPIController(4)
+    c.initialize(comp)
+    c.register_callback(comp.callback_id("stencil", stencil.STEP), step)
+    fold = lambda ins, tid: [Payload(sum(float(np.sum(p.data)) for p in ins))]
+    for cb in (red.LEAF, red.REDUCE, red.ROOT):
+        c.register_callback(comp.callback_id("sum", cb), fold)
+    res = c.run({comp.global_id("stencil", t): p for t, p in chunks.items()})
+    total = res.output(comp.global_id("sum", red.root_id)).data
+    print(f"composed stencil+reduction global sum: {total:.6f}")
+    assert abs(total - float(results[0].sum())) < 1e-9
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""In-situ feature tracking inside a live simulation.
+
+The paper's motivating scenario: instead of writing simulation output to
+disk and analyzing it later, the merge-tree dataflow runs *in situ*,
+every few solver steps, on the host's own runtime.  This example couples
+the toy combustion solver to the topological analysis on the Charm++
+backend and prints the ignition-region count over time plus the
+solver/analysis cost split.
+
+Run:  python examples/insitu_monitoring.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.mergetree import FeatureTracker, MergeTreeWorkload
+from repro.insitu import CombustionSimulation, InSituCoupler
+from repro.runtimes import CharmController
+
+THRESHOLD = 0.55
+STEPS = 24
+EVERY = 2
+
+
+def main() -> None:
+    sim = CombustionSimulation(
+        (24, 24, 24), n_features=12, velocity=1.2, pulse_period=12, seed=3,
+        sim_shape=(512, 512, 512),  # solver cost modeled at paper scale
+    )
+
+    def analysis(field):
+        return MergeTreeWorkload(
+            field, n_blocks=8, threshold=THRESHOLD, valence=2,
+            sim_shape=(512, 512, 512),
+        )
+
+    tracker = FeatureTracker(min_overlap=2)
+
+    def metric(wl, res):
+        seg = wl.assemble(res)
+        assign = tracker.update(sim.time, seg)
+        return len(assign)
+
+    coupler = InSituCoupler(
+        sim,
+        analysis,
+        controller_factory=lambda: CharmController(16),
+        metric=metric,
+        analysis_every=EVERY,
+    )
+    report = coupler.run(steps=STEPS)
+
+    print(f"{'step':>6}{'ignition regions':>20}{'analysis time':>16}")
+    for rec in report.records:
+        bar = "#" * rec.metric
+        print(f"{rec.step:>6}{rec.metric:>20}{rec.analysis_time:>15.4f}s  {bar}")
+
+    print(f"\nsolver time   : {report.solver_time:9.4f}s virtual")
+    print(f"analysis time : {report.analysis_time:9.4f}s virtual "
+          f"({report.analysis_fraction:.1%} of the machine)")
+    counts = [m for _, m in report.series()]
+    print(f"feature count ranged {min(counts)}..{max(counts)} as kernels "
+          "pulsed, drifted, and merged")
+
+    print(f"\nfeature tracks (overlap-matched identities across steps):")
+    print(tracker.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Volume registration of a tiled acquisition (Sec. V-C, Fig. 8).
+
+Fabricates a 5x5 grid of overlapping stacks with hidden position jitter,
+registers them with the neighbor dataflow on two backends, and checks the
+recovered placements against the (known) ground truth.
+
+Run:  python examples/registration_pipeline.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.registration import (
+    RegistrationWorkload,
+    SyntheticVolumeGrid,
+    VolumeGridSpec,
+)
+from repro.runtimes import CharmController, MPIController
+
+
+def main() -> None:
+    spec = VolumeGridSpec(
+        gx=5, gy=5, vol_shape=(32, 32, 32), overlap=0.2,
+        max_jitter=2, seed=77,
+    )
+    grid = SyntheticVolumeGrid(spec)
+    print(f"grid: {spec.gx}x{spec.gy} volumes of {spec.vol_shape}, "
+          f"{spec.overlap:.0%} overlap, jitter up to ±{spec.max_jitter} voxels")
+
+    wl = RegistrationWorkload(
+        grid, slabs=4, sim_vol_shape=(1024, 1024, 1024)
+    )
+    print(f"dataflow: {wl.graph.size()} tasks "
+          f"({len(wl.graph.edges)} volume pairs, {wl.slabs} Z slabs)")
+
+    for name, ctor in [("MPI", MPIController), ("Charm++", CharmController)]:
+        # The paper uses only 4 of the 32 cores per node (memory bound).
+        controller = ctor(
+            n_procs=25 * 4, cost_model=wl.cost_model(), procs_per_node=4
+        )
+        result = wl.run(controller)
+        recovered = wl.recovered_offsets(result)
+        exact = np.array_equal(recovered, grid.true_offsets)
+        print(f"{name:<8}: virtual time {result.makespan:8.3f}s, "
+              f"ground truth recovered: {exact}")
+        assert exact
+
+    print("\nrecovered per-volume offsets (x, y):")
+    for cy in range(spec.gy):
+        row = []
+        for cx in range(spec.gx):
+            dx, dy, _ = grid.true_offsets[cy * spec.gx + cx]
+            row.append(f"({dx:+d},{dy:+d})")
+        print("  " + "  ".join(row))
+
+
+if __name__ == "__main__":
+    main()

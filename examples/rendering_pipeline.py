@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Distributed rendering + compositing (Sec. V-B, image of Fig. 10d).
+
+Renders an HCCI proxy volume block-parallel, composites with both the
+reduction and the binary-swap dataflows, verifies both against a single-
+pass render, and writes the final image to ``hcci_render.ppm``.
+
+Run:  python examples/rendering_pipeline.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.rendering import RenderingWorkload, to_rgb8, write_ppm
+from repro.data import hcci_proxy
+from repro.runtimes import CharmController, MPIController
+
+IMAGE = (128, 128)
+BLOCKS = 16
+
+
+def main() -> None:
+    field = hcci_proxy((48, 48, 48), n_features=40, feature_sigma=2.5, seed=4)
+
+    # --- Reduction compositing: one final image at the root task. ------
+    reduction = RenderingWorkload(
+        field, BLOCKS, image_shape=IMAGE, mode="reduction", valence=4,
+        sim_image_shape=(2048, 2048), sim_shape=(1024, 1024, 1024),
+    )
+    r1 = reduction.run(MPIController(BLOCKS, cost_model=reduction.cost_model()))
+    image1 = reduction.assemble(r1)
+    print(f"reduction compositing:   {r1.makespan:9.3f}s virtual, "
+          f"{r1.stats.messages} messages")
+
+    # --- Binary swap: each final task owns one tile. --------------------
+    binswap = RenderingWorkload(
+        field, BLOCKS, image_shape=IMAGE, mode="binswap",
+        sim_image_shape=(2048, 2048), sim_shape=(1024, 1024, 1024),
+    )
+    r2 = binswap.run(CharmController(BLOCKS, cost_model=binswap.cost_model()))
+    image2 = binswap.assemble(r2)
+    print(f"binary-swap compositing: {r2.makespan:9.3f}s virtual, "
+          f"{r2.stats.messages} messages")
+
+    # --- Verify both against the single-pass reference. -----------------
+    ref = reduction.reference_image()
+    assert np.allclose(image1.rgba, ref.rgba, atol=1e-5)
+    assert np.allclose(image2.rgba, ref.rgba, atol=1e-5)
+    print("both dataflows match the single-pass render exactly")
+
+    rgb = to_rgb8(image1, background=(0.05, 0.05, 0.08))
+    write_ppm("hcci_render.ppm", rgb)
+    covered = float((image1.rgba[..., 3] > 0.01).mean())
+    print(f"wrote hcci_render.ppm ({IMAGE[0]}x{IMAGE[1]}, "
+          f"{covered:.0%} of pixels covered)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Topological feature extraction on a combustion-like field (Sec. V-A).
+
+Builds the paper's distributed merge-tree dataflow over an HCCI proxy
+volume, runs it on every backend, verifies the segmentation against an
+independent reference, and prints per-backend virtual timings — a small-
+scale rendition of Fig. 6.
+
+Run:  python examples/topological_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.mergetree import (
+    MergeTreeWorkload,
+    block_join_tree,
+    feature_statistics,
+    feature_table,
+    reference_segmentation,
+)
+from repro.analysis.mergetree.blocks import BlockDecomposition
+from repro.data import hcci_proxy, replicate
+from repro.runtimes import (
+    BlockingMPIController,
+    CharmController,
+    LegionSPMDController,
+    MPIController,
+)
+
+THRESHOLD = 0.45
+
+
+def main() -> None:
+    # The paper replicates its periodic 512^3 dataset to 1024^3; we do the
+    # same trick at example scale.
+    base = hcci_proxy((32, 32, 32), n_features=20, feature_sigma=2.0, seed=11)
+    field = replicate(base, (2, 1, 1))
+    print(f"field: {field.shape}, range [{field.min():.2f}, {field.max():.2f}]")
+
+    wl = MergeTreeWorkload(
+        field, n_blocks=64, threshold=THRESHOLD, valence=8,
+        sim_shape=(1024, 1024, 1024),  # cost model pretends paper scale
+    )
+    print(f"dataflow: {wl.graph.size()} tasks "
+          f"({wl.graph.leaves} blocks, {wl.graph.join_rounds} join rounds)")
+
+    ref = reference_segmentation(field, THRESHOLD)
+    n_ref = len(np.unique(ref[ref >= 0]))
+
+    print(f"\n{'backend':<16}{'features':>10}{'virtual time':>16}{'correct':>10}")
+    for name, ctor in [
+        ("Original MPI", BlockingMPIController),
+        ("MPI", MPIController),
+        ("Charm++", CharmController),
+        ("Legion SPMD", LegionSPMDController),
+    ]:
+        controller = ctor(n_procs=16, cost_model=wl.cost_model())
+        result = wl.run(controller)
+        seg = wl.assemble(result)
+        ok = np.array_equal(seg, ref)
+        print(f"{name:<16}{wl.feature_count(result):>10}"
+              f"{result.makespan:>15.4f}s{str(ok):>10}")
+        assert ok
+
+    print(f"\nreference feature count: {n_ref} — every backend agrees, "
+          "and the async MPI backend beats the blocking baseline.")
+
+    # --- Per-feature statistics (what Fig. 4 visualizes) -----------------
+    stats = feature_statistics(seg, field)
+    print("\nlargest ignition regions:")
+    print(feature_table(stats, limit=6))
+
+    # --- Persistence analysis on the full (unpruned) merge tree ----------
+    dec = BlockDecomposition(field.shape, (1, 1, 1))
+    gids = dec.gids_array(tuple((0, s) for s in field.shape))
+    tree = block_join_tree(field, gids)
+    pairs = tree.persistence_pairs()
+    print(f"\nfull merge tree: {tree.n_nodes} nodes, "
+          f"{len(tree.maxima())} maxima, {len(pairs)} persistence pairs")
+    for p in (0.0, 0.2, 0.5, 0.8):
+        count = tree.simplified_feature_count(
+            THRESHOLD, p, merge_across_threshold=True
+        )
+        print(f"features after merging persistence < {p:.1f}: {count}")
+    print("(rising the persistence floor fuses weakly separated ignition "
+          "kernels into fewer, more robust features)")
+
+
+if __name__ == "__main__":
+    main()

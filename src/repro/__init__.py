@@ -1,0 +1,39 @@
+"""BabelFlow reproduction: a runtime-portable task-graph EDSL.
+
+Reproduces Petruzza et al., *BabelFlow: An Embedded Domain Specific
+Language for Parallel Analysis and Visualization* (IPDPS 2018).
+
+Subpackages:
+
+* :mod:`repro.core` -- the EDSL: tasks, task graphs, task maps, payloads.
+* :mod:`repro.graphs` -- stock dataflow graphs (reduction, broadcast,
+  binary swap, neighbor, merge tree, ...).
+* :mod:`repro.runtimes` -- the runtime controllers (Serial, MPI, Charm++,
+  Legion SPMD, Legion index-launch).
+* :mod:`repro.sim` -- the discrete-event cluster substrate.
+* :mod:`repro.analysis` -- the paper's three use cases: topological
+  analysis (merge trees), distributed rendering/compositing, and volume
+  registration.
+* :mod:`repro.data` -- synthetic dataset generators.
+
+Quickstart::
+
+    from repro.core import Payload, ModuloMap
+    from repro.graphs import Reduction
+    from repro.runtimes import MPIController
+
+    graph = Reduction(leaves=16, valence=4)
+    c = MPIController(n_procs=4)
+    c.initialize(graph, ModuloMap(4, graph.size()))
+    c.register_callback(graph.LEAF, lambda ins, tid: [ins[0]])
+    c.register_callback(graph.REDUCE,
+                        lambda ins, tid: [Payload(sum(p.data for p in ins))])
+    c.register_callback(graph.ROOT,
+                        lambda ins, tid: [Payload(sum(p.data for p in ins))])
+    result = c.run({t: Payload(1) for t in graph.leaf_ids()})
+    assert result.output(graph.root_id).data == 16
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

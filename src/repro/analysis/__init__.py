@@ -1,0 +1,6 @@
+"""The paper's three large-scale use cases.
+
+* :mod:`repro.analysis.mergetree` -- topological feature extraction.
+* :mod:`repro.analysis.rendering` -- rendering + image compositing.
+* :mod:`repro.analysis.registration` -- tiled volume registration.
+"""

@@ -1,0 +1,73 @@
+"""Topological analysis: distributed segmented merge trees (Section V-A).
+
+The first of the paper's three use cases.  Feature extraction on large
+scalar fields: each feature is a connected component of the superlevel
+set at a threshold (an "ignition region" in the HCCI combustion data),
+computed with a parallel merge-tree dataflow — local trees per block,
+k-way joins of boundary trees, broadcast of augmented trees, per-leaf
+corrections, final segmentation (paper Fig. 5, after Landge et al. 2014).
+"""
+
+from repro.analysis.mergetree.blocks import NEIGHBOR_OFFSETS, BlockDecomposition
+from repro.analysis.mergetree.boundary import BoundaryComponents, extract_boundary
+from repro.analysis.mergetree.features import (
+    FeatureStats,
+    feature_statistics,
+    feature_table,
+)
+from repro.analysis.mergetree.join import (
+    RelabelMap,
+    compose_relabel,
+    join_components,
+)
+from repro.analysis.mergetree.placement import leaf_shard, mergetree_locality_map
+from repro.analysis.mergetree.sequential import (
+    JoinTree,
+    block_join_tree,
+    block_split_tree,
+    reference_segmentation,
+    segment_block,
+)
+from repro.analysis.mergetree.tracking import (
+    FeatureMatch,
+    FeatureTracker,
+    Track,
+    TrackEvent,
+    match_features,
+)
+from repro.analysis.mergetree.tasks import (
+    LocalTreeState,
+    MergeTreeCostParams,
+    MergeTreeWorkload,
+)
+from repro.analysis.mergetree.union_find import ArrayUnionFind, UnionFind
+
+__all__ = [
+    "ArrayUnionFind",
+    "BlockDecomposition",
+    "BoundaryComponents",
+    "FeatureMatch",
+    "FeatureStats",
+    "FeatureTracker",
+    "JoinTree",
+    "LocalTreeState",
+    "MergeTreeCostParams",
+    "MergeTreeWorkload",
+    "NEIGHBOR_OFFSETS",
+    "RelabelMap",
+    "Track",
+    "TrackEvent",
+    "UnionFind",
+    "block_join_tree",
+    "block_split_tree",
+    "compose_relabel",
+    "extract_boundary",
+    "feature_statistics",
+    "feature_table",
+    "join_components",
+    "leaf_shard",
+    "match_features",
+    "mergetree_locality_map",
+    "reference_segmentation",
+    "segment_block",
+]

@@ -1,0 +1,145 @@
+"""Boundary trees for the distributed merge-tree protocol.
+
+What must travel up the reduction is the part of a block's (or merged
+region's) topology that can still change: the superlevel voxels on the
+region's *outer* boundary, each tagged with its current component, plus
+each such component's representative (its highest vertex — which may be
+interior, so it is carried explicitly).  This is the fixed-threshold
+analogue of Landge et al.'s boundary tree: interior structure is final
+and stays home; boundary structure participates in joins.
+
+:class:`BoundaryComponents` is that payload.  :func:`extract_boundary`
+builds one from a leaf block's local segmentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.mergetree.blocks import BlockDecomposition
+
+
+@dataclass(eq=False)
+class BoundaryComponents:
+    """Superlevel boundary voxels of a region with component tags.
+
+    Attributes:
+        gids: int64 global ids of the boundary voxels (ascending, unique).
+        comp_idx: int32 per-voxel index into the component table.
+        comp_gid: int64 representative gid per component (the component's
+            highest vertex anywhere in the region, ties to higher gid).
+        comp_val: float64 representative value per component.
+    """
+
+    gids: np.ndarray
+    comp_idx: np.ndarray
+    comp_gid: np.ndarray
+    comp_val: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.gids) != len(self.comp_idx):
+            raise ValueError("gids and comp_idx must align")
+        if len(self.comp_gid) != len(self.comp_val):
+            raise ValueError("component table arrays must align")
+        if len(self.comp_idx) and self.comp_idx.max(initial=-1) >= len(self.comp_gid):
+            raise ValueError("comp_idx out of component-table range")
+
+    @property
+    def n_voxels(self) -> int:
+        """Number of boundary voxels carried."""
+        return len(self.gids)
+
+    @property
+    def n_components(self) -> int:
+        """Number of live components carried."""
+        return len(self.comp_gid)
+
+    @property
+    def nbytes(self) -> int:
+        """Wire size estimate (used by the network model)."""
+        return int(
+            self.gids.nbytes
+            + self.comp_idx.nbytes
+            + self.comp_gid.nbytes
+            + self.comp_val.nbytes
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BoundaryComponents):
+            return NotImplemented
+        return (
+            np.array_equal(self.gids, other.gids)
+            and np.array_equal(self.comp_idx, other.comp_idx)
+            and np.array_equal(self.comp_gid, other.comp_gid)
+            and np.array_equal(self.comp_val, other.comp_val)
+        )
+
+    @classmethod
+    def empty(cls) -> "BoundaryComponents":
+        """A boundary with no voxels and no components."""
+        return cls(
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int32),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
+
+    def component_of(self, gid: int) -> tuple[int, float]:
+        """Representative ``(gid, value)`` of the component holding a
+        boundary voxel (test helper).
+
+        Raises:
+            KeyError: when ``gid`` is not a carried boundary voxel.
+        """
+        pos = np.searchsorted(self.gids, gid)
+        if pos >= len(self.gids) or self.gids[pos] != gid:
+            raise KeyError(f"gid {gid} not on this boundary")
+        c = int(self.comp_idx[pos])
+        return int(self.comp_gid[c]), float(self.comp_val[c])
+
+
+def extract_boundary(
+    decomp: BlockDecomposition,
+    block_index: int,
+    labels: np.ndarray,
+    values: np.ndarray,
+) -> BoundaryComponents:
+    """Build the boundary payload of one leaf block.
+
+    Args:
+        decomp: the shared block decomposition.
+        block_index: which block this is.
+        labels: the block's local segmentation (gid of local rep per
+            voxel, -1 below threshold), as from
+            :func:`~repro.analysis.mergetree.sequential.segment_block`.
+        values: the block's scalar field (to record rep values).
+
+    Only voxels on faces shared with a neighboring block are carried;
+    grid-boundary faces cannot merge with anything.
+    """
+    if labels.shape != values.shape:
+        raise ValueError("labels and values must have the same shape")
+    mask = decomp.boundary_mask(block_index) & (labels >= 0)
+    bounds = decomp.block_bounds(block_index)
+    gids = decomp.gids_array(bounds)
+    sel_gids = gids[mask].ravel()
+    sel_labels = labels[mask].ravel()
+    order = np.argsort(sel_gids)
+    sel_gids = sel_gids[order]
+    sel_labels = sel_labels[order]
+    comp_gid, comp_idx = np.unique(sel_labels, return_inverse=True)
+    # Representative values: reps are voxels of this block, so translate
+    # each rep gid to block-local coordinates and read the field.
+    (x0, _), (y0, _), (z0, _) = bounds
+    comp_val = np.empty(len(comp_gid), dtype=np.float64)
+    for i, g in enumerate(comp_gid):
+        x, y, z = decomp.coords(int(g))
+        comp_val[i] = values[x - x0, y - y0, z - z0]
+    return BoundaryComponents(
+        gids=sel_gids.astype(np.int64),
+        comp_idx=comp_idx.astype(np.int32),
+        comp_gid=comp_gid.astype(np.int64),
+        comp_val=comp_val,
+    )

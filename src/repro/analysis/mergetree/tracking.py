@@ -1,0 +1,161 @@
+"""Tracking features across timesteps.
+
+In-situ topological analysis (the paper's deployment scenario) rarely
+stops at per-step feature extraction: the scientific question is how
+ignition regions are *born, move, merge, and die* over time.  This module
+associates the features of consecutive segmentations by voxel overlap —
+the standard overlap-based tracking criterion — and maintains persistent
+track identities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FeatureMatch:
+    """One matched feature pair between two segmentations."""
+
+    label_a: int
+    label_b: int
+    overlap: int
+
+
+def match_features(
+    seg_a: np.ndarray, seg_b: np.ndarray, min_overlap: int = 1
+) -> list[FeatureMatch]:
+    """Greedy one-to-one overlap matching between two segmentations.
+
+    Args:
+        seg_a: labels at the earlier step (-1 below threshold).
+        seg_b: labels at the later step, same shape.
+        min_overlap: smallest voxel overlap that counts as a match.
+
+    Returns:
+        Matches sorted by descending overlap; every feature appears in at
+        most one match (greedy maximum-overlap assignment).
+
+    Raises:
+        ValueError: on shape mismatch or non-positive ``min_overlap``.
+    """
+    if seg_a.shape != seg_b.shape:
+        raise ValueError(f"shapes differ: {seg_a.shape} vs {seg_b.shape}")
+    if min_overlap < 1:
+        raise ValueError("min_overlap must be >= 1")
+    a = seg_a.ravel()
+    b = seg_b.ravel()
+    both = (a >= 0) & (b >= 0)
+    if not both.any():
+        return []
+    pairs = np.stack([a[both], b[both]], axis=1)
+    uniq, counts = np.unique(pairs, axis=0, return_counts=True)
+    order = np.argsort(-counts, kind="stable")
+    used_a: set[int] = set()
+    used_b: set[int] = set()
+    out: list[FeatureMatch] = []
+    for idx in order:
+        la, lb = int(uniq[idx, 0]), int(uniq[idx, 1])
+        c = int(counts[idx])
+        if c < min_overlap or la in used_a or lb in used_b:
+            continue
+        used_a.add(la)
+        used_b.add(lb)
+        out.append(FeatureMatch(la, lb, c))
+    return out
+
+
+@dataclass
+class TrackEvent:
+    """One observation of a track at one step."""
+
+    step: int
+    label: int
+    voxels: int
+
+
+@dataclass
+class Track:
+    """The life of one feature across steps."""
+
+    track_id: int
+    events: list[TrackEvent] = field(default_factory=list)
+
+    @property
+    def born(self) -> int:
+        """Step of first observation."""
+        return self.events[0].step
+
+    @property
+    def last_seen(self) -> int:
+        """Step of latest observation."""
+        return self.events[-1].step
+
+    @property
+    def length(self) -> int:
+        """Number of observations."""
+        return len(self.events)
+
+
+class FeatureTracker:
+    """Assign persistent identities to features over a run.
+
+    Feed segmentations in step order with :meth:`update`; features
+    matched by overlap inherit the track id of their predecessor, new
+    features open new tracks, unmatched old features end theirs.
+    """
+
+    def __init__(self, min_overlap: int = 1) -> None:
+        self.min_overlap = min_overlap
+        self.tracks: dict[int, Track] = {}
+        self._next_id = 0
+        self._prev_seg: np.ndarray | None = None
+        self._prev_assign: dict[int, int] = {}
+
+    def update(self, step: int, segmentation: np.ndarray) -> dict[int, int]:
+        """Ingest one step; returns ``label -> track id`` for this step."""
+        labels, counts = np.unique(
+            segmentation[segmentation >= 0], return_counts=True
+        )
+        sizes = {int(l): int(c) for l, c in zip(labels, counts)}
+        assign: dict[int, int] = {}
+        if self._prev_seg is not None:
+            for m in match_features(
+                self._prev_seg, segmentation, self.min_overlap
+            ):
+                prev_track = self._prev_assign.get(m.label_a)
+                if prev_track is not None and m.label_b in sizes:
+                    assign[m.label_b] = prev_track
+        for label in sizes:
+            if label not in assign:
+                assign[label] = self._next_id
+                self.tracks[self._next_id] = Track(self._next_id)
+                self._next_id += 1
+        for label, tid in assign.items():
+            self.tracks[tid].events.append(
+                TrackEvent(step=step, label=label, voxels=sizes[label])
+            )
+        self._prev_seg = segmentation
+        self._prev_assign = assign
+        return dict(assign)
+
+    def alive_at(self, step: int) -> list[int]:
+        """Track ids observed exactly at ``step``."""
+        return sorted(
+            tid
+            for tid, tr in self.tracks.items()
+            if any(e.step == step for e in tr.events)
+        )
+
+    def summary(self) -> str:
+        """One line per track: id, lifetime, peak size."""
+        lines = [f"{'track':>7}{'born':>7}{'last':>7}{'obs':>6}{'peak vox':>10}"]
+        for tid in sorted(self.tracks):
+            tr = self.tracks[tid]
+            peak = max(e.voxels for e in tr.events)
+            lines.append(
+                f"{tid:>7}{tr.born:>7}{tr.last_seen:>7}{tr.length:>6}{peak:>10}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,165 @@
+"""Offset estimation between overlapping sub-volumes.
+
+Phase correlation: the normalized cross-power spectrum of two images that
+differ by a pure translation is a complex exponential whose inverse FFT
+is a delta at the shift.  It is robust to the global intensity changes
+between microscope tiles and costs ``O(N log N)`` — this is the
+``correlation`` task of the paper's Fig. 8 dataflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class OffsetEstimate:
+    """Result of one pairwise correlation.
+
+    Attributes:
+        shift: the integer shift (3-vector) such that
+            ``b(x) ~= a(x + shift)``.
+        confidence: peak height of the phase-correlation surface in
+            [0, 1]; higher is a sharper, more trustworthy match.
+    """
+
+    shift: tuple[int, int, int]
+    confidence: float
+
+
+def phase_correlation(
+    a: np.ndarray, b: np.ndarray, max_shift: int | None = None
+) -> OffsetEstimate:
+    """Estimate the translation between two equal-shape volumes.
+
+    Args:
+        a: reference volume.
+        b: moving volume; content should satisfy ``b(x) = a(x + t)``.
+        max_shift: optional bound on |t| per axis; the peak search is
+            restricted to that window (wrap-around aware), which guards
+            against spurious far-field peaks in noisy overlaps.
+
+    Returns:
+        The estimated integer shift ``t`` and its confidence.
+
+    Raises:
+        ValueError: on shape mismatch or empty input.
+    """
+    if a.shape != b.shape:
+        raise ValueError(f"shapes differ: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        raise ValueError("empty volumes")
+    da = a - a.mean()
+    db = b - b.mean()
+    fa = np.fft.rfftn(da)
+    fb = np.fft.rfftn(db)
+    # Plain circular cross-correlation.  Full spectral whitening ("true"
+    # phase correlation) is catastrophic on smooth microscopy-like
+    # content: it equalizes the (information-free) high frequencies with
+    # the structure, so matched filtering wins here.
+    surface = np.fft.irfftn(fa * np.conj(fb), s=a.shape)
+    norm = float(np.sqrt((da * da).sum() * (db * db).sum()))
+    surface = surface / (norm + 1e-300)
+
+    if max_shift is not None:
+        mask = np.zeros(a.shape, dtype=bool)
+        w = int(max_shift)
+        for axis, n in enumerate(a.shape):
+            idx = np.arange(n)
+            ok = (idx <= w) | (idx >= n - w)
+            shape = [1, 1, 1]
+            shape[axis] = n
+            mask = mask | ~ok.reshape(shape)
+        surface = np.where(mask, -np.inf, surface)
+
+    peak = np.unravel_index(int(np.argmax(surface)), surface.shape)
+    shift = []
+    for p, n in zip(peak, a.shape):
+        shift.append(int(p if p <= n // 2 else p - n))
+    conf = float(np.clip(surface[peak], 0.0, 1.0))
+    return OffsetEstimate(shift=tuple(shift), confidence=conf)
+
+
+def ncc_shift(a: np.ndarray, b: np.ndarray, max_shift: int) -> OffsetEstimate:
+    """Exact normalized cross-correlation search over a small shift window.
+
+    Evaluates, for every integer shift ``t`` with ``|t_i| <= max_shift``,
+    the normalized correlation coefficient between the *valid* (non-
+    wrapping) overlap of ``a`` shifted by ``t`` against ``b``, and returns
+    the best shift: ``b(x) ~= a(x + t)``.
+
+    Unlike FFT-based circular correlation this has no wrap-around bias,
+    which matters for the small, smooth overlap windows of microscopy
+    tiles; the search volume is tiny (``(2*max_shift+1)**3`` shifts), so
+    the exact method is also fast.
+
+    Raises:
+        ValueError: on shape mismatch, or when ``max_shift`` leaves no
+            valid overlap.
+    """
+    if a.shape != b.shape:
+        raise ValueError(f"shapes differ: {a.shape} vs {b.shape}")
+    w = int(max_shift)
+    if w < 0 or all(n <= w for n in a.shape):
+        raise ValueError(
+            f"max_shift {max_shift} too large for window shape {a.shape}"
+        )
+    best = OffsetEstimate(shift=(0, 0, 0), confidence=-2.0)
+    # Clamp the window per axis so thin windows (e.g. shallow Z slabs)
+    # still search their feasible range.
+    per_axis = [min(w, n - 1) for n in a.shape]
+    for tx in range(-per_axis[0], per_axis[0] + 1):
+        for ty in range(-per_axis[1], per_axis[1] + 1):
+            for tz in range(-per_axis[2], per_axis[2] + 1):
+                sa, sb = [], []
+                ok = True
+                for t, n in zip((tx, ty, tz), a.shape):
+                    lo, hi = max(0, -t), n - max(0, t)
+                    if hi <= lo:
+                        ok = False
+                        break
+                    sa.append(slice(lo + t, hi + t))
+                    sb.append(slice(lo, hi))
+                if not ok:
+                    continue
+                va = a[tuple(sa)]
+                vb = b[tuple(sb)]
+                da = va - va.mean()
+                db = vb - vb.mean()
+                denom = float(np.sqrt((da * da).sum() * (db * db).sum()))
+                if denom <= 0:
+                    continue
+                ncc = float((da * db).sum() / denom)
+                if ncc > best.confidence:
+                    best = OffsetEstimate(shift=(tx, ty, tz), confidence=ncc)
+    if best.confidence < -1.5:
+        # Degenerate (constant) windows carry no signal: report the null
+        # shift with zero confidence so the consensus step downweights it.
+        return OffsetEstimate(shift=(0, 0, 0), confidence=0.0)
+    return OffsetEstimate(
+        shift=best.shift, confidence=float(np.clip(best.confidence, 0.0, 1.0))
+    )
+
+
+def consensus_offset(estimates: list[OffsetEstimate]) -> OffsetEstimate:
+    """Combine per-slab estimates of the same pair (the ``sort/evaluate``
+    step of the dataflow): confidence-weighted per-axis median.
+
+    Raises:
+        ValueError: on an empty list.
+    """
+    if not estimates:
+        raise ValueError("no estimates to combine")
+    shifts = np.array([e.shift for e in estimates], dtype=np.float64)
+    weights = np.array([max(e.confidence, 1e-9) for e in estimates])
+    out = []
+    order_w = weights / weights.sum()
+    for axis in range(shifts.shape[1]):
+        vals = shifts[:, axis]
+        idx = np.argsort(vals)
+        cum = np.cumsum(order_w[idx])
+        pos = int(np.searchsorted(cum, 0.5))
+        out.append(int(vals[idx[min(pos, len(vals) - 1)]]))
+    return OffsetEstimate(shift=tuple(out), confidence=float(weights.max()))

@@ -1,0 +1,66 @@
+"""IceT-model baseline for the compositing comparisons.
+
+IceT (Moreland et al. 2011) is the hand-optimized, sort-last compositing
+library the paper compares against.  Matching the paper's setup, the
+model disables interlacing and background filtering (dense images all the
+way) and captures what a custom implementation saves over a generic task
+abstraction: no payload de-/serialization, no thread hand-off, no
+per-task runtime overhead — just compute at memory bandwidth plus raw
+network transfers.
+
+The model composites with binary swap over ``2**r`` ranks (IceT's core
+strategy for power-of-two counts); per stage every rank transfers half of
+its current image extent and composites it, so with per-pixel work ``c``
+and the machine's postal network parameters the stage times form a
+geometric series.  The same model is used as the IceT curve in both the
+reduction and the binary-swap figures, as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.sim.machine import MachineSpec
+
+#: Bytes per pixel on the wire (RGBA float32 + float32 depth).
+PIXEL_BYTES = 20
+
+#: Compositing cost per pixel (seconds): a blend is a handful of memory
+#: ops; IceT runs at effective memory bandwidth.
+COMPOSITE_PER_PIXEL = 0.8e-9
+
+
+def icet_composite_time(
+    n_procs: int,
+    image_pixels: int,
+    machine: MachineSpec,
+    composite_per_pixel: float = COMPOSITE_PER_PIXEL,
+    pixel_bytes: int = PIXEL_BYTES,
+) -> float:
+    """Estimated IceT compositing time for one frame.
+
+    Args:
+        n_procs: number of ranks holding one rendered image each (must be
+            a power of two, as in the paper's runs).
+        image_pixels: pixels of the full output image.
+        machine: postal network parameters.
+        composite_per_pixel: per-pixel blend cost in seconds.
+        pixel_bytes: wire bytes per pixel.
+
+    Returns:
+        Seconds for the compositing stage.
+    """
+    if n_procs <= 0 or (n_procs & (n_procs - 1)):
+        raise ValueError(f"IceT model expects a power-of-two rank count, got {n_procs}")
+    stages = n_procs.bit_length() - 1
+    total = 0.0
+    pixels = float(image_pixels)
+    for _ in range(stages):
+        half = pixels / 2.0
+        nbytes = half * pixel_bytes
+        transfer = machine.inter_latency + nbytes / machine.inter_bandwidth
+        blend = half * composite_per_pixel / machine.core_speed
+        total += transfer + blend
+        pixels = half
+    # Final gather of the n tiles to the root (one tile per rank).
+    tile_bytes = (image_pixels / max(1, n_procs)) * pixel_bytes
+    total += machine.inter_latency + tile_bytes / machine.inter_bandwidth
+    return total

@@ -1,0 +1,80 @@
+"""Transfer functions: scalar value -> emitted color and opacity.
+
+A :class:`TransferFunction` is a piecewise-linear lookup from normalized
+scalar values to RGBA.  The default :func:`fire` map (black-red-yellow-
+white with ramping opacity) is a classic for combustion data like the
+paper's HCCI volume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class TransferFunction:
+    """Piecewise-linear RGBA transfer function.
+
+    Args:
+        points: scalar positions in [0, 1], ascending.
+        colors: RGBA (values in [0, 1]) at each position; alpha is
+            interpreted as opacity per unit sample step.
+        vmin: scalar mapped to position 0.
+        vmax: scalar mapped to position 1.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        colors: np.ndarray,
+        vmin: float = 0.0,
+        vmax: float = 1.0,
+    ) -> None:
+        points = np.asarray(points, dtype=np.float64)
+        colors = np.asarray(colors, dtype=np.float64)
+        if points.ndim != 1 or colors.shape != (len(points), 4):
+            raise ValueError("need N points and an (N, 4) color table")
+        if len(points) < 2 or (np.diff(points) < 0).any():
+            raise ValueError("points must be >= 2 and ascending")
+        if vmax <= vmin:
+            raise ValueError(f"vmax {vmax} must exceed vmin {vmin}")
+        self._points = points
+        self._colors = colors
+        self.vmin = float(vmin)
+        self.vmax = float(vmax)
+
+    def __call__(self, values: np.ndarray) -> np.ndarray:
+        """Map an array of scalars to RGBA (shape ``values.shape + (4,)``)."""
+        x = (np.asarray(values, dtype=np.float64) - self.vmin) / (
+            self.vmax - self.vmin
+        )
+        x = np.clip(x, 0.0, 1.0)
+        out = np.empty(x.shape + (4,), dtype=np.float32)
+        for c in range(4):
+            out[..., c] = np.interp(x, self._points, self._colors[:, c])
+        return out
+
+    def with_range(self, vmin: float, vmax: float) -> "TransferFunction":
+        """Copy with a different scalar range."""
+        return TransferFunction(self._points, self._colors, vmin, vmax)
+
+
+def fire(vmin: float = 0.0, vmax: float = 1.0, opacity: float = 0.6) -> TransferFunction:
+    """Black-body style map: transparent dark -> red -> yellow -> white."""
+    points = np.array([0.0, 0.25, 0.55, 0.8, 1.0])
+    colors = np.array(
+        [
+            [0.0, 0.0, 0.0, 0.0],
+            [0.4, 0.0, 0.05, 0.05 * opacity],
+            [0.9, 0.2, 0.05, 0.35 * opacity],
+            [1.0, 0.8, 0.1, 0.7 * opacity],
+            [1.0, 1.0, 1.0, 1.0 * opacity],
+        ]
+    )
+    return TransferFunction(points, colors, vmin, vmax)
+
+
+def grayscale(vmin: float = 0.0, vmax: float = 1.0, opacity: float = 0.5) -> TransferFunction:
+    """Linear gray ramp with linear opacity (handy in tests)."""
+    points = np.array([0.0, 1.0])
+    colors = np.array([[0.0, 0.0, 0.0, 0.0], [1.0, 1.0, 1.0, opacity]])
+    return TransferFunction(points, colors, vmin, vmax)

@@ -1,0 +1,11 @@
+"""Distributed global statistics: the paper's swap-the-callbacks example.
+
+Mergeable summaries (count/mean/variance/extrema/histogram/quantiles)
+over the stock reduction graph — Section III's "changing the callbacks
+... one can also compute global statistics" made concrete.
+"""
+
+from repro.analysis.statistics.summary import SummaryStats
+from repro.analysis.statistics.tasks import StatisticsCostParams, StatisticsWorkload
+
+__all__ = ["StatisticsCostParams", "StatisticsWorkload", "SummaryStats"]

@@ -1,0 +1,163 @@
+"""Mergeable summary statistics.
+
+The paper's Section III: *"changing the callbacks in the listing above,
+one can also compute global statistics or execute any number of
+reduction-based algorithms."*  This module provides the mergeable
+accumulator those callbacks need: count, mean, variance (Chan et al.'s
+pairwise update — numerically stable under any reduction tree shape),
+extrema, and a fixed-bin histogram with quantile queries.
+
+``merge`` is associative and commutative up to floating-point roundoff,
+so the same statistics come out of any reduction valence, any task
+placement, and any runtime — which the property tests verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class SummaryStats:
+    """Streaming-mergeable summary of a scalar sample.
+
+    Build leaf summaries with :meth:`from_array`, combine with
+    :meth:`merge`.  An empty summary (``count == 0``) is the identity
+    element.
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+    bin_range: tuple[float, float] = (0.0, 1.0)
+    histogram: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64)
+    )
+
+    @classmethod
+    def from_array(
+        cls,
+        values: np.ndarray,
+        bins: int = 32,
+        bin_range: tuple[float, float] = (0.0, 1.0),
+    ) -> "SummaryStats":
+        """Summarize an array (any shape; flattened).
+
+        Raises:
+            ValueError: for a non-positive bin count or an empty range.
+        """
+        if bins <= 0:
+            raise ValueError(f"bins must be positive, got {bins}")
+        lo, hi = bin_range
+        if not hi > lo:
+            raise ValueError(f"empty bin range {bin_range}")
+        flat = np.asarray(values, dtype=np.float64).ravel()
+        if flat.size == 0:
+            return cls(
+                bin_range=bin_range,
+                histogram=np.zeros(bins, dtype=np.int64),
+            )
+        hist, _ = np.histogram(np.clip(flat, lo, hi), bins=bins, range=bin_range)
+        return cls(
+            count=int(flat.size),
+            mean=float(flat.mean()),
+            m2=float(((flat - flat.mean()) ** 2).sum()),
+            minimum=float(flat.min()),
+            maximum=float(flat.max()),
+            bin_range=bin_range,
+            histogram=hist.astype(np.int64),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Algebra
+    # ------------------------------------------------------------------ #
+
+    def merge(self, other: "SummaryStats") -> "SummaryStats":
+        """Combine two summaries (Chan's pairwise mean/M2 update).
+
+        Raises:
+            ValueError: when the histograms are incompatible.
+        """
+        if self.count == 0:
+            return other
+        if other.count == 0:
+            return self
+        if (
+            len(self.histogram) != len(other.histogram)
+            or self.bin_range != other.bin_range
+        ):
+            raise ValueError("cannot merge summaries with different histograms")
+        n = self.count + other.count
+        delta = other.mean - self.mean
+        mean = self.mean + delta * other.count / n
+        m2 = (
+            self.m2
+            + other.m2
+            + delta * delta * self.count * other.count / n
+        )
+        return SummaryStats(
+            count=n,
+            mean=mean,
+            m2=m2,
+            minimum=min(self.minimum, other.minimum),
+            maximum=max(self.maximum, other.maximum),
+            bin_range=self.bin_range,
+            histogram=self.histogram + other.histogram,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0 for fewer than 2 samples)."""
+        return self.m2 / self.count if self.count > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation."""
+        return float(np.sqrt(self.variance))
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from the histogram (bin interpolation).
+
+        Raises:
+            ValueError: for q outside [0, 1] or an empty summary.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self.count == 0:
+            raise ValueError("quantile of an empty summary")
+        target = q * self.count
+        cum = np.cumsum(self.histogram)
+        idx = int(np.searchsorted(cum, target))
+        idx = min(idx, len(self.histogram) - 1)
+        lo, hi = self.bin_range
+        width = (hi - lo) / len(self.histogram)
+        prev = float(cum[idx - 1]) if idx > 0 else 0.0
+        in_bin = float(self.histogram[idx])
+        frac = (target - prev) / in_bin if in_bin > 0 else 0.0
+        return lo + (idx + min(max(frac, 0.0), 1.0)) * width
+
+    @property
+    def nbytes(self) -> int:
+        """Wire-size estimate."""
+        return 64 + int(self.histogram.nbytes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SummaryStats):
+            return NotImplemented
+        return (
+            self.count == other.count
+            and self.mean == other.mean
+            and self.m2 == other.m2
+            and self.minimum == other.minimum
+            and self.maximum == other.maximum
+            and self.bin_range == other.bin_range
+            and np.array_equal(self.histogram, other.histogram)
+        )

@@ -1,0 +1,148 @@
+"""BabelFlow wiring of distributed global statistics.
+
+The smallest complete workload in the repository — and deliberately so:
+it is the paper's own example of reassembling an algorithm by swapping
+callbacks on the stock :class:`~repro.graphs.reduction.Reduction` graph.
+Each leaf summarizes its block, every join merges summaries, the root
+returns the global :class:`~repro.analysis.statistics.summary.
+SummaryStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.mergetree.blocks import BlockDecomposition
+from repro.analysis.statistics.summary import SummaryStats
+from repro.core.ids import TaskId
+from repro.core.payload import Payload
+from repro.graphs.reduction import Reduction
+from repro.runtimes.controller import Controller
+from repro.runtimes.costs import CallableCost, CostModel
+
+
+@dataclass(frozen=True)
+class StatisticsCostParams:
+    """Analytic cost constants for the statistics workload."""
+
+    summarize_per_voxel: float = 3e-9
+    merge_per_bin: float = 2e-9
+
+
+class StatisticsWorkload:
+    """Distributed descriptive statistics over a scalar field.
+
+    Args:
+        field: the global 3D scalar field.
+        n_blocks: leaves of the reduction (power of ``valence``).
+        valence: reduction fan-in.
+        bins: histogram bins.
+        bin_range: histogram range; defaults to the field's min/max.
+        sim_shape: pretended problem size for costs/wire sizes.
+    """
+
+    def __init__(
+        self,
+        field: np.ndarray,
+        n_blocks: int,
+        valence: int = 4,
+        bins: int = 32,
+        bin_range: tuple[float, float] | None = None,
+        sim_shape: tuple[int, int, int] | None = None,
+        cost_params: StatisticsCostParams = StatisticsCostParams(),
+    ) -> None:
+        if field.ndim != 3:
+            raise ValueError("field must be 3D")
+        self.field = np.asarray(field, dtype=np.float64)
+        self.decomp = BlockDecomposition.regular(self.field.shape, n_blocks)
+        self.graph = Reduction(n_blocks, valence)
+        self.bins = bins
+        if bin_range is None:
+            bin_range = (float(self.field.min()), float(self.field.max()) + 1e-12)
+        self.bin_range = bin_range
+        self.params = cost_params
+        real_voxels = float(np.prod(self.field.shape))
+        sim_voxels = (
+            float(np.prod(sim_shape)) if sim_shape is not None else real_voxels
+        )
+        self.volume_scale = sim_voxels / real_voxels
+
+    # ------------------------------------------------------------------ #
+    # Controller plumbing
+    # ------------------------------------------------------------------ #
+
+    def register(self, controller: Controller) -> None:
+        """Register the three callbacks."""
+        g = self.graph
+        controller.register_callback(g.LEAF, self.summarize)
+        controller.register_callback(g.REDUCE, self.merge)
+        controller.register_callback(g.ROOT, self.merge)
+
+    def initial_inputs(self) -> dict[TaskId, Payload]:
+        """Block payloads keyed by leaf task id."""
+        return {
+            self.graph.leaf_id(b): Payload(
+                self.decomp.extract_block(self.field, b)
+            )
+            for b in range(self.decomp.n_blocks)
+        }
+
+    def run(self, controller: Controller, task_map=None):
+        """Initialize, register, and run on ``controller``."""
+        controller.initialize(self.graph, task_map)
+        self.register(controller)
+        return controller.run(self.initial_inputs())
+
+    # ------------------------------------------------------------------ #
+    # Callbacks
+    # ------------------------------------------------------------------ #
+
+    def summarize(self, inputs: list[Payload], tid: TaskId) -> list[Payload]:
+        """LEAF: summarize the local block."""
+        data = inputs[0].data
+        if isinstance(data, SummaryStats):  # degenerate 1-leaf root
+            return [self._payload(data)]
+        stats = SummaryStats.from_array(data, self.bins, self.bin_range)
+        return [self._payload(stats)]
+
+    def merge(self, inputs: list[Payload], tid: TaskId) -> list[Payload]:
+        """REDUCE/ROOT: fold the children's summaries; also handles the
+        degenerate single-leaf graph where the root gets the raw block."""
+        if len(inputs) == 1 and not isinstance(inputs[0].data, SummaryStats):
+            return self.summarize(inputs, tid)
+        acc = inputs[0].data
+        for p in inputs[1:]:
+            acc = acc.merge(p.data)
+        return [self._payload(acc)]
+
+    # ------------------------------------------------------------------ #
+    # Results / costs
+    # ------------------------------------------------------------------ #
+
+    def global_stats(self, result) -> SummaryStats:
+        """The run's global summary."""
+        return result.output(self.graph.root_id).data
+
+    def reference(self) -> SummaryStats:
+        """Single-pass summary of the whole field (ground truth shape)."""
+        return SummaryStats.from_array(self.field, self.bins, self.bin_range)
+
+    def cost_model(self) -> CostModel:
+        g = self.graph
+        p = self.params
+
+        def cost(task, inputs):
+            if task.callback == g.LEAF:
+                return (
+                    p.summarize_per_voxel
+                    * inputs[0].data.size
+                    * self.volume_scale
+                )
+            return p.merge_per_bin * self.bins * len(inputs)
+
+        return CallableCost(cost)
+
+    def _payload(self, stats: SummaryStats) -> Payload:
+        return Payload(stats, nbytes=stats.nbytes)

@@ -1,0 +1,74 @@
+"""Core of the BabelFlow EDSL: tasks, graphs, maps, payloads, callbacks.
+
+This package is the paper's primary contribution: a runtime-agnostic task
+graph abstraction.  See :mod:`repro.graphs` for stock graph shapes and
+:mod:`repro.runtimes` for the controllers that execute them.
+"""
+
+from repro.core.callbacks import CallbackRegistry, TaskCallback
+from repro.core.composition import ComposedGraph
+from repro.core.dot import graph_to_dot
+from repro.core.errors import (
+    BabelFlowError,
+    CallbackError,
+    ControllerError,
+    GraphError,
+    SerializationError,
+    SimulationError,
+    TaskMapError,
+)
+from repro.core.explicit import ExplicitGraph, graph_from_json, graph_to_json
+from repro.core.graph import TaskGraph
+from repro.core.ids import (
+    EXTERNAL,
+    TNULL,
+    CallbackId,
+    IdSegments,
+    ShardId,
+    TaskId,
+    is_real_task,
+)
+from repro.core.payload import Payload, estimate_nbytes
+from repro.core.task import Task
+from repro.core.taskmap import (
+    BlockMap,
+    FuncMap,
+    ModuloMap,
+    RangeMap,
+    TaskMap,
+    validate_taskmap,
+)
+
+__all__ = [
+    "BabelFlowError",
+    "BlockMap",
+    "CallbackError",
+    "CallbackId",
+    "CallbackRegistry",
+    "ComposedGraph",
+    "ControllerError",
+    "EXTERNAL",
+    "ExplicitGraph",
+    "FuncMap",
+    "GraphError",
+    "IdSegments",
+    "ModuloMap",
+    "Payload",
+    "RangeMap",
+    "SerializationError",
+    "ShardId",
+    "SimulationError",
+    "Task",
+    "TaskCallback",
+    "TaskGraph",
+    "TaskId",
+    "TaskMap",
+    "TaskMapError",
+    "TNULL",
+    "estimate_nbytes",
+    "graph_from_json",
+    "graph_to_dot",
+    "graph_to_json",
+    "is_real_task",
+    "validate_taskmap",
+]

@@ -1,0 +1,112 @@
+"""Explicit (materialized) task graphs and JSON interchange.
+
+Stock graphs are procedural — cheap at any size but opaque to other
+tools.  :class:`ExplicitGraph` is the materialized counterpart: a task
+graph defined by a plain list of :class:`~repro.core.task.Task` objects.
+Use it to hand-build small dataflows, as the target of
+:func:`graph_from_json`, or to snapshot a procedural graph
+(:meth:`ExplicitGraph.from_graph`) for inspection, diffing, or feeding
+to an external scheduler.
+
+The JSON format is deliberately boring::
+
+    {"tasks": [{"id": 0, "callback": 0,
+                "incoming": [-1], "outgoing": [[1, -2]]}, ...]}
+
+with the reserved ids (-1 = EXTERNAL input, -2 = TNULL sink) appearing
+literally.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Iterator
+
+from repro.core.errors import GraphError
+from repro.core.graph import TaskGraph
+from repro.core.ids import CallbackId, TaskId
+from repro.core.task import Task
+
+
+class ExplicitGraph(TaskGraph):
+    """A task graph backed by an explicit task list.
+
+    Args:
+        tasks: the logical tasks; ids must be unique (they need not be
+            contiguous, though composition requires contiguity).
+    """
+
+    def __init__(self, tasks: Iterable[Task]) -> None:
+        self._tasks: dict[TaskId, Task] = {}
+        for t in tasks:
+            if t.id in self._tasks:
+                raise GraphError(f"duplicate task id {t.id}")
+            self._tasks[t.id] = t
+        if not self._tasks:
+            raise GraphError("explicit graph needs at least one task")
+
+    @classmethod
+    def from_graph(cls, graph: TaskGraph) -> "ExplicitGraph":
+        """Materialize any task graph (costs O(size))."""
+        return cls(graph.task(tid) for tid in graph.task_ids())
+
+    def size(self) -> int:
+        return len(self._tasks)
+
+    def task_ids(self) -> Iterator[TaskId]:
+        return iter(sorted(self._tasks))
+
+    def task(self, tid: TaskId) -> Task:
+        try:
+            return self._tasks[tid]
+        except KeyError:
+            raise GraphError(f"no task {tid}") from None
+
+    def callbacks(self) -> list[CallbackId]:
+        seen: dict[CallbackId, None] = {}
+        for tid in self.task_ids():
+            seen.setdefault(self._tasks[tid].callback, None)
+        return list(seen)
+
+
+def graph_to_json(graph: TaskGraph, indent: int | None = None) -> str:
+    """Serialize a task graph's structure to JSON text."""
+    tasks = [
+        {
+            "id": t.id,
+            "callback": t.callback,
+            "incoming": list(t.incoming),
+            "outgoing": [list(ch) for ch in t.outgoing],
+        }
+        for t in (graph.task(tid) for tid in graph.task_ids())
+    ]
+    return json.dumps({"tasks": tasks}, indent=indent)
+
+
+def graph_from_json(text: str) -> ExplicitGraph:
+    """Reconstruct an :class:`ExplicitGraph` from :func:`graph_to_json`
+    output.
+
+    Raises:
+        GraphError: on malformed documents.
+    """
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise GraphError(f"invalid graph JSON: {exc}") from exc
+    if not isinstance(doc, dict) or "tasks" not in doc:
+        raise GraphError("graph JSON must be an object with a 'tasks' list")
+    tasks = []
+    for entry in doc["tasks"]:
+        try:
+            tasks.append(
+                Task(
+                    id=int(entry["id"]),
+                    callback=int(entry["callback"]),
+                    incoming=[int(x) for x in entry["incoming"]],
+                    outgoing=[[int(x) for x in ch] for ch in entry["outgoing"]],
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise GraphError(f"malformed task entry {entry!r}") from exc
+    return ExplicitGraph(tasks)

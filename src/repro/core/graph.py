@@ -1,0 +1,249 @@
+"""The ``TaskGraph`` base class.
+
+Section III: *"The basic TaskGraph interface requires the user to implement
+only two functions: 1) compute the total number of tasks, and 2) return a
+logical task corresponding to a task id."*  Everything else —
+``callbacks()``, ``local_graph()``, validation, round decomposition for
+index launches, Dot export — is provided generically here, exactly as the
+paper provides ``localGraph`` and ``callbacks`` in its base class.
+
+Task graphs are *procedural*: a graph object stores only its parameters and
+materializes :class:`~repro.core.task.Task` objects on demand, so a graph
+with millions of tasks costs nothing until a controller queries the small
+subgraph it owns ("fully instantiating a graph on every core ... is not
+scalable.  Instead, we typically rely on procedural descriptions").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.core.errors import GraphError
+from repro.core.ids import EXTERNAL, TNULL, CallbackId, ShardId, TaskId, is_real_task
+from repro.core.task import Task
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.taskmap import TaskMap
+
+
+class TaskGraph(ABC):
+    """Abstract procedural description of a dataflow.
+
+    Subclasses implement :meth:`size` and :meth:`task`; graphs whose id
+    space is non-contiguous additionally override :meth:`task_ids`.
+    """
+
+    # ------------------------------------------------------------------ #
+    # Required interface
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def size(self) -> int:
+        """Total number of tasks in the graph."""
+
+    @abstractmethod
+    def task(self, tid: TaskId) -> Task:
+        """Materialize the logical task with id ``tid``.
+
+        Raises:
+            GraphError: if ``tid`` is not a task of this graph.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Generic interface with default implementations
+    # ------------------------------------------------------------------ #
+
+    def task_ids(self) -> Iterator[TaskId]:
+        """Iterate over all valid task ids.
+
+        The default assumes the contiguous id space ``range(size())``;
+        composed graphs override this.
+        """
+        return iter(range(self.size()))
+
+    def callbacks(self) -> list[CallbackId]:
+        """The callback ids (task types) used by this graph.
+
+        The default scans every task; concrete graphs override this with
+        their known, ordered list (the paper's ``callback_ids`` member) so
+        the scan is avoided.
+        """
+        seen: dict[CallbackId, None] = {}
+        for tid in self.task_ids():
+            seen.setdefault(self.task(tid).callback, None)
+        return list(seen)
+
+    def local_graph(self, task_map: "TaskMap", shard: ShardId) -> list[Task]:
+        """All tasks assigned to ``shard`` by ``task_map``.
+
+        Mirrors the paper's ``Reduction::localGraph``: query the map for
+        the shard's task ids and materialize each one.
+        """
+        return [self.task(tid) for tid in task_map.get_ids(shard)]
+
+    # ------------------------------------------------------------------ #
+    # Structure queries
+    # ------------------------------------------------------------------ #
+
+    def tasks(self) -> Iterator[Task]:
+        """Materialize every task (test/debug helper; avoid at scale)."""
+        for tid in self.task_ids():
+            yield self.task(tid)
+
+    def source_ids(self) -> list[TaskId]:
+        """Ids of tasks with at least one host-provided (EXTERNAL) input."""
+        return [t.id for t in self.tasks() if t.external_inputs()]
+
+    def sink_ids(self) -> list[TaskId]:
+        """Ids of tasks that return at least one channel to the caller."""
+        return [t.id for t in self.tasks() if t.is_sink()]
+
+    def rounds(self) -> list[list[TaskId]]:
+        """Partition the tasks into *rounds of noninterfering tasks*.
+
+        Round ``r`` contains every task whose longest dependency chain from
+        a source has length ``r``; no task depends on another task of its
+        own round.  This is exactly the grouping the Legion index-launch
+        controller needs (Section IV-C: "the current implementation crawls
+        the graph to group the tasks into rounds of noninterfering
+        tasks").
+
+        Raises:
+            GraphError: if the graph contains a dependency cycle.
+        """
+        indeg: dict[TaskId, int] = {}
+        consumers: dict[TaskId, list[TaskId]] = {}
+        for t in self.tasks():
+            indeg[t.id] = sum(1 for src in t.incoming if is_real_task(src))
+            # Count every message (edge multiplicity matters: a consumer
+            # expecting two messages from one producer has in-degree 2).
+            for channel in t.outgoing:
+                for dst in channel:
+                    if is_real_task(dst):
+                        consumers.setdefault(t.id, []).append(dst)
+        level: dict[TaskId, int] = {}
+        queue = deque(sorted(tid for tid, d in indeg.items() if d == 0))
+        for tid in queue:
+            level[tid] = 0
+        processed = 0
+        while queue:
+            tid = queue.popleft()
+            processed += 1
+            for dst in consumers.get(tid, []):
+                indeg[dst] -= 1
+                level[dst] = max(level.get(dst, 0), level[tid] + 1)
+                if indeg[dst] == 0:
+                    queue.append(dst)
+        if processed != len(indeg):
+            raise GraphError(
+                f"graph has a dependency cycle: {len(indeg) - processed} "
+                f"task(s) never became ready"
+            )
+        n_rounds = 1 + max(level.values(), default=-1)
+        out: list[list[TaskId]] = [[] for _ in range(n_rounds)]
+        for tid in sorted(level):
+            out[level[tid]].append(tid)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+
+    def validate(self) -> None:
+        """Check structural well-formedness.
+
+        Verifies that: ids are unique and consistent; every edge is
+        symmetric (``u`` lists ``v`` as consumer exactly as often as ``v``
+        lists ``u`` as producer); every input slot has a producer
+        (EXTERNAL counts); the graph is acyclic; and every referenced id is
+        a task of the graph.
+
+        Raises:
+            GraphError: describing the first violation found.
+        """
+        ids = list(self.task_ids())
+        id_set = set(ids)
+        if len(ids) != len(id_set):
+            raise GraphError("duplicate task ids in task_ids()")
+        if len(ids) != self.size():
+            raise GraphError(
+                f"task_ids() yields {len(ids)} ids but size() is {self.size()}"
+            )
+        tasks = {tid: self.task(tid) for tid in ids}
+        for tid, t in tasks.items():
+            if t.id != tid:
+                raise GraphError(f"task({tid}) returned task with id {t.id}")
+            for slot, src in enumerate(t.incoming):
+                if src == TNULL:
+                    raise GraphError(
+                        f"task {tid} input slot {slot} references TNULL"
+                    )
+                if is_real_task(src) and src not in id_set:
+                    raise GraphError(
+                        f"task {tid} input slot {slot} references unknown "
+                        f"task {src}"
+                    )
+            for ch, channel in enumerate(t.outgoing):
+                for dst in channel:
+                    if dst == EXTERNAL:
+                        raise GraphError(
+                            f"task {tid} output channel {ch} targets EXTERNAL"
+                        )
+                    if is_real_task(dst) and dst not in id_set:
+                        raise GraphError(
+                            f"task {tid} output channel {ch} targets unknown "
+                            f"task {dst}"
+                        )
+        # Edge symmetry: count producer->consumer multiplicity both ways.
+        for tid, t in tasks.items():
+            for dst in set(t.consumers()):
+                sent = sum(ch.count(dst) for ch in t.outgoing)
+                expected = tasks[dst].incoming.count(tid)
+                if sent != expected:
+                    raise GraphError(
+                        f"edge {tid}->{dst} asymmetric: {tid} sends {sent} "
+                        f"message(s) but {dst} expects {expected}"
+                    )
+        for tid, t in tasks.items():
+            for src in set(t.producers()):
+                expected = t.incoming.count(src)
+                sent = sum(ch.count(tid) for ch in tasks[src].outgoing)
+                if sent != expected:
+                    raise GraphError(
+                        f"edge {src}->{tid} asymmetric: {tid} expects "
+                        f"{expected} message(s) but {src} sends {sent}"
+                    )
+        self.rounds()  # raises on cycles
+
+    # ------------------------------------------------------------------ #
+    # Interop / debugging
+    # ------------------------------------------------------------------ #
+
+    def to_networkx(self):
+        """Export as a ``networkx.DiGraph`` (nodes carry ``callback``)."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        for t in self.tasks():
+            g.add_node(t.id, callback=t.callback)
+        for t in self.tasks():
+            for ch, channel in enumerate(t.outgoing):
+                for dst in channel:
+                    if is_real_task(dst):
+                        g.add_edge(t.id, dst, channel=ch)
+        return g
+
+    def to_dot(self, subset: Iterable[TaskId] | None = None) -> str:
+        """Render the graph (or a subset of its tasks) in Dot format.
+
+        See :func:`repro.core.dot.graph_to_dot`; provided here so
+        ``graph.to_dot()`` works as in the paper's debugging workflow.
+        """
+        from repro.core.dot import graph_to_dot
+
+        return graph_to_dot(self, subset=subset)
+
+    def __len__(self) -> int:
+        return self.size()

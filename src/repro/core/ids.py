@@ -1,0 +1,131 @@
+"""Identifier spaces of the EDSL.
+
+The paper identifies every logical task with a globally unique integer
+``TaskId`` and every task *type* with a ``CallbackId``.  Two special task
+ids are reserved (Section III: "Special task ids are reserved for external
+inputs"):
+
+* :data:`EXTERNAL` marks an incoming edge fed by the host application
+  (simulation data, disk, ...) rather than by another task.
+* :data:`TNULL` marks an outgoing edge whose payload is returned to the
+  caller instead of being sent to another task (a graph "sink").
+
+Both are negative so they can never collide with real task ids, which are
+non-negative.
+
+The paper also recommends giving different phases of an algorithm distinct
+id *prefixes* so ids remain unique when graphs are composed.
+:class:`IdSegments` implements that scheme: it hands out disjoint
+contiguous id ranges, one per named phase, and converts between global ids
+and ``(phase, local index)`` pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import GraphError
+
+TaskId = int
+CallbackId = int
+ShardId = int
+
+#: Pseudo task id for inputs provided by the host application.
+EXTERNAL: TaskId = -1
+
+#: Pseudo task id for outputs returned to the caller (graph sinks).
+TNULL: TaskId = -2
+
+
+def is_real_task(tid: TaskId) -> bool:
+    """True when ``tid`` names an actual task (not EXTERNAL / TNULL)."""
+    return tid >= 0
+
+
+@dataclass(frozen=True)
+class _Segment:
+    name: str
+    base: int
+    count: int
+
+
+@dataclass
+class IdSegments:
+    """Allocator of disjoint contiguous id ranges for graph phases.
+
+    Example::
+
+        seg = IdSegments()
+        seg.add("local", n)
+        seg.add("join", n_joins)
+        gid = seg.to_global("join", 3)       # global id of join #3
+        phase, idx = seg.to_local(gid)       # -> ("join", 3)
+
+    Ranges are allocated back to back starting at zero, so the total id
+    space is exactly ``seg.total`` and can be enumerated with
+    ``range(seg.total)``.
+    """
+
+    _segments: list[_Segment] = field(default_factory=list)
+    _by_name: dict[str, _Segment] = field(default_factory=dict)
+
+    def add(self, name: str, count: int) -> "IdSegments":
+        """Append a phase with ``count`` ids; returns self for chaining."""
+        if count < 0:
+            raise GraphError(f"segment {name!r} has negative count {count}")
+        if name in self._by_name:
+            raise GraphError(f"duplicate segment name {name!r}")
+        seg = _Segment(name, self.total, count)
+        self._segments.append(seg)
+        self._by_name[name] = seg
+        return self
+
+    @property
+    def total(self) -> int:
+        """Total number of ids across all phases."""
+        if not self._segments:
+            return 0
+        last = self._segments[-1]
+        return last.base + last.count
+
+    def count(self, name: str) -> int:
+        """Number of ids in phase ``name``."""
+        return self._segment(name).count
+
+    def base(self, name: str) -> int:
+        """First global id of phase ``name``."""
+        return self._segment(name).base
+
+    def to_global(self, name: str, index: int) -> TaskId:
+        """Convert ``(phase, local index)`` to a global task id."""
+        seg = self._segment(name)
+        if not 0 <= index < seg.count:
+            raise GraphError(
+                f"index {index} out of range for segment {name!r} "
+                f"(count {seg.count})"
+            )
+        return seg.base + index
+
+    def to_local(self, tid: TaskId) -> tuple[str, int]:
+        """Convert a global task id to its ``(phase, local index)`` pair."""
+        if not 0 <= tid < self.total:
+            raise GraphError(f"task id {tid} outside id space [0, {self.total})")
+        # Linear scan is fine: graphs have a handful of phases.
+        for seg in self._segments:
+            if seg.base <= tid < seg.base + seg.count:
+                return seg.name, tid - seg.base
+        raise GraphError(f"task id {tid} not in any segment")  # pragma: no cover
+
+    def phase(self, tid: TaskId) -> str:
+        """Name of the phase that owns global id ``tid``."""
+        return self.to_local(tid)[0]
+
+    def names(self) -> list[str]:
+        """Phase names in allocation order."""
+        return [s.name for s in self._segments]
+
+    def _segment(self, name: str) -> _Segment:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise GraphError(f"unknown segment {name!r}") from None

@@ -1,0 +1,90 @@
+"""The logical task: the atom of the EDSL.
+
+Section III of the paper: *"At the core of the EDSL lies the task graph
+defined as a set of logical tasks, each of which stores: a globally unique
+task id, task ids of tasks that will provide inputs and receive outputs and
+a task type identifying which callback to use."*
+
+A :class:`Task` is purely *logical*: it has no storage for data.  Runtime
+controllers turn logical tasks into *physical* tasks by allocating input
+slots and scheduling execution (see :mod:`repro.runtimes`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import GraphError
+from repro.core.ids import EXTERNAL, TNULL, CallbackId, TaskId, is_real_task
+
+
+@dataclass
+class Task:
+    """One logical task.
+
+    Attributes:
+        id: globally unique, non-negative task id.
+        callback: the task type; selects which registered callback runs.
+        incoming: one entry per input slot — the id of the producing task,
+            or :data:`~repro.core.ids.EXTERNAL` when the host application
+            provides this input directly.
+        outgoing: one list per *output channel*.  ``outgoing[c]`` lists the
+            consumer task ids of channel ``c``; the special consumer
+            :data:`~repro.core.ids.TNULL` returns the channel's payload to
+            the caller.  An empty consumer list is equivalent to
+            ``[TNULL]`` handled by the controllers as "discard".
+    """
+
+    id: TaskId
+    callback: CallbackId
+    incoming: list[TaskId] = field(default_factory=list)
+    outgoing: list[list[TaskId]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.id < 0:
+            raise GraphError(f"task id must be non-negative, got {self.id}")
+        if self.callback < 0:
+            raise GraphError(
+                f"callback id must be non-negative, got {self.callback}"
+            )
+
+    @property
+    def n_inputs(self) -> int:
+        """Number of input slots this task waits for."""
+        return len(self.incoming)
+
+    @property
+    def n_outputs(self) -> int:
+        """Number of output channels this task produces."""
+        return len(self.outgoing)
+
+    def external_inputs(self) -> list[int]:
+        """Indices of input slots fed by the host application."""
+        return [i for i, src in enumerate(self.incoming) if src == EXTERNAL]
+
+    def producers(self) -> list[TaskId]:
+        """Distinct real task ids feeding this task, in slot order."""
+        seen: list[TaskId] = []
+        for src in self.incoming:
+            if is_real_task(src) and src not in seen:
+                seen.append(src)
+        return seen
+
+    def consumers(self) -> list[TaskId]:
+        """Distinct real task ids consuming any output channel."""
+        seen: list[TaskId] = []
+        for channel in self.outgoing:
+            for dst in channel:
+                if is_real_task(dst) and dst not in seen:
+                    seen.append(dst)
+        return seen
+
+    def is_sink(self) -> bool:
+        """True when some output channel is returned to the caller."""
+        return any(
+            (not channel) or (TNULL in channel) for channel in self.outgoing
+        )
+
+    def input_slots_from(self, producer: TaskId) -> list[int]:
+        """Input-slot indices that expect data from ``producer``."""
+        return [i for i, src in enumerate(self.incoming) if src == producer]

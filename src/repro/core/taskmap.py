@@ -1,0 +1,214 @@
+"""Task maps: assigning logical tasks to shards/ranks.
+
+The MPI controller and the Legion SPMD controller need an explicit mapping
+from task ids to the rank/shard executing them (Section III / Listing 3).
+A :class:`TaskMap` answers two queries: ``shard(task_id)`` and
+``get_ids(shard_id)``; the two must stay mutually consistent, which
+:func:`validate_taskmap` checks and the property tests exercise.
+
+Provided maps:
+
+* :class:`ModuloMap` — the paper's round-robin ``task_id % shards``.
+* :class:`BlockMap` — contiguous near-equal chunks of the id space.
+* :class:`RangeMap` — explicit user-provided assignment.
+* :class:`FuncMap` — wraps any ``task_id -> shard`` function.
+
+Not every shard must receive tasks, and shards may receive many tasks
+("distributing tasks among fewer ranks provides a direct trade-off between
+distributed and shared memory parallelism").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.core.errors import TaskMapError
+from repro.core.ids import ShardId, TaskId
+from repro.util.partition import split_range
+
+
+class TaskMap(ABC):
+    """Abstract assignment of ``task_count`` tasks to ``shard_count`` shards."""
+
+    def __init__(self, shard_count: int, task_count: int) -> None:
+        if shard_count <= 0:
+            raise TaskMapError(f"shard_count must be positive, got {shard_count}")
+        if task_count < 0:
+            raise TaskMapError(f"task_count must be non-negative, got {task_count}")
+        self._shard_count = shard_count
+        self._task_count = task_count
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shards (ranks) tasks may be assigned to."""
+        return self._shard_count
+
+    @property
+    def task_count(self) -> int:
+        """Number of tasks being assigned (ids ``0 .. task_count-1``)."""
+        return self._task_count
+
+    @abstractmethod
+    def shard(self, tid: TaskId) -> ShardId:
+        """Shard owning task ``tid``."""
+
+    def get_ids(self, shard: ShardId) -> list[TaskId]:
+        """All task ids assigned to ``shard``, ascending.
+
+        Default implementation scans the id space; maps with closed-form
+        inverses override it.
+        """
+        self._check_shard(shard)
+        return [t for t in range(self._task_count) if self.shard(t) == shard]
+
+    def _check_shard(self, shard: ShardId) -> None:
+        if not 0 <= shard < self._shard_count:
+            raise TaskMapError(
+                f"shard {shard} out of range [0, {self._shard_count})"
+            )
+
+    def _check_task(self, tid: TaskId) -> None:
+        if not 0 <= tid < self._task_count:
+            raise TaskMapError(
+                f"task id {tid} out of range [0, {self._task_count})"
+            )
+
+
+class ModuloMap(TaskMap):
+    """Round-robin assignment: ``shard(t) = t % shard_count`` (Listing 3)."""
+
+    def shard(self, tid: TaskId) -> ShardId:
+        self._check_task(tid)
+        return tid % self._shard_count
+
+    def get_ids(self, shard: ShardId) -> list[TaskId]:
+        self._check_shard(shard)
+        return list(range(shard, self._task_count, self._shard_count))
+
+
+class BlockMap(TaskMap):
+    """Contiguous assignment: shard ``s`` owns one near-equal chunk of ids.
+
+    Keeps tree neighborhoods co-located, trading load balance for locality
+    — useful with graphs whose id space is laid out breadth-first.
+    """
+
+    def shard(self, tid: TaskId) -> ShardId:
+        self._check_task(tid)
+        if self._task_count == 0:
+            raise TaskMapError("empty map has no tasks")
+        base, extra = divmod(self._task_count, self._shard_count)
+        # Invert split_range: the first `extra` chunks have size base+1.
+        pivot = extra * (base + 1)
+        if tid < pivot:
+            return tid // (base + 1)
+        if base == 0:
+            raise TaskMapError(f"task id {tid} beyond populated shards")
+        return extra + (tid - pivot) // base
+
+    def get_ids(self, shard: ShardId) -> list[TaskId]:
+        self._check_shard(shard)
+        lo, hi = split_range(self._task_count, self._shard_count, shard)
+        return list(range(lo, hi))
+
+
+class RangeMap(TaskMap):
+    """Explicit assignment from a ``task_id -> shard`` table.
+
+    Args:
+        assignment: sequence or mapping with one shard per task id.
+    """
+
+    def __init__(
+        self,
+        shard_count: int,
+        assignment: Sequence[ShardId] | Mapping[TaskId, ShardId],
+    ) -> None:
+        if isinstance(assignment, Mapping):
+            task_count = len(assignment)
+            table = [assignment.get(t) for t in range(task_count)]
+            if any(s is None for s in table):
+                raise TaskMapError(
+                    "mapping assignment must cover ids 0..len-1 contiguously"
+                )
+        else:
+            table = list(assignment)
+            task_count = len(table)
+        super().__init__(shard_count, task_count)
+        for tid, s in enumerate(table):
+            if not 0 <= s < shard_count:
+                raise TaskMapError(
+                    f"task {tid} assigned to invalid shard {s} "
+                    f"(shard_count {shard_count})"
+                )
+        self._table: list[ShardId] = table  # type: ignore[assignment]
+        self._inverse: dict[ShardId, list[TaskId]] = {}
+        for tid, s in enumerate(self._table):
+            self._inverse.setdefault(s, []).append(tid)
+
+    def shard(self, tid: TaskId) -> ShardId:
+        self._check_task(tid)
+        return self._table[tid]
+
+    def get_ids(self, shard: ShardId) -> list[TaskId]:
+        self._check_shard(shard)
+        return list(self._inverse.get(shard, []))
+
+
+class FuncMap(TaskMap):
+    """Wrap an arbitrary ``task_id -> shard`` function as a task map."""
+
+    def __init__(
+        self,
+        shard_count: int,
+        task_count: int,
+        fn: Callable[[TaskId], ShardId],
+    ) -> None:
+        super().__init__(shard_count, task_count)
+        self._fn = fn
+
+    def shard(self, tid: TaskId) -> ShardId:
+        self._check_task(tid)
+        s = self._fn(tid)
+        if not 0 <= s < self._shard_count:
+            raise TaskMapError(
+                f"map function sent task {tid} to invalid shard {s}"
+            )
+        return s
+
+
+def validate_taskmap(tmap: TaskMap, task_ids: Iterable[TaskId] | None = None) -> None:
+    """Check that ``get_ids`` partitions the id space consistently with
+    ``shard``.
+
+    Args:
+        tmap: the map under test.
+        task_ids: the graph's actual id space; defaults to
+            ``range(tmap.task_count)``.
+
+    Raises:
+        TaskMapError: if a task is owned by zero or multiple shards, or the
+            two query directions disagree.
+    """
+    expected = set(task_ids) if task_ids is not None else set(range(tmap.task_count))
+    seen: dict[TaskId, ShardId] = {}
+    for s in range(tmap.shard_count):
+        for tid in tmap.get_ids(s):
+            if tid in seen:
+                raise TaskMapError(
+                    f"task {tid} assigned to both shard {seen[tid]} and {s}"
+                )
+            seen[tid] = s
+    if set(seen) != expected:
+        missing = sorted(expected - set(seen))[:5]
+        extra = sorted(set(seen) - expected)[:5]
+        raise TaskMapError(
+            f"get_ids does not cover the id space (missing {missing}..., "
+            f"extra {extra}...)"
+        )
+    for tid, s in seen.items():
+        if tmap.shard(tid) != s:
+            raise TaskMapError(
+                f"shard({tid}) = {tmap.shard(tid)} but get_ids placed it on {s}"
+            )

@@ -1,0 +1,6 @@
+"""Synthetic dataset generators and the hierarchical data model."""
+
+from repro.data.model import DataNode
+from repro.data.synthetic import hcci_proxy, replicate
+
+__all__ = ["DataNode", "hcci_proxy", "replicate"]

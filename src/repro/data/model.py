@@ -1,0 +1,150 @@
+"""A Conduit-style hierarchical data model.
+
+The paper's related-work section points at Conduit as a way to
+"transparently access simulation data and further uncouple the
+implementation of an algorithm from the specific application that uses
+it".  :class:`DataNode` is a small, dependency-free realization of that
+idea: a tree of named nodes whose leaves hold arrays/scalars, addressed
+by ``"a/b/c"`` paths, with schema introspection and zero-copy conversion
+of leaves into :class:`~repro.core.payload.Payload` objects for feeding
+dataflow inputs.
+
+Example::
+
+    mesh = DataNode()
+    mesh["coords/spacing"] = 0.5
+    mesh["fields/energy/values"] = energy_array
+    mesh["fields/energy/units"] = "J"
+    inputs = {tid: mesh.payload("fields/energy/values") ...}
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.core.payload import Payload, estimate_nbytes
+
+
+class DataNode:
+    """One node of the hierarchy: either internal (children) or a leaf
+    (value).  Paths use ``/`` separators; intermediate nodes are created
+    on assignment."""
+
+    __slots__ = ("_children", "_value", "_has_value")
+
+    def __init__(self, value: Any = None) -> None:
+        self._children: dict[str, DataNode] = {}
+        self._value = value
+        self._has_value = value is not None
+
+    # ------------------------------------------------------------------ #
+    # Path access
+    # ------------------------------------------------------------------ #
+
+    def __setitem__(self, path: str, value: Any) -> None:
+        node = self._walk(path, create=True)
+        if node._children:
+            raise KeyError(f"{path!r} is an internal node; cannot set a value")
+        node._value = value
+        node._has_value = True
+
+    def __getitem__(self, path: str) -> Any:
+        node = self._walk(path, create=False)
+        if node._has_value:
+            return node._value
+        return node  # internal node: return the subtree
+
+    def __contains__(self, path: str) -> bool:
+        try:
+            self._walk(path, create=False)
+            return True
+        except KeyError:
+            return False
+
+    def node(self, path: str) -> "DataNode":
+        """The node object at ``path`` (leaf or internal)."""
+        return self._walk(path, create=False)
+
+    def _walk(self, path: str, create: bool) -> "DataNode":
+        if not path:
+            raise KeyError("empty path")
+        node = self
+        for part in path.split("/"):
+            if not part:
+                raise KeyError(f"malformed path {path!r}")
+            child = node._children.get(part)
+            if child is None:
+                if not create:
+                    raise KeyError(f"no node at {path!r} (missing {part!r})")
+                if node._has_value:
+                    raise KeyError(
+                        f"cannot extend leaf node with child {part!r}"
+                    )
+                child = DataNode()
+                node._children[part] = child
+            node = child
+        return node
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when this node carries a value."""
+        return self._has_value
+
+    def keys(self) -> list[str]:
+        """Names of direct children, insertion-ordered."""
+        return list(self._children)
+
+    def leaves(self, prefix: str = "") -> Iterator[tuple[str, Any]]:
+        """Yield ``(path, value)`` for every leaf below this node."""
+        if self._has_value:
+            yield prefix, self._value
+            return
+        for name, child in self._children.items():
+            sub = f"{prefix}/{name}" if prefix else name
+            yield from child.leaves(sub)
+
+    def nbytes(self) -> int:
+        """Total estimated payload size of all leaves."""
+        return sum(estimate_nbytes(v) for _, v in self.leaves())
+
+    def describe(self, indent: int = 0) -> str:
+        """Schema dump: one line per node with dtype/shape for arrays."""
+        lines: list[str] = []
+        pad = "  " * indent
+        if self._has_value:
+            v = self._value
+            if isinstance(v, np.ndarray):
+                lines.append(f"{pad}<{v.dtype} {list(v.shape)}>")
+            else:
+                lines.append(f"{pad}{type(v).__name__}: {v!r}")
+        for name, child in self._children.items():
+            lines.append(f"{'  ' * indent}{name}:")
+            lines.append(child.describe(indent + 1))
+        return "\n".join(l for l in lines if l)
+
+    # ------------------------------------------------------------------ #
+    # Dataflow integration
+    # ------------------------------------------------------------------ #
+
+    def payload(self, path: str, nbytes: int | None = None) -> Payload:
+        """Wrap the leaf at ``path`` as a dataflow payload (zero copy).
+
+        Raises:
+            KeyError: when ``path`` is missing or is an internal node.
+        """
+        node = self._walk(path, create=False)
+        if not node._has_value:
+            raise KeyError(f"{path!r} is not a leaf")
+        return Payload(node._value, nbytes=nbytes)
+
+    def update(self, other: "DataNode", prefix: str = "") -> None:
+        """Merge every leaf of ``other`` into this tree (overwrites)."""
+        for path, value in other.leaves():
+            full = f"{prefix}/{path}" if prefix else path
+            self[full] = value

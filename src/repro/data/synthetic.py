@@ -1,0 +1,88 @@
+"""Synthetic datasets standing in for the paper's inputs.
+
+The paper's merge-tree and rendering experiments use a 512^3
+Homogeneous-Charge Compression Ignition (HCCI) combustion field (KARFS
+solver output), replicated periodically to 1024^3 for the larger runs —
+"since the data is periodic and features are distributed roughly
+uniformly through the simulation domain, the inflated data represents a
+good proxy".
+
+:func:`hcci_proxy` fabricates a field with those properties: a sum of
+smooth Gaussian "ignition kernels" placed uniformly at random on a
+periodic domain over a low background.  Feature count and size are
+controllable so the topological workload's behaviour (features per block,
+boundary-component counts) can be swept.  :func:`replicate` performs the
+paper's periodic tiling trick.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def hcci_proxy(
+    shape: tuple[int, int, int] = (64, 64, 64),
+    n_features: int = 60,
+    feature_sigma: float = 3.0,
+    amplitude: tuple[float, float] = (0.6, 1.0),
+    background_noise: float = 0.03,
+    seed: int = 2018,
+) -> np.ndarray:
+    """Periodic combustion-like scalar field with blob features.
+
+    Args:
+        shape: grid shape.
+        n_features: number of ignition kernels.
+        feature_sigma: kernel radius in voxels (features span a few
+            voxels, like ignition regions in the HCCI data).
+        amplitude: (min, max) kernel peak amplitudes, drawn uniformly.
+        background_noise: std of the additive background.
+        seed: RNG seed.
+
+    Returns:
+        float64 field in roughly [0, ~1.2]; features are superlevel
+        components at thresholds around 0.3-0.5.
+    """
+    if any(s <= 0 for s in shape):
+        raise ValueError(f"invalid shape {shape}")
+    if n_features < 0:
+        raise ValueError("n_features must be non-negative")
+    rng = np.random.default_rng(seed)
+    nx, ny, nz = shape
+    field = rng.normal(0.0, background_noise, size=shape)
+    field = np.abs(field)
+
+    if n_features:
+        centers = rng.uniform(0.0, 1.0, size=(n_features, 3)) * np.array(shape)
+        amps = rng.uniform(amplitude[0], amplitude[1], size=n_features)
+        # Periodic distance per axis via minimal image convention.
+        xs = np.arange(nx)[:, None, None]
+        ys = np.arange(ny)[None, :, None]
+        zs = np.arange(nz)[None, None, :]
+        inv2s2 = 1.0 / (2.0 * feature_sigma * feature_sigma)
+        for (cx, cy, cz), amp in zip(centers, amps):
+            dx = np.abs(xs - cx)
+            dx = np.minimum(dx, nx - dx)
+            dy = np.abs(ys - cy)
+            dy = np.minimum(dy, ny - dy)
+            dz = np.abs(zs - cz)
+            dz = np.minimum(dz, nz - dz)
+            field += amp * np.exp(-(dx * dx + dy * dy + dz * dz) * inv2s2)
+    return field
+
+
+def replicate(field: np.ndarray, factor: tuple[int, int, int]) -> np.ndarray:
+    """Tile a periodic field, as the paper inflates 512^3 to 1024^3.
+
+    Args:
+        field: the base periodic field.
+        factor: per-axis replication counts.
+
+    Returns:
+        The tiled field of shape ``field.shape * factor``.
+    """
+    if len(factor) != field.ndim:
+        raise ValueError("factor must have one entry per axis")
+    if any(f <= 0 for f in factor):
+        raise ValueError(f"invalid replication factor {factor}")
+    return np.tile(field, factor)

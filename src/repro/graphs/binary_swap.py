@@ -1,0 +1,137 @@
+"""Binary-swap compositing dataflow (Ma et al. 1994; paper Section V-B).
+
+``n = 2**r`` tasks per stage, ``r`` swap stages.  At stage ``s`` task ``i``
+pairs with ``i XOR 2**s``: each partner keeps one half of its current image
+extent and ships the other half to its partner, so the image fraction per
+task halves every stage while *all* ``n`` tasks stay busy — unlike the
+binary reduction whose task count shrinks each round.  After the last
+stage each of the ``n`` root tasks owns one ``1/n`` tile of the final
+image.
+
+Graph layout: stage ``s`` (0-based) task ``i`` has id ``s*n + i``.
+Stage 0 tasks take the external input (the locally rendered image); stages
+``1..r`` composite; stage ``r`` additionally returns its tile to the
+caller.
+
+Channel convention (relied on by callbacks): a stage-``s`` task sends
+channel 0 (its kept half) to its own stage-``s+1`` successor and channel 1
+(the surrendered half) to its partner's successor.  A consumer's input
+slot 0 is always its own predecessor, slot 1 the partner.
+
+Callback ids:
+
+========================== ====
+:data:`BinarySwap.LEAF`      0
+:data:`BinarySwap.COMPOSITE` 1
+:data:`BinarySwap.ROOT`      2
+========================== ====
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import GraphError
+from repro.core.graph import TaskGraph
+from repro.core.ids import EXTERNAL, TNULL, CallbackId, TaskId
+from repro.core.task import Task
+
+
+class BinarySwap(TaskGraph):
+    """Binary-swap dataflow over ``n`` inputs (``n`` must be a power of 2).
+
+    The degenerate ``n == 1`` graph is a single ROOT task passing its
+    external input through to the caller.
+    """
+
+    LEAF: CallbackId = 0
+    COMPOSITE: CallbackId = 1
+    ROOT: CallbackId = 2
+
+    def __init__(self, n: int) -> None:
+        if n <= 0 or (n & (n - 1)):
+            raise GraphError(f"binary swap needs a power-of-two count, got {n}")
+        self._n = n
+        self._rounds = n.bit_length() - 1
+
+    @property
+    def n(self) -> int:
+        """Number of parallel tasks per stage (= number of inputs)."""
+        return self._n
+
+    @property
+    def stages(self) -> int:
+        """Number of swap stages (``log2 n``)."""
+        return self._rounds
+
+    # ------------------------------------------------------------------ #
+    # Id algebra
+    # ------------------------------------------------------------------ #
+
+    def stage(self, tid: TaskId) -> int:
+        """Stage (0-based) of task ``tid``."""
+        self._check(tid)
+        return tid // self._n
+
+    def index(self, tid: TaskId) -> int:
+        """Within-stage index of task ``tid``."""
+        self._check(tid)
+        return tid % self._n
+
+    def task_id(self, stage: int, index: int) -> TaskId:
+        """Task id of ``(stage, index)``."""
+        if not 0 <= stage <= self._rounds:
+            raise GraphError(f"stage {stage} out of range")
+        if not 0 <= index < self._n:
+            raise GraphError(f"index {index} out of range")
+        return stage * self._n + index
+
+    def partner(self, stage: int, index: int) -> int:
+        """Within-stage index of the swap partner at ``stage``."""
+        if not 0 <= stage < self._rounds:
+            raise GraphError(f"stage {stage} has no swap")
+        return index ^ (1 << stage)
+
+    def leaf_ids(self) -> list[TaskId]:
+        """Stage-0 task ids, in input order."""
+        return list(range(self._n))
+
+    def root_ids(self) -> list[TaskId]:
+        """Final-stage task ids; root ``i`` owns tile ``i`` of the image."""
+        return [self.task_id(self._rounds, i) for i in range(self._n)]
+
+    # ------------------------------------------------------------------ #
+    # TaskGraph interface
+    # ------------------------------------------------------------------ #
+
+    def size(self) -> int:
+        return self._n * (self._rounds + 1)
+
+    def callbacks(self) -> list[CallbackId]:
+        return [self.LEAF, self.COMPOSITE, self.ROOT]
+
+    def task(self, tid: TaskId) -> Task:
+        self._check(tid)
+        s, i = self.stage(tid), self.index(tid)
+        n = self._n
+        if s == 0:
+            incoming = [EXTERNAL]
+        else:
+            prev_partner = self.partner(s - 1, i)
+            incoming = [
+                self.task_id(s - 1, i),
+                self.task_id(s - 1, prev_partner),
+            ]
+        if s == self._rounds:
+            cb = self.ROOT
+            outgoing: list[list[TaskId]] = [[TNULL]]
+        else:
+            cb = self.LEAF if s == 0 else self.COMPOSITE
+            j = self.partner(s, i)
+            outgoing = [
+                [self.task_id(s + 1, i)],
+                [self.task_id(s + 1, j)],
+            ]
+        return Task(id=tid, callback=cb, incoming=incoming, outgoing=outgoing)
+
+    def _check(self, tid: TaskId) -> None:
+        if not 0 <= tid < self.size():
+            raise GraphError(f"task id {tid} out of range [0, {self.size()})")

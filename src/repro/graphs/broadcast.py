@@ -1,0 +1,107 @@
+"""K-way broadcast task graph: the mirror image of a reduction.
+
+Task 0 (the root) receives one external input and fans it out through a
+complete k-ary tree; the ``k**d`` leaves each apply a leaf callback and
+return their result to the caller.  Useful on its own (scatter parameters,
+distribute a lookup table) and as a building block in composed graphs.
+
+Callback ids in :meth:`Broadcast.callbacks` order:
+
+====================== ====
+:data:`Broadcast.ROOT`   0
+:data:`Broadcast.RELAY`  1
+:data:`Broadcast.LEAF`   2
+====================== ====
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import GraphError
+from repro.core.graph import TaskGraph
+from repro.core.ids import EXTERNAL, TNULL, CallbackId, TaskId
+from repro.core.task import Task
+from repro.graphs.reduction import exact_log
+
+
+class Broadcast(TaskGraph):
+    """K-way broadcast to ``leaves`` outputs with fan-out ``valence``.
+
+    Uses the same breadth-first layout as :class:`~repro.graphs.reduction.
+    Reduction`: task 0 is the root, children of ``i`` are ``i*k+1..i*k+k``.
+    A single-leaf broadcast degenerates to one ROOT task whose output goes
+    straight to the caller.
+    """
+
+    ROOT: CallbackId = 0
+    RELAY: CallbackId = 1
+    LEAF: CallbackId = 2
+
+    def __init__(self, leaves: int, valence: int) -> None:
+        self._k = valence
+        self._depth = exact_log(leaves, valence)
+        self._leaves = leaves
+        k, d = valence, self._depth
+        self._n_tasks = (k ** (d + 1) - 1) // (k - 1)
+
+    @property
+    def valence(self) -> int:
+        """The fan-out ``k``."""
+        return self._k
+
+    @property
+    def depth(self) -> int:
+        """Tree depth (0 for the degenerate single-task broadcast)."""
+        return self._depth
+
+    @property
+    def leaves(self) -> int:
+        """Number of leaf tasks."""
+        return self._leaves
+
+    @property
+    def root_id(self) -> TaskId:
+        """Id of the root task (the one taking the external input)."""
+        return 0
+
+    def leaf_ids(self) -> list[TaskId]:
+        """Ids of the leaf tasks in output order."""
+        return list(range(self._n_tasks - self._leaves, self._n_tasks))
+
+    def is_leaf(self, tid: TaskId) -> bool:
+        """True when ``tid`` is a leaf."""
+        return self._n_tasks - self._leaves <= tid < self._n_tasks
+
+    def children(self, tid: TaskId) -> list[TaskId]:
+        """Children of ``tid`` (empty for leaves)."""
+        if self.is_leaf(tid):
+            return []
+        return [tid * self._k + c + 1 for c in range(self._k)]
+
+    def parent(self, tid: TaskId) -> TaskId:
+        """Parent of ``tid`` (undefined for the root)."""
+        if tid == 0:
+            raise GraphError("root has no parent")
+        return (tid - 1) // self._k
+
+    # ------------------------------------------------------------------ #
+    # TaskGraph interface
+    # ------------------------------------------------------------------ #
+
+    def size(self) -> int:
+        return self._n_tasks
+
+    def callbacks(self) -> list[CallbackId]:
+        return [self.ROOT, self.RELAY, self.LEAF]
+
+    def task(self, tid: TaskId) -> Task:
+        if not 0 <= tid < self._n_tasks:
+            raise GraphError(f"task id {tid} out of range [0, {self._n_tasks})")
+        incoming = [EXTERNAL] if tid == 0 else [self.parent(tid)]
+        if self.is_leaf(tid):
+            cb = self.ROOT if tid == 0 else self.LEAF
+            outgoing: list[list[TaskId]] = [[TNULL]]
+        else:
+            cb = self.ROOT if tid == 0 else self.RELAY
+            # One channel: the same payload goes to every child.
+            outgoing = [list(self.children(tid))]
+        return Task(id=tid, callback=cb, incoming=incoming, outgoing=outgoing)

@@ -1,0 +1,45 @@
+"""Flat data-parallel task graph.
+
+``n`` completely independent tasks, each taking one external input and
+returning one output to the caller.  This is the workload of the paper's
+Fig. 3 launcher-overhead study ("a single launch of a set of data-parallel
+tasks") and a useful smoke test for every controller: with no edges at
+all, any measured time beyond compute is pure runtime overhead.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import GraphError
+from repro.core.graph import TaskGraph
+from repro.core.ids import EXTERNAL, TNULL, CallbackId, TaskId
+from repro.core.task import Task
+
+
+class DataParallel(TaskGraph):
+    """``n`` independent single-input single-output tasks.
+
+    Callback ids: :data:`DataParallel.WORK` (= 0) for every task.
+    """
+
+    WORK: CallbackId = 0
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise GraphError(f"task count must be positive, got {n}")
+        self._n = n
+
+    @property
+    def n(self) -> int:
+        """Number of independent tasks."""
+        return self._n
+
+    def size(self) -> int:
+        return self._n
+
+    def callbacks(self) -> list[CallbackId]:
+        return [self.WORK]
+
+    def task(self, tid: TaskId) -> Task:
+        if not 0 <= tid < self._n:
+            raise GraphError(f"task id {tid} out of range [0, {self._n})")
+        return Task(tid, self.WORK, [EXTERNAL], [[TNULL]])

@@ -1,0 +1,129 @@
+"""Iterative halo-exchange (stencil) dataflow.
+
+The workhorse of grid-based simulation coupling: a 2D grid of chunks
+iterates for a fixed number of rounds, each round every chunk exchanging
+its boundary with its neighbors and updating.  In BabelFlow terms this is
+``rounds`` layers of ``gx*gy`` tasks, task ``(r, cell)`` feeding its
+round-``r+1`` self and neighbors.  A generic member of the paper's
+"neighbor dataflows" family (Fig. 8's registration graph is the
+single-sweep, edge-centric cousin).
+
+Task ids: ``r * gx * gy + cell``.  Channel order and input-slot order are
+both "self then neighbors by ascending cell index", so callbacks can
+split/merge halos positionally.
+
+Callback ids: :data:`HaloExchange2D.STEP` (0) for every task.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import GraphError
+from repro.core.graph import TaskGraph
+from repro.core.ids import EXTERNAL, TNULL, CallbackId, TaskId
+from repro.core.task import Task
+
+
+class HaloExchange2D(TaskGraph):
+    """``rounds`` sweeps over a ``gx x gy`` chunk grid.
+
+    Args:
+        gx: chunks along X.
+        gy: chunks along Y.
+        rounds: number of update sweeps (>= 1).
+        diagonal: include the 8-connected (corner) neighbors.
+    """
+
+    STEP: CallbackId = 0
+
+    def __init__(self, gx: int, gy: int, rounds: int, diagonal: bool = False) -> None:
+        if gx < 1 or gy < 1:
+            raise GraphError(f"grid must be at least 1x1, got {gx}x{gy}")
+        if rounds < 1:
+            raise GraphError(f"rounds must be >= 1, got {rounds}")
+        self._gx, self._gy, self._rounds = gx, gy, rounds
+        self._diagonal = diagonal
+
+    @property
+    def grid(self) -> tuple[int, int]:
+        """The chunk grid shape ``(gx, gy)``."""
+        return self._gx, self._gy
+
+    @property
+    def sweeps(self) -> int:
+        """Number of update rounds."""
+        return self._rounds
+
+    @property
+    def n_cells(self) -> int:
+        """Chunks per round."""
+        return self._gx * self._gy
+
+    # ------------------------------------------------------------------ #
+    # Id algebra
+    # ------------------------------------------------------------------ #
+
+    def tid(self, r: int, cell: int) -> TaskId:
+        """Task id of sweep ``r``, chunk ``cell``."""
+        if not 0 <= r < self._rounds:
+            raise GraphError(f"round {r} out of range")
+        if not 0 <= cell < self.n_cells:
+            raise GraphError(f"cell {cell} out of range")
+        return r * self.n_cells + cell
+
+    def round_of(self, tid: TaskId) -> int:
+        """Sweep index of ``tid``."""
+        self._check(tid)
+        return tid // self.n_cells
+
+    def cell_of(self, tid: TaskId) -> int:
+        """Chunk index of ``tid``."""
+        self._check(tid)
+        return tid % self.n_cells
+
+    def neighborhood(self, cell: int) -> list[int]:
+        """``cell`` itself plus its grid neighbors, ascending.
+
+        This is the channel order of a task's outputs and the slot order
+        of a task's inputs.
+        """
+        if not 0 <= cell < self.n_cells:
+            raise GraphError(f"cell {cell} out of range")
+        x, y = cell % self._gx, cell // self._gx
+        if self._diagonal:
+            offs = [(dx, dy) for dx in (-1, 0, 1) for dy in (-1, 0, 1)]
+        else:
+            offs = [(0, 0), (-1, 0), (1, 0), (0, -1), (0, 1)]
+        out = set()
+        for dx, dy in offs:
+            nx, ny = x + dx, y + dy
+            if 0 <= nx < self._gx and 0 <= ny < self._gy:
+                out.add(ny * self._gx + nx)
+        return sorted(out)
+
+    # ------------------------------------------------------------------ #
+    # TaskGraph interface
+    # ------------------------------------------------------------------ #
+
+    def size(self) -> int:
+        return self._rounds * self.n_cells
+
+    def callbacks(self) -> list[CallbackId]:
+        return [self.STEP]
+
+    def task(self, tid: TaskId) -> Task:
+        self._check(tid)
+        r, cell = self.round_of(tid), self.cell_of(tid)
+        hood = self.neighborhood(cell)
+        if r == 0:
+            incoming = [EXTERNAL]
+        else:
+            incoming = [self.tid(r - 1, nb) for nb in hood]
+        if r == self._rounds - 1:
+            outgoing: list[list[TaskId]] = [[TNULL]]
+        else:
+            outgoing = [[self.tid(r + 1, nb)] for nb in hood]
+        return Task(tid, self.STEP, incoming, outgoing)
+
+    def _check(self, tid: TaskId) -> None:
+        if not 0 <= tid < self.size():
+            raise GraphError(f"task id {tid} out of range [0, {self.size()})")

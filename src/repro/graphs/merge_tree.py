@@ -1,0 +1,261 @@
+"""The distributed merge-tree dataflow (paper Fig. 5, Landge et al. 2014).
+
+The graph combines a global k-way reduction with a set of broadcast-like
+patterns and per-leaf correction chains:
+
+* ``n`` LOCAL tasks (the reduction leaves) each take a data block and
+  produce two outputs: the *local tree* (channel 0, sent to the leaf's
+  first correction task) and the *boundary tree* (channel 1, sent to the
+  first-round join).
+* JOIN tasks form a k-way reduction over boundary trees.  A round-``r``
+  join emits the merged boundary tree up the reduction (channel 0; the
+  final join returns it to the caller) and an *augmented* boundary tree
+  down to the corrections of every leaf in its subtree (channel 1).
+* To avoid one join sending ``k**r`` messages, the downward broadcast is
+  an overlay tree of RELAY tasks with fan-out ``k`` ("the dataflow
+  implements its own overlay tree to perform the broadcast").
+* CORRECTION task ``(r, i)`` merges leaf ``i``'s current local tree with
+  the round-``r`` augmented tree and forwards the updated local tree.
+* After the last correction each leaf's SEGMENTATION task labels its block
+  and returns the result to the caller.
+
+Ids are allocated per phase with :class:`~repro.core.ids.IdSegments`,
+exactly the prefix scheme the paper recommends.
+
+Callback ids:
+
+================================ ====
+:data:`MergeTreeGraph.LOCAL`        0
+:data:`MergeTreeGraph.JOIN`         1
+:data:`MergeTreeGraph.RELAY`        2
+:data:`MergeTreeGraph.CORRECTION`   3
+:data:`MergeTreeGraph.SEGMENTATION` 4
+================================ ====
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import GraphError
+from repro.core.graph import TaskGraph
+from repro.core.ids import EXTERNAL, TNULL, CallbackId, IdSegments, TaskId
+from repro.core.task import Task
+from repro.graphs.reduction import exact_log
+
+
+class MergeTreeGraph(TaskGraph):
+    """Distributed merge-tree dataflow over ``leaves = valence**d`` blocks.
+
+    Args:
+        leaves: number of input data blocks; must be a power of
+            ``valence``.
+        valence: reduction factor ``k`` (the paper typically uses 8).
+
+    The degenerate single-leaf graph is LOCAL -> SEGMENTATION.
+    """
+
+    LOCAL: CallbackId = 0
+    JOIN: CallbackId = 1
+    RELAY: CallbackId = 2
+    CORRECTION: CallbackId = 3
+    SEGMENTATION: CallbackId = 4
+
+    def __init__(self, leaves: int, valence: int = 8) -> None:
+        self._n = leaves
+        self._k = valence
+        self._d = exact_log(leaves, valence)
+        n, k, d = leaves, valence, self._d
+
+        self._join_count = [0] * (d + 1)  # joins per round, 1-indexed
+        for r in range(1, d + 1):
+            self._join_count[r] = n // k**r
+        total_joins = sum(self._join_count)
+
+        # Relay (r, l, m): round r in 2..d, level l in 1..r-1,
+        # m in [0, n/k**l).  Precompute base offsets per (r, l).
+        self._relay_base: dict[tuple[int, int], int] = {}
+        off = 0
+        for r in range(2, d + 1):
+            for l in range(1, r):
+                self._relay_base[(r, l)] = off
+                off += n // k**l
+        total_relays = off
+
+        seg = IdSegments()
+        seg.add("local", n)
+        seg.add("join", total_joins)
+        seg.add("relay", total_relays)
+        seg.add("correction", d * n)
+        seg.add("segmentation", n)
+        self._seg = seg
+
+        self._join_round_base = [0] * (d + 2)
+        for r in range(1, d + 1):
+            self._join_round_base[r + 1] = (
+                self._join_round_base[r] + self._join_count[r]
+            )
+
+    # ------------------------------------------------------------------ #
+    # Parameters
+    # ------------------------------------------------------------------ #
+
+    @property
+    def leaves(self) -> int:
+        """Number of input blocks ``n``."""
+        return self._n
+
+    @property
+    def valence(self) -> int:
+        """Reduction factor ``k``."""
+        return self._k
+
+    @property
+    def join_rounds(self) -> int:
+        """Number of join rounds ``d = log_k n``."""
+        return self._d
+
+    def join_count(self, r: int) -> int:
+        """Number of joins at round ``r`` (``1 <= r <= d``)."""
+        self._check_round(r)
+        return self._join_count[r]
+
+    def subtree_leaves(self, r: int, j: int) -> range:
+        """Leaf indices covered by join ``(r, j)``."""
+        self._check_round(r)
+        span = self._k**r
+        return range(j * span, (j + 1) * span)
+
+    # ------------------------------------------------------------------ #
+    # Id algebra
+    # ------------------------------------------------------------------ #
+
+    def local_id(self, i: int) -> TaskId:
+        """Id of the LOCAL task for leaf ``i``."""
+        return self._seg.to_global("local", i)
+
+    def join_id(self, r: int, j: int) -> TaskId:
+        """Id of the JOIN task at round ``r``, index ``j``."""
+        self._check_round(r)
+        if not 0 <= j < self._join_count[r]:
+            raise GraphError(f"join index {j} out of range at round {r}")
+        return self._seg.to_global("join", self._join_round_base[r] + j)
+
+    def relay_id(self, r: int, l: int, m: int) -> TaskId:
+        """Id of the RELAY task ``(round r, level l, position m)``."""
+        if (r, l) not in self._relay_base:
+            raise GraphError(f"no relay level (r={r}, l={l})")
+        if not 0 <= m < self._n // self._k**l:
+            raise GraphError(f"relay position {m} out of range at level {l}")
+        return self._seg.to_global("relay", self._relay_base[(r, l)] + m)
+
+    def correction_id(self, r: int, i: int) -> TaskId:
+        """Id of the CORRECTION task for leaf ``i`` at round ``r``."""
+        self._check_round(r)
+        if not 0 <= i < self._n:
+            raise GraphError(f"leaf {i} out of range")
+        return self._seg.to_global("correction", (r - 1) * self._n + i)
+
+    def segmentation_id(self, i: int) -> TaskId:
+        """Id of the SEGMENTATION task for leaf ``i``."""
+        return self._seg.to_global("segmentation", i)
+
+    def describe(self, tid: TaskId) -> dict:
+        """Role of ``tid``: phase name plus phase-specific indices.
+
+        Keys: ``phase``; for ``local``/``segmentation``: ``leaf``; for
+        ``join``: ``round``, ``index``; for ``relay``: ``round``,
+        ``level``, ``pos``; for ``correction``: ``round``, ``leaf``.
+        """
+        phase, idx = self._seg.to_local(tid)
+        if phase in ("local", "segmentation"):
+            return {"phase": phase, "leaf": idx}
+        if phase == "join":
+            for r in range(1, self._d + 1):
+                if idx < self._join_round_base[r + 1]:
+                    return {
+                        "phase": phase,
+                        "round": r,
+                        "index": idx - self._join_round_base[r],
+                    }
+            raise GraphError(f"corrupt join index {idx}")  # pragma: no cover
+        if phase == "relay":
+            for (r, l), base in sorted(
+                self._relay_base.items(), key=lambda kv: kv[1], reverse=True
+            ):
+                if idx >= base:
+                    return {"phase": phase, "round": r, "level": l, "pos": idx - base}
+            raise GraphError(f"corrupt relay index {idx}")  # pragma: no cover
+        return {
+            "phase": phase,
+            "round": idx // self._n + 1,
+            "leaf": idx % self._n,
+        }
+
+    # ------------------------------------------------------------------ #
+    # TaskGraph interface
+    # ------------------------------------------------------------------ #
+
+    def size(self) -> int:
+        return self._seg.total
+
+    def callbacks(self) -> list[CallbackId]:
+        return [self.LOCAL, self.JOIN, self.RELAY, self.CORRECTION, self.SEGMENTATION]
+
+    def task(self, tid: TaskId) -> Task:
+        info = self.describe(tid)
+        phase = info["phase"]
+        k, n, d = self._k, self._n, self._d
+        if phase == "local":
+            i = info["leaf"]
+            if d == 0:
+                return Task(tid, self.LOCAL, [EXTERNAL], [[self.segmentation_id(i)]])
+            return Task(
+                tid,
+                self.LOCAL,
+                [EXTERNAL],
+                [
+                    [self.correction_id(1, i)],
+                    [self.join_id(1, i // k)],
+                ],
+            )
+        if phase == "join":
+            r, j = info["round"], info["index"]
+            if r == 1:
+                incoming = [self.local_id(j * k + c) for c in range(k)]
+            else:
+                incoming = [self.join_id(r - 1, j * k + c) for c in range(k)]
+            up = [TNULL] if r == d else [self.join_id(r + 1, j // k)]
+            if r == 1:
+                down = [self.correction_id(1, j * k + c) for c in range(k)]
+            else:
+                down = [self.relay_id(r, r - 1, j * k + c) for c in range(k)]
+            return Task(tid, self.JOIN, incoming, [up, down])
+        if phase == "relay":
+            r, l, m = info["round"], info["level"], info["pos"]
+            if l == r - 1:
+                incoming = [self.join_id(r, m // k)]
+            else:
+                incoming = [self.relay_id(r, l + 1, m // k)]
+            if l == 1:
+                down = [self.correction_id(r, m * k + c) for c in range(k)]
+            else:
+                down = [self.relay_id(r, l - 1, m * k + c) for c in range(k)]
+            return Task(tid, self.RELAY, incoming, [down])
+        if phase == "correction":
+            r, i = info["round"], info["leaf"]
+            prev = self.local_id(i) if r == 1 else self.correction_id(r - 1, i)
+            if r == 1:
+                aug = self.join_id(1, i // k)
+            else:
+                aug = self.relay_id(r, 1, i // k)
+            nxt = (
+                self.segmentation_id(i) if r == d else self.correction_id(r + 1, i)
+            )
+            return Task(tid, self.CORRECTION, [prev, aug], [[nxt]])
+        # segmentation
+        i = info["leaf"]
+        prev = self.local_id(i) if d == 0 else self.correction_id(d, i)
+        return Task(tid, self.SEGMENTATION, [prev], [[TNULL]])
+
+    def _check_round(self, r: int) -> None:
+        if not 1 <= r <= self._d:
+            raise GraphError(f"round {r} out of range [1, {self._d}]")

@@ -1,0 +1,193 @@
+"""2D neighbor (registration) dataflow — paper Fig. 8.
+
+The registration use case tiles a large specimen into a ``gx x gy`` grid
+of volumes with overlapping margins, cut into ``slabs`` slabs along Z.
+For every slab:
+
+* an EXTRACT task per volume reads the overlap sub-blocks facing each
+  grid neighbor, and
+* a CORRELATE task per grid *edge* (adjacent volume pair) receives the two
+  facing overlap regions and estimates the pairwise offset.
+
+Across slabs, per edge, an EVALUATE ("sort/evaluate") task collects the
+per-slab correlations and selects the consensus offset; finally a single
+PLACE task gathers every edge's offset and solves for the global position
+of each volume.
+
+Edges are enumerated deterministically: all horizontal edges
+``(x,y)-(x+1,y)`` in row-major order first, then all vertical edges
+``(x,y)-(x,y+1)``.
+
+Callback ids:
+
+============================== ====
+:data:`NeighborRegistration.EXTRACT`    0
+:data:`NeighborRegistration.CORRELATE`  1
+:data:`NeighborRegistration.EVALUATE`   2
+:data:`NeighborRegistration.PLACE`      3
+============================== ====
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import GraphError
+from repro.core.graph import TaskGraph
+from repro.core.ids import EXTERNAL, TNULL, CallbackId, IdSegments, TaskId
+from repro.core.task import Task
+
+
+class NeighborRegistration(TaskGraph):
+    """Registration dataflow over a ``gx x gy`` grid with ``slabs`` Z slabs.
+
+    Args:
+        gx: number of volumes along X (>= 1).
+        gy: number of volumes along Y (>= 1).
+        slabs: number of Z slabs each volume is cut into (>= 1).
+
+    The grid must contain at least one edge (``gx*gy >= 2``).
+    """
+
+    EXTRACT: CallbackId = 0
+    CORRELATE: CallbackId = 1
+    EVALUATE: CallbackId = 2
+    PLACE: CallbackId = 3
+
+    def __init__(self, gx: int, gy: int, slabs: int = 1) -> None:
+        if gx < 1 or gy < 1:
+            raise GraphError(f"grid must be at least 1x1, got {gx}x{gy}")
+        if gx * gy < 2:
+            raise GraphError("registration needs at least two volumes")
+        if slabs < 1:
+            raise GraphError(f"slabs must be >= 1, got {slabs}")
+        self._gx, self._gy, self._slabs = gx, gy, slabs
+        self._edges: list[tuple[int, int]] = []
+        for y in range(gy):
+            for x in range(gx - 1):
+                self._edges.append((self.cell(x, y), self.cell(x + 1, y)))
+        for y in range(gy - 1):
+            for x in range(gx):
+                self._edges.append((self.cell(x, y), self.cell(x, y + 1)))
+        self._cells = gx * gy
+        seg = IdSegments()
+        seg.add("extract", self._cells * slabs)
+        seg.add("correlate", len(self._edges) * slabs)
+        seg.add("evaluate", len(self._edges))
+        seg.add("place", 1)
+        self._seg = seg
+        # Incident edge indices per cell, ascending (defines the channel
+        # order of EXTRACT outputs and is mirrored by the callbacks).
+        self._incident: list[list[int]] = [[] for _ in range(self._cells)]
+        for e, (a, b) in enumerate(self._edges):
+            self._incident[a].append(e)
+            self._incident[b].append(e)
+
+    # ------------------------------------------------------------------ #
+    # Grid / id algebra
+    # ------------------------------------------------------------------ #
+
+    @property
+    def grid(self) -> tuple[int, int]:
+        """The ``(gx, gy)`` grid shape."""
+        return self._gx, self._gy
+
+    @property
+    def slabs(self) -> int:
+        """Number of Z slabs."""
+        return self._slabs
+
+    @property
+    def n_cells(self) -> int:
+        """Number of volumes."""
+        return self._cells
+
+    @property
+    def edges(self) -> list[tuple[int, int]]:
+        """Adjacent volume pairs ``(cell_a, cell_b)`` with ``a < b``."""
+        return list(self._edges)
+
+    def cell(self, x: int, y: int) -> int:
+        """Linear cell index of grid position ``(x, y)``."""
+        if not (0 <= x < self._gx and 0 <= y < self._gy):
+            raise GraphError(f"cell ({x},{y}) outside {self._gx}x{self._gy} grid")
+        return y * self._gx + x
+
+    def cell_coords(self, cell: int) -> tuple[int, int]:
+        """Inverse of :meth:`cell`."""
+        if not 0 <= cell < self._cells:
+            raise GraphError(f"cell {cell} out of range")
+        return cell % self._gx, cell // self._gx
+
+    def incident_edges(self, cell: int) -> list[int]:
+        """Edge indices incident to ``cell``, ascending."""
+        if not 0 <= cell < self._cells:
+            raise GraphError(f"cell {cell} out of range")
+        return list(self._incident[cell])
+
+    def extract_id(self, cell: int, slab: int) -> TaskId:
+        """Task id of the EXTRACT task for ``(cell, slab)``."""
+        self._check_slab(slab)
+        return self._seg.to_global("extract", slab * self._cells + cell)
+
+    def correlate_id(self, edge: int, slab: int) -> TaskId:
+        """Task id of the CORRELATE task for ``(edge, slab)``."""
+        self._check_slab(slab)
+        return self._seg.to_global("correlate", slab * len(self._edges) + edge)
+
+    def evaluate_id(self, edge: int) -> TaskId:
+        """Task id of the per-edge EVALUATE task."""
+        return self._seg.to_global("evaluate", edge)
+
+    @property
+    def place_id(self) -> TaskId:
+        """Task id of the final PLACE task."""
+        return self._seg.to_global("place", 0)
+
+    def describe(self, tid: TaskId) -> dict:
+        """Role of ``tid``: phase plus cell/edge/slab indices.
+
+        Callbacks use this to learn *which* overlap or edge they are
+        processing from the task id alone.
+        """
+        phase, idx = self._seg.to_local(tid)
+        if phase == "extract":
+            return {"phase": phase, "cell": idx % self._cells, "slab": idx // self._cells}
+        if phase == "correlate":
+            ne = len(self._edges)
+            return {"phase": phase, "edge": idx % ne, "slab": idx // ne}
+        if phase == "evaluate":
+            return {"phase": phase, "edge": idx}
+        return {"phase": phase}
+
+    # ------------------------------------------------------------------ #
+    # TaskGraph interface
+    # ------------------------------------------------------------------ #
+
+    def size(self) -> int:
+        return self._seg.total
+
+    def callbacks(self) -> list[CallbackId]:
+        return [self.EXTRACT, self.CORRELATE, self.EVALUATE, self.PLACE]
+
+    def task(self, tid: TaskId) -> Task:
+        phase, idx = self._seg.to_local(tid)
+        if phase == "extract":
+            cell, slab = idx % self._cells, idx // self._cells
+            outgoing = [
+                [self.correlate_id(e, slab)] for e in self._incident[cell]
+            ]
+            return Task(tid, self.EXTRACT, [EXTERNAL], outgoing)
+        if phase == "correlate":
+            ne = len(self._edges)
+            edge, slab = idx % ne, idx // ne
+            a, b = self._edges[edge]
+            incoming = [self.extract_id(a, slab), self.extract_id(b, slab)]
+            return Task(tid, self.CORRELATE, incoming, [[self.evaluate_id(edge)]])
+        if phase == "evaluate":
+            incoming = [self.correlate_id(idx, s) for s in range(self._slabs)]
+            return Task(tid, self.EVALUATE, incoming, [[self.place_id]])
+        incoming = [self.evaluate_id(e) for e in range(len(self._edges))]
+        return Task(tid, self.PLACE, incoming, [[TNULL]])
+
+    def _check_slab(self, slab: int) -> None:
+        if not 0 <= slab < self._slabs:
+            raise GraphError(f"slab {slab} out of range [0, {self._slabs})")

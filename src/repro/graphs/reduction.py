@@ -1,0 +1,180 @@
+"""K-way reduction task graph (paper Listing 2).
+
+A complete k-ary tree laid out breadth-first: task 0 is the root, the
+children of task ``i`` are ``i*k+1 .. i*k+k``, the last ``k**d`` tasks are
+the leaves.  Leaves consume one external input each; every internal task
+reduces its ``k`` children; the root applies a final *wrap-up* callback
+(e.g. write the composited image) and returns its output to the caller.
+
+Callback ids, in the order returned by :meth:`Reduction.callbacks`
+(matching the paper's ``LEAF_CB, REDUCE_CB, ROOT_CB``):
+
+====================== ====
+:data:`Reduction.LEAF`  0
+:data:`Reduction.REDUCE` 1
+:data:`Reduction.ROOT`  2
+====================== ====
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import GraphError
+from repro.core.graph import TaskGraph
+from repro.core.ids import EXTERNAL, TNULL, CallbackId, TaskId
+from repro.core.task import Task
+
+
+def exact_log(n: int, k: int) -> int:
+    """Return ``d`` with ``k**d == n``.
+
+    Raises:
+        GraphError: when ``n`` is not an exact power of ``k``.
+    """
+    if n <= 0:
+        raise GraphError(f"count must be positive, got {n}")
+    if k < 2:
+        raise GraphError(f"valence must be at least 2, got {k}")
+    d = 0
+    m = n
+    while m > 1:
+        if m % k:
+            raise GraphError(f"{n} is not a power of valence {k}")
+        m //= k
+        d += 1
+    return d
+
+
+class Reduction(TaskGraph):
+    """K-way reduction over ``leaves`` inputs with fan-in ``valence``.
+
+    Args:
+        leaves: number of external inputs; must equal ``valence ** d``.
+        valence: the reduction factor ``k``.
+
+    A single-leaf reduction degenerates to one task carrying the ROOT
+    callback (external input straight to wrap-up).
+    """
+
+    LEAF: CallbackId = 0
+    REDUCE: CallbackId = 1
+    ROOT: CallbackId = 2
+
+    def __init__(self, leaves: int, valence: int) -> None:
+        self._k = valence
+        self._depth = exact_log(leaves, valence)
+        self._leaves = leaves
+        k, d = valence, self._depth
+        self._n_tasks = (k ** (d + 1) - 1) // (k - 1)
+
+    # ------------------------------------------------------------------ #
+    # Parameters / helpers
+    # ------------------------------------------------------------------ #
+
+    @property
+    def valence(self) -> int:
+        """The fan-in ``k``."""
+        return self._k
+
+    @property
+    def depth(self) -> int:
+        """Tree depth ``d`` (root at depth 0, leaves at depth ``d``)."""
+        return self._depth
+
+    @property
+    def leaves(self) -> int:
+        """Number of leaf tasks."""
+        return self._leaves
+
+    @property
+    def root_id(self) -> TaskId:
+        """Id of the root (wrap-up) task."""
+        return 0
+
+    def leaf_ids(self) -> list[TaskId]:
+        """Ids of the leaf tasks, in input order."""
+        return list(range(self._n_tasks - self._leaves, self._n_tasks))
+
+    def leaf_id(self, index: int) -> TaskId:
+        """Id of the ``index``-th leaf (``0 <= index < leaves``)."""
+        if not 0 <= index < self._leaves:
+            raise GraphError(f"leaf index {index} out of range")
+        return self._n_tasks - self._leaves + index
+
+    def leaf_index(self, tid: TaskId) -> int:
+        """Inverse of :meth:`leaf_id`."""
+        first = self._n_tasks - self._leaves
+        if not first <= tid < self._n_tasks:
+            raise GraphError(f"task {tid} is not a leaf")
+        return tid - first
+
+    def is_leaf(self, tid: TaskId) -> bool:
+        """True when ``tid`` is a leaf task."""
+        return self._n_tasks - self._leaves <= tid < self._n_tasks
+
+    def parent(self, tid: TaskId) -> TaskId:
+        """Parent of ``tid`` in the tree (undefined for the root)."""
+        if tid == 0:
+            raise GraphError("root has no parent")
+        return (tid - 1) // self._k
+
+    def children(self, tid: TaskId) -> list[TaskId]:
+        """Children of ``tid`` (empty for leaves)."""
+        if self.is_leaf(tid):
+            return []
+        return [tid * self._k + c + 1 for c in range(self._k)]
+
+    def level(self, tid: TaskId) -> int:
+        """Depth of ``tid`` (0 at the root)."""
+        self._check(tid)
+        lvl, first = 0, 0
+        count = 1
+        while tid >= first + count:
+            first += count
+            count *= self._k
+            lvl += 1
+        return lvl
+
+    # ------------------------------------------------------------------ #
+    # TaskGraph interface
+    # ------------------------------------------------------------------ #
+
+    def size(self) -> int:
+        return self._n_tasks
+
+    def callbacks(self) -> list[CallbackId]:
+        return [self.LEAF, self.REDUCE, self.ROOT]
+
+    def task(self, tid: TaskId) -> Task:
+        self._check(tid)
+        incoming: list[TaskId]
+        if self.is_leaf(tid):
+            incoming = [EXTERNAL]
+            cb = self.LEAF
+        else:
+            incoming = self.children(tid)
+            cb = self.REDUCE
+        if tid == 0:
+            cb = self.ROOT
+            outgoing = [[TNULL]]
+        else:
+            outgoing = [[self.parent(tid)]]
+        return Task(id=tid, callback=cb, incoming=incoming, outgoing=outgoing)
+
+    def _check(self, tid: TaskId) -> None:
+        if not 0 <= tid < self._n_tasks:
+            raise GraphError(
+                f"task id {tid} out of range [0, {self._n_tasks})"
+            )
+
+
+class KWayMerge(Reduction):
+    """K-way merge dataflow.
+
+    Structurally identical to :class:`Reduction` — each internal task
+    merges ``k`` sorted runs from its children — but named separately to
+    match the paper's catalogue of provided graphs ("reductions,
+    broadcasts, binary swaps, neighbor and k-way merge dataflows") and to
+    keep user code self-describing.
+    """
+
+    MERGE: CallbackId = Reduction.REDUCE

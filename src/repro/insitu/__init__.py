@@ -1,0 +1,16 @@
+"""In-situ coupling: run analysis dataflows inside a live simulation.
+
+Extension beyond the paper's evaluation (its stated motivation): a toy
+evolving combustion solver plus a coupler that invokes any BabelFlow
+workload on any backend every N steps and accounts the cost split.
+"""
+
+from repro.insitu.coupler import InSituCoupler, InSituRecord, InSituReport
+from repro.insitu.simulation import CombustionSimulation
+
+__all__ = [
+    "CombustionSimulation",
+    "InSituCoupler",
+    "InSituRecord",
+    "InSituReport",
+]

@@ -1,0 +1,118 @@
+"""A toy host simulation producing evolving combustion-like fields.
+
+The paper's motivation is *in situ* analysis: the analysis dataflow runs
+inside a live simulation instead of post-processing files.  To exercise
+that coupling end to end, this module provides a deterministic stand-in
+for the KARFS solver: a set of Gaussian "ignition kernels" drifting with
+constant velocities on a periodic domain, with amplitudes that grow and
+decay over their lifetime — so features move, merge, split, ignite and
+burn out across timesteps, giving the coupled analysis something to
+track.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class CombustionSimulation:
+    """Deterministic drifting-kernel combustion proxy.
+
+    Args:
+        shape: grid shape.
+        n_features: number of ignition kernels.
+        feature_sigma: kernel radius in voxels.
+        velocity: max drift speed in voxels per step.
+        pulse_period: steps of one grow/decay amplitude cycle.
+        background_noise: static background level.
+        seed: RNG seed (fixes kernel tracks and phases).
+        sim_shape: the problem size :meth:`advance_cost` should model
+            (defaults to the actual shape) — pair it with the analysis
+            workloads' ``sim_shape`` for a consistent virtual machine.
+
+    Use :meth:`step` to advance and :attr:`field` to read the current
+    state; :meth:`advance_cost` models the per-step solver time for the
+    in-situ coupler's virtual accounting.
+    """
+
+    def __init__(
+        self,
+        shape: tuple[int, int, int] = (32, 32, 32),
+        n_features: int = 20,
+        feature_sigma: float = 2.5,
+        velocity: float = 0.8,
+        pulse_period: int = 24,
+        background_noise: float = 0.02,
+        seed: int = 0,
+        sim_shape: tuple[int, int, int] | None = None,
+    ) -> None:
+        if any(s <= 0 for s in shape):
+            raise ValueError(f"invalid shape {shape}")
+        if n_features <= 0:
+            raise ValueError("need at least one feature")
+        if pulse_period < 2:
+            raise ValueError("pulse_period must be >= 2")
+        self.shape = tuple(shape)
+        self.sigma = float(feature_sigma)
+        self.pulse_period = int(pulse_period)
+        rng = np.random.default_rng(seed)
+        self._pos = rng.uniform(0.0, 1.0, size=(n_features, 3)) * np.array(shape)
+        self._vel = rng.uniform(-velocity, velocity, size=(n_features, 3))
+        self._phase = rng.uniform(0.0, 2 * np.pi, size=n_features)
+        self._amp = rng.uniform(0.5, 1.0, size=n_features)
+        self._background = np.abs(
+            rng.normal(0.0, background_noise, size=shape)
+        )
+        self._step = 0
+        self._field: np.ndarray | None = None
+        self._cost_voxels = float(
+            np.prod(sim_shape if sim_shape is not None else shape)
+        )
+
+    @property
+    def time(self) -> int:
+        """Current step index (0 before the first :meth:`step`)."""
+        return self._step
+
+    @property
+    def field(self) -> np.ndarray:
+        """The current scalar field (computed lazily per step)."""
+        if self._field is None:
+            self._field = self._evaluate()
+        return self._field
+
+    def step(self) -> np.ndarray:
+        """Advance one timestep; returns the new field."""
+        self._pos = (self._pos + self._vel) % np.array(self.shape)
+        self._step += 1
+        self._field = None
+        return self.field
+
+    def advance_cost(self) -> float:
+        """Virtual seconds one solver step costs (a simple per-voxel
+        model at the simulated problem size; the in-situ coupler adds it
+        between analyses)."""
+        return 5e-9 * self._cost_voxels
+
+    # ------------------------------------------------------------------ #
+
+    def _evaluate(self) -> np.ndarray:
+        nx, ny, nz = self.shape
+        xs = np.arange(nx)[:, None, None]
+        ys = np.arange(ny)[None, :, None]
+        zs = np.arange(nz)[None, None, :]
+        inv2s2 = 1.0 / (2.0 * self.sigma * self.sigma)
+        t = self._step
+        pulse = 0.55 + 0.45 * np.sin(
+            2 * np.pi * t / self.pulse_period + self._phase
+        )
+        field = self._background.copy()
+        for (cx, cy, cz), amp, p in zip(self._pos, self._amp, pulse):
+            dx = np.abs(xs - cx)
+            dx = np.minimum(dx, nx - dx)
+            dy = np.abs(ys - cy)
+            dy = np.minimum(dy, ny - dy)
+            dz = np.abs(zs - cz)
+            dz = np.minimum(dz, nz - dz)
+            field += amp * p * np.exp(-(dx * dx + dy * dy + dz * dz) * inv2s2)
+        return field

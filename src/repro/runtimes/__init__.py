@@ -1,0 +1,79 @@
+"""Runtime controllers: execute a task graph on a chosen backend.
+
+One controller per runtime model, all sharing the
+:class:`~repro.runtimes.controller.Controller` interface:
+
+* :class:`~repro.runtimes.serial.SerialController` — in-process reference.
+* :class:`~repro.runtimes.mpi.MPIController` — static task map, async
+  point-to-point messages, per-rank thread pool.
+* :class:`~repro.runtimes.charm.CharmController` — chare array with
+  periodic measurement-based load balancing.
+* :class:`~repro.runtimes.legion.LegionSPMDController` — shards, single
+  task launchers, phase barriers.
+* :class:`~repro.runtimes.legion.LegionIndexController` — rounds of
+  noninterfering tasks issued as index launches.
+
+The distributed controllers execute on the discrete-event substrate in
+:mod:`repro.sim`; their construction parameters (cluster size, machine
+model, cost model, overhead constants) are documented on
+:class:`~repro.runtimes.simbase.SimController`.
+"""
+
+from repro.runtimes.blocking import BlockingMPIController
+from repro.runtimes.calibrate import (
+    calibrate_merge_tree,
+    calibrate_registration,
+    calibrate_rendering,
+    measure_rate,
+)
+from repro.runtimes.charm import CharmController
+from repro.runtimes.controller import Controller
+from repro.runtimes.costs import (
+    DEFAULT_COSTS,
+    CallableCost,
+    CostModel,
+    MeasuredCost,
+    NullCost,
+    PerCallbackCost,
+    RuntimeCosts,
+)
+from repro.runtimes.legion import LegionIndexController, LegionSPMDController
+from repro.runtimes.mpi import MPIController
+from repro.runtimes.replay import (
+    Recording,
+    RecordingController,
+    ReplayResult,
+    replay_task,
+    verify_recording,
+)
+from repro.runtimes.result import RunResult
+from repro.runtimes.serial import SerialController
+from repro.runtimes.simbase import SimController
+
+__all__ = [
+    "BlockingMPIController",
+    "CallableCost",
+    "CharmController",
+    "Controller",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "LegionIndexController",
+    "LegionSPMDController",
+    "MPIController",
+    "MeasuredCost",
+    "NullCost",
+    "Recording",
+    "RecordingController",
+    "ReplayResult",
+    "PerCallbackCost",
+    "RunResult",
+    "RuntimeCosts",
+    "SerialController",
+    "SimController",
+    "calibrate_merge_tree",
+    "calibrate_registration",
+    "calibrate_rendering",
+    "measure_rate",
+    "replay_task",
+    "verify_recording",
+]

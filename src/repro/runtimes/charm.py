@@ -1,0 +1,162 @@
+"""Charm++ runtime controller (paper Section IV-B).
+
+Model highlights, matching the paper's description:
+
+* **Chare array.**  Every task is a chare in one array; no explicit task
+  map is needed.  Initial placement is the runtime's round-robin over
+  processing elements (PEs), ``chare -> PE = id % n_procs``.
+* **Remote procedure calls.**  Dataflow edges are entry-method
+  invocations: each remote message pays an RPC overhead at the receiver
+  on top of de-/serialization; intra-PE messages avoid serialization
+  ("the Charm++ serialization functionality will avoid unnecessary
+  de-/serializations when possible").
+* **Periodic load balancing.**  Every ``costs.charm_lb_period`` virtual
+  seconds the runtime measures per-PE queue backlogs and migrates
+  *queued, not-yet-started* chares from overloaded to underloaded PEs,
+  paying a per-chare migration cost plus the network transfer of the
+  chare's buffered inputs.  This is what lets Charm++ overtake static MPI
+  placement on imbalanced workloads at scale (paper Figs. 6 and 9).
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import SimulationError
+from repro.core.ids import TaskId
+from repro.core.payload import Payload
+from repro.runtimes.simbase import SimController
+
+#: LB rounds with zero progress after which the run is declared stalled.
+_MAX_IDLE_LB_ROUNDS = 10_000
+
+
+class CharmController(SimController):
+    """Task-graph execution on the simulated Charm++ runtime.
+
+    Accepts (and ignores) a task map for interface compatibility; chare
+    placement is handled by the runtime model.
+
+    Extra constructor knob: set ``costs.charm_lb_period <= 0`` to disable
+    load balancing entirely (used by the ablation benchmark).
+    """
+
+    def _prepare_run(self) -> None:
+        self._chare_owner: dict[TaskId, int] = {}
+        self._migrations = 0
+        self._lb_rounds = 0
+        self._idle_lb_rounds = 0
+        self._executed_at_last_lb = 0
+        if self.costs.charm_lb_period > 0:
+            self._engine.after(self.costs.charm_lb_period, self._lb_tick)
+
+    def _proc_of(self, tid: TaskId) -> int:
+        owner = self._chare_owner.get(tid)
+        if owner is None:
+            owner = tid % self.n_procs
+            self._chare_owner[tid] = owner
+        return owner
+
+    # ------------------------------------------------------------------ #
+    # Communication costs
+    # ------------------------------------------------------------------ #
+
+    def _serialize_cost(self, sproc: int, dproc: int, payload: Payload) -> float:
+        if sproc == dproc:
+            return 0.0
+        return (
+            self.costs.message_overhead
+            + payload.nbytes / self.costs.serialize_bandwidth
+        )
+
+    def _receive_cost(self, sproc: int, dproc: int, payload: Payload) -> float:
+        if sproc == dproc:
+            return self.costs.charm_rpc_overhead
+        return (
+            self.costs.charm_rpc_overhead
+            + payload.nbytes / self.costs.serialize_bandwidth
+        )
+
+    # ------------------------------------------------------------------ #
+    # Periodic load balancing
+    # ------------------------------------------------------------------ #
+
+    def _lb_tick(self) -> None:
+        if self._executed >= self._total:
+            return  # run finished; stop rescheduling
+        if self._executed == self._executed_at_last_lb:
+            self._idle_lb_rounds += 1
+            if self._idle_lb_rounds > _MAX_IDLE_LB_ROUNDS:
+                raise SimulationError(
+                    "CharmController: no progress across "
+                    f"{_MAX_IDLE_LB_ROUNDS} LB rounds — dataflow stalled"
+                )
+        else:
+            self._idle_lb_rounds = 0
+        self._executed_at_last_lb = self._executed
+        self._lb_rounds += 1
+        self._result.stats.add("lb", self.costs.charm_lb_cost * self.n_procs)
+        self._balance()
+        self._engine.after(self.costs.charm_lb_period, self._lb_tick)
+
+    def _balance(self) -> None:
+        """One-shot queue-length leveling of ready-but-queued chares.
+
+        Each PE's desired queue length is the global mean (rounded so the
+        longest queues keep the remainder, minimizing movement); surplus
+        chares are popped into a pool and handed to the PEs below their
+        desired length.
+        """
+        lengths = [len(q) for q in self._ready]
+        total = sum(lengths)
+        base, extra = divmod(total, self.n_procs)
+        # The `extra` currently-longest queues keep one more chare.
+        order = sorted(range(self.n_procs), key=lambda p: -lengths[p])
+        desired = [base] * self.n_procs
+        for p in order[:extra]:
+            desired[p] = base + 1
+        pool: list[tuple[TaskId, int]] = []
+        for p in range(self.n_procs):
+            while lengths[p] > desired[p]:
+                tid = self._ready[p].pop()  # migrate the freshest arrival
+                pool.append((tid, p))
+                lengths[p] -= 1
+        for p in range(self.n_procs):
+            while lengths[p] < desired[p] and pool:
+                tid, src = pool.pop()
+                self._migrate(tid, src, p)
+                lengths[p] += 1
+        assert not pool, "LB pool not drained"
+
+    def _migrate(self, tid: TaskId, src: int, dst: int) -> None:
+        """Move a queued chare (inputs already buffered) to another PE."""
+        pt = self._ptasks[tid]
+        pt.queued = False
+        self._chare_owner[tid] = dst
+        self._migrations += 1
+        nbytes = sum(p.nbytes for p in pt.slots if p is not None)
+        self._result.stats.add("migrate", self.costs.charm_migration_cost)
+        # The chare state travels as one message; it re-enters the run
+        # queue at the destination on arrival.
+        self._cluster.send(
+            src,
+            dst,
+            nbytes,
+            self._arrive_migrated,
+            dst,
+            tid,
+            label=f"migrate t{tid}",
+        )
+
+    def _arrive_migrated(self, dst: int, tid: TaskId) -> None:
+        self._engine.after(
+            self.costs.charm_migration_cost, self._enqueue, dst, tid
+        )
+
+    @property
+    def migrations(self) -> int:
+        """Number of chare migrations in the last run."""
+        return getattr(self, "_migrations", 0)
+
+    @property
+    def lb_rounds(self) -> int:
+        """Number of load-balancing rounds in the last run."""
+        return getattr(self, "_lb_rounds", 0)

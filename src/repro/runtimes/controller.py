@@ -1,0 +1,164 @@
+"""The runtime-controller base class.
+
+Section IV: *"All runtime controllers share the same interface by deriving
+from the same base class to make switching between controllers easy."*
+The interface mirrors the paper's Listing 1 workflow::
+
+    c = SomeController(...)
+    c.initialize(graph, task_map)
+    c.register_callback(graph.callbacks()[0], leaf_fn)
+    ...
+    result = c.run(initial_inputs)
+
+``initial_inputs`` maps each source task id to the payload(s) of its
+EXTERNAL input slots; ``run`` returns a
+:class:`~repro.runtimes.result.RunResult` with every payload the graph
+returned to the caller plus timing statistics.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Mapping, Sequence
+
+from repro.core.callbacks import CallbackRegistry, TaskCallback
+from repro.core.errors import ControllerError
+from repro.core.graph import TaskGraph
+from repro.core.ids import CallbackId, TaskId
+from repro.core.payload import Payload
+from repro.core.taskmap import TaskMap
+from repro.runtimes.result import RunResult
+
+#: Accepted forms for one task's initial input: a single payload (for the
+#: common one-external-slot case) or one payload per EXTERNAL slot.
+InitialInput = Payload | Sequence[Payload]
+
+
+class Controller(ABC):
+    """Common initialize / register / run protocol of every backend."""
+
+    def __init__(self) -> None:
+        self._graph: TaskGraph | None = None
+        self._task_map: TaskMap | None = None
+        self._registry: CallbackRegistry | None = None
+
+    # ------------------------------------------------------------------ #
+    # Setup
+    # ------------------------------------------------------------------ #
+
+    def initialize(
+        self, graph: TaskGraph, task_map: TaskMap | None = None
+    ) -> None:
+        """Bind the controller to a task graph (and optional task map).
+
+        Whether a task map is required depends on the backend: the MPI and
+        Legion SPMD controllers need one, Charm++ and Legion index-launch
+        controllers place tasks themselves.
+        """
+        self._graph = graph
+        self._task_map = task_map
+        self._registry = CallbackRegistry(graph.callbacks())
+        self._post_initialize()
+
+    def _post_initialize(self) -> None:
+        """Backend hook invoked at the end of :meth:`initialize`."""
+
+    def register_callback(self, cid: CallbackId, fn: TaskCallback) -> None:
+        """Bind the implementation of one task type.
+
+        Raises:
+            ControllerError: before :meth:`initialize`.
+        """
+        if self._registry is None:
+            raise ControllerError("register_callback before initialize")
+        self._registry.register(cid, fn)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def run(self, initial_inputs: Mapping[TaskId, InitialInput]) -> RunResult:
+        """Execute the dataflow.
+
+        Args:
+            initial_inputs: payloads for every EXTERNAL input slot, keyed
+                by task id.  Tasks with one external slot may map directly
+                to a payload; tasks with several map to a sequence, in
+                slot order.
+
+        Returns:
+            The run result with returned payloads and timing statistics.
+
+        Raises:
+            ControllerError: if the controller is not initialized, a
+                callback is missing, or inputs do not match the graph.
+        """
+        graph, registry = self._require_ready()
+        normalized = self._normalize_inputs(graph, initial_inputs)
+        return self._execute(graph, registry, normalized)
+
+    @abstractmethod
+    def _execute(
+        self,
+        graph: TaskGraph,
+        registry: CallbackRegistry,
+        inputs: dict[TaskId, list[Payload]],
+    ) -> RunResult:
+        """Backend-specific execution of the validated run."""
+
+    # ------------------------------------------------------------------ #
+    # Shared validation
+    # ------------------------------------------------------------------ #
+
+    def _require_ready(self) -> tuple[TaskGraph, CallbackRegistry]:
+        if self._graph is None or self._registry is None:
+            raise ControllerError("run() before initialize()")
+        missing = self._registry.missing(self._graph.callbacks())
+        if missing:
+            raise ControllerError(
+                f"callbacks not registered for ids {missing}"
+            )
+        return self._graph, self._registry
+
+    @staticmethod
+    def _normalize_inputs(
+        graph: TaskGraph, initial_inputs: Mapping[TaskId, InitialInput]
+    ) -> dict[TaskId, list[Payload]]:
+        """Validate and normalize to one payload list per source task."""
+        out: dict[TaskId, list[Payload]] = {}
+        provided = set(initial_inputs)
+        for tid in graph.task_ids():
+            task = graph.task(tid)
+            ext_slots = task.external_inputs()
+            if not ext_slots:
+                continue
+            if tid not in initial_inputs:
+                raise ControllerError(
+                    f"task {tid} expects {len(ext_slots)} external input(s) "
+                    f"but none were provided"
+                )
+            provided.discard(tid)
+            value = initial_inputs[tid]
+            payloads: list[Payload]
+            if isinstance(value, Payload):
+                payloads = [value]
+            else:
+                payloads = list(value)
+                for p in payloads:
+                    if not isinstance(p, Payload):
+                        raise ControllerError(
+                            f"initial input for task {tid} contains a "
+                            f"{type(p).__name__}, expected Payload"
+                        )
+            if len(payloads) != len(ext_slots):
+                raise ControllerError(
+                    f"task {tid} expects {len(ext_slots)} external input(s), "
+                    f"got {len(payloads)}"
+                )
+            out[tid] = payloads
+        if provided:
+            raise ControllerError(
+                f"initial inputs provided for tasks without external "
+                f"slots: {sorted(provided)[:5]}"
+            )
+        return out

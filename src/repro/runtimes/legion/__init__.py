@@ -1,0 +1,12 @@
+"""Legion runtime controllers.
+
+Two controllers for the same runtime, as in the paper: the SPMD
+(must-epoch + phase-barrier) strategy and the index-launch strategy.
+"One advantage of our framework is that it is easy to maintain multiple
+controllers for a given runtime that can be deployed transparently."
+"""
+
+from repro.runtimes.legion.index_launch import LegionIndexController
+from repro.runtimes.legion.spmd import LegionSPMDController
+
+__all__ = ["LegionIndexController", "LegionSPMDController"]

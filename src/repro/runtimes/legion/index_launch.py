@@ -1,0 +1,122 @@
+"""Legion index-launch runtime controller (paper Section IV-C).
+
+The index-launch strategy leans entirely on Legion's ability to spawn
+large sets of tasks: the task graph is crawled into *rounds of
+noninterfering tasks* (no dependencies within a round) and every round is
+issued as one index launch, "mapping the necessary outputs of the previous
+launch with the inputs of the next".  No task map and no phase barriers
+are needed.
+
+Model highlights — these produce the paper's Figs. 2 and 3:
+
+* The *parent* (top-level) task prepares every subtask of an index launch
+  serially: launching a round of ``N`` tasks costs
+  ``N * legion_spawn_overhead`` on proc 0 before any of them may start
+  ("the costs for preparing and scheduling tasks is borne by its parent
+  task and roughly proportional to the number of subtasks used").
+* Tasks of a round are distributed round-robin over the procs.
+* A round is issued only after the previous round's tasks have completed
+  (the launch maps the previous launch's outputs).
+* Per-task region staging is identical to the SPMD controller.
+
+With many tiny tasks the serial parent-side spawn dominates, which is why
+the index-launch controller loses to SPMD at scale (Fig. 2) and why total
+time *grows* with core count in Fig. 3 even though per-task compute
+shrinks.
+"""
+
+from __future__ import annotations
+
+from repro.core.ids import TaskId
+from repro.core.payload import Payload
+from repro.runtimes.simbase import SimController
+from repro.sim.resource import Resource
+
+
+class LegionIndexController(SimController):
+    """Task-graph execution on the simulated Legion runtime, index style.
+
+    Ignores any task map: placement is round-robin within each round.
+    """
+
+    def _prepare_run(self) -> None:
+        graph = self._graph_run
+        self._rounds = graph.rounds()
+        self._round_of: dict[TaskId, int] = {}
+        self._owner: dict[TaskId, int] = {}
+        for r, tids in enumerate(self._rounds):
+            for pos, tid in enumerate(tids):
+                self._round_of[tid] = r
+                self._owner[tid] = pos % self.n_procs
+        self._round_remaining = [len(tids) for tids in self._rounds]
+        self._spawned: set[TaskId] = set()
+        self._waiting_ready: set[TaskId] = set()
+        self._current_round = -1
+        # The parent task spawning subtasks is a serial resource on proc 0.
+        self._parent = Resource(self._engine, name="parent")
+        self._open_round(0)
+
+    def _proc_of(self, tid: TaskId) -> int:
+        return self._owner[tid]
+
+    # ------------------------------------------------------------------ #
+    # Round orchestration
+    # ------------------------------------------------------------------ #
+
+    def _open_round(self, r: int) -> None:
+        if r >= len(self._rounds):
+            return
+        self._current_round = r
+        spawn = self.costs.legion_spawn_overhead
+        for tid in self._rounds[r]:
+            self._result.stats.add("spawn", spawn)
+            self._parent.submit(spawn, self._spawn_done, tid)
+
+    def _spawn_done(self, tid: TaskId) -> None:
+        self._spawned.add(tid)
+        if tid in self._waiting_ready:
+            self._waiting_ready.discard(tid)
+            self._enqueue(self._owner[tid], tid)
+
+    def _on_ready(self, tid: TaskId) -> None:
+        if tid in self._spawned:
+            self._spawned.discard(tid)
+            self._enqueue(self._owner[tid], tid)
+        else:
+            self._waiting_ready.add(tid)
+
+    def _on_task_done(self, proc: int, tid: TaskId) -> None:
+        r = self._round_of[tid]
+        self._round_remaining[r] -= 1
+        if self._round_remaining[r] == 0 and r == self._current_round:
+            self._open_round(r + 1)
+
+    # ------------------------------------------------------------------ #
+    # Costs (regions as in the SPMD controller, no phase barriers)
+    # ------------------------------------------------------------------ #
+
+    def _pre_compute_overhead(self, proc: int, tid: TaskId) -> float:
+        pt = self._ptasks[tid]
+        task = pt.task
+        regions = task.n_inputs + task.n_outputs
+        in_bytes = sum(p.nbytes for p in pt.slots if p is not None)
+        return (
+            regions * self.costs.legion_staging_per_region
+            + in_bytes / self.costs.legion_staging_bandwidth
+        )
+
+    def _pre_compute_category(self) -> str:
+        return "staging"
+
+    def _serialize_cost(self, sproc: int, dproc: int, payload: Payload) -> float:
+        if sproc == dproc:
+            return 0.0
+        return payload.nbytes / self.costs.legion_staging_bandwidth
+
+    def _receive_cost(self, sproc: int, dproc: int, payload: Payload) -> float:
+        if sproc == dproc:
+            return 0.0
+        return payload.nbytes / self.costs.legion_staging_bandwidth
+
+    def _comm_category(self) -> str:
+        return "staging"

@@ -1,0 +1,113 @@
+"""Legion SPMD runtime controller (paper Section IV-C).
+
+The SPMD ("must epoch") strategy: one long-lived *shard task* per shard is
+launched with a must-parallelism launcher; each shard task then issues its
+assigned portion of the task graph with *single task launchers*, and
+cross-shard dependencies synchronize through *phase barriers* — a
+lightweight producer/consumer mechanism with no global synchronization.
+
+Model highlights:
+
+* The top-level task issues the must-epoch launch serially: shard ``s``
+  becomes active only after ``(s+1) * legion_must_epoch_overhead``.
+* Within a shard, every task pays a single-task-launcher overhead on the
+  shard's *launcher* (a serial resource: the shard task issues launches
+  one at a time) before it can be scheduled on a core.
+* Every task pays region staging: a per-region-requirement constant for
+  each input/output plus ``bytes / legion_staging_bandwidth`` for its
+  input data.
+* Cross-shard edges pay a phase-barrier overhead plus region copies on
+  both sides; intra-shard edges are free beyond the staging above
+  (dependence analysis, not data movement).
+
+Like the MPI controller, the SPMD controller needs a task map to define
+its shards ("conceptually, shards are similar to the task map the MPI
+controller uses").
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ControllerError
+from repro.core.ids import TaskId
+from repro.core.payload import Payload
+from repro.core.taskmap import ModuloMap
+from repro.runtimes.simbase import SimController
+from repro.sim.resource import Resource
+
+
+class LegionSPMDController(SimController):
+    """Task-graph execution on the simulated Legion runtime, SPMD style."""
+
+    def _post_initialize(self) -> None:
+        assert self._graph is not None
+        if self._task_map is None:
+            self._task_map = ModuloMap(self.n_procs, self._graph.size())
+        if self._task_map.shard_count > self.n_procs:
+            raise ControllerError(
+                f"task map targets {self._task_map.shard_count} shards but "
+                f"controller has {self.n_procs}"
+            )
+
+    def _proc_of(self, tid: TaskId) -> int:
+        assert self._task_map is not None
+        return self._task_map.shard(tid)
+
+    # ------------------------------------------------------------------ #
+    # Launch pipeline
+    # ------------------------------------------------------------------ #
+
+    def _prepare_run(self) -> None:
+        # One serial launcher per shard: the shard task issues its single
+        # task launchers one after the other.
+        self._launchers = [
+            Resource(self._engine, name=f"launcher{s}")
+            for s in range(self.n_procs)
+        ]
+        # The must-epoch launch itself: the top-level task prepares the
+        # shard tasks serially, so shard s starts with a skewed delay.
+        per_shard = self.costs.legion_must_epoch_overhead
+        for s in range(self.n_procs):
+            self._launchers[s].submit((s + 1) * per_shard)
+        self._result.stats.add("spawn", per_shard * self.n_procs)
+
+    def _on_ready(self, tid: TaskId) -> None:
+        proc = self._proc_of(tid)
+        launch = self.costs.legion_single_launch_overhead
+        self._result.stats.add("launch", launch)
+        self._launchers[proc].submit(launch, self._enqueue, proc, tid)
+
+    # ------------------------------------------------------------------ #
+    # Costs
+    # ------------------------------------------------------------------ #
+
+    def _pre_compute_overhead(self, proc: int, tid: TaskId) -> float:
+        pt = self._ptasks[tid]
+        task = pt.task
+        regions = task.n_inputs + task.n_outputs
+        in_bytes = sum(p.nbytes for p in pt.slots if p is not None)
+        return (
+            regions * self.costs.legion_staging_per_region
+            + in_bytes / self.costs.legion_staging_bandwidth
+        )
+
+    def _pre_compute_category(self) -> str:
+        return "staging"
+
+    def _serialize_cost(self, sproc: int, dproc: int, payload: Payload) -> float:
+        if sproc == dproc:
+            return 0.0
+        return (
+            self.costs.legion_barrier_overhead
+            + payload.nbytes / self.costs.legion_staging_bandwidth
+        )
+
+    def _receive_cost(self, sproc: int, dproc: int, payload: Payload) -> float:
+        if sproc == dproc:
+            return 0.0
+        return (
+            self.costs.legion_barrier_overhead
+            + payload.nbytes / self.costs.legion_staging_bandwidth
+        )
+
+    def _comm_category(self) -> str:
+        return "staging"

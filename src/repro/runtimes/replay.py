@@ -1,0 +1,129 @@
+"""Record/replay: debug single tasks in isolation.
+
+Section I argues BabelFlow "allows the communication and algorithm to be
+developed and tested separately".  This module makes that workflow
+concrete: run a dataflow once with a :class:`RecordingController` (a
+serial run that captures every task's exact inputs and outputs), then
+re-execute any single task — against a fixed or a *modified*
+implementation — without the rest of the graph, and diff the results.
+
+Because tasks are idempotent by contract, a recorded invocation is a
+complete, self-contained unit test for that task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.callbacks import TaskCallback
+from repro.core.errors import ControllerError
+from repro.core.ids import CallbackId, TaskId
+from repro.core.payload import Payload
+from repro.runtimes.serial import SerialController
+
+
+@dataclass
+class Recording:
+    """Captured inputs/outputs of every task of one run."""
+
+    inputs: dict[TaskId, list[Payload]] = field(default_factory=dict)
+    outputs: dict[TaskId, list[Payload]] = field(default_factory=dict)
+    callbacks: dict[TaskId, CallbackId] = field(default_factory=dict)
+
+    def task_ids(self) -> list[TaskId]:
+        """Recorded task ids, ascending."""
+        return sorted(self.inputs)
+
+    def __contains__(self, tid: TaskId) -> bool:
+        return tid in self.inputs
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of re-executing one recorded task."""
+
+    task_id: TaskId
+    outputs: list[Payload]
+    matches: bool
+    mismatched_channels: list[int]
+
+
+class RecordingController(SerialController):
+    """Serial controller that records every task invocation.
+
+    After :meth:`run`, :attr:`recording` holds each task's inputs and
+    outputs (by reference — the idempotence contract forbids callbacks
+    from mutating their inputs, and the tests enforce the convention for
+    the shipped workloads).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.recording = Recording()
+
+    def register_callback(self, cid: CallbackId, fn: TaskCallback) -> None:
+        def recorded(inputs: list[Payload], tid: TaskId) -> list[Payload]:
+            outputs = fn(inputs, tid)
+            self.recording.inputs[tid] = list(inputs)
+            self.recording.outputs[tid] = list(outputs) if outputs else []
+            self.recording.callbacks[tid] = cid
+            return outputs
+
+        super().register_callback(cid, recorded)
+
+
+def replay_task(
+    recording: Recording, fn: TaskCallback, tid: TaskId
+) -> ReplayResult:
+    """Re-execute one recorded task with ``fn`` and diff the outputs.
+
+    Args:
+        recording: a prior :class:`RecordingController` capture.
+        fn: the implementation to test (the original, a fixed version, a
+            refactor, ...).
+        tid: which recorded task to replay.
+
+    Returns:
+        The replay outputs plus a per-channel comparison against the
+        recorded outputs.
+
+    Raises:
+        ControllerError: when ``tid`` was not recorded.
+    """
+    if tid not in recording:
+        raise ControllerError(f"task {tid} is not in the recording")
+    inputs = recording.inputs[tid]
+    outputs = fn(list(inputs), tid)
+    outputs = list(outputs) if outputs else []
+    expected = recording.outputs[tid]
+    mismatched = []
+    if len(outputs) != len(expected):
+        mismatched = list(range(max(len(outputs), len(expected))))
+    else:
+        for ch, (got, want) in enumerate(zip(outputs, expected)):
+            if not (got == want):
+                mismatched.append(ch)
+    return ReplayResult(
+        task_id=tid,
+        outputs=outputs,
+        matches=not mismatched,
+        mismatched_channels=mismatched,
+    )
+
+
+def verify_recording(recording: Recording, fn_by_callback) -> list[TaskId]:
+    """Replay *every* recorded task; return the ids whose outputs differ.
+
+    Args:
+        recording: a prior capture.
+        fn_by_callback: mapping from callback id to implementation.
+
+    An empty list means the implementations reproduce the whole run —
+    the regression-test primitive for refactoring a task library.
+    """
+    failures = []
+    for tid in recording.task_ids():
+        fn = fn_by_callback[recording.callbacks[tid]]
+        if not replay_task(recording, fn, tid).matches:
+            failures.append(tid)
+    return failures

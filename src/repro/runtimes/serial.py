@@ -1,0 +1,119 @@
+"""Serial controller: correct-order in-process execution.
+
+Section I: *"Any backend can execute task graphs of arbitrary size, on a
+single node or even serially, while guaranteeing a correct order of
+execution."*  The serial controller is that guarantee in its simplest
+form: a deterministic readiness-queue execution with no simulated cluster
+at all.  It is the reference every other backend is regression-tested
+against, and the easiest place to debug a new dataflow.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+from repro.core.callbacks import CallbackRegistry
+from repro.core.errors import ControllerError
+from repro.core.graph import TaskGraph
+from repro.core.ids import TNULL, TaskId, is_real_task
+from repro.core.payload import Payload
+from repro.runtimes.controller import Controller
+from repro.runtimes.result import RunResult
+
+
+class SerialController(Controller):
+    """Run the whole graph in the calling thread, tasks in ready order.
+
+    Ties are broken by ascending task id, so a given graph + inputs always
+    executes in the same order.  ``RunResult.stats.makespan`` reports the
+    summed real wall time of the callbacks (a serial run has no virtual
+    clock).
+    """
+
+    def _execute(
+        self,
+        graph: TaskGraph,
+        registry: CallbackRegistry,
+        inputs: dict[TaskId, list[Payload]],
+    ) -> RunResult:
+        result = RunResult()
+        slots: dict[TaskId, list[Payload | None]] = {}
+        remaining: dict[TaskId, int] = {}
+        ready: deque[TaskId] = deque()
+
+        def ensure(tid: TaskId) -> None:
+            if tid not in slots:
+                t = graph.task(tid)
+                slots[tid] = [None] * t.n_inputs
+                remaining[tid] = t.n_inputs
+
+        def deposit(tid: TaskId, slot: int, payload: Payload) -> None:
+            ensure(tid)
+            if slots[tid][slot] is not None:
+                raise ControllerError(
+                    f"task {tid} input slot {slot} filled twice"
+                )
+            slots[tid][slot] = payload
+            remaining[tid] -= 1
+            if remaining[tid] == 0:
+                ready.append(tid)
+
+        for tid, payloads in sorted(inputs.items()):
+            task = graph.task(tid)
+            for slot, payload in zip(task.external_inputs(), payloads):
+                deposit(tid, slot, payload)
+
+        executed = 0
+        wall_total = 0.0
+        # Per (producer, consumer) pair, the next slot index to fill, so
+        # multi-channel edges between the same pair stay ordered.
+        cursor: dict[tuple[TaskId, TaskId], int] = {}
+        while ready:
+            batch = sorted(ready)
+            ready.clear()
+            for tid in batch:
+                task = graph.task(tid)
+                t0 = time.perf_counter()
+                outputs = registry.invoke(
+                    task.callback,
+                    [p for p in slots.pop(tid)],  # type: ignore[misc]
+                    tid,
+                    task.n_outputs,
+                )
+                elapsed = time.perf_counter() - t0
+                wall_total += elapsed
+                result.stats.add_callback(task.callback, elapsed)
+                executed += 1
+                for ch, (channel, payload) in enumerate(
+                    zip(task.outgoing, outputs)
+                ):
+                    if not channel or TNULL in channel:
+                        result.outputs.setdefault(tid, {})[ch] = payload
+                    for dst in channel:
+                        if not is_real_task(dst):
+                            continue
+                        ensure(dst)
+                        key = (tid, dst)
+                        dst_task = graph.task(dst)
+                        slot_list = dst_task.input_slots_from(tid)
+                        idx = cursor.get(key, 0)
+                        if idx >= len(slot_list):
+                            raise ControllerError(
+                                f"task {tid} sent more messages to {dst} "
+                                f"than it has slots"
+                            )
+                        cursor[key] = idx + 1
+                        deposit(dst, slot_list[idx], payload)
+                        result.stats.messages += 1
+                        result.stats.bytes_sent += payload.nbytes
+        if executed != graph.size():
+            stuck = [t for t, r in remaining.items() if r > 0][:8]
+            raise ControllerError(
+                f"dataflow stalled: executed {executed} of {graph.size()} "
+                f"tasks; waiting tasks include {stuck}"
+            )
+        result.stats.tasks_executed = executed
+        result.stats.makespan = wall_total
+        result.stats.add("compute", wall_total)
+        return result

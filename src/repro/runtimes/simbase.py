@@ -1,0 +1,413 @@
+"""Shared machinery of the simulator-backed controllers.
+
+Every distributed backend (MPI, Charm++, Legion SPMD, Legion index-launch)
+follows the same physical-task life cycle:
+
+1. a logical task is materialized lazily on the proc that owns it;
+2. payloads *deposit* into its input slots (initial inputs at time zero,
+   dataflow messages on delivery);
+3. when the last slot fills, the task becomes *ready* and enters its
+   proc's run queue (backends may interpose extra steps, e.g. Legion's
+   launcher);
+4. a free core *dispatches* it: the callback runs for real, the configured
+   :class:`~repro.runtimes.costs.CostModel` converts it to virtual
+   seconds, and the core is occupied for overhead + compute;
+5. on (virtual) completion its outputs are *routed*: sink channels are
+   collected into the result, dataflow channels are serialized / shipped /
+   deserialized according to the backend's cost hooks.
+
+:class:`SimController` implements this cycle once; the concrete backends
+override the placement and cost hooks.  All scheduling decisions are
+deterministic — FIFO queues, ``(time, seq)``-ordered events — so a given
+(graph, inputs, backend, parameters) tuple always produces the same
+results *and* the same virtual timings.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+from repro.core.callbacks import CallbackRegistry
+from repro.core.errors import ControllerError, SimulationError
+from repro.core.graph import TaskGraph
+from repro.core.ids import EXTERNAL, TNULL, TaskId, is_real_task
+from repro.core.payload import Payload
+from repro.core.task import Task
+from repro.runtimes.controller import Controller
+from repro.runtimes.costs import DEFAULT_COSTS, CostModel, NullCost, RuntimeCosts
+from repro.runtimes.result import RunResult
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Engine
+from repro.sim.machine import SHAHEEN_II, MachineSpec
+from repro.sim.trace import Trace
+
+
+class _PhysicalTask:
+    """Runtime state of one task instance."""
+
+    __slots__ = ("task", "slots", "remaining", "cursor", "queued")
+
+    def __init__(self, task: Task) -> None:
+        self.task = task
+        self.slots: list[Payload | None] = [None] * task.n_inputs
+        self.remaining = task.n_inputs
+        # Next slot to fill per producer id (EXTERNAL included), so
+        # multiple channels between the same pair fill slots in order.
+        self.cursor: dict[TaskId, int] = {}
+        self.queued = False  # guards double enqueue
+
+
+class SimController(Controller):
+    """Base class of the simulator-backed backends.
+
+    Args:
+        n_procs: number of simulated processes (ranks / PEs / shards).
+        machine: hardware model; defaults to the Shaheen II-flavoured
+            :data:`~repro.sim.machine.SHAHEEN_II`.
+        cores_per_proc: compute servers per proc (the MPI controller's
+            thread pool size; 1 means a proc is one core).
+        cost_model: virtual compute-cost model; defaults to
+            :class:`~repro.runtimes.costs.NullCost`.
+        costs: runtime overhead constants.
+        collect_trace: keep a full span trace on the result (debugging).
+        procs_per_node: how many procs share a node; defaults to
+            ``cores_per_node // cores_per_proc``.
+        faults: transient-fault injection: ``{task_id: n}`` makes the
+            first ``n`` attempts of that task fail after consuming their
+            full compute time; the controller then re-executes it — safe
+            because tasks are idempotent by contract (the property the
+            paper leans on).  Wasted attempt time lands in the
+            ``wasted`` stats category.
+        fault_retry_delay: virtual seconds between a failed attempt and
+            the re-enqueue (a restart/detection delay).
+    """
+
+    def __init__(
+        self,
+        n_procs: int,
+        machine: MachineSpec = SHAHEEN_II,
+        cores_per_proc: int = 1,
+        cost_model: CostModel | None = None,
+        costs: RuntimeCosts = DEFAULT_COSTS,
+        collect_trace: bool = False,
+        procs_per_node: int | None = None,
+        faults: dict[TaskId, int] | None = None,
+        fault_retry_delay: float = 0.0,
+    ) -> None:
+        super().__init__()
+        if n_procs <= 0:
+            raise ControllerError(f"n_procs must be positive, got {n_procs}")
+        self.n_procs = n_procs
+        self.machine = machine
+        self.cores_per_proc = cores_per_proc
+        self.cost_model = cost_model if cost_model is not None else NullCost()
+        self.costs = costs
+        self.collect_trace = collect_trace
+        self.procs_per_node = procs_per_node
+        self.faults = dict(faults) if faults else {}
+        self.fault_retry_delay = fault_retry_delay
+        #: failed attempts observed in the last run.
+        self.retries = 0
+        # Per-run state; created in _execute.
+        self._engine: Engine
+        self._cluster: Cluster
+        self._result: RunResult
+        self._registry_run: CallbackRegistry
+        self._graph_run: TaskGraph
+        self._ptasks: dict[TaskId, _PhysicalTask]
+        self._ready: list[deque[TaskId]]
+        self._busy: list[int]
+        self._executed: int
+        self._total: int
+        self._finish_time: float
+
+    # ------------------------------------------------------------------ #
+    # Backend hooks
+    # ------------------------------------------------------------------ #
+
+    def _proc_of(self, tid: TaskId) -> int:
+        """Proc currently owning task ``tid``."""
+        raise NotImplementedError
+
+    def _prepare_run(self) -> None:
+        """Called once per run before initial inputs are deposited."""
+
+    def _on_ready(self, tid: TaskId) -> None:
+        """A task's inputs are complete; default: enqueue on its proc."""
+        self._enqueue(self._proc_of(tid), tid)
+
+    def _on_task_done(self, proc: int, tid: TaskId) -> None:
+        """Called after a task completed and its outputs were routed."""
+
+    def _pre_compute_overhead(self, proc: int, tid: TaskId) -> float:
+        """Per-task overhead charged on the core before compute."""
+        return self.costs.dispatch_overhead
+
+    def _pre_compute_category(self) -> str:
+        """Stats category of :meth:`_pre_compute_overhead`."""
+        return "dispatch"
+
+    def _serialize_cost(self, sproc: int, dproc: int, payload: Payload) -> float:
+        """Sender-side cost to put a payload on the wire."""
+        return 0.0
+
+    def _receive_cost(self, sproc: int, dproc: int, payload: Payload) -> float:
+        """Receiver-side cost to take a payload off the wire."""
+        return 0.0
+
+    def _comm_category(self) -> str:
+        """Stats category of de-/serialization costs."""
+        return "serialize"
+
+    # ------------------------------------------------------------------ #
+    # Execution skeleton
+    # ------------------------------------------------------------------ #
+
+    def _execute(
+        self,
+        graph: TaskGraph,
+        registry: CallbackRegistry,
+        inputs: dict[TaskId, list[Payload]],
+    ) -> RunResult:
+        self._engine = Engine()
+        trace = Trace() if self.collect_trace else None
+        self._cluster = Cluster(
+            self._engine,
+            self.machine,
+            self.n_procs,
+            self.cores_per_proc,
+            trace=trace,
+            procs_per_node=self.procs_per_node,
+        )
+        self._result = RunResult(trace=trace)
+        self._graph_run = graph
+        self._registry_run = registry
+        self._ptasks = {}
+        self._fault_budget = dict(self.faults)
+        self.retries = 0
+        self._done: set[TaskId] = set()
+        self._ready = [deque() for _ in range(self.n_procs)]
+        self._busy = [0] * self.n_procs
+        self._executed = 0
+        self._total = graph.size()
+        self._finish_time = 0.0
+
+        self._prepare_run()
+        for tid, payloads in sorted(inputs.items()):
+            self._engine.at(0.0, self._deposit_external, tid, payloads)
+        self._engine.run()
+
+        if self._executed != self._total:
+            stuck = [
+                t for t, pt in self._ptasks.items() if pt.remaining > 0
+            ][:8]
+            raise SimulationError(
+                f"{type(self).__name__}: dataflow stalled after "
+                f"{self._executed}/{self._total} tasks "
+                f"(waiting tasks include {stuck})"
+            )
+        stats = self._result.stats
+        stats.makespan = self._finish_time
+        stats.tasks_executed = self._executed
+        stats.messages = self._cluster.messages_sent
+        stats.bytes_sent = self._cluster.bytes_sent
+        return self._result
+
+    # ------------------------------------------------------------------ #
+    # Input deposit
+    # ------------------------------------------------------------------ #
+
+    def _ptask(self, tid: TaskId) -> _PhysicalTask:
+        pt = self._ptasks.get(tid)
+        if pt is None:
+            pt = _PhysicalTask(self._graph_run.task(tid))
+            self._ptasks[tid] = pt
+        return pt
+
+    def _deposit_external(self, tid: TaskId, payloads: list[Payload]) -> None:
+        for payload in payloads:
+            self._deposit(tid, EXTERNAL, payload)
+
+    def _deposit(self, tid: TaskId, producer: TaskId, payload: Payload) -> None:
+        if tid in self._done:
+            raise SimulationError(
+                f"task {tid} received a message from {producer} after it "
+                f"already completed (producer sends more messages than "
+                f"the consumer has slots)"
+            )
+        pt = self._ptask(tid)
+        slot_list = pt.task.input_slots_from(producer)
+        idx = pt.cursor.get(producer, 0)
+        if idx >= len(slot_list):
+            raise SimulationError(
+                f"task {tid} received more messages from {producer} than "
+                f"it has slots"
+            )
+        pt.cursor[producer] = idx + 1
+        slot = slot_list[idx]
+        pt.slots[slot] = payload
+        pt.remaining -= 1
+        if pt.remaining == 0:
+            self._on_ready(tid)
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+
+    def _enqueue(self, proc: int, tid: TaskId) -> None:
+        pt = self._ptask(tid)
+        if pt.queued:
+            raise SimulationError(f"task {tid} enqueued twice")
+        pt.queued = True
+        self._ready[proc].append(tid)
+        self._pump(proc)
+
+    def _pump(self, proc: int) -> None:
+        while self._busy[proc] < self.cores_per_proc and self._ready[proc]:
+            tid = self._ready[proc].popleft()
+            self._start_task(proc, tid)
+
+    def _start_task(self, proc: int, tid: TaskId) -> None:
+        pt = self._ptasks[tid]
+        self._busy[proc] += 1
+        task = pt.task
+        task_inputs: list[Payload] = pt.slots  # type: ignore[assignment]
+        t0 = time.perf_counter()
+        outputs = self._registry_run.invoke(
+            task.callback, task_inputs, tid, task.n_outputs
+        )
+        wall = time.perf_counter() - t0
+        compute = self.cost_model.duration(task, task_inputs, wall)
+        overhead = self._pre_compute_overhead(proc, tid)
+        stats = self._result.stats
+        if self._fault_budget.get(tid, 0) > 0:
+            # Transient failure: the attempt consumes its full time but
+            # its outputs are discarded; the task retries (idempotence).
+            self._fault_budget[tid] -= 1
+            self.retries += 1
+            stats.add("wasted", overhead + compute)
+            self._cluster.compute(
+                proc,
+                overhead + compute,
+                self._attempt_failed,
+                proc,
+                tid,
+                label=f"t{tid} (failed attempt)",
+            )
+            return
+        stats.add(self._pre_compute_category(), overhead)
+        stats.add("compute", compute)
+        stats.add_callback(task.callback, compute)
+        pt.slots = []  # release input references
+        self._cluster.compute(
+            proc,
+            overhead + compute,
+            self._task_done,
+            proc,
+            tid,
+            outputs,
+            label=f"t{tid}",
+        )
+
+    def _attempt_failed(self, proc: int, tid: TaskId) -> None:
+        self._busy[proc] -= 1
+        pt = self._ptasks[tid]
+        pt.queued = False
+        self._pump(proc)
+        self._engine.after(
+            self.fault_retry_delay, self._enqueue, self._proc_of(tid), tid
+        )
+
+    def _task_done(self, proc: int, tid: TaskId, outputs: list[Payload]) -> None:
+        self._busy[proc] -= 1
+        self._executed += 1
+        self._done.add(tid)
+        self._finish_time = max(self._finish_time, self._engine.now)
+        self._route_outputs(proc, tid, outputs)
+        del self._ptasks[tid]
+        self._pump(proc)
+        self._on_task_done(proc, tid)
+
+    # ------------------------------------------------------------------ #
+    # Output routing
+    # ------------------------------------------------------------------ #
+
+    def _route_outputs(
+        self, proc: int, tid: TaskId, outputs: list[Payload]
+    ) -> None:
+        task = self._graph_run.task(tid)
+        for ch, (channel, payload) in enumerate(zip(task.outgoing, outputs)):
+            if not channel or TNULL in channel:
+                self._result.outputs.setdefault(tid, {})[ch] = payload
+            for dst in channel:
+                if is_real_task(dst):
+                    self._send(proc, tid, dst, payload)
+
+    def _send(
+        self, sproc: int, producer: TaskId, dst: TaskId, payload: Payload
+    ) -> None:
+        dproc = self._proc_of(dst)
+        ser = self._serialize_cost(sproc, dproc, payload)
+        if ser > 0.0:
+            self._result.stats.add(self._comm_category(), ser)
+            # Serialization occupies a sender core before injection.
+            self._cluster.compute(
+                sproc,
+                ser,
+                self._inject,
+                sproc,
+                dproc,
+                producer,
+                dst,
+                payload,
+                category="serialize",
+                label=f"ser t{producer}->t{dst}",
+            )
+        else:
+            self._inject(sproc, dproc, producer, dst, payload)
+
+    def _inject(
+        self,
+        sproc: int,
+        dproc: int,
+        producer: TaskId,
+        dst: TaskId,
+        payload: Payload,
+    ) -> None:
+        self._cluster.send(
+            sproc,
+            dproc,
+            payload.nbytes,
+            self._receive,
+            sproc,
+            dproc,
+            producer,
+            dst,
+            payload,
+            label=f"t{producer}->t{dst}",
+        )
+
+    def _receive(
+        self,
+        sproc: int,
+        dproc: int,
+        producer: TaskId,
+        dst: TaskId,
+        payload: Payload,
+    ) -> None:
+        deser = self._receive_cost(sproc, dproc, payload)
+        if deser > 0.0:
+            self._result.stats.add(self._comm_category(), deser)
+            self._cluster.compute(
+                dproc,
+                deser,
+                self._deposit,
+                dst,
+                producer,
+                payload,
+                category="serialize",
+                label=f"deser t{producer}->t{dst}",
+            )
+        else:
+            self._deposit(dst, producer, payload)

@@ -1,0 +1,179 @@
+"""The simulated cluster: procs, cores, and the network.
+
+A :class:`Cluster` instantiates ``n_procs`` simulated processes (MPI ranks,
+Charm++ PEs, Legion shards — the controllers decide what a proc *means*)
+on a :class:`~repro.sim.machine.MachineSpec`.  Each proc owns:
+
+* a compute resource with ``cores_per_proc`` servers (the MPI controller's
+  thread pool executes tasks here), and
+* a transmit (NIC) resource that serializes its outgoing messages.
+
+Message timing follows the standard postal model: the sender's NIC is
+occupied for ``nbytes / bandwidth`` and the payload arrives ``latency``
+seconds after injection completes.  Intra-node transfers use the faster
+shared-memory path and skip the NIC queue contention of other nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.machine import MachineSpec
+from repro.sim.resource import MultiResource, Resource
+from repro.sim.trace import Trace
+
+
+class Cluster:
+    """``n_procs`` simulated processes on a machine model.
+
+    Args:
+        engine: the event engine driving the simulation.
+        machine: hardware parameters.
+        n_procs: number of simulated processes.
+        cores_per_proc: compute servers per proc (1 = a proc is one core).
+        trace: optional :class:`~repro.sim.trace.Trace` receiving compute
+            and message records.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        machine: MachineSpec,
+        n_procs: int,
+        cores_per_proc: int = 1,
+        trace: Trace | None = None,
+        procs_per_node: int | None = None,
+    ) -> None:
+        if n_procs <= 0:
+            raise SimulationError(f"n_procs must be positive, got {n_procs}")
+        if cores_per_proc <= 0:
+            raise SimulationError(
+                f"cores_per_proc must be positive, got {cores_per_proc}"
+            )
+        self.engine = engine
+        self.machine = machine
+        self.n_procs = n_procs
+        self.cores_per_proc = cores_per_proc
+        self.trace = trace
+        if procs_per_node is None:
+            procs_per_node = max(1, machine.cores_per_node // cores_per_proc)
+        elif procs_per_node <= 0:
+            raise SimulationError(
+                f"procs_per_node must be positive, got {procs_per_node}"
+            )
+        self.procs_per_node = procs_per_node
+        self._cores = [
+            MultiResource(engine, cores_per_proc, name=f"core{p}")
+            for p in range(n_procs)
+        ]
+        self._nics = [
+            Resource(engine, name=f"nic{p}") for p in range(n_procs)
+        ]
+        self.bytes_sent = 0
+        self.messages_sent = 0
+
+    # ------------------------------------------------------------------ #
+    # Topology
+    # ------------------------------------------------------------------ #
+
+    def node_of(self, proc: int) -> int:
+        """Node hosting ``proc`` (procs are packed onto nodes in order)."""
+        self._check_proc(proc)
+        return proc // self.procs_per_node
+
+    def same_node(self, a: int, b: int) -> bool:
+        """True when two procs share a node (fast intra-node path)."""
+        return self.node_of(a) == self.node_of(b)
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes occupied by the cluster."""
+        return self.node_of(self.n_procs - 1) + 1
+
+    # ------------------------------------------------------------------ #
+    # Compute
+    # ------------------------------------------------------------------ #
+
+    def compute(
+        self,
+        proc: int,
+        duration: float,
+        fn: Callable[..., Any] | None = None,
+        *args: Any,
+        category: str = "compute",
+        label: str = "",
+    ) -> tuple[float, float]:
+        """Run work of ``duration`` virtual seconds on ``proc``'s cores.
+
+        The duration is divided by the machine's ``core_speed``.  Returns
+        ``(start, end)``; ``fn(*args)`` fires at ``end`` if given.
+        """
+        self._check_proc(proc)
+        scaled = duration / self.machine.core_speed
+        start, end = self._cores[proc].submit(scaled, fn, *args)
+        if self.trace is not None:
+            self.trace.record(category, proc, start, end, label)
+        return start, end
+
+    def core_busy_time(self, proc: int) -> float:
+        """Total virtual compute seconds served by ``proc`` so far."""
+        self._check_proc(proc)
+        return self._cores[proc].busy_time
+
+    # ------------------------------------------------------------------ #
+    # Network
+    # ------------------------------------------------------------------ #
+
+    def message_time(self, src: int, dst: int, nbytes: int) -> tuple[float, float]:
+        """Return ``(injection_duration, latency)`` for a message."""
+        m = self.machine
+        if src == dst:
+            return 0.0, 0.0
+        if self.same_node(src, dst):
+            return nbytes / m.intra_bandwidth, m.intra_latency
+        return nbytes / m.inter_bandwidth, m.inter_latency
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        fn: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+    ) -> float:
+        """Transmit ``nbytes`` from ``src`` to ``dst``; ``fn(*args)`` fires
+        on delivery.
+
+        Same-proc sends deliver immediately on the next event (zero cost:
+        the controllers model any serialization/copy cost explicitly as
+        compute).  Returns the delivery time.
+        """
+        self._check_proc(src)
+        self._check_proc(dst)
+        if nbytes < 0:
+            raise SimulationError(f"negative message size {nbytes}")
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        inject, latency = self.message_time(src, dst, nbytes)
+        if src == dst:
+            ev = self.engine.after(0.0, fn, *args)
+            return ev.time
+        start, inj_end = self._nics[src].submit(inject)
+        deliver = inj_end + latency
+        self.engine.at(deliver, fn, *args)
+        if self.trace is not None:
+            self.trace.record("message", src, start, deliver, label or f"->{dst}")
+        return deliver
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _check_proc(self, proc: int) -> None:
+        if not 0 <= proc < self.n_procs:
+            raise SimulationError(
+                f"proc {proc} out of range [0, {self.n_procs})"
+            )

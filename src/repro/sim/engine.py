@@ -1,0 +1,127 @@
+"""Discrete-event engine.
+
+A minimal, deterministic event loop: events are ``(time, sequence)``
+ordered, so two events at the same virtual time fire in scheduling order,
+making every simulation replayable bit-for-bit.  All runtime controllers
+(:mod:`repro.runtimes`) execute on top of this engine; *virtual* seconds
+advance only through event timestamps, never through wall-clock time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+from repro.core.errors import SimulationError
+
+
+class Event:
+    """Handle to a scheduled event; supports cancellation."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(
+        self, time: float, seq: int, fn: Callable[..., Any], args: tuple
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if already fired)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Engine:
+    """Deterministic discrete-event loop.
+
+    Typical use::
+
+        eng = Engine()
+        eng.after(1.0, print, "one virtual second later")
+        eng.run()
+        assert eng.now == 1.0
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._now = 0.0
+        self._seq = itertools.count()
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._heap)
+
+    def at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute virtual ``time``.
+
+        Raises:
+            SimulationError: when scheduling into the past.
+        """
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule event at {time} before now={self._now}"
+            )
+        ev = Event(max(time, self._now), next(self._seq), fn, args)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def after(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` after ``delay`` virtual seconds.
+
+        Raises:
+            SimulationError: for negative delays.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.at(self._now + delay, fn, *args)
+
+    def step(self) -> bool:
+        """Fire the next event.  Returns False when the queue is empty."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self._now = ev.time
+            ev.fn(*ev.args)
+            return True
+        return False
+
+    def run(self, until: float | None = None) -> float:
+        """Run events until the queue drains (or virtual ``until``).
+
+        Returns the final virtual time.  Re-entrant calls are rejected —
+        event handlers must schedule, not recurse into ``run``.
+        """
+        if self._running:
+            raise SimulationError("Engine.run is not re-entrant")
+        self._running = True
+        try:
+            while self._heap:
+                nxt = self._heap[0]
+                if nxt.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and nxt.time > until:
+                    self._now = until
+                    break
+                self.step()
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now

@@ -1,0 +1,62 @@
+"""Machine models.
+
+:class:`MachineSpec` captures the knobs of the simulated cluster.  The
+default values are loosely calibrated to the paper's testbed — Shaheen II,
+a Cray XC40 with dual-socket 16-core Haswell nodes (32 cores/node) and an
+Aries Dragonfly interconnect — at the fidelity the reproduction needs:
+per-message latency, link/injection bandwidth, and a cheaper intra-node
+path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Parameters of the simulated cluster.
+
+    Attributes:
+        cores_per_node: physical cores per node (Shaheen II: 32).
+        inter_latency: one-way latency of an inter-node message (s).
+        inter_bandwidth: per-rank injection bandwidth for inter-node
+            traffic (B/s).
+        intra_latency: latency of an intra-node (shared-memory) transfer.
+        intra_bandwidth: intra-node copy bandwidth (B/s).
+        core_speed: relative compute speed multiplier; cost models divide
+            their nominal durations by this, so a value of 2.0 simulates a
+            machine twice as fast as the calibration host.
+    """
+
+    cores_per_node: int = 32
+    inter_latency: float = 2.0e-6
+    inter_bandwidth: float = 8.0e9
+    intra_latency: float = 3.0e-7
+    intra_bandwidth: float = 4.0e10
+    core_speed: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.cores_per_node <= 0:
+            raise ValueError("cores_per_node must be positive")
+        for attr in (
+            "inter_latency",
+            "inter_bandwidth",
+            "intra_latency",
+            "intra_bandwidth",
+            "core_speed",
+        ):
+            if getattr(self, attr) <= 0:
+                raise ValueError(f"{attr} must be positive")
+
+    def nodes_for(self, cores: int) -> int:
+        """Number of nodes needed to host ``cores`` cores."""
+        return -(-cores // self.cores_per_node)
+
+    def with_(self, **kwargs) -> "MachineSpec":
+        """Return a copy with some fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: Shaheen II-flavoured default machine used by all benchmarks.
+SHAHEEN_II = MachineSpec()

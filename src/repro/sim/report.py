@@ -1,0 +1,92 @@
+"""Profiling reports over execution traces.
+
+Turning a :class:`~repro.sim.trace.Trace` into the numbers a performance
+engineer asks for: per-proc utilization, load imbalance, per-category
+breakdowns, and an ASCII Gantt chart for eyeballing schedules — the
+debugging workflow the paper supports with Dot drawings, extended to the
+time axis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.trace import Stats, Trace
+
+
+def utilization(trace: Trace, n_procs: int, category: str = "compute") -> np.ndarray:
+    """Busy fraction per proc for one span category.
+
+    Returns a float array of length ``n_procs``; zero-length traces give
+    all zeros.
+    """
+    busy = np.zeros(n_procs, dtype=np.float64)
+    horizon = trace.makespan()
+    if horizon <= 0:
+        return busy
+    for span in trace.spans:
+        if span.category == category and 0 <= span.proc < n_procs:
+            busy[span.proc] += span.duration
+    return busy / horizon
+
+
+def imbalance(trace: Trace, n_procs: int, category: str = "compute") -> float:
+    """Load imbalance factor ``max / mean`` of per-proc busy time.
+
+    1.0 is perfectly balanced; returns 0.0 when nothing ran.
+    """
+    u = utilization(trace, n_procs, category)
+    mean = float(u.mean())
+    if mean <= 0:
+        return 0.0
+    return float(u.max()) / mean
+
+
+def category_breakdown(stats: Stats) -> str:
+    """Render the per-category virtual-time totals as an aligned table."""
+    rows = sorted(stats.category_time.items(), key=lambda kv: -kv[1])
+    if not rows:
+        return "(no recorded categories)"
+    total = sum(v for _, v in rows)
+    width = max(len(k) for k, _ in rows) + 2
+    lines = [f"{'category':<{width}}{'seconds':>12}{'share':>9}"]
+    for name, secs in rows:
+        share = secs / total if total else 0.0
+        lines.append(f"{name:<{width}}{secs:>12.6f}{share:>8.1%}")
+    lines.append(f"{'total':<{width}}{total:>12.6f}{1:>8.1%}")
+    return "\n".join(lines)
+
+
+def gantt(
+    trace: Trace,
+    n_procs: int,
+    width: int = 72,
+    category: str = "compute",
+    max_procs: int = 32,
+) -> str:
+    """ASCII Gantt chart: one row per proc, ``#`` where it is busy.
+
+    Args:
+        trace: the recorded spans.
+        n_procs: procs to draw (rows beyond ``max_procs`` are elided).
+        width: characters across the full makespan.
+        category: span category to draw.
+        max_procs: row cap for readability.
+    """
+    horizon = trace.makespan()
+    if horizon <= 0:
+        return "(empty trace)"
+    shown = min(n_procs, max_procs)
+    rows = [[" "] * width for _ in range(shown)]
+    for span in trace.spans:
+        if span.category != category or not 0 <= span.proc < shown:
+            continue
+        a = int(span.start / horizon * width)
+        b = max(a + 1, int(np.ceil(span.end / horizon * width)))
+        for x in range(a, min(b, width)):
+            rows[span.proc][x] = "#"
+    lines = [f"p{p:<4} |{''.join(row)}|" for p, row in enumerate(rows)]
+    if n_procs > shown:
+        lines.append(f"... ({n_procs - shown} more procs elided)")
+    lines.append(f"{'':6} 0{'':{width - 10}}{horizon:.4f}s")
+    return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""Execution traces and timing statistics.
+
+Controllers record what happened on the simulated cluster: compute spans,
+message spans, runtime-overhead spans.  :class:`Trace` stores full records
+(optional, for debugging and timeline inspection); :class:`Stats`
+aggregates per-category totals cheaply and is always collected.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class Span:
+    """One recorded interval on the simulated timeline."""
+
+    category: str
+    proc: int
+    start: float
+    end: float
+    label: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Trace:
+    """Ordered collection of :class:`Span` records.
+
+    Keeping full traces at 32k simulated procs is expensive, so traces are
+    opt-in; the aggregate :class:`Stats` suffices for the benchmarks.
+    """
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+
+    def record(
+        self, category: str, proc: int, start: float, end: float, label: str = ""
+    ) -> None:
+        """Append a span."""
+        self.spans.append(Span(category, proc, start, end, label))
+
+    def by_category(self, category: str) -> list[Span]:
+        """All spans of one category, in record order."""
+        return [s for s in self.spans if s.category == category]
+
+    def makespan(self) -> float:
+        """Latest end time across all spans (0 when empty)."""
+        return max((s.end for s in self.spans), default=0.0)
+
+    def busy_fraction(self, n_procs: int, category: str = "compute") -> float:
+        """Mean utilization of ``n_procs`` procs for one span category."""
+        total = sum(s.duration for s in self.spans if s.category == category)
+        horizon = self.makespan()
+        if horizon <= 0 or n_procs <= 0:
+            return 0.0
+        return total / (horizon * n_procs)
+
+    def timeline(self, procs: Iterable[int] | None = None) -> str:
+        """Human-readable dump of the trace (debug helper)."""
+        keep = set(procs) if procs is not None else None
+        lines = []
+        for s in sorted(self.spans, key=lambda s: (s.start, s.proc)):
+            if keep is not None and s.proc not in keep:
+                continue
+            lines.append(
+                f"[{s.start:12.6f} - {s.end:12.6f}] p{s.proc:<6} "
+                f"{s.category:<10} {s.label}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class Stats:
+    """Aggregate timing statistics of one controller run.
+
+    Attributes:
+        makespan: virtual seconds from start to the last event.
+        category_time: summed virtual seconds per category (``compute``,
+            ``overhead``, ``serialize``, ``staging``, ...), across all
+            procs.
+        callback_time: summed virtual *compute* seconds per callback id
+            (task type) — the per-stage breakdown of ``compute``.
+        tasks_executed: number of task callbacks run.
+        messages: number of dataflow messages sent.
+        bytes_sent: total dataflow bytes transferred.
+    """
+
+    makespan: float = 0.0
+    category_time: dict[str, float] = field(
+        default_factory=lambda: defaultdict(float)
+    )
+    callback_time: dict[int, float] = field(
+        default_factory=lambda: defaultdict(float)
+    )
+    tasks_executed: int = 0
+    messages: int = 0
+    bytes_sent: int = 0
+
+    def add(self, category: str, duration: float) -> None:
+        """Accumulate ``duration`` seconds under ``category``."""
+        self.category_time[category] += duration
+
+    def add_callback(self, cid: int, duration: float) -> None:
+        """Accumulate compute ``duration`` under callback id ``cid``."""
+        self.callback_time[cid] += duration
+
+    def get(self, category: str) -> float:
+        """Summed seconds for ``category`` (0 when absent)."""
+        return self.category_time.get(category, 0.0)
+
+    def summary(self) -> str:
+        """One-line textual summary for logs and benchmark output."""
+        cats = ", ".join(
+            f"{k}={v:.4f}s" for k, v in sorted(self.category_time.items())
+        )
+        return (
+            f"makespan={self.makespan:.4f}s tasks={self.tasks_executed} "
+            f"msgs={self.messages} bytes={self.bytes_sent} [{cats}]"
+        )

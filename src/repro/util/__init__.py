@@ -1,0 +1,28 @@
+"""Shared utilities for the BabelFlow reproduction.
+
+This package intentionally has no dependencies on the rest of :mod:`repro`
+so every other subsystem can import it freely.
+"""
+
+from repro.util.partition import (
+    block_bounds,
+    block_decompose,
+    even_chunks,
+    factor3d,
+    split_range,
+)
+from repro.util.fmt import format_bytes, format_time
+from repro.util.timer import Timer
+from repro.util.logging import get_logger
+
+__all__ = [
+    "block_bounds",
+    "block_decompose",
+    "even_chunks",
+    "factor3d",
+    "split_range",
+    "format_bytes",
+    "format_time",
+    "Timer",
+    "get_logger",
+]

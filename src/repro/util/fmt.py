@@ -1,0 +1,41 @@
+"""Human-readable formatting of byte counts and durations.
+
+Used by benchmark harnesses and the simulator's trace reports.
+"""
+
+from __future__ import annotations
+
+_BYTE_UNITS = ["B", "KiB", "MiB", "GiB", "TiB", "PiB"]
+
+
+def format_bytes(n: float) -> str:
+    """Render a byte count like ``"1.50 MiB"``.
+
+    Negative values are rendered with a leading minus sign; values below
+    1 KiB are shown as integer bytes.
+    """
+    sign = "-" if n < 0 else ""
+    n = abs(float(n))
+    if n < 1024:
+        return f"{sign}{int(n)} B"
+    for unit in _BYTE_UNITS[1:]:
+        n /= 1024.0
+        if n < 1024:
+            return f"{sign}{n:.2f} {unit}"
+    return f"{sign}{n:.2f} {_BYTE_UNITS[-1]}"
+
+
+def format_time(seconds: float) -> str:
+    """Render a duration like ``"12.3 ms"`` or ``"2.5 s"``.
+
+    Chooses nanoseconds/microseconds/milliseconds/seconds so the mantissa
+    stays in ``[1, 1000)`` where possible.
+    """
+    sign = "-" if seconds < 0 else ""
+    s = abs(float(seconds))
+    if s == 0.0:
+        return "0 s"
+    for factor, unit in ((1.0, "s"), (1e-3, "ms"), (1e-6, "us"), (1e-9, "ns")):
+        if s >= factor:
+            return f"{sign}{s / factor:.3g} {unit}"
+    return f"{sign}{s / 1e-9:.3g} ns"

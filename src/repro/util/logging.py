@@ -1,0 +1,42 @@
+"""Logging configuration for the reproduction.
+
+All modules obtain loggers through :func:`get_logger` so the whole library
+shares one namespace (``repro``) and the host application keeps control of
+handlers and levels, matching library best practice (no handlers are
+installed on import).
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    ``get_logger("sim.engine")`` returns the ``repro.sim.engine`` logger.
+    With no argument the package root logger is returned.
+    """
+    if name is None:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Install a simple stderr handler on the package root logger.
+
+    Intended for examples and benchmark scripts, never called by library
+    code.
+    """
+    logger = logging.getLogger(_ROOT_NAME)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        logger.addHandler(handler)
+    logger.setLevel(level)

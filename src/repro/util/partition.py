@@ -1,0 +1,129 @@
+"""Domain-decomposition helpers.
+
+These functions implement the integer arithmetic used throughout the
+reproduction to split grids into blocks, assign contiguous index ranges to
+owners, and factor process counts into near-cubic 3D layouts.  They are
+deliberately pure and deterministic so both the task graphs and the tests
+can rely on them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Sequence
+
+
+def split_range(total: int, parts: int, index: int) -> tuple[int, int]:
+    """Return the half-open slice ``[lo, hi)`` of ``range(total)`` owned by
+    ``index`` when the range is split into ``parts`` near-equal contiguous
+    chunks.
+
+    The first ``total % parts`` chunks get one extra element, so the chunk
+    sizes differ by at most one and the chunks exactly cover the range.
+
+    Raises:
+        ValueError: if ``parts <= 0`` or ``index`` is out of ``[0, parts)``.
+    """
+    if parts <= 0:
+        raise ValueError(f"parts must be positive, got {parts}")
+    if not 0 <= index < parts:
+        raise ValueError(f"index {index} out of range for {parts} parts")
+    base, extra = divmod(total, parts)
+    lo = index * base + min(index, extra)
+    hi = lo + base + (1 if index < extra else 0)
+    return lo, hi
+
+
+def even_chunks(total: int, parts: int) -> Iterator[tuple[int, int]]:
+    """Yield every ``split_range`` slice in order.
+
+    ``list(even_chunks(10, 3)) == [(0, 4), (4, 7), (7, 10)]``.
+    """
+    for i in range(parts):
+        yield split_range(total, parts, i)
+
+
+def factor3d(n: int) -> tuple[int, int, int]:
+    """Factor ``n`` into three factors ``(fx, fy, fz)`` with ``fx*fy*fz == n``
+    that are as close to a cube as possible.
+
+    Used to lay out ``n`` blocks over a 3D domain.  The factors are sorted
+    ascending so the layout is deterministic.
+
+    Raises:
+        ValueError: if ``n <= 0``.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    best = (1, 1, n)
+    best_score = _spread(best)
+    for fx in range(1, int(round(n ** (1 / 3))) + 2):
+        if n % fx:
+            continue
+        rem = n // fx
+        for fy in range(fx, int(math.isqrt(rem)) + 1):
+            if rem % fy:
+                continue
+            cand = (fx, fy, rem // fy)
+            score = _spread(cand)
+            if score < best_score:
+                best, best_score = cand, score
+    return best
+
+
+def _spread(f: tuple[int, int, int]) -> int:
+    return max(f) - min(f)
+
+
+def block_bounds(
+    shape: Sequence[int], layout: Sequence[int], coord: Sequence[int]
+) -> tuple[tuple[int, int], ...]:
+    """Return per-axis ``[lo, hi)`` bounds of one block of a grid.
+
+    Args:
+        shape: global grid shape, one entry per axis.
+        layout: number of blocks along each axis.
+        coord: block coordinate along each axis.
+
+    The blocks tile the grid exactly (no ghost layers; ghost exchange is a
+    dataflow concern, not a decomposition concern).
+    """
+    if not (len(shape) == len(layout) == len(coord)):
+        raise ValueError("shape, layout and coord must have equal length")
+    return tuple(
+        split_range(s, parts, c) for s, parts, c in zip(shape, layout, coord)
+    )
+
+
+def block_decompose(
+    shape: Sequence[int], nblocks: int
+) -> list[tuple[tuple[int, int], ...]]:
+    """Decompose a 3D grid ``shape`` into ``nblocks`` blocks.
+
+    Returns the bounds of every block in row-major (z fastest) order.  The
+    block layout is chosen with :func:`factor3d` oriented so the largest
+    factor lands on the largest axis, keeping blocks near-cubic.
+    """
+    if len(shape) != 3:
+        raise ValueError("block_decompose expects a 3D shape")
+    factors = sorted(factor3d(nblocks))
+    order = sorted(range(3), key=lambda a: shape[a])
+    layout = [0, 0, 0]
+    for axis, f in zip(order, factors):
+        layout[axis] = f
+    bounds = []
+    for cx in range(layout[0]):
+        for cy in range(layout[1]):
+            for cz in range(layout[2]):
+                bounds.append(block_bounds(shape, layout, (cx, cy, cz)))
+    return bounds
+
+
+def block_layout(shape: Sequence[int], nblocks: int) -> tuple[int, int, int]:
+    """Return the ``(bx, by, bz)`` block layout used by :func:`block_decompose`."""
+    factors = sorted(factor3d(nblocks))
+    order = sorted(range(3), key=lambda a: shape[a])
+    layout = [0, 0, 0]
+    for axis, f in zip(order, factors):
+        layout[axis] = f
+    return tuple(layout)  # type: ignore[return-value]

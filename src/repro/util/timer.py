@@ -1,0 +1,44 @@
+"""A tiny wall-clock timer used to calibrate cost models.
+
+The simulator charges *virtual* time for task execution.  To keep virtual
+costs anchored to reality, workloads may measure a representative callback
+once with :class:`Timer` and feed the measurement into a
+:class:`repro.runtimes.costs.CostModel`.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    Example::
+
+        with Timer() as t:
+            do_work()
+        print(t.elapsed)
+
+    ``elapsed`` is also readable while the timer is still running.
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self._stop: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        self._stop = None
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop = time.perf_counter()
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since ``__enter__`` (until ``__exit__`` if finished)."""
+        if self._start is None:
+            return 0.0
+        end = self._stop if self._stop is not None else time.perf_counter()
+        return end - self._start

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import hcci_proxy
+
+
+@pytest.fixture(scope="session")
+def small_field() -> np.ndarray:
+    """A small combustion-proxy field used across analysis tests."""
+    return hcci_proxy((20, 18, 16), n_features=15, feature_sigma=2.0, seed=7)
+
+
+@pytest.fixture(scope="session")
+def random_field() -> np.ndarray:
+    """A pure-noise field (worst case for the merge tree: many features)."""
+    rng = np.random.default_rng(123)
+    return rng.random((14, 12, 10))
+
+
+def all_sim_controllers(n_procs: int = 4, **kwargs):
+    """Instantiate one of every simulator-backed controller."""
+    from repro.runtimes import (
+        BlockingMPIController,
+        CharmController,
+        LegionIndexController,
+        LegionSPMDController,
+        MPIController,
+    )
+
+    return [
+        MPIController(n_procs, **kwargs),
+        BlockingMPIController(n_procs, **kwargs),
+        CharmController(n_procs, **kwargs),
+        LegionSPMDController(n_procs, **kwargs),
+        LegionIndexController(n_procs, **kwargs),
+    ]
+
+
+def all_controllers(n_procs: int = 4, **kwargs):
+    """Every controller including the serial reference."""
+    from repro.runtimes import SerialController
+
+    return [SerialController()] + all_sim_controllers(n_procs, **kwargs)

@@ -1,0 +1,67 @@
+"""Tests for host-anchored cost calibration."""
+
+import pytest
+
+from repro.analysis.mergetree import MergeTreeCostParams
+from repro.analysis.registration import RegistrationCostParams
+from repro.analysis.rendering import RenderingCostParams
+from repro.runtimes.calibrate import (
+    calibrate_merge_tree,
+    calibrate_registration,
+    calibrate_rendering,
+    measure_rate,
+)
+
+
+class TestMeasureRate:
+    def test_positive_rate(self):
+        rate = measure_rate(lambda: sum(range(1000)), units=1000)
+        assert rate > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            measure_rate(lambda: None, units=0)
+        with pytest.raises(ValueError):
+            measure_rate(lambda: None, units=10, repeats=0)
+
+    def test_best_of_repeats_is_min(self):
+        rates = [measure_rate(lambda: None, units=1, repeats=5) for _ in range(3)]
+        assert all(r >= 0 for r in rates)
+
+
+class TestCalibrators:
+    def test_merge_tree_params(self):
+        params = calibrate_merge_tree(block_side=10)
+        assert isinstance(params, MergeTreeCostParams)
+        for name in (
+            "touch_per_voxel",
+            "sweep_per_voxel",
+            "join_per_boundary_voxel",
+            "correction_per_voxel",
+        ):
+            value = getattr(params, name)
+            assert 0 < value < 1e-2, name
+
+    def test_rendering_params(self):
+        params = calibrate_rendering(block_side=12, image_side=16)
+        assert isinstance(params, RenderingCostParams)
+        assert 0 < params.render_per_sample < 1e-2
+        assert 0 < params.composite_per_pixel < 1e-2
+
+    def test_registration_params(self):
+        params = calibrate_registration(window=(6, 12, 12), max_shift=2)
+        assert isinstance(params, RegistrationCostParams)
+        assert 0 < params.fft_per_voxel < 1e-1
+        assert 0 < params.extract_per_voxel < 1e-2
+
+    def test_calibrated_params_drive_a_run(self, small_field):
+        """End to end: calibrated constants feed a workload cost model."""
+        from repro.analysis.mergetree import MergeTreeWorkload
+        from repro.runtimes import MPIController
+
+        params = calibrate_merge_tree(block_side=10)
+        wl = MergeTreeWorkload(
+            small_field, 8, 0.5, valence=2, cost_params=params
+        )
+        r = wl.run(MPIController(4, cost_model=wl.cost_model()))
+        assert r.makespan > 0

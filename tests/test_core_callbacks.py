@@ -1,0 +1,87 @@
+"""Tests for the callback registry."""
+
+import pytest
+
+from repro.core.callbacks import CallbackRegistry
+from repro.core.errors import CallbackError
+from repro.core.payload import Payload
+
+
+def echo(inputs, tid):
+    return list(inputs)
+
+
+class TestRegistration:
+    def test_register_and_resolve(self):
+        reg = CallbackRegistry([0, 1])
+        reg.register(0, echo)
+        assert reg.resolve(0) is echo
+
+    def test_undeclared_id_rejected(self):
+        reg = CallbackRegistry([0, 1])
+        with pytest.raises(CallbackError):
+            reg.register(5, echo)
+
+    def test_open_registry_accepts_any_id(self):
+        reg = CallbackRegistry()
+        reg.register(42, echo)
+        assert reg.resolve(42) is echo
+
+    def test_non_callable_rejected(self):
+        reg = CallbackRegistry([0])
+        with pytest.raises(CallbackError):
+            reg.register(0, "not callable")
+
+    def test_re_register_replaces(self):
+        reg = CallbackRegistry([0])
+        reg.register(0, echo)
+        other = lambda i, t: []
+        reg.register(0, other)
+        assert reg.resolve(0) is other
+
+    def test_missing(self):
+        reg = CallbackRegistry([0, 1, 2])
+        reg.register(1, echo)
+        assert reg.missing([0, 1, 2]) == [0, 2]
+
+    def test_resolve_unregistered(self):
+        reg = CallbackRegistry([0])
+        with pytest.raises(CallbackError):
+            reg.resolve(0)
+
+
+class TestInvoke:
+    def test_happy_path(self):
+        reg = CallbackRegistry([0])
+        reg.register(0, echo)
+        out = reg.invoke(0, [Payload(1), Payload(2)], 7, 2)
+        assert [p.data for p in out] == [1, 2]
+
+    def test_arity_mismatch(self):
+        reg = CallbackRegistry([0])
+        reg.register(0, echo)
+        with pytest.raises(CallbackError, match="must return a list of 3"):
+            reg.invoke(0, [Payload(1)], 7, 3)
+
+    def test_none_with_zero_outputs_ok(self):
+        reg = CallbackRegistry([0])
+        reg.register(0, lambda i, t: None)
+        assert reg.invoke(0, [], 0, 0) == []
+
+    def test_none_with_outputs_rejected(self):
+        reg = CallbackRegistry([0])
+        reg.register(0, lambda i, t: None)
+        with pytest.raises(CallbackError):
+            reg.invoke(0, [], 0, 1)
+
+    def test_non_payload_output_rejected(self):
+        reg = CallbackRegistry([0])
+        reg.register(0, lambda i, t: [42])
+        with pytest.raises(CallbackError, match="expected Payload"):
+            reg.invoke(0, [], 0, 1)
+
+    def test_tuple_output_rejected(self):
+        reg = CallbackRegistry([0])
+        reg.register(0, lambda i, t: (Payload(1),))
+        with pytest.raises(CallbackError):
+            reg.invoke(0, [], 0, 1)

@@ -1,0 +1,29 @@
+"""Tests for Dot export."""
+
+from repro.core.dot import graph_to_dot
+from repro.graphs.reduction import Reduction
+
+
+class TestDot:
+    def test_contains_all_nodes_and_edges(self):
+        g = Reduction(4, 2)
+        dot = g.to_dot()
+        for tid in g.task_ids():
+            assert f"t{tid} [" in dot
+        assert dot.count("->") == g.size() - 1  # tree edges
+
+    def test_callback_names(self):
+        g = Reduction(4, 2)
+        dot = graph_to_dot(g, callback_names={g.LEAF: "leaf", g.ROOT: "root"})
+        assert "leaf" in dot and "root" in dot
+
+    def test_subset_draws_dashed_externals(self):
+        g = Reduction(4, 2)
+        dot = graph_to_dot(g, subset=[0, 1])  # root + one child
+        assert "style=dashed" in dot
+        assert "x2" in dot  # the other child appears as a placeholder
+
+    def test_is_valid_dot_syntax_shape(self):
+        dot = Reduction(2, 2).to_dot()
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")

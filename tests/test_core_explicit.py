@@ -1,0 +1,107 @@
+"""Tests for explicit graphs and JSON interchange."""
+
+import pytest
+
+from repro.core import (
+    EXTERNAL,
+    ExplicitGraph,
+    Payload,
+    Task,
+    TNULL,
+    graph_from_json,
+    graph_to_json,
+)
+from repro.core.errors import GraphError
+from repro.graphs import MergeTreeGraph, Reduction
+from repro.runtimes import MPIController, SerialController
+
+
+class TestExplicitGraph:
+    def test_hand_built(self):
+        g = ExplicitGraph(
+            [
+                Task(0, 0, [EXTERNAL], [[1]]),
+                Task(1, 1, [0], [[TNULL]]),
+            ]
+        )
+        g.validate()
+        assert g.size() == 2
+        assert g.callbacks() == [0, 1]
+
+    def test_duplicate_id_rejected(self):
+        with pytest.raises(GraphError):
+            ExplicitGraph([Task(0, 0), Task(0, 0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            ExplicitGraph([])
+
+    def test_non_contiguous_ids_allowed(self):
+        g = ExplicitGraph(
+            [
+                Task(10, 0, [EXTERNAL], [[99]]),
+                Task(99, 0, [10], [[TNULL]]),
+            ]
+        )
+        g.validate()
+        assert list(g.task_ids()) == [10, 99]
+
+    def test_from_graph_materializes(self):
+        red = Reduction(8, 2)
+        g = ExplicitGraph.from_graph(red)
+        assert g.size() == red.size()
+        for tid in red.task_ids():
+            assert g.task(tid).incoming == red.task(tid).incoming
+
+    def test_runs_on_controllers(self):
+        g = ExplicitGraph.from_graph(Reduction(4, 2))
+        c = SerialController()
+        c.initialize(g)
+        add = lambda ins, tid: [Payload(sum(p.data for p in ins))]
+        for cb in g.callbacks():
+            c.register_callback(cb, add if cb else (lambda ins, tid: [ins[0]]))
+        r = c.run({t: Payload(1) for t in Reduction(4, 2).leaf_ids()})
+        assert r.output(0).data == 4
+
+
+class TestJson:
+    def test_round_trip_preserves_structure(self):
+        src = MergeTreeGraph(8, 2)
+        text = graph_to_json(src)
+        back = graph_from_json(text)
+        back.validate()
+        assert back.size() == src.size()
+        for tid in src.task_ids():
+            a, b = src.task(tid), back.task(tid)
+            assert (a.callback, a.incoming, a.outgoing) == (
+                b.callback,
+                b.incoming,
+                b.outgoing,
+            )
+
+    def test_round_trip_executes_identically(self):
+        src = Reduction(8, 2)
+        back = graph_from_json(graph_to_json(src))
+
+        def run(graph):
+            c = MPIController(3)
+            c.initialize(graph)
+            c.register_callback(src.LEAF, lambda ins, tid: [ins[0]])
+            add = lambda ins, tid: [Payload(sum(p.data for p in ins))]
+            c.register_callback(src.REDUCE, add)
+            c.register_callback(src.ROOT, add)
+            return c.run({t: Payload(1) for t in src.leaf_ids()}).output(0).data
+
+        assert run(src) == run(back) == 8
+
+    def test_indent_option(self):
+        text = graph_to_json(Reduction(2, 2), indent=2)
+        assert "\n" in text
+
+    def test_malformed_json(self):
+        with pytest.raises(GraphError):
+            graph_from_json("not json")
+        with pytest.raises(GraphError):
+            graph_from_json('{"nope": 1}')
+        with pytest.raises(GraphError):
+            graph_from_json('{"tasks": [{"id": 0}]}')

@@ -1,0 +1,142 @@
+"""Tests for the TaskGraph base class: validation, rounds, exports."""
+
+import pytest
+
+from repro.core.errors import GraphError
+from repro.core.graph import TaskGraph
+from repro.core.ids import EXTERNAL, TNULL
+from repro.core.task import Task
+
+
+class ListGraph(TaskGraph):
+    """Test helper: a graph defined by an explicit task list."""
+
+    def __init__(self, tasks):
+        self._tasks = {t.id: t for t in tasks}
+
+    def size(self):
+        return len(self._tasks)
+
+    def task(self, tid):
+        try:
+            return self._tasks[tid]
+        except KeyError:
+            raise GraphError(f"no task {tid}") from None
+
+    def task_ids(self):
+        return iter(sorted(self._tasks))
+
+
+def diamond():
+    """0 -> (1, 2) -> 3."""
+    return ListGraph(
+        [
+            Task(0, 0, [EXTERNAL], [[1, 2]]),
+            Task(1, 1, [0], [[3]]),
+            Task(2, 1, [0], [[3]]),
+            Task(3, 2, [1, 2], [[TNULL]]),
+        ]
+    )
+
+
+class TestValidate:
+    def test_valid_diamond(self):
+        diamond().validate()
+
+    def test_asymmetric_missing_consumer(self):
+        g = ListGraph(
+            [
+                Task(0, 0, [EXTERNAL], [[1]]),
+                Task(1, 0, [0, 0], [[TNULL]]),  # expects two messages
+            ]
+        )
+        with pytest.raises(GraphError, match="asymmetric"):
+            g.validate()
+
+    def test_asymmetric_missing_producer(self):
+        g = ListGraph(
+            [
+                Task(0, 0, [EXTERNAL], [[1], [1]]),  # sends two
+                Task(1, 0, [0], [[TNULL]]),  # expects one
+            ]
+        )
+        with pytest.raises(GraphError, match="asymmetric"):
+            g.validate()
+
+    def test_unknown_consumer(self):
+        g = ListGraph([Task(0, 0, [EXTERNAL], [[99]])])
+        with pytest.raises(GraphError, match="unknown"):
+            g.validate()
+
+    def test_unknown_producer(self):
+        g = ListGraph([Task(0, 0, [99], [[TNULL]])])
+        with pytest.raises(GraphError, match="unknown"):
+            g.validate()
+
+    def test_tnull_as_input_rejected(self):
+        g = ListGraph([Task(0, 0, [TNULL], [[TNULL]])])
+        with pytest.raises(GraphError, match="TNULL"):
+            g.validate()
+
+    def test_cycle_detected(self):
+        g = ListGraph(
+            [
+                Task(0, 0, [1], [[1]]),
+                Task(1, 0, [0], [[0]]),
+            ]
+        )
+        with pytest.raises(GraphError, match="cycle"):
+            g.validate()
+
+    def test_id_mismatch(self):
+        class Bad(ListGraph):
+            def task(self, tid):
+                t = super().task(tid)
+                return Task(t.id + 1, t.callback, t.incoming, t.outgoing)
+
+        with pytest.raises(GraphError):
+            Bad([Task(0, 0, [EXTERNAL], [[TNULL]])]).validate()
+
+
+class TestRounds:
+    def test_diamond_rounds(self):
+        assert diamond().rounds() == [[0], [1, 2], [3]]
+
+    def test_rounds_are_noninterfering(self):
+        g = diamond()
+        for tids in g.rounds():
+            members = set(tids)
+            for tid in tids:
+                assert not (set(g.task(tid).producers()) & members)
+                assert not (set(g.task(tid).consumers()) & members)
+
+    def test_rounds_partition_all_tasks(self):
+        g = diamond()
+        flat = [t for r in g.rounds() for t in r]
+        assert sorted(flat) == list(g.task_ids())
+
+
+class TestQueries:
+    def test_sources_and_sinks(self):
+        g = diamond()
+        assert g.source_ids() == [0]
+        assert g.sink_ids() == [3]
+
+    def test_len(self):
+        assert len(diamond()) == 4
+
+    def test_default_callbacks_scan(self):
+        assert diamond().callbacks() == [0, 1, 2]
+
+    def test_to_networkx(self):
+        nx_g = diamond().to_networkx()
+        assert nx_g.number_of_nodes() == 4
+        assert nx_g.number_of_edges() == 4
+        assert nx_g.nodes[3]["callback"] == 2
+
+    def test_local_graph_uses_map(self):
+        from repro.core.taskmap import ModuloMap
+
+        g = diamond()
+        local = g.local_graph(ModuloMap(2, 4), 0)
+        assert [t.id for t in local] == [0, 2]

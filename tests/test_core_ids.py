@@ -1,0 +1,68 @@
+"""Tests for the id spaces (repro.core.ids)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import GraphError
+from repro.core.ids import EXTERNAL, TNULL, IdSegments, is_real_task
+
+
+class TestSpecialIds:
+    def test_special_ids_are_negative_and_distinct(self):
+        assert EXTERNAL < 0 and TNULL < 0 and EXTERNAL != TNULL
+
+    def test_is_real_task(self):
+        assert is_real_task(0)
+        assert is_real_task(10**9)
+        assert not is_real_task(EXTERNAL)
+        assert not is_real_task(TNULL)
+
+
+class TestIdSegments:
+    def test_round_trip(self):
+        seg = IdSegments().add("a", 3).add("b", 5).add("c", 2)
+        assert seg.total == 10
+        assert seg.to_global("b", 0) == 3
+        assert seg.to_local(7) == ("b", 4)
+        assert seg.phase(9) == "c"
+        assert seg.names() == ["a", "b", "c"]
+
+    def test_empty_segment_allowed(self):
+        seg = IdSegments().add("a", 0).add("b", 2)
+        assert seg.base("b") == 0
+        assert seg.to_local(1) == ("b", 1)
+
+    def test_duplicate_name_rejected(self):
+        seg = IdSegments().add("a", 1)
+        with pytest.raises(GraphError):
+            seg.add("a", 2)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(GraphError):
+            IdSegments().add("a", -1)
+
+    def test_out_of_range_index(self):
+        seg = IdSegments().add("a", 3)
+        with pytest.raises(GraphError):
+            seg.to_global("a", 3)
+        with pytest.raises(GraphError):
+            seg.to_local(3)
+        with pytest.raises(GraphError):
+            seg.to_local(-1)
+
+    def test_unknown_segment(self):
+        seg = IdSegments().add("a", 1)
+        with pytest.raises(GraphError):
+            seg.to_global("zzz", 0)
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=8))
+    def test_global_ids_partition_contiguously(self, counts):
+        seg = IdSegments()
+        for i, c in enumerate(counts):
+            seg.add(f"s{i}", c)
+        assert seg.total == sum(counts)
+        # Every global id maps back to a unique (phase, index) and back.
+        for gid in range(seg.total):
+            phase, idx = seg.to_local(gid)
+            assert seg.to_global(phase, idx) == gid

@@ -1,0 +1,93 @@
+"""Tests for payloads and wire-size estimation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import SerializationError
+from repro.core.payload import Payload, estimate_nbytes
+
+
+class TestEstimateNbytes:
+    def test_none_is_zero(self):
+        assert estimate_nbytes(None) == 0
+
+    def test_numpy_uses_buffer_size(self):
+        arr = np.zeros((10, 10), dtype=np.float64)
+        assert estimate_nbytes(arr) == 800
+
+    def test_bytes(self):
+        assert estimate_nbytes(b"12345") == 5
+
+    def test_scalars(self):
+        assert estimate_nbytes(3) == 8
+        assert estimate_nbytes(3.5) == 8
+        assert estimate_nbytes(np.float32(1.0)) == 8
+
+    def test_string_utf8(self):
+        assert estimate_nbytes("abc") == 3
+
+    def test_containers_recurse(self):
+        flat = estimate_nbytes(np.zeros(100))
+        nested = estimate_nbytes([np.zeros(100), np.zeros(100)])
+        assert nested >= 2 * flat
+
+    def test_dict(self):
+        assert estimate_nbytes({"k": np.zeros(10)}) >= 80
+
+    @given(
+        st.recursive(
+            st.one_of(st.integers(), st.floats(allow_nan=False), st.text(max_size=5)),
+            lambda c: st.lists(c, max_size=4),
+            max_leaves=10,
+        )
+    )
+    def test_always_non_negative(self, obj):
+        assert estimate_nbytes(obj) >= 0
+
+
+class TestPayload:
+    def test_explicit_nbytes_wins(self):
+        p = Payload(np.zeros(10), nbytes=12345)
+        assert p.nbytes == 12345
+
+    def test_lazy_estimate_cached(self):
+        p = Payload(np.zeros(10))
+        assert p.nbytes == 80
+        assert p.nbytes == 80
+
+    def test_negative_nbytes_rejected(self):
+        with pytest.raises(ValueError):
+            Payload(1, nbytes=-1)
+
+    def test_serialize_round_trip(self):
+        p = Payload({"a": np.arange(5)})
+        q = Payload.deserialize(p.serialize())
+        assert np.array_equal(q.data["a"], np.arange(5))
+
+    def test_serialize_failure(self):
+        with pytest.raises(SerializationError):
+            Payload(lambda x: x).serialize()
+
+    def test_deserialize_failure(self):
+        with pytest.raises(SerializationError):
+            Payload.deserialize(b"not a pickle")
+
+    def test_equality_arrays(self):
+        a = Payload(np.arange(4))
+        b = Payload(np.arange(4))
+        c = Payload(np.arange(5))
+        assert a == b
+        assert a != c
+
+    def test_equality_scalars(self):
+        assert Payload(3) == Payload(3)
+        assert Payload(3) != Payload(4)
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Payload(1))
+
+    def test_repr_mentions_type(self):
+        assert "ndarray" in repr(Payload(np.zeros(2)))

@@ -1,0 +1,50 @@
+"""Tests for the logical Task."""
+
+import pytest
+
+from repro.core.errors import GraphError
+from repro.core.ids import EXTERNAL, TNULL
+from repro.core.task import Task
+
+
+class TestTask:
+    def test_basic_shape(self):
+        t = Task(id=3, callback=1, incoming=[1, 2], outgoing=[[4], [5, 6]])
+        assert t.n_inputs == 2
+        assert t.n_outputs == 2
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(GraphError):
+            Task(id=-1, callback=0)
+
+    def test_negative_callback_rejected(self):
+        with pytest.raises(GraphError):
+            Task(id=0, callback=-2)
+
+    def test_external_inputs(self):
+        t = Task(id=0, callback=0, incoming=[EXTERNAL, 4, EXTERNAL])
+        assert t.external_inputs() == [0, 2]
+
+    def test_producers_dedupe_preserving_order(self):
+        t = Task(id=9, callback=0, incoming=[5, EXTERNAL, 3, 5])
+        assert t.producers() == [5, 3]
+
+    def test_consumers_dedupe(self):
+        t = Task(id=0, callback=0, outgoing=[[2, 3], [3, TNULL]])
+        assert t.consumers() == [2, 3]
+
+    def test_is_sink_via_tnull(self):
+        assert Task(id=0, callback=0, outgoing=[[TNULL]]).is_sink()
+
+    def test_is_sink_via_empty_channel(self):
+        assert Task(id=0, callback=0, outgoing=[[]]).is_sink()
+
+    def test_not_sink(self):
+        assert not Task(id=0, callback=0, outgoing=[[1]]).is_sink()
+        assert not Task(id=0, callback=0).is_sink()
+
+    def test_input_slots_from(self):
+        t = Task(id=7, callback=0, incoming=[2, 3, 2])
+        assert t.input_slots_from(2) == [0, 2]
+        assert t.input_slots_from(3) == [1]
+        assert t.input_slots_from(99) == []

@@ -1,0 +1,119 @@
+"""Tests for task maps, including the partition property."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import TaskMapError
+from repro.core.taskmap import (
+    BlockMap,
+    FuncMap,
+    ModuloMap,
+    RangeMap,
+    validate_taskmap,
+)
+
+
+class TestModuloMap:
+    def test_matches_paper_listing(self):
+        m = ModuloMap(3, 10)
+        assert m.shard(0) == 0
+        assert m.shard(4) == 1
+        assert m.get_ids(2) == [2, 5, 8]
+
+    def test_out_of_range(self):
+        m = ModuloMap(3, 10)
+        with pytest.raises(TaskMapError):
+            m.shard(10)
+        with pytest.raises(TaskMapError):
+            m.get_ids(3)
+
+    @given(st.integers(1, 40), st.integers(0, 300))
+    def test_partition(self, shards, tasks):
+        validate_taskmap(ModuloMap(shards, tasks))
+
+
+class TestBlockMap:
+    def test_contiguous_chunks(self):
+        m = BlockMap(3, 10)
+        assert m.get_ids(0) == [0, 1, 2, 3]
+        assert m.get_ids(1) == [4, 5, 6]
+        assert m.get_ids(2) == [7, 8, 9]
+
+    def test_shard_inverts_get_ids(self):
+        m = BlockMap(4, 10)
+        for s in range(4):
+            for t in m.get_ids(s):
+                assert m.shard(t) == s
+
+    @given(st.integers(1, 40), st.integers(0, 300))
+    def test_partition(self, shards, tasks):
+        validate_taskmap(BlockMap(shards, tasks))
+
+
+class TestRangeMap:
+    def test_sequence_assignment(self):
+        m = RangeMap(2, [0, 1, 1, 0])
+        assert m.get_ids(0) == [0, 3]
+        assert m.get_ids(1) == [1, 2]
+        validate_taskmap(m)
+
+    def test_mapping_assignment(self):
+        m = RangeMap(2, {0: 1, 1: 0})
+        assert m.shard(0) == 1
+
+    def test_gap_in_mapping_rejected(self):
+        with pytest.raises(TaskMapError):
+            RangeMap(2, {0: 0, 2: 1})
+
+    def test_invalid_shard_rejected(self):
+        with pytest.raises(TaskMapError):
+            RangeMap(2, [0, 5])
+
+    def test_unused_shard_allowed(self):
+        m = RangeMap(5, [0, 0, 0])
+        assert m.get_ids(4) == []
+        validate_taskmap(m)
+
+
+class TestFuncMap:
+    def test_wraps_function(self):
+        m = FuncMap(4, 16, lambda t: (t * 7) % 4)
+        validate_taskmap(m)
+
+    def test_bad_function_caught(self):
+        m = FuncMap(2, 4, lambda t: 9)
+        with pytest.raises(TaskMapError):
+            m.shard(0)
+
+
+class TestValidateTaskmap:
+    def test_detects_double_assignment(self):
+        class Broken(ModuloMap):
+            def get_ids(self, shard):
+                return list(range(self.task_count))  # everyone owns all
+
+        with pytest.raises(TaskMapError, match="both"):
+            validate_taskmap(Broken(2, 4))
+
+    def test_detects_uncovered_ids(self):
+        class Lossy(ModuloMap):
+            def get_ids(self, shard):
+                return super().get_ids(shard)[:-1] if shard == 0 else super().get_ids(shard)
+
+        with pytest.raises(TaskMapError, match="cover"):
+            validate_taskmap(Lossy(2, 10))
+
+    def test_detects_disagreement(self):
+        class TwoFaced(ModuloMap):
+            def shard(self, tid):
+                return 0
+
+        with pytest.raises(TaskMapError):
+            validate_taskmap(TwoFaced(2, 4))
+
+    def test_invalid_constructor_args(self):
+        with pytest.raises(TaskMapError):
+            ModuloMap(0, 5)
+        with pytest.raises(TaskMapError):
+            ModuloMap(2, -1)

@@ -1,0 +1,100 @@
+"""Tests for cost models and runtime cost constants."""
+
+import pytest
+
+from repro.core.payload import Payload
+from repro.core.task import Task
+from repro.runtimes.costs import (
+    DEFAULT_COSTS,
+    CallableCost,
+    MeasuredCost,
+    NullCost,
+    PerCallbackCost,
+    RuntimeCosts,
+)
+
+
+def task(cb=0):
+    return Task(0, cb, [], [])
+
+
+class TestModels:
+    def test_null(self):
+        assert NullCost().duration(task(), [], 5.0) == 0.0
+
+    def test_measured_scales_wall_time(self):
+        assert MeasuredCost().duration(task(), [], 2.0) == 2.0
+        assert MeasuredCost(scale=10).duration(task(), [], 2.0) == 20.0
+
+    def test_measured_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            MeasuredCost(-1)
+
+    def test_callable_ignores_wall_time(self):
+        m = CallableCost(lambda t, i: 3.0)
+        assert m.duration(task(), [], 99.0) == 3.0
+
+    def test_callable_clamps_negative(self):
+        m = CallableCost(lambda t, i: -5.0)
+        assert m.duration(task(), [], 0.0) == 0.0
+
+    def test_callable_sees_inputs(self):
+        m = CallableCost(lambda t, ins: sum(p.nbytes for p in ins) * 1e-9)
+        d = m.duration(task(), [Payload(b"xx"), Payload(b"yyy")], 0.0)
+        assert d == pytest.approx(5e-9)
+
+    def test_per_callback_dispatch(self):
+        m = PerCallbackCost({0: 1.0, 1: CallableCost(lambda t, i: 2.0)}, default=9.0)
+        assert m.duration(task(0), [], 0.0) == 1.0
+        assert m.duration(task(1), [], 0.0) == 2.0
+        assert m.duration(task(7), [], 0.0) == 9.0
+
+
+class TestRuntimeCosts:
+    def test_defaults_sane(self):
+        c = DEFAULT_COSTS
+        assert c.legion_spawn_overhead > c.legion_must_epoch_overhead
+        assert c.serialize_bandwidth > 0
+        assert c.mpi_in_memory
+
+    def test_with_(self):
+        c = DEFAULT_COSTS.with_(charm_lb_period=9.0)
+        assert c.charm_lb_period == 9.0
+        assert c.dispatch_overhead == DEFAULT_COSTS.dispatch_overhead
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_COSTS.dispatch_overhead = 1.0  # type: ignore[misc]
+
+
+class TestCallbackBreakdown:
+    def test_per_callback_compute_recorded(self):
+        from repro.graphs import Reduction
+        from repro.runtimes import MPIController
+
+        g = Reduction(8, 2)
+        c = MPIController(
+            4, cost_model=CallableCost(lambda t, i: 0.1 if t.callback == g.LEAF else 0.01)
+        )
+        c.initialize(g)
+        c.register_callback(g.LEAF, lambda ins, tid: [ins[0]])
+        add = lambda ins, tid: [Payload(sum(p.data for p in ins))]
+        c.register_callback(g.REDUCE, add)
+        c.register_callback(g.ROOT, add)
+        r = c.run({t: Payload(1) for t in g.leaf_ids()})
+        assert r.stats.callback_time[g.LEAF] == pytest.approx(0.8)
+        assert r.stats.callback_time[g.REDUCE] == pytest.approx(0.06)
+        assert r.stats.callback_time[g.ROOT] == pytest.approx(0.01)
+        total = sum(r.stats.callback_time.values())
+        assert total == pytest.approx(r.stats.get("compute"))
+
+    def test_serial_controller_records_wall_per_callback(self):
+        from repro.graphs import DataParallel
+        from repro.runtimes import SerialController
+
+        g = DataParallel(3)
+        c = SerialController()
+        c.initialize(g)
+        c.register_callback(g.WORK, lambda ins, tid: [ins[0]])
+        r = c.run({t: Payload(1) for t in range(3)})
+        assert r.stats.callback_time[g.WORK] > 0

@@ -1,0 +1,132 @@
+"""Tests for the Conduit-style DataNode hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.core.payload import Payload
+from repro.data.model import DataNode
+
+
+class TestPaths:
+    def test_set_get_leaf(self):
+        n = DataNode()
+        n["a/b/c"] = 42
+        assert n["a/b/c"] == 42
+
+    def test_intermediate_nodes_created(self):
+        n = DataNode()
+        n["fields/energy/values"] = np.zeros(4)
+        assert "fields" in n
+        assert "fields/energy" in n
+        assert n.node("fields").keys() == ["energy"]
+
+    def test_internal_node_returned_as_subtree(self):
+        n = DataNode()
+        n["a/x"] = 1
+        n["a/y"] = 2
+        sub = n["a"]
+        assert isinstance(sub, DataNode)
+        assert sub["x"] == 1
+
+    def test_missing_path(self):
+        n = DataNode()
+        with pytest.raises(KeyError):
+            n["nope"]
+        assert "nope" not in n
+
+    def test_malformed_paths(self):
+        n = DataNode()
+        with pytest.raises(KeyError):
+            n[""] = 1
+        with pytest.raises(KeyError):
+            n["a//b"] = 1
+
+    def test_cannot_set_value_on_internal(self):
+        n = DataNode()
+        n["a/b"] = 1
+        with pytest.raises(KeyError):
+            n["a"] = 2
+
+    def test_cannot_extend_leaf(self):
+        n = DataNode()
+        n["a"] = 1
+        with pytest.raises(KeyError):
+            n["a/b"] = 2
+
+    def test_overwrite_leaf(self):
+        n = DataNode()
+        n["a"] = 1
+        n["a"] = 5
+        assert n["a"] == 5
+
+
+class TestIntrospection:
+    def test_leaves_enumeration(self):
+        n = DataNode()
+        n["a/x"] = 1
+        n["a/y"] = 2
+        n["b"] = 3
+        assert dict(n.leaves()) == {"a/x": 1, "a/y": 2, "b": 3}
+
+    def test_nbytes(self):
+        n = DataNode()
+        n["v"] = np.zeros(100)
+        assert n.nbytes() >= 800
+
+    def test_describe_mentions_arrays_and_scalars(self):
+        n = DataNode()
+        n["fields/e/values"] = np.zeros((4, 4), dtype=np.float32)
+        n["fields/e/units"] = "J"
+        text = n.describe()
+        assert "float32" in text
+        assert "'J'" in text
+
+    def test_is_leaf(self):
+        n = DataNode()
+        n["a/b"] = 1
+        assert not n.node("a").is_leaf
+        assert n.node("a/b").is_leaf
+
+
+class TestDataflowIntegration:
+    def test_payload_zero_copy(self):
+        n = DataNode()
+        arr = np.arange(10)
+        n["values"] = arr
+        p = n.payload("values")
+        assert isinstance(p, Payload)
+        assert p.data is arr  # no copy
+
+    def test_payload_internal_node_rejected(self):
+        n = DataNode()
+        n["a/b"] = 1
+        with pytest.raises(KeyError):
+            n.payload("a")
+
+    def test_update_merge(self):
+        a = DataNode()
+        a["x"] = 1
+        b = DataNode()
+        b["y/z"] = 2
+        a.update(b, prefix="sub")
+        assert a["sub/y/z"] == 2
+        assert a["x"] == 1
+
+    def test_feeds_a_dataflow(self):
+        """End to end: DataNode leaves become graph inputs."""
+        from repro.graphs import DataParallel
+        from repro.runtimes import SerialController
+
+        mesh = DataNode()
+        for i in range(4):
+            mesh[f"blocks/{i}/values"] = np.full(3, float(i))
+        g = DataParallel(4)
+        c = SerialController()
+        c.initialize(g)
+        c.register_callback(
+            g.WORK, lambda ins, tid: [Payload(float(ins[0].data.sum()))]
+        )
+        result = c.run(
+            {t: mesh.payload(f"blocks/{t}/values") for t in range(4)}
+        )
+        assert [result.output(t).data for t in range(4)] == [0.0, 3.0, 6.0, 9.0]

@@ -1,0 +1,30 @@
+"""Smoke tests: every example script must run end to end.
+
+The examples are the library's documentation-by-execution, so a broken
+example is a broken deliverable; each asserts its own correctness
+internally (segmentation vs reference, image vs single-pass render,
+ground-truth recovery), so a zero exit code is a strong signal.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, tmp_path):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=tmp_path,  # examples may write output files (ppm)
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"

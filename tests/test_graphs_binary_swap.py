@@ -1,0 +1,84 @@
+"""Tests for the BinarySwap task graph."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import GraphError
+from repro.core.ids import EXTERNAL, TNULL
+from repro.graphs.binary_swap import BinarySwap
+
+
+class TestStructure:
+    def test_power_of_two_required(self):
+        with pytest.raises(GraphError):
+            BinarySwap(6)
+        with pytest.raises(GraphError):
+            BinarySwap(0)
+
+    def test_size(self):
+        g = BinarySwap(8)
+        assert g.stages == 3
+        assert g.size() == 8 * 4
+
+    def test_stage_index_round_trip(self):
+        g = BinarySwap(8)
+        for tid in g.task_ids():
+            assert g.task_id(g.stage(tid), g.index(tid)) == tid
+
+    def test_partner_is_involution(self):
+        g = BinarySwap(16)
+        for s in range(g.stages):
+            for i in range(16):
+                assert g.partner(s, g.partner(s, i)) == i
+                assert g.partner(s, i) != i
+
+    def test_leaf_shape(self):
+        g = BinarySwap(4)
+        t = g.task(0)
+        assert t.callback == g.LEAF
+        assert t.incoming == [EXTERNAL]
+        # Channel 0 to own successor, channel 1 to partner's successor.
+        assert t.outgoing == [[g.task_id(1, 0)], [g.task_id(1, 1)]]
+
+    def test_composite_inputs_own_then_partner(self):
+        g = BinarySwap(4)
+        t = g.task(g.task_id(1, 2))
+        assert t.incoming == [g.task_id(0, 2), g.task_id(0, 3)]
+        assert t.callback == g.COMPOSITE
+
+    def test_root_shape(self):
+        g = BinarySwap(4)
+        t = g.task(g.root_ids()[1])
+        assert t.callback == g.ROOT
+        assert t.outgoing == [[TNULL]]
+
+    def test_degenerate_single(self):
+        g = BinarySwap(1)
+        g.validate()
+        t = g.task(0)
+        assert t.callback == g.ROOT
+        assert t.incoming == [EXTERNAL]
+
+    def test_bad_stage_queries(self):
+        g = BinarySwap(4)
+        with pytest.raises(GraphError):
+            g.partner(2, 0)  # only stages 0..1 swap
+        with pytest.raises(GraphError):
+            g.task_id(5, 0)
+
+
+class TestProperties:
+    @given(st.integers(0, 6))
+    def test_validates_for_all_sizes(self, r):
+        g = BinarySwap(2**r)
+        g.validate()
+        assert len(g.rounds()) == r + 1
+
+    @given(st.integers(1, 5))
+    def test_all_stages_fully_populated(self, r):
+        n = 2**r
+        g = BinarySwap(n)
+        rounds = g.rounds()
+        # Unlike a reduction, every round keeps n active tasks.
+        assert all(len(tids) == n for tids in rounds)

@@ -1,0 +1,69 @@
+"""Tests for the Broadcast task graph."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import GraphError
+from repro.core.ids import EXTERNAL, TNULL
+from repro.graphs.broadcast import Broadcast
+
+
+class TestStructure:
+    def test_root_takes_external_input(self):
+        g = Broadcast(9, 3)
+        t = g.task(0)
+        assert t.incoming == [EXTERNAL]
+        assert t.callback == g.ROOT
+        # One channel fanning out to all children (same payload).
+        assert t.outgoing == [g.children(0)]
+
+    def test_leaf_returns_to_caller(self):
+        g = Broadcast(9, 3)
+        leaf = g.task(g.leaf_ids()[0])
+        assert leaf.callback == g.LEAF
+        assert leaf.outgoing == [[TNULL]]
+
+    def test_relay_shape(self):
+        g = Broadcast(9, 3)
+        relay = g.task(1)
+        assert relay.callback == g.RELAY
+        assert relay.incoming == [0]
+        assert relay.outgoing == [g.children(1)]
+
+    def test_mirror_of_reduction_size(self):
+        from repro.graphs.reduction import Reduction
+
+        assert Broadcast(16, 4).size() == Reduction(16, 4).size()
+
+    def test_degenerate(self):
+        g = Broadcast(1, 2)
+        g.validate()
+        t = g.task(0)
+        assert t.incoming == [EXTERNAL]
+        assert t.outgoing == [[TNULL]]
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(GraphError):
+            Broadcast(4, 2).parent(0)
+
+    def test_bad_id(self):
+        with pytest.raises(GraphError):
+            Broadcast(4, 2).task(-1)
+
+
+class TestProperties:
+    @given(st.integers(2, 5), st.integers(0, 4))
+    def test_validates_for_all_parameters(self, k, d):
+        g = Broadcast(k**d, k)
+        g.validate()
+        assert len(g.leaf_ids()) == k**d
+
+    @given(st.integers(2, 4), st.integers(1, 3))
+    def test_every_leaf_reachable_from_root(self, k, d):
+        g = Broadcast(k**d, k)
+        nxg = g.to_networkx()
+        import networkx
+
+        for leaf in g.leaf_ids():
+            assert networkx.has_path(nxg, 0, leaf)

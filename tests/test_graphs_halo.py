@@ -1,0 +1,113 @@
+"""Tests for the HaloExchange2D stencil dataflow."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import GraphError
+from repro.core.ids import EXTERNAL, TNULL
+from repro.core.payload import Payload
+from repro.graphs.halo import HaloExchange2D
+from repro.runtimes import CharmController, SerialController
+
+
+class TestStructure:
+    def test_size(self):
+        g = HaloExchange2D(3, 2, rounds=4)
+        assert g.size() == 24
+        assert g.n_cells == 6 and g.sweeps == 4
+
+    def test_neighborhood_interior_4conn(self):
+        g = HaloExchange2D(3, 3, rounds=1)
+        center = 4  # (1,1)
+        assert g.neighborhood(center) == [1, 3, 4, 5, 7]
+
+    def test_neighborhood_corner(self):
+        g = HaloExchange2D(3, 3, rounds=1)
+        assert g.neighborhood(0) == [0, 1, 3]
+
+    def test_neighborhood_diagonal(self):
+        g = HaloExchange2D(3, 3, rounds=1, diagonal=True)
+        assert g.neighborhood(0) == [0, 1, 3, 4]
+        assert len(g.neighborhood(4)) == 9
+
+    def test_first_round_external(self):
+        g = HaloExchange2D(2, 2, rounds=3)
+        assert g.task(g.tid(0, 1)).incoming == [EXTERNAL]
+
+    def test_last_round_sink(self):
+        g = HaloExchange2D(2, 2, rounds=3)
+        assert g.task(g.tid(2, 0)).outgoing == [[TNULL]]
+
+    def test_middle_round_wiring(self):
+        g = HaloExchange2D(2, 1, rounds=3)
+        t = g.task(g.tid(1, 0))
+        assert t.incoming == [g.tid(0, 0), g.tid(0, 1)]
+        assert t.outgoing == [[g.tid(2, 0)], [g.tid(2, 1)]]
+
+    def test_single_cell_grid(self):
+        g = HaloExchange2D(1, 1, rounds=2)
+        g.validate()
+        assert g.neighborhood(0) == [0]
+
+    def test_validation_errors(self):
+        with pytest.raises(GraphError):
+            HaloExchange2D(0, 2, 1)
+        with pytest.raises(GraphError):
+            HaloExchange2D(2, 2, 0)
+        with pytest.raises(GraphError):
+            HaloExchange2D(2, 2, 2).tid(2, 0)
+
+
+class TestProperties:
+    @settings(deadline=None)
+    @given(st.integers(1, 4), st.integers(1, 4), st.integers(1, 4), st.booleans())
+    def test_validates(self, gx, gy, rounds, diag):
+        g = HaloExchange2D(gx, gy, rounds, diagonal=diag)
+        g.validate()
+        assert len(g.rounds()) == rounds
+
+    @given(st.integers(2, 4), st.integers(2, 4))
+    def test_neighborhood_symmetric(self, gx, gy):
+        g = HaloExchange2D(gx, gy, 1)
+        for a in range(g.n_cells):
+            for b in g.neighborhood(a):
+                assert a in g.neighborhood(b)
+
+
+class TestExecution:
+    def test_jacobi_converges_to_mean(self):
+        """Averaging with neighbors long enough approaches the global
+        mean (the value diffuses across the grid)."""
+        g = HaloExchange2D(3, 3, rounds=30)
+
+        def step(inputs, tid):
+            vals = [p.data for p in inputs]
+            avg = float(np.mean(vals))
+            n_out = g.task(tid).n_outputs
+            return [Payload(avg) for _ in range(n_out)]
+
+        c = SerialController()
+        c.initialize(g)
+        c.register_callback(g.STEP, step)
+        init = {g.tid(0, i): Payload(float(i)) for i in range(9)}
+        result = c.run(init)
+        finals = [result.output(g.tid(29, i)).data for i in range(9)]
+        assert max(finals) - min(finals) < 0.05
+
+    def test_backends_agree(self):
+        g = HaloExchange2D(4, 2, rounds=5)
+
+        def step(inputs, tid):
+            mixed = sum(p.data for p in inputs) * 0.25 + g.cell_of(tid)
+            return [Payload(mixed) for _ in range(g.task(tid).n_outputs)]
+
+        outs = []
+        for ctor in (SerialController, lambda: CharmController(3)):
+            c = ctor()
+            c.initialize(g)
+            c.register_callback(g.STEP, step)
+            r = c.run({g.tid(0, i): Payload(1.0) for i in range(8)})
+            outs.append([r.output(g.tid(4, i)).data for i in range(8)])
+        assert outs[0] == outs[1]

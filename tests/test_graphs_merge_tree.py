@@ -1,0 +1,137 @@
+"""Tests for the MergeTreeGraph dataflow (paper Fig. 5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import GraphError
+from repro.core.ids import EXTERNAL, TNULL
+from repro.graphs.merge_tree import MergeTreeGraph
+
+
+class TestStructure:
+    def test_figure5_counts(self):
+        # Fig. 5: binary version with four leaves.
+        g = MergeTreeGraph(4, 2)
+        # locals=4, joins=2+1, relays (r=2, l=1)=2, corrections=2*4, seg=4
+        assert g.size() == 4 + 3 + 2 + 8 + 4
+
+    def test_local_task_shape(self):
+        g = MergeTreeGraph(4, 2)
+        t = g.task(g.local_id(2))
+        assert t.incoming == [EXTERNAL]
+        assert t.callback == g.LOCAL
+        assert t.outgoing == [[g.correction_id(1, 2)], [g.join_id(1, 1)]]
+
+    def test_first_round_join_shape(self):
+        g = MergeTreeGraph(4, 2)
+        t = g.task(g.join_id(1, 0))
+        assert t.incoming == [g.local_id(0), g.local_id(1)]
+        # Channel 0 up, channel 1 directly to the two corrections.
+        assert t.outgoing[0] == [g.join_id(2, 0)]
+        assert t.outgoing[1] == [g.correction_id(1, 0), g.correction_id(1, 1)]
+
+    def test_final_join_returns_tree(self):
+        g = MergeTreeGraph(4, 2)
+        t = g.task(g.join_id(2, 0))
+        assert t.outgoing[0] == [TNULL]
+        assert t.outgoing[1] == [g.relay_id(2, 1, 0), g.relay_id(2, 1, 1)]
+
+    def test_relay_fans_out_to_corrections(self):
+        g = MergeTreeGraph(4, 2)
+        t = g.task(g.relay_id(2, 1, 1))
+        assert t.incoming == [g.join_id(2, 0)]
+        assert t.outgoing == [[g.correction_id(2, 2), g.correction_id(2, 3)]]
+
+    def test_relay_overlay_bounds_fanout(self):
+        # With three rounds, no join or relay sends more than k messages
+        # on its broadcast channel ("to avoid sending too many messages
+        # from a single join task").
+        g = MergeTreeGraph(27, 3)
+        for tid in g.task_ids():
+            t = g.task(tid)
+            for channel in t.outgoing:
+                assert len(channel) <= g.valence
+
+    def test_correction_chain(self):
+        g = MergeTreeGraph(8, 2)
+        c1 = g.task(g.correction_id(1, 5))
+        assert c1.incoming == [g.local_id(5), g.join_id(1, 2)]
+        c2 = g.task(g.correction_id(2, 5))
+        assert c2.incoming[0] == g.correction_id(1, 5)
+        c3 = g.task(g.correction_id(3, 5))
+        assert c3.outgoing == [[g.segmentation_id(5)]]
+
+    def test_segmentation_is_sink(self):
+        g = MergeTreeGraph(8, 2)
+        t = g.task(g.segmentation_id(3))
+        assert t.outgoing == [[TNULL]]
+        assert t.callback == g.SEGMENTATION
+
+    def test_degenerate_single_leaf(self):
+        g = MergeTreeGraph(1, 2)
+        g.validate()
+        assert g.size() == 2
+        assert g.task(g.local_id(0)).outgoing == [[g.segmentation_id(0)]]
+
+    def test_subtree_leaves(self):
+        g = MergeTreeGraph(16, 4)
+        assert list(g.subtree_leaves(1, 2)) == [8, 9, 10, 11]
+        assert list(g.subtree_leaves(2, 0)) == list(range(16))
+
+    def test_describe_round_trip(self):
+        g = MergeTreeGraph(16, 2)
+        for tid in g.task_ids():
+            info = g.describe(tid)
+            phase = info["phase"]
+            if phase == "local":
+                assert g.local_id(info["leaf"]) == tid
+            elif phase == "join":
+                assert g.join_id(info["round"], info["index"]) == tid
+            elif phase == "relay":
+                assert g.relay_id(info["round"], info["level"], info["pos"]) == tid
+            elif phase == "correction":
+                assert g.correction_id(info["round"], info["leaf"]) == tid
+            else:
+                assert g.segmentation_id(info["leaf"]) == tid
+
+    def test_invalid_queries(self):
+        g = MergeTreeGraph(4, 2)
+        with pytest.raises(GraphError):
+            g.join_id(3, 0)
+        with pytest.raises(GraphError):
+            g.relay_id(2, 1, 5)
+        with pytest.raises(GraphError):
+            g.correction_id(0, 0)
+
+
+class TestProperties:
+    @settings(deadline=None)
+    @given(st.sampled_from([(2, 1), (2, 2), (2, 3), (2, 4), (3, 2), (4, 2), (8, 1), (8, 2)]))
+    def test_validates_for_all_parameters(self, kd):
+        k, d = kd
+        g = MergeTreeGraph(k**d, k)
+        g.validate()
+
+    @given(st.sampled_from([(2, 2), (2, 3), (3, 2), (4, 2)]))
+    def test_every_leaf_gets_d_corrections(self, kd):
+        k, d = kd
+        g = MergeTreeGraph(k**d, k)
+        for i in range(g.leaves):
+            chain = [g.correction_id(r, i) for r in range(1, d + 1)]
+            assert len(chain) == d
+
+    @given(st.sampled_from([(2, 3), (3, 2), (2, 4)]))
+    def test_round_r_join_reaches_its_subtree_corrections(self, kd):
+        """The augmented tree of join (r, j) reaches exactly the round-r
+        corrections of the leaves in its subtree (through relays)."""
+        import networkx
+
+        k, d = kd
+        g = MergeTreeGraph(k**d, k)
+        nxg = g.to_networkx()
+        for r in range(2, d + 1):
+            for j in range(g.join_count(r)):
+                src = g.join_id(r, j)
+                for leaf in g.subtree_leaves(r, j):
+                    assert networkx.has_path(nxg, src, g.correction_id(r, leaf))

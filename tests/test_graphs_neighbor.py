@@ -1,0 +1,110 @@
+"""Tests for the NeighborRegistration task graph (paper Fig. 8)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import GraphError
+from repro.core.ids import EXTERNAL, TNULL
+from repro.graphs.flat import DataParallel
+from repro.graphs.neighbor import NeighborRegistration
+
+
+class TestDataParallel:
+    def test_shape(self):
+        g = DataParallel(5)
+        g.validate()
+        assert g.size() == 5
+        assert len(g.rounds()) == 1
+        t = g.task(3)
+        assert t.incoming == [EXTERNAL] and t.outgoing == [[TNULL]]
+
+    def test_invalid(self):
+        with pytest.raises(GraphError):
+            DataParallel(0)
+
+
+class TestEdges:
+    def test_edge_count_5x5(self):
+        g = NeighborRegistration(5, 5, 1)
+        # 4*5 horizontal + 5*4 vertical = 40 edges.
+        assert len(g.edges) == 40
+
+    def test_edges_sorted_pairs(self):
+        g = NeighborRegistration(3, 2, 1)
+        assert all(a < b for a, b in g.edges)
+
+    def test_cell_round_trip(self):
+        g = NeighborRegistration(4, 3, 1)
+        for c in range(g.n_cells):
+            assert g.cell(*g.cell_coords(c)) == c
+
+    def test_incident_edges_cover_all(self):
+        g = NeighborRegistration(3, 3, 1)
+        counted = sum(len(g.incident_edges(c)) for c in range(g.n_cells))
+        assert counted == 2 * len(g.edges)
+
+    def test_corner_has_two_edges(self):
+        g = NeighborRegistration(3, 3, 1)
+        assert len(g.incident_edges(g.cell(0, 0))) == 2
+
+    def test_center_has_four_edges(self):
+        g = NeighborRegistration(3, 3, 1)
+        assert len(g.incident_edges(g.cell(1, 1))) == 4
+
+
+class TestStructure:
+    def test_extract_channels_match_incident_edges(self):
+        g = NeighborRegistration(3, 3, 2)
+        cell = g.cell(1, 1)
+        t = g.task(g.extract_id(cell, 1))
+        assert t.n_outputs == 4
+        targets = [ch[0] for ch in t.outgoing]
+        assert targets == [g.correlate_id(e, 1) for e in g.incident_edges(cell)]
+
+    def test_correlate_inputs_ordered_low_cell_first(self):
+        g = NeighborRegistration(2, 2, 1)
+        e = 0
+        a, b = g.edges[e]
+        t = g.task(g.correlate_id(e, 0))
+        assert t.incoming == [g.extract_id(a, 0), g.extract_id(b, 0)]
+
+    def test_evaluate_collects_all_slabs(self):
+        g = NeighborRegistration(2, 2, 3)
+        t = g.task(g.evaluate_id(1))
+        assert t.incoming == [g.correlate_id(1, s) for s in range(3)]
+
+    def test_place_collects_all_edges(self):
+        g = NeighborRegistration(3, 2, 2)
+        t = g.task(g.place_id)
+        assert len(t.incoming) == len(g.edges)
+        assert t.outgoing == [[TNULL]]
+
+    def test_describe(self):
+        g = NeighborRegistration(3, 2, 2)
+        assert g.describe(g.extract_id(4, 1)) == {
+            "phase": "extract",
+            "cell": 4,
+            "slab": 1,
+        }
+        assert g.describe(g.place_id) == {"phase": "place"}
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GraphError):
+            NeighborRegistration(1, 1, 1)  # no edges
+        with pytest.raises(GraphError):
+            NeighborRegistration(2, 2, 0)
+        with pytest.raises(GraphError):
+            NeighborRegistration(0, 2, 1)
+
+
+class TestProperties:
+    @given(st.integers(1, 5), st.integers(1, 5), st.integers(1, 4))
+    def test_validates_for_all_grids(self, gx, gy, slabs):
+        if gx * gy < 2:
+            return
+        g = NeighborRegistration(gx, gy, slabs)
+        g.validate()
+        expected = (gx - 1) * gy + gx * (gy - 1)
+        assert len(g.edges) == expected
+        assert g.size() == gx * gy * slabs + expected * slabs + expected + 1

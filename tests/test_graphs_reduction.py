@@ -1,0 +1,117 @@
+"""Tests for the Reduction (and KWayMerge) task graphs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import GraphError
+from repro.core.ids import EXTERNAL, TNULL
+from repro.graphs.reduction import KWayMerge, Reduction, exact_log
+
+
+class TestExactLog:
+    def test_powers(self):
+        assert exact_log(1, 2) == 0
+        assert exact_log(8, 2) == 3
+        assert exact_log(64, 4) == 3
+
+    def test_non_powers_rejected(self):
+        with pytest.raises(GraphError):
+            exact_log(6, 2)
+
+    def test_bad_valence(self):
+        with pytest.raises(GraphError):
+            exact_log(4, 1)
+
+    def test_bad_count(self):
+        with pytest.raises(GraphError):
+            exact_log(0, 2)
+
+
+class TestStructure:
+    def test_size_formula(self):
+        g = Reduction(8, 2)
+        assert g.size() == 15  # 8 + 4 + 2 + 1
+
+    def test_callbacks_order_matches_paper(self):
+        g = Reduction(4, 2)
+        assert g.callbacks() == [g.LEAF, g.REDUCE, g.ROOT]
+
+    def test_leaves(self):
+        g = Reduction(9, 3)
+        assert len(g.leaf_ids()) == 9
+        assert all(g.is_leaf(t) for t in g.leaf_ids())
+        assert g.leaf_index(g.leaf_id(5)) == 5
+
+    def test_leaf_task_shape(self):
+        g = Reduction(4, 2)
+        t = g.task(g.leaf_id(0))
+        assert t.incoming == [EXTERNAL]
+        assert t.callback == g.LEAF
+        assert t.outgoing == [[g.parent(t.id)]]
+
+    def test_root_task_shape(self):
+        g = Reduction(4, 2)
+        t = g.task(0)
+        assert t.callback == g.ROOT
+        assert t.incoming == g.children(0)
+        assert t.outgoing == [[TNULL]]
+
+    def test_internal_task_shape(self):
+        g = Reduction(8, 2)
+        t = g.task(1)
+        assert t.callback == g.REDUCE
+        assert t.incoming == [3, 4]
+        assert t.outgoing == [[0]]
+
+    def test_parent_child_consistency(self):
+        g = Reduction(27, 3)
+        for tid in g.task_ids():
+            for c in g.children(tid):
+                assert g.parent(c) == tid
+
+    def test_levels(self):
+        g = Reduction(8, 2)
+        assert g.level(0) == 0
+        assert g.level(1) == g.level(2) == 1
+        assert all(g.level(t) == 3 for t in g.leaf_ids())
+
+    def test_degenerate_single_leaf(self):
+        g = Reduction(1, 2)
+        g.validate()
+        t = g.task(0)
+        assert t.callback == g.ROOT
+        assert t.incoming == [EXTERNAL]
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(GraphError):
+            Reduction(4, 2).parent(0)
+
+    def test_bad_task_id(self):
+        with pytest.raises(GraphError):
+            Reduction(4, 2).task(99)
+
+
+class TestProperties:
+    @given(st.integers(2, 5), st.integers(0, 4))
+    def test_validates_for_all_parameters(self, k, d):
+        g = Reduction(k**d, k)
+        g.validate()
+        assert g.depth == d
+        assert len(g.rounds()) == d + 1
+
+    @given(st.integers(2, 4), st.integers(1, 4))
+    def test_rounds_are_tree_levels(self, k, d):
+        g = Reduction(k**d, k)
+        rounds = g.rounds()
+        # Leaves first, root last.
+        assert sorted(rounds[0]) == g.leaf_ids()
+        assert rounds[-1] == [0]
+
+
+class TestKWayMerge:
+    def test_is_a_reduction(self):
+        g = KWayMerge(8, 2)
+        assert isinstance(g, Reduction)
+        assert g.MERGE == Reduction.REDUCE
+        g.validate()

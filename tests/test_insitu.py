@@ -1,0 +1,126 @@
+"""Tests for the in-situ coupling extension."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.mergetree import MergeTreeWorkload, reference_segmentation
+from repro.core.errors import ControllerError
+from repro.insitu import CombustionSimulation, InSituCoupler
+from repro.runtimes import CharmController, MPIController
+
+
+class TestCombustionSimulation:
+    def test_deterministic(self):
+        a = CombustionSimulation((12, 12, 12), n_features=5, seed=3)
+        b = CombustionSimulation((12, 12, 12), n_features=5, seed=3)
+        for _ in range(3):
+            assert np.array_equal(a.step(), b.step())
+
+    def test_field_evolves(self):
+        sim = CombustionSimulation((12, 12, 12), n_features=5, seed=1)
+        f0 = sim.field.copy()
+        f1 = sim.step()
+        assert not np.array_equal(f0, f1)
+        assert sim.time == 1
+
+    def test_periodic_positions_stay_in_domain(self):
+        sim = CombustionSimulation((8, 8, 8), n_features=4, velocity=3.0, seed=2)
+        for _ in range(50):
+            sim.step()
+        assert (sim._pos >= 0).all() and (sim._pos < 8).all()
+
+    def test_advance_cost_positive(self):
+        sim = CombustionSimulation((8, 8, 8), n_features=2)
+        assert sim.advance_cost() > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CombustionSimulation((0, 4, 4))
+        with pytest.raises(ValueError):
+            CombustionSimulation(n_features=0)
+        with pytest.raises(ValueError):
+            CombustionSimulation(pulse_period=1)
+
+
+class TestInSituCoupler:
+    @staticmethod
+    def make_coupler(ctor, every=1, threshold=0.5):
+        sim = CombustionSimulation((16, 16, 16), n_features=8, seed=5)
+
+        def factory(field):
+            return MergeTreeWorkload(field, 8, threshold, valence=2)
+
+        return InSituCoupler(
+            sim,
+            factory,
+            lambda: ctor(4),
+            metric=lambda wl, res: wl.feature_count(res),
+            analysis_every=every,
+        )
+
+    def test_tracks_feature_counts(self):
+        coupler = self.make_coupler(MPIController)
+        report = coupler.run(steps=6)
+        assert len(report.records) == 6
+        counts = [m for _, m in report.series()]
+        assert all(isinstance(c, int) and c >= 0 for c in counts)
+        # Pulsing kernels: the count must actually change over the run.
+        assert len(set(counts)) > 1
+
+    def test_analysis_every_strides(self):
+        coupler = self.make_coupler(MPIController, every=3)
+        report = coupler.run(steps=7)
+        assert [r.step for r in report.records] == [3, 6]
+
+    def test_metric_matches_reference(self):
+        """The in-situ metric equals the offline reference each step."""
+        sim = CombustionSimulation((16, 16, 16), n_features=8, seed=9)
+        coupler = InSituCoupler(
+            sim,
+            lambda f: MergeTreeWorkload(f, 8, 0.5, valence=2),
+            lambda: MPIController(4),
+            metric=lambda wl, res: (wl.feature_count(res), wl.field.copy()),
+        )
+        report = coupler.run(steps=3)
+        for _, (count, field) in report.series():
+            ref = reference_segmentation(field, 0.5)
+            assert count == len(np.unique(ref[ref >= 0]))
+
+    def test_time_accounting(self):
+        coupler = self.make_coupler(CharmController, every=2)
+        report = coupler.run(steps=4)
+        assert report.solver_time > 0
+        assert report.analysis_time > 0
+        assert 0 < report.analysis_fraction < 1
+
+    def test_backends_agree_in_situ(self):
+        a = self.make_coupler(MPIController).run(steps=4)
+        b = self.make_coupler(CharmController).run(steps=4)
+        assert [m for _, m in a.series()] == [m for _, m in b.series()]
+
+    def test_invalid_stride(self):
+        with pytest.raises(ControllerError):
+            self.make_coupler(MPIController, every=0)
+
+
+class TestInSituStatistics:
+    def test_statistics_workload_in_situ(self):
+        """Any workload couples: global statistics tracked per step."""
+        from repro.analysis.statistics import StatisticsWorkload
+
+        sim = CombustionSimulation((12, 12, 12), n_features=4, seed=17)
+        coupler = InSituCoupler(
+            sim,
+            lambda f: StatisticsWorkload(f, 8, valence=2, bin_range=(0.0, 4.0)),
+            lambda: MPIController(4),
+            metric=lambda wl, res: wl.global_stats(res).mean,
+            analysis_every=1,
+        )
+        report = coupler.run(steps=5)
+        means = [m for _, m in report.series()]
+        assert len(means) == 5
+        # The pulsing field's global mean moves over time.
+        assert max(means) > min(means)
+        # Each in-situ mean equals the offline mean of that step's field.
+        last_mean = means[-1]
+        assert last_mean == pytest.approx(float(sim.field.mean()))

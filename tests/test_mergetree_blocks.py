@@ -1,0 +1,101 @@
+"""Tests for the block decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.mergetree.blocks import BlockDecomposition
+
+
+class TestConstruction:
+    def test_regular(self):
+        dec = BlockDecomposition.regular((16, 16, 16), 8)
+        assert dec.n_blocks == 8
+        assert dec.layout == (2, 2, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockDecomposition((4, 4, 4), (8, 1, 1))  # more blocks than points
+        with pytest.raises(ValueError):
+            BlockDecomposition((4, 4), (2, 2))  # type: ignore[arg-type]
+
+
+class TestIndexing:
+    def test_block_coords_round_trip(self):
+        dec = BlockDecomposition((12, 10, 8), (3, 2, 2))
+        for b in range(dec.n_blocks):
+            assert dec.block_index(dec.block_coords(b)) == b
+
+    def test_gid_round_trip(self):
+        dec = BlockDecomposition((5, 7, 3), (1, 1, 1))
+        for gid in range(5 * 7 * 3):
+            assert dec.gid(*dec.coords(gid)) == gid
+
+    def test_gid_out_of_range(self):
+        dec = BlockDecomposition((2, 2, 2), (1, 1, 1))
+        with pytest.raises(ValueError):
+            dec.coords(8)
+
+    @given(st.sampled_from([(12, 10, 8), (9, 9, 9), (16, 4, 4)]), st.integers(1, 16))
+    def test_blocks_partition_every_point(self, shape, nblocks):
+        if nblocks > min(shape) ** 3:
+            return
+        try:
+            dec = BlockDecomposition.regular(shape, nblocks)
+        except ValueError:
+            return
+        owner = np.full(shape, -1)
+        for b in range(dec.n_blocks):
+            (x0, x1), (y0, y1), (z0, z1) = dec.block_bounds(b)
+            assert (owner[x0:x1, y0:y1, z0:z1] == -1).all()
+            owner[x0:x1, y0:y1, z0:z1] = b
+        assert (owner >= 0).all()
+
+    def test_block_of_point_matches_bounds(self):
+        dec = BlockDecomposition((10, 9, 7), (3, 2, 2))
+        for b in range(dec.n_blocks):
+            (x0, x1), (y0, y1), (z0, z1) = dec.block_bounds(b)
+            assert dec.block_of_point(x0, y0, z0) == b
+            assert dec.block_of_point(x1 - 1, y1 - 1, z1 - 1) == b
+
+    def test_block_of_point_out_of_grid(self):
+        dec = BlockDecomposition((4, 4, 4), (2, 2, 2))
+        with pytest.raises(ValueError):
+            dec.block_of_point(4, 0, 0)
+
+
+class TestArrays:
+    def test_gids_array_matches_scalar_gid(self):
+        dec = BlockDecomposition((6, 5, 4), (2, 1, 2))
+        bounds = dec.block_bounds(3)
+        gids = dec.gids_array(bounds)
+        (x0, _), (y0, _), (z0, _) = bounds
+        assert gids[0, 0, 0] == dec.gid(x0, y0, z0)
+        assert gids[-1, -1, -1] == dec.gid(
+            bounds[0][1] - 1, bounds[1][1] - 1, bounds[2][1] - 1
+        )
+
+    def test_extract_block(self):
+        dec = BlockDecomposition((6, 6, 6), (2, 2, 2))
+        field = np.arange(216.0).reshape(6, 6, 6)
+        blk = dec.extract_block(field, 7)
+        (x0, x1), (y0, y1), (z0, z1) = dec.block_bounds(7)
+        assert np.array_equal(blk, field[x0:x1, y0:y1, z0:z1])
+
+    def test_extract_block_shape_mismatch(self):
+        dec = BlockDecomposition((6, 6, 6), (2, 2, 2))
+        with pytest.raises(ValueError):
+            dec.extract_block(np.zeros((5, 5, 5)), 0)
+
+    def test_boundary_mask_interior_faces_only(self):
+        dec = BlockDecomposition((8, 8, 8), (2, 1, 1))
+        m0 = dec.boundary_mask(0)
+        # Block 0 touches a neighbor only at its high-x face.
+        assert m0[-1].all()
+        assert not m0[0].any()
+        assert not m0[1:-1, 0, :].any()
+
+    def test_boundary_mask_single_block_empty(self):
+        dec = BlockDecomposition((4, 4, 4), (1, 1, 1))
+        assert not dec.boundary_mask(0).any()

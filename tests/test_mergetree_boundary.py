@@ -1,0 +1,159 @@
+"""Tests for boundary-component extraction and the join operation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.mergetree.blocks import BlockDecomposition
+from repro.analysis.mergetree.boundary import BoundaryComponents, extract_boundary
+from repro.analysis.mergetree.join import (
+    compose_relabel,
+    join_components,
+)
+from repro.analysis.mergetree.sequential import (
+    reference_segmentation,
+    segment_block,
+)
+
+
+def leaf_boundary(dec, field, b, threshold):
+    block = dec.extract_block(field, b)
+    gids = dec.gids_array(dec.block_bounds(b))
+    labels = segment_block(block, gids, threshold)
+    return extract_boundary(dec, b, labels, block)
+
+
+class TestBoundaryComponents:
+    def test_empty(self):
+        bc = BoundaryComponents.empty()
+        assert bc.n_voxels == 0 and bc.n_components == 0
+        assert bc.nbytes >= 0
+
+    def test_alignment_validation(self):
+        with pytest.raises(ValueError):
+            BoundaryComponents(
+                np.array([1]), np.array([], dtype=np.int32),
+                np.array([], dtype=np.int64), np.array([]),
+            )
+
+    def test_comp_idx_range_validation(self):
+        with pytest.raises(ValueError):
+            BoundaryComponents(
+                np.array([1]), np.array([3], dtype=np.int32),
+                np.array([7], dtype=np.int64), np.array([1.0]),
+            )
+
+    def test_extraction_only_interior_faces(self):
+        dec = BlockDecomposition((8, 4, 4), (2, 1, 1))
+        field = np.ones((8, 4, 4))
+        bc = leaf_boundary(dec, field, 0, 0.5)
+        # Only the shared x face: 4x4 voxels.
+        assert bc.n_voxels == 16
+        # All connected -> one component.
+        assert bc.n_components == 1
+
+    def test_component_of(self):
+        dec = BlockDecomposition((8, 4, 4), (2, 1, 1))
+        field = np.ones((8, 4, 4))
+        bc = leaf_boundary(dec, field, 0, 0.5)
+        rep_gid, rep_val = bc.component_of(int(bc.gids[0]))
+        assert rep_val == 1.0
+        with pytest.raises(KeyError):
+            bc.component_of(10**9)
+
+    def test_below_threshold_voxels_excluded(self):
+        dec = BlockDecomposition((4, 4, 4), (2, 1, 1))
+        field = np.zeros((4, 4, 4))
+        bc = leaf_boundary(dec, field, 0, 0.5)
+        assert bc.n_voxels == 0
+
+
+class TestJoin:
+    def test_two_block_merge_matches_reference(self):
+        rng = np.random.default_rng(5)
+        field = rng.random((8, 6, 6))
+        t = 0.5
+        dec = BlockDecomposition((8, 6, 6), (2, 1, 1))
+        parts = [leaf_boundary(dec, field, b, t) for b in range(2)]
+        merged, relabel = join_components(parts, dec, {0, 1})
+        # Whole-domain join: nothing remains on the outer boundary.
+        assert merged.n_voxels == 0
+        # The relabel map must turn local reps into the global reps.
+        ref = reference_segmentation(field, t)
+        for b in range(2):
+            block = dec.extract_block(field, b)
+            gids = dec.gids_array(dec.block_bounds(b))
+            labels = segment_block(block, gids, t)
+            final = np.vectorize(
+                lambda l: relabel.get(int(l), (int(l), 0.0))[0] if l >= 0 else -1
+            )(labels)
+            (x0, x1), (y0, y1), (z0, z1) = dec.block_bounds(b)
+            assert np.array_equal(final, ref[x0:x1, y0:y1, z0:z1])
+
+    def test_partial_region_keeps_outer_boundary(self):
+        rng = np.random.default_rng(6)
+        field = rng.random((12, 4, 4)) + 1.0  # everything above threshold
+        dec = BlockDecomposition((12, 4, 4), (3, 1, 1))
+        parts = [leaf_boundary(dec, field, b, 0.0) for b in (0, 1)]
+        merged, _ = join_components(parts, dec, {0, 1})
+        # The merged {0,1} region still faces block 2: its outer
+        # boundary is exactly block 1's high-x face.
+        (x0, x1), _, _ = dec.block_bounds(1)
+        expect = {int(dec.gid(x1 - 1, y, z)) for y in range(4) for z in range(4)}
+        assert set(map(int, merged.gids)) == expect
+
+    def test_disconnected_components_stay_separate(self):
+        field = np.zeros((8, 3, 3))
+        field[0:2, 0, 0] = 1.0  # touches the interface? no: x<2, face at x=3
+        field[6:8, 2, 2] = 1.0
+        dec = BlockDecomposition((8, 3, 3), (2, 1, 1))
+        parts = [leaf_boundary(dec, field, b, 0.5) for b in range(2)]
+        merged, relabel = join_components(parts, dec, {0, 1})
+        assert relabel == {}  # nothing merged across the interface
+
+    def test_empty_parts(self):
+        dec = BlockDecomposition((4, 4, 4), (2, 1, 1))
+        merged, relabel = join_components(
+            [BoundaryComponents.empty(), BoundaryComponents.empty()], dec, {0, 1}
+        )
+        assert merged.n_voxels == 0 and relabel == {}
+
+
+class TestComposeRelabel:
+    def test_transitivity(self):
+        first = {1: (5, 0.5)}
+        second = {5: (9, 0.9)}
+        out = compose_relabel(first, second)
+        assert out[1] == (9, 0.9)
+        assert out[5] == (9, 0.9)
+
+    def test_identity_when_no_update(self):
+        first = {1: (5, 0.5)}
+        assert compose_relabel(first, {}) == first
+
+    def test_fresh_entries_added(self):
+        out = compose_relabel({}, {3: (4, 0.4)})
+        assert out == {3: (4, 0.4)}
+
+    def test_chain_of_three(self):
+        a = {1: (2, 0.2)}
+        b = {2: (3, 0.3)}
+        c = {3: (4, 0.4)}
+        out = compose_relabel(compose_relabel(a, b), c)
+        assert out[1] == (4, 0.4)
+        assert out[2] == (4, 0.4)
+        assert out[3] == (4, 0.4)
+
+    @given(
+        st.dictionaries(st.integers(0, 8), st.integers(10, 18), max_size=6),
+        st.dictionaries(st.integers(10, 18), st.integers(20, 28), max_size=6),
+    )
+    def test_composition_is_functional(self, m1, m2):
+        first = {k: (v, float(v)) for k, v in m1.items()}
+        second = {k: (v, float(v)) for k, v in m2.items()}
+        out = compose_relabel(first, second)
+        # Every original key maps to where following both maps leads.
+        for k, (v, _) in first.items():
+            expected = second.get(v, (v, float(v)))[0]
+            assert out[k][0] == expected

@@ -1,0 +1,94 @@
+"""Tests for per-feature statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.mergetree import reference_segmentation
+from repro.analysis.mergetree.features import (
+    FeatureStats,
+    feature_statistics,
+    feature_table,
+)
+
+
+def one_blob_field():
+    field = np.zeros((6, 6, 6))
+    field[2:4, 2:4, 2:4] = 1.0
+    field[3, 3, 3] = 2.0
+    return field
+
+
+class TestStatistics:
+    def test_single_feature(self):
+        field = one_blob_field()
+        seg = reference_segmentation(field, 0.5)
+        stats = feature_statistics(seg, field)
+        assert len(stats) == 1
+        f = stats[0]
+        assert f.voxels == 8
+        assert f.peak == 2.0
+        assert f.mass == pytest.approx(7.0 + 2.0)
+        assert f.centroid == pytest.approx((2.5, 2.5, 2.5))
+
+    def test_label_is_representative_gid(self):
+        field = one_blob_field()
+        seg = reference_segmentation(field, 0.5)
+        f = feature_statistics(seg, field)[0]
+        # rep = gid of the peak voxel (3,3,3) in a 6^3 grid.
+        assert f.label == (3 * 6 + 3) * 6 + 3
+
+    def test_two_features_sorted_by_size(self):
+        field = np.zeros((10, 4, 4))
+        field[0:3, :2, :2] = 1.0   # 12 voxels
+        field[8:10, :1, :1] = 1.5  # 2 voxels
+        seg = reference_segmentation(field, 0.5)
+        stats = feature_statistics(seg, field)
+        assert [f.voxels for f in stats] == [12, 2]
+
+    def test_empty_segmentation(self):
+        field = np.zeros((4, 4, 4))
+        seg = reference_segmentation(field, 1.0)
+        assert feature_statistics(seg, field) == []
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            feature_statistics(np.zeros((2, 2, 2), np.int64), np.zeros((3, 3, 3)))
+
+    def test_total_voxels_match_mask(self):
+        rng = np.random.default_rng(3)
+        field = rng.random((8, 8, 8))
+        seg = reference_segmentation(field, 0.6)
+        stats = feature_statistics(seg, field)
+        assert sum(f.voxels for f in stats) == int((seg >= 0).sum())
+
+    def test_workload_integration(self, small_field):
+        from repro.analysis.mergetree import MergeTreeWorkload
+        from repro.runtimes import SerialController
+
+        wl = MergeTreeWorkload(small_field, 8, 0.5, valence=2)
+        result = wl.run(SerialController())
+        seg = wl.assemble(result)
+        stats = feature_statistics(seg, small_field)
+        assert len(stats) == wl.feature_count(result)
+        # Every feature's peak voxel is its own member maximum.
+        for f in stats:
+            members = small_field[seg == f.label]
+            assert f.peak == pytest.approx(float(members.max()))
+
+
+class TestTable:
+    def test_renders_rows(self):
+        field = one_blob_field()
+        seg = reference_segmentation(field, 0.5)
+        text = feature_table(feature_statistics(seg, field))
+        assert "voxels" in text and "2.0000" in text
+
+    def test_limit_elides(self):
+        stats = [
+            FeatureStats(i, 1, 1.0, 1.0, (0, 0, 0)) for i in range(30)
+        ]
+        text = feature_table(stats, limit=5)
+        assert "25 more features" in text
+
+    def test_empty(self):
+        assert feature_table([]) == "(no features)"

@@ -1,0 +1,163 @@
+"""Tests for persistence pairs and persistence-simplified segmentation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.mergetree.blocks import BlockDecomposition
+from repro.analysis.mergetree.sequential import block_join_tree
+
+
+def grid_gids(shape):
+    dec = BlockDecomposition(shape, (1, 1, 1))
+    return dec.gids_array(tuple((0, s) for s in shape))
+
+
+def two_peak_field(high=2.0, low=1.4, saddle_floor=1.0):
+    """A ridge with two peaks joined by a saddle of height saddle_floor."""
+    field = np.zeros((9, 3, 3))
+    field[:, 1, 1] = saddle_floor
+    field[1, 1, 1] = high
+    field[7, 1, 1] = low
+    return field
+
+
+class TestPersistencePairs:
+    def test_two_peaks_one_pair(self):
+        field = two_peak_field()
+        tree = block_join_tree(field, grid_gids(field.shape), threshold=0.5)
+        pairs = tree.persistence_pairs()
+        assert len(pairs) == 1
+        dying, saddle, pers = pairs[0]
+        assert tree.values[dying] == pytest.approx(1.4)
+        assert pers == pytest.approx(1.4 - 1.0)
+
+    def test_pair_count_equals_maxima_minus_components(self):
+        rng = np.random.default_rng(0)
+        field = rng.random((7, 6, 5))
+        tree = block_join_tree(field, grid_gids(field.shape))
+        pairs = tree.persistence_pairs()
+        assert len(pairs) == len(tree.maxima()) - len(tree.roots())
+
+    def test_persistence_non_negative(self):
+        rng = np.random.default_rng(1)
+        field = rng.random((6, 6, 6))
+        tree = block_join_tree(field, grid_gids(field.shape))
+        assert all(p >= 0 for _, _, p in tree.persistence_pairs())
+
+    def test_global_max_never_dies(self):
+        rng = np.random.default_rng(2)
+        field = rng.random((6, 6, 6))
+        tree = block_join_tree(field, grid_gids(field.shape))
+        dying = {d for d, _, _ in tree.persistence_pairs()}
+        assert 0 not in dying  # sweep index 0 is the global max
+
+    def test_saddle_below_its_maximum(self):
+        rng = np.random.default_rng(3)
+        field = rng.random((6, 6, 6))
+        tree = block_join_tree(field, grid_gids(field.shape))
+        for dying, saddle, _ in tree.persistence_pairs():
+            assert tree.values[saddle] <= tree.values[dying]
+
+
+class TestSimplifiedSegment:
+    def test_zero_persistence_is_identity(self):
+        rng = np.random.default_rng(4)
+        field = rng.random((6, 6, 6))
+        tree = block_join_tree(field, grid_gids(field.shape))
+        assert np.array_equal(
+            tree.simplified_segment(0.5, 0.0), tree.segment(0.5)
+        )
+
+    def test_small_peak_absorbed(self):
+        field = two_peak_field(high=2.0, low=1.4, saddle_floor=1.0)
+        tree = block_join_tree(field, grid_gids(field.shape), threshold=0.5)
+        # Both peaks are distinct features at t=0.5 without simplification.
+        assert tree.feature_count(0.5) == 1  # connected through the ridge!
+        # Above the ridge floor they separate:
+        assert tree.feature_count(1.2) == 2
+        # Simplifying away persistence < 0.5 merges them when the saddle
+        # is above the threshold...
+        assert tree.simplified_feature_count(0.5, 0.5) == 1
+        # ...but at t=1.2 the saddle (1.0) is below the threshold, so the
+        # two features stay separate even though the pair is simplifiable.
+        assert tree.simplified_feature_count(1.2, 0.5) == 2
+
+    def test_high_persistence_peak_survives(self):
+        field = two_peak_field(high=2.0, low=1.8, saddle_floor=0.2)
+        tree = block_join_tree(field, grid_gids(field.shape), threshold=0.1)
+        # Persistence of the lower peak is 1.6 > 0.5: not simplified.
+        assert tree.simplified_feature_count(0.3, 0.5) == tree.feature_count(0.3)
+
+    def test_infinite_persistence_collapses_to_components(self):
+        rng = np.random.default_rng(5)
+        field = rng.random((6, 6, 6))
+        tree = block_join_tree(field, grid_gids(field.shape))
+        t = 0.3
+        seg = tree.simplified_segment(t, np.inf)
+        labels = np.unique(seg[seg >= 0])
+        # One label per connected component of the superlevel set: the
+        # unsimplified piece count cannot be lower.
+        pieces = tree.feature_count(t)
+        assert len(labels) <= pieces
+        # Counting via scipy: components at t.
+        from repro.analysis.mergetree.sequential import reference_segmentation
+
+        ref = reference_segmentation(field, t)
+        # All nodes >= t exist in both labelings; map comparison: number
+        # of simplified features equals number of connected components.
+        assert len(labels) == len(np.unique(ref[ref >= 0]))
+
+    @settings(deadline=None, max_examples=15)
+    @given(st.integers(0, 1000), st.floats(0.0, 0.4))
+    def test_simplification_is_coarsening(self, seed, pers):
+        """Simplified labels partition no finer than the original: every
+        original feature maps wholly into one simplified feature."""
+        rng = np.random.default_rng(seed)
+        field = rng.random((6, 5, 5))
+        tree = block_join_tree(field, grid_gids(field.shape))
+        t = 0.5
+        fine = tree.segment(t)
+        coarse = tree.simplified_segment(t, pers)
+        mapping = {}
+        for f, c in zip(fine, coarse):
+            if f < 0:
+                assert c < 0
+                continue
+            assert mapping.setdefault(int(f), int(c)) == int(c)
+
+
+class TestCrossThresholdSimplification:
+    def test_branch_semantics_reduce_counts(self):
+        """On an unpruned tree, branch-decomposition semantics merge
+        features whose connecting saddle lies below the threshold."""
+        field = two_peak_field(high=2.0, low=1.4, saddle_floor=0.1)
+        tree = block_join_tree(field, grid_gids(field.shape))
+        t = 1.2  # both peaks are distinct features (saddle 0.1 < t)
+        assert tree.feature_count(t) == 2
+        # Default semantics: no cross-threshold merging.
+        assert tree.simplified_feature_count(t, 2.0) == 2
+        # Branch semantics: the low peak (persistence 1.3) fuses.
+        assert tree.simplified_feature_count(
+            t, 2.0, merge_across_threshold=True
+        ) == 1
+
+    def test_high_persistence_survives_branch_semantics(self):
+        field = two_peak_field(high=2.0, low=1.9, saddle_floor=0.0)
+        tree = block_join_tree(field, grid_gids(field.shape))
+        # Persistence of the low peak is 1.9 > 1.0: stays separate.
+        assert tree.simplified_feature_count(
+            1.5, 1.0, merge_across_threshold=True
+        ) == 2
+
+    def test_monotone_in_persistence_floor(self):
+        rng = np.random.default_rng(6)
+        field = rng.random((7, 6, 5))
+        tree = block_join_tree(field, grid_gids(field.shape))
+        counts = [
+            tree.simplified_feature_count(0.6, p, merge_across_threshold=True)
+            for p in (0.0, 0.2, 0.5, 1.0)
+        ]
+        assert counts == sorted(counts, reverse=True)
+        assert counts[-1] >= 1

@@ -1,0 +1,181 @@
+"""Tests for the sequential join tree and segmentation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.mergetree.blocks import BlockDecomposition
+from repro.analysis.mergetree.sequential import (
+    JoinTree,
+    block_join_tree,
+    reference_segmentation,
+    segment_block,
+)
+
+
+def whole_grid_gids(shape):
+    dec = BlockDecomposition(shape, (1, 1, 1))
+    return dec.gids_array(tuple((0, s) for s in shape))
+
+
+class TestJoinTreeStructure:
+    def test_single_maximum_monotone_field(self):
+        # A field with one peak: one maximum, one root, a path tree.
+        x = np.arange(5.0)
+        field = -(
+            (x[:, None, None] - 2) ** 2
+            + (x[None, :, None] - 2) ** 2
+            + (x[None, None, :] - 2) ** 2
+        ).astype(np.float64)
+        tree = block_join_tree(field, whole_grid_gids((5, 5, 5)))
+        tree.validate()
+        assert len(tree.maxima()) == 1
+        assert len(tree.roots()) == 1
+        assert tree.values[0] == field.max()
+
+    def test_two_separated_peaks(self):
+        field = np.zeros((9, 3, 3))
+        field[1, 1, 1] = 2.0
+        field[7, 1, 1] = 1.5
+        tree = block_join_tree(field, whole_grid_gids((9, 3, 3)))
+        tree.validate()
+        # The two real peaks, plus possibly a tie-broken maximum in the
+        # flat zero background (simulation of simplicity).
+        assert len(tree.maxima()) >= 2
+        assert tree.feature_count(1.0) == 2
+        assert tree.feature_count(0.5) == 2
+        # At the background value everything is one component.
+        assert tree.feature_count(-1.0) == 1
+
+    def test_threshold_pruning(self):
+        rng = np.random.default_rng(0)
+        field = rng.random((6, 6, 6))
+        full = block_join_tree(field, whole_grid_gids((6, 6, 6)))
+        pruned = block_join_tree(field, whole_grid_gids((6, 6, 6)), threshold=0.5)
+        assert pruned.n_nodes == int((field >= 0.5).sum())
+        assert pruned.n_nodes < full.n_nodes
+        pruned.validate()
+
+    def test_empty_above_threshold(self):
+        field = np.zeros((3, 3, 3))
+        tree = block_join_tree(field, whole_grid_gids((3, 3, 3)), threshold=1.0)
+        assert tree.n_nodes == 0
+        assert tree.feature_count(1.0) == 0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            block_join_tree(np.zeros((2, 2, 2)), np.zeros((3, 3, 3), dtype=np.int64))
+
+    def test_non_3d_rejected(self):
+        with pytest.raises(ValueError):
+            block_join_tree(np.zeros((4, 4)), np.zeros((4, 4), dtype=np.int64))
+
+
+class TestSegmentation:
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(0, 10_000), st.floats(0.2, 0.8))
+    def test_matches_scipy_reference(self, seed, threshold):
+        rng = np.random.default_rng(seed)
+        field = rng.random((8, 7, 6))
+        seg = segment_block(field, whole_grid_gids((8, 7, 6)), threshold)
+        ref = reference_segmentation(field, threshold)
+        assert np.array_equal(seg, ref)
+
+    def test_labels_below_threshold_negative(self):
+        rng = np.random.default_rng(1)
+        field = rng.random((5, 5, 5))
+        seg = segment_block(field, whole_grid_gids((5, 5, 5)), 0.5)
+        assert ((seg == -1) == (field < 0.5)).all()
+
+    def test_labels_are_component_maxima(self):
+        rng = np.random.default_rng(2)
+        field = rng.random((6, 6, 6))
+        seg = segment_block(field, whole_grid_gids((6, 6, 6)), 0.6)
+        flat = field.ravel()
+        for rep in np.unique(seg[seg >= 0]):
+            members = np.nonzero(seg.ravel() == rep)[0]
+            best = members[np.lexsort((members, flat[members]))][-1]
+            assert best == rep
+
+    def test_segment_is_idempotent_per_tree(self):
+        rng = np.random.default_rng(3)
+        field = rng.random((5, 5, 5))
+        tree = block_join_tree(field, whole_grid_gids((5, 5, 5)))
+        a = tree.segment(0.5)
+        b = tree.segment(0.5)
+        assert np.array_equal(a, b)
+
+    def test_monotone_feature_count_in_threshold(self):
+        """Superlevel components can split but not merge as t rises in a
+        generic field — count at a high threshold cannot drop below 1
+        while anything is above it (weak sanity property)."""
+        rng = np.random.default_rng(4)
+        field = rng.random((6, 6, 6))
+        tree = block_join_tree(field, whole_grid_gids((6, 6, 6)))
+        counts = [tree.feature_count(t) for t in (0.0, 0.5, 0.9, 0.999)]
+        assert counts[0] == 1  # random 3D field is connected at t=0
+        assert all(c >= 0 for c in counts)
+
+
+class TestValidate:
+    def test_detects_unsorted_nodes(self):
+        tree = JoinTree(
+            gids=np.array([0, 1]),
+            values=np.array([0.0, 1.0]),
+            parent=np.array([-1, 0]),
+        )
+        with pytest.raises(ValueError):
+            tree.validate()
+
+    def test_detects_inverted_parent(self):
+        tree = JoinTree(
+            gids=np.array([5, 3]),
+            values=np.array([2.0, 1.0]),
+            parent=np.array([-1, -1]),
+        )
+        tree.validate()  # fine: two roots
+        bad = JoinTree(
+            gids=np.array([5, 3]),
+            values=np.array([2.0, 1.0]),
+            parent=np.array([1, 0]),  # 1's parent is higher -> invalid
+        )
+        with pytest.raises(ValueError):
+            bad.validate()
+
+
+class TestSplitTree:
+    def test_sublevel_components(self):
+        from repro.analysis.mergetree.sequential import block_split_tree
+
+        # Two pits separated by a ridge.
+        field = np.full((9, 3, 3), 1.0)
+        field[1, 1, 1] = -2.0
+        field[7, 1, 1] = -1.5
+        tree = block_split_tree(field, whole_grid_gids((9, 3, 3)))
+        tree.validate()
+        # Sublevel set at t=0: two components (the two pits).
+        assert tree.feature_count(-0.0) == 2
+        # At t=1 everything is connected.
+        assert tree.feature_count(-1.0) == 1
+
+    def test_split_tree_is_join_tree_of_negation(self):
+        from repro.analysis.mergetree.sequential import (
+            block_join_tree,
+            block_split_tree,
+        )
+
+        rng = np.random.default_rng(9)
+        field = rng.random((6, 6, 6))
+        split = block_split_tree(field, whole_grid_gids((6, 6, 6)))
+        joined = block_join_tree(-field, whole_grid_gids((6, 6, 6)))
+        assert np.array_equal(split.gids, joined.gids)
+        assert np.array_equal(split.parent, joined.parent)
+
+    def test_threshold_pruning(self):
+        from repro.analysis.mergetree.sequential import block_split_tree
+
+        rng = np.random.default_rng(10)
+        field = rng.random((5, 5, 5))
+        pruned = block_split_tree(field, whole_grid_gids((5, 5, 5)), threshold=0.5)
+        assert pruned.n_nodes == int((field <= 0.5).sum())

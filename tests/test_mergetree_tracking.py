@@ -1,0 +1,129 @@
+"""Tests for overlap-based feature tracking."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.mergetree import reference_segmentation
+from repro.analysis.mergetree.tracking import (
+    FeatureMatch,
+    FeatureTracker,
+    match_features,
+)
+
+
+def blob_field(centers, shape=(16, 16, 16), radius=2):
+    field = np.zeros(shape)
+    for cx, cy, cz in centers:
+        field[
+            max(0, cx - radius) : cx + radius,
+            max(0, cy - radius) : cy + radius,
+            max(0, cz - radius) : cz + radius,
+        ] = 1.0
+    return field
+
+
+class TestMatchFeatures:
+    def test_identical_segmentations_match_fully(self):
+        field = blob_field([(4, 4, 4), (12, 12, 12)])
+        seg = reference_segmentation(field, 0.5)
+        matches = match_features(seg, seg)
+        assert len(matches) == 2
+        assert all(m.label_a == m.label_b for m in matches)
+
+    def test_shifted_blob_matches(self):
+        a = reference_segmentation(blob_field([(5, 5, 5)]), 0.5)
+        b = reference_segmentation(blob_field([(6, 5, 5)]), 0.5)
+        matches = match_features(a, b)
+        assert len(matches) == 1
+        assert matches[0].overlap > 0
+
+    def test_disjoint_features_do_not_match(self):
+        a = reference_segmentation(blob_field([(3, 3, 3)]), 0.5)
+        b = reference_segmentation(blob_field([(12, 12, 12)]), 0.5)
+        assert match_features(a, b) == []
+
+    def test_greedy_one_to_one(self):
+        """A big feature overlapping two successors claims only the
+        larger overlap."""
+        a = reference_segmentation(blob_field([(8, 8, 8)], radius=4), 0.5)
+        b = reference_segmentation(
+            blob_field([(6, 8, 8), (11, 8, 8)], radius=2), 0.5
+        )
+        matches = match_features(a, b)
+        assert len(matches) == 1  # one a-feature, so at most one match
+
+    def test_min_overlap_filter(self):
+        a = reference_segmentation(blob_field([(5, 5, 5)]), 0.5)
+        b = reference_segmentation(blob_field([(7, 7, 7)]), 0.5)
+        loose = match_features(a, b, min_overlap=1)
+        strict = match_features(a, b, min_overlap=1000)
+        assert len(loose) >= len(strict)
+        assert strict == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            match_features(np.zeros((2, 2)), np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            match_features(np.zeros((2, 2)), np.zeros((2, 2)), min_overlap=0)
+
+
+class TestFeatureTracker:
+    def test_stable_ids_for_moving_feature(self):
+        tracker = FeatureTracker()
+        for step in range(5):
+            field = blob_field([(4 + step, 8, 8)], radius=3)
+            seg = reference_segmentation(field, 0.5)
+            tracker.update(step, seg)
+        assert len(tracker.tracks) == 1
+        assert tracker.tracks[0].length == 5
+        assert tracker.tracks[0].born == 0
+
+    def test_birth_and_death(self):
+        tracker = FeatureTracker()
+        seg0 = reference_segmentation(blob_field([(4, 4, 4)]), 0.5)
+        tracker.update(0, seg0)
+        # Second feature appears far away.
+        seg1 = reference_segmentation(
+            blob_field([(4, 4, 4), (12, 12, 12)]), 0.5
+        )
+        tracker.update(1, seg1)
+        # First feature vanishes.
+        seg2 = reference_segmentation(blob_field([(12, 12, 12)]), 0.5)
+        tracker.update(2, seg2)
+        assert len(tracker.tracks) == 2
+        lifetimes = sorted(
+            (t.born, t.last_seen) for t in tracker.tracks.values()
+        )
+        assert lifetimes == [(0, 1), (1, 2)]
+
+    def test_alive_at(self):
+        tracker = FeatureTracker()
+        tracker.update(0, reference_segmentation(blob_field([(4, 4, 4)]), 0.5))
+        tracker.update(1, reference_segmentation(blob_field([(4, 4, 4)]), 0.5))
+        assert tracker.alive_at(0) == [0]
+        assert tracker.alive_at(5) == []
+
+    def test_summary_renders(self):
+        tracker = FeatureTracker()
+        tracker.update(0, reference_segmentation(blob_field([(4, 4, 4)]), 0.5))
+        assert "track" in tracker.summary()
+        assert "0" in tracker.summary()
+
+    def test_with_insitu_simulation(self):
+        """End to end with the drifting-kernel solver: tracks persist for
+        slow drift."""
+        from repro.insitu import CombustionSimulation
+
+        sim = CombustionSimulation(
+            (16, 16, 16), n_features=3, velocity=0.4,
+            pulse_period=1000, seed=8,
+        )
+        tracker = FeatureTracker()
+        counts = []
+        for step in range(4):
+            field = sim.step()
+            seg = reference_segmentation(field, 0.5)
+            assign = tracker.update(step, seg)
+            counts.append(len(assign))
+        # Slowly drifting, non-pulsing kernels: no track churn.
+        assert len(tracker.tracks) == max(counts)

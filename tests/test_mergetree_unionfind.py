@@ -1,0 +1,87 @@
+"""Tests for the union-find structures."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.mergetree.union_find import ArrayUnionFind, UnionFind
+
+
+class TestUnionFind:
+    def test_singletons(self):
+        uf = UnionFind()
+        uf.add("a")
+        assert uf.find("a") == "a"
+        assert "a" in uf and "b" not in uf
+
+    def test_union_second_root_survives(self):
+        uf = UnionFind()
+        uf.add("a")
+        uf.add("b")
+        assert uf.union("a", "b") == "b"
+        assert uf.find("a") == "b"
+
+    def test_transitive(self):
+        uf = UnionFind()
+        for k in "abcd":
+            uf.add(k)
+        uf.union("a", "b")
+        uf.union("c", "d")
+        uf.union("b", "d")
+        assert len({uf.find(k) for k in "abcd"}) == 1
+
+    def test_find_unknown_raises(self):
+        with pytest.raises(KeyError):
+            UnionFind().find("zz")
+
+    def test_groups(self):
+        uf = UnionFind()
+        for k in range(5):
+            uf.add(k)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        groups = uf.groups()
+        assert sorted(map(sorted, groups.values())) == [[0, 1], [2, 3], [4]]
+
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=60))
+    def test_equivalence_relation(self, pairs):
+        uf = UnionFind()
+        for k in range(21):
+            uf.add(k)
+        for a, b in pairs:
+            uf.union(a, b)
+        # Reflexive+symmetric+transitive: roots define a partition.
+        roots = {k: uf.find(k) for k in range(21)}
+        for a, b in pairs:
+            assert roots[a] == roots[b]
+
+
+class TestArrayUnionFind:
+    def test_basic(self):
+        uf = ArrayUnionFind(5)
+        assert uf.find(3) == 3
+        assert uf.union(0, 1) == 1
+        assert uf.find(0) == 1
+        assert len(uf) == 5
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayUnionFind(-1)
+
+    @given(st.lists(st.tuples(st.integers(0, 30), st.integers(0, 30)), max_size=100))
+    def test_matches_dict_version(self, pairs):
+        a = ArrayUnionFind(31)
+        d = UnionFind()
+        for k in range(31):
+            d.add(k)
+        for x, y in pairs:
+            a.union(x, y)
+            d.union(x, y)
+        part_a = {}
+        part_d = {}
+        for k in range(31):
+            part_a.setdefault(a.find(k), set()).add(k)
+            part_d.setdefault(d.find(k), set()).add(k)
+        assert sorted(map(sorted, part_a.values())) == sorted(
+            map(sorted, part_d.values())
+        )

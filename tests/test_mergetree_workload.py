@@ -1,0 +1,98 @@
+"""End-to-end distributed merge tree: every controller, every
+decomposition, exact agreement with the scipy reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.mergetree import (
+    MergeTreeCostParams,
+    MergeTreeWorkload,
+    reference_segmentation,
+)
+from repro.runtimes import MPIController, SerialController
+
+from tests.conftest import all_controllers
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("n_blocks,valence", [(8, 2), (16, 4), (8, 8), (1, 2)])
+    def test_all_controllers_match_reference(self, small_field, n_blocks, valence):
+        ref = reference_segmentation(small_field, 0.5)
+        wl = MergeTreeWorkload(small_field, n_blocks, 0.5, valence=valence)
+        for c in all_controllers(4):
+            seg = wl.assemble(wl.run(c))
+            assert np.array_equal(seg, ref), type(c).__name__
+
+    def test_pure_noise_field(self, random_field):
+        """Noise maximizes features per block and boundary traffic."""
+        ref = reference_segmentation(random_field, 0.55)
+        wl = MergeTreeWorkload(random_field, 8, 0.55, valence=2)
+        seg = wl.assemble(wl.run(SerialController()))
+        assert np.array_equal(seg, ref)
+
+    @settings(deadline=None, max_examples=10)
+    @given(st.integers(0, 10_000), st.floats(0.3, 0.9))
+    def test_random_fields_property(self, seed, threshold):
+        rng = np.random.default_rng(seed)
+        field = rng.random((12, 10, 8))
+        wl = MergeTreeWorkload(field, 4, threshold, valence=2)
+        seg = wl.assemble(wl.run(SerialController()))
+        assert np.array_equal(seg, reference_segmentation(field, threshold))
+
+    def test_feature_count(self, small_field):
+        wl = MergeTreeWorkload(small_field, 8, 0.5, valence=2)
+        res = wl.run(SerialController())
+        ref = reference_segmentation(small_field, 0.5)
+        assert wl.feature_count(res) == len(np.unique(ref[ref >= 0]))
+
+    def test_threshold_extremes(self, small_field):
+        lo = MergeTreeWorkload(small_field, 8, -1e9, valence=2)
+        seg = lo.assemble(lo.run(SerialController()))
+        assert (seg >= 0).all()
+        assert len(np.unique(seg)) == 1  # everything is one feature
+        hi = MergeTreeWorkload(small_field, 8, 1e9, valence=2)
+        seg = hi.assemble(hi.run(SerialController()))
+        assert (seg == -1).all()
+
+
+class TestScaling:
+    def test_sim_shape_inflates_costs_not_results(self, small_field):
+        ref = reference_segmentation(small_field, 0.5)
+        base = MergeTreeWorkload(small_field, 8, 0.5, valence=2)
+        big = MergeTreeWorkload(
+            small_field, 8, 0.5, valence=2, sim_shape=(512, 512, 512)
+        )
+        assert big.volume_scale > 1000
+        c1 = MPIController(4, cost_model=base.cost_model())
+        c2 = MPIController(4, cost_model=big.cost_model())
+        r1 = base.run(c1)
+        r2 = big.run(c2)
+        assert np.array_equal(big.assemble(r2), ref)
+        assert r2.makespan > r1.makespan
+        assert r2.stats.bytes_sent > r1.stats.bytes_sent
+
+    def test_cost_model_orders_callbacks_sensibly(self, small_field):
+        wl = MergeTreeWorkload(small_field, 8, 0.5, valence=2)
+        model = wl.cost_model()
+        c = MPIController(4, cost_model=model)
+        r = wl.run(c)
+        # Local sweeps dominate this workload's compute.
+        assert r.stats.get("compute") > 0
+
+    def test_invalid_blocks(self, small_field):
+        with pytest.raises(Exception):
+            MergeTreeWorkload(small_field, 6, 0.5, valence=2)  # not 2^d
+
+    def test_custom_cost_params(self, small_field):
+        slow = MergeTreeCostParams(sweep_per_voxel=1e-3)
+        fast = MergeTreeCostParams(sweep_per_voxel=1e-9)
+        r = {}
+        for name, params in (("slow", slow), ("fast", fast)):
+            wl = MergeTreeWorkload(
+                small_field, 8, 0.5, valence=2, cost_params=params
+            )
+            c = MPIController(4, cost_model=wl.cost_model())
+            r[name] = wl.run(c).makespan
+        assert r["slow"] > r["fast"]

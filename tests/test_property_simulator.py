@@ -1,0 +1,98 @@
+"""Property tests of the simulation substrate: conservation laws that
+must hold for any workload thrown at the cluster."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Engine
+from repro.sim.machine import SHAHEEN_II
+from repro.sim.trace import Trace
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 7), st.floats(0.001, 5.0)),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_compute_work_is_conserved(jobs):
+    """Per-proc busy time equals submitted work; makespan is bounded by
+    the per-proc serial bound and the global serial bound."""
+    eng = Engine()
+    cl = Cluster(eng, SHAHEEN_II, 8)
+    per_proc = [0.0] * 8
+    done = []
+    for proc, dur in jobs:
+        # A completion callback makes the job an engine event, so run()
+        # advances to the true makespan.
+        cl.compute(proc, dur, done.append, proc)
+        per_proc[proc] += dur
+    end = eng.run()
+    assert len(done) == len(jobs)
+    for p in range(8):
+        assert cl.core_busy_time(p) == pytest.approx(per_proc[p])
+    assert end == pytest.approx(max(per_proc))
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 5), st.integers(0, 10**7)),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_messages_all_delivered_and_counted(msgs):
+    eng = Engine()
+    cl = Cluster(eng, SHAHEEN_II, 64)
+    delivered = []
+    for i, (src, dst, nbytes) in enumerate(msgs):
+        cl.send(src, dst, nbytes, delivered.append, i)
+    eng.run()
+    assert sorted(delivered) == list(range(len(msgs)))
+    assert cl.messages_sent == len(msgs)
+    assert cl.bytes_sent == sum(m[2] for m in msgs)
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 5), st.integers(1, 10**6)),
+        min_size=2,
+        max_size=20,
+    )
+)
+def test_per_pair_fifo_delivery(msgs):
+    """Messages between the same (src, dst) pair arrive in send order —
+    the ordering guarantee the slot-filling protocol relies on."""
+    eng = Engine()
+    cl = Cluster(eng, SHAHEEN_II, 64)
+    arrivals: dict[tuple[int, int], list[int]] = {}
+    for i, (src, dst, nbytes) in enumerate(msgs):
+        cl.send(
+            src, dst, nbytes,
+            lambda key, i=i, k=(src, dst): arrivals.setdefault(k, []).append(i),
+            None,
+        )
+    eng.run()
+    for key, seq in arrivals.items():
+        assert seq == sorted(seq), key
+
+
+@settings(deadline=None, max_examples=20)
+@given(st.integers(1, 64), st.integers(1, 8))
+def test_trace_busy_fraction_bounded(n_jobs, procs):
+    trace = Trace()
+    eng = Engine()
+    cl = Cluster(eng, SHAHEEN_II, procs, trace=trace)
+    rng = np.random.default_rng(n_jobs * 31 + procs)
+    for i in range(n_jobs):
+        cl.compute(int(rng.integers(procs)), float(rng.random() + 0.01))
+    eng.run()
+    frac = trace.busy_fraction(procs)
+    assert 0.0 < frac <= 1.0 + 1e-9

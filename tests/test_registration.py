@@ -1,0 +1,154 @@
+"""Tests for the registration use case: correlation, synthetic volumes,
+and the end-to-end dataflow."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import ndimage
+
+from repro.analysis.registration import (
+    OffsetEstimate,
+    RegistrationWorkload,
+    SyntheticVolumeGrid,
+    VolumeGridSpec,
+    consensus_offset,
+    ncc_shift,
+)
+from repro.runtimes import SerialController
+
+from tests.conftest import all_controllers
+
+
+def smooth(shape, seed, sigma=2.5):
+    rng = np.random.default_rng(seed)
+    return ndimage.gaussian_filter(rng.standard_normal(shape), sigma)
+
+
+class TestNccShift:
+    @settings(deadline=None, max_examples=20)
+    @given(st.integers(0, 1000), st.integers(-3, 3), st.integers(-3, 3), st.integers(-2, 2))
+    def test_recovers_known_shift(self, seed, tx, ty, tz):
+        base = smooth((30, 30, 24), seed)
+        a = base[5:20, 5:20, 5:17]
+        b = base[5 + tx : 20 + tx, 5 + ty : 20 + ty, 5 + tz : 17 + tz]
+        est = ncc_shift(a, b, max_shift=4)
+        assert est.shift == (tx, ty, tz)
+        assert est.confidence > 0.8
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ncc_shift(np.zeros((4, 4, 4)), np.zeros((4, 4, 5)), 1)
+
+    def test_max_shift_too_large(self):
+        with pytest.raises(ValueError):
+            ncc_shift(np.zeros((3, 3, 3)), np.zeros((3, 3, 3)), 3)
+
+    def test_flat_input_gives_origin(self):
+        est = ncc_shift(np.zeros((6, 6, 6)), np.zeros((6, 6, 6)), 2)
+        assert est.shift == (0, 0, 0)
+
+
+class TestConsensus:
+    def test_majority_wins(self):
+        ests = [
+            OffsetEstimate((1, 0, 0), 0.9),
+            OffsetEstimate((1, 0, 0), 0.8),
+            OffsetEstimate((5, 5, 5), 0.1),
+        ]
+        assert consensus_offset(ests).shift == (1, 0, 0)
+
+    def test_single(self):
+        assert consensus_offset([OffsetEstimate((2, 3, 4), 0.5)]).shift == (2, 3, 4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            consensus_offset([])
+
+
+class TestSyntheticGrid:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            VolumeGridSpec(gx=1, gy=1)
+        with pytest.raises(ValueError):
+            VolumeGridSpec(overlap=0.6)
+        with pytest.raises(ValueError):
+            VolumeGridSpec(vol_shape=(10, 10, 10), overlap=0.15, max_jitter=3)
+
+    def test_anchor_volume_unjittered(self):
+        grid = SyntheticVolumeGrid(VolumeGridSpec(gx=2, gy=2, seed=3))
+        assert (grid.true_offsets[0] == 0).all()
+
+    def test_jitter_bounded(self):
+        spec = VolumeGridSpec(gx=3, gy=3, max_jitter=2, seed=4)
+        grid = SyntheticVolumeGrid(spec)
+        assert np.abs(grid.true_offsets).max() <= 2
+
+    def test_volume_shapes(self):
+        spec = VolumeGridSpec(gx=2, gy=3, vol_shape=(20, 24, 12), max_jitter=1, overlap=0.2)
+        grid = SyntheticVolumeGrid(spec)
+        assert grid.n_volumes == 6
+        assert all(v.shape == (20, 24, 12) for v in grid.volumes)
+
+    def test_overlaps_share_content(self):
+        """Adjacent volumes' overlap regions correlate strongly."""
+        spec = VolumeGridSpec(gx=2, gy=1, vol_shape=(32, 32, 16), max_jitter=0, noise=0.0, seed=5)
+        grid = SyntheticVolumeGrid(spec)
+        ov = spec.overlap_x
+        a = grid.volume(0)[-ov:]
+        b = grid.volume(1)[:ov]
+        assert np.allclose(a, b)
+
+    def test_pairwise_ground_truth(self):
+        grid = SyntheticVolumeGrid(VolumeGridSpec(gx=2, gy=2, seed=6))
+        d = grid.true_pairwise_offset(0, 3)
+        assert np.array_equal(d, grid.true_offsets[3] - grid.true_offsets[0])
+
+
+class TestWorkload:
+    def test_all_controllers_recover_ground_truth(self):
+        grid = SyntheticVolumeGrid(
+            VolumeGridSpec(gx=3, gy=2, vol_shape=(24, 24, 16), max_jitter=1, seed=8)
+        )
+        wl = RegistrationWorkload(grid, slabs=2)
+        for c in all_controllers(4):
+            res = wl.run(c)
+            assert wl.verify(res), type(c).__name__
+
+    @pytest.mark.parametrize("slabs", [1, 2, 4])
+    def test_slab_counts(self, slabs):
+        grid = SyntheticVolumeGrid(
+            VolumeGridSpec(gx=2, gy=2, vol_shape=(24, 24, 16), max_jitter=1, seed=10)
+        )
+        wl = RegistrationWorkload(grid, slabs=slabs)
+        assert wl.verify(wl.run(SerialController()))
+
+    def test_paper_scale_grid(self):
+        """The paper's 5x5 grid (scaled-down volumes)."""
+        grid = SyntheticVolumeGrid(
+            VolumeGridSpec(gx=5, gy=5, vol_shape=(24, 24, 12), max_jitter=1, seed=12)
+        )
+        wl = RegistrationWorkload(grid, slabs=2)
+        assert wl.verify(wl.run(SerialController()))
+
+    def test_invalid_slabs(self):
+        grid = SyntheticVolumeGrid(VolumeGridSpec(gx=2, gy=1, seed=1))
+        with pytest.raises(ValueError):
+            RegistrationWorkload(grid, slabs=0)
+
+    def test_sim_scaling_increases_time(self):
+        from repro.runtimes import MPIController
+
+        grid = SyntheticVolumeGrid(
+            VolumeGridSpec(gx=2, gy=2, vol_shape=(24, 24, 16), max_jitter=1, seed=13)
+        )
+        base = RegistrationWorkload(grid, slabs=1)
+        big = RegistrationWorkload(grid, slabs=1, sim_vol_shape=(1024, 1024, 1024))
+        r_base = base.run(MPIController(4, cost_model=base.cost_model()))
+        r_big = big.run(MPIController(4, cost_model=big.cost_model()))
+        assert r_big.makespan > r_base.makespan
+        assert wl_verify_both(base, r_base) and wl_verify_both(big, r_big)
+
+
+def wl_verify_both(wl, res):
+    return wl.verify(res)

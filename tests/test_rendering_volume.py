@@ -1,0 +1,109 @@
+"""Tests for the raycaster: cameras, block/full render equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.mergetree.blocks import BlockDecomposition
+from repro.analysis.rendering.image import composite_ordered, over
+from repro.analysis.rendering.transfer import fire, grayscale
+from repro.analysis.rendering.volume import OrthoCamera, render_block, render_volume
+
+
+class TestCamera:
+    def test_axis_validation(self):
+        with pytest.raises(ValueError):
+            OrthoCamera((8, 8), axis="w")
+        with pytest.raises(ValueError):
+            OrthoCamera((0, 8))
+
+    def test_plane_axes(self):
+        assert OrthoCamera((4, 4), axis="z").plane_axes() == (0, 1)
+        assert OrthoCamera((4, 4), axis="x").plane_axes() == (1, 2)
+        assert OrthoCamera((4, 4), axis="y").plane_axes() == (0, 2)
+
+    def test_pixel_maps_cover_grid(self):
+        cam = OrthoCamera((16, 8), axis="z")
+        rows, cols = cam.pixel_maps((8, 8, 8))
+        assert rows.min() == 0 and rows.max() == 7
+        assert cols.min() == 0 and cols.max() == 7
+        assert len(rows) == 16 and len(cols) == 8
+
+
+class TestRenderVolume:
+    def test_empty_volume_is_transparent(self):
+        cam = OrthoCamera((8, 8))
+        tf = grayscale(0, 1)
+        frag = render_volume(np.zeros((4, 4, 4)), cam, tf)
+        assert (frag.rgba[..., 3] == 0).all()
+
+    def test_opaque_volume_covers_image(self):
+        cam = OrthoCamera((8, 8))
+        tf = grayscale(0, 1, opacity=1.0)
+        frag = render_volume(np.ones((4, 4, 4)), cam, tf)
+        assert (frag.rgba[..., 3] > 0.9).all()
+        assert (frag.depth == 0).all()
+
+    def test_alpha_monotone_in_depth_extent(self):
+        cam = OrthoCamera((4, 4))
+        tf = grayscale(0, 1, opacity=0.3)
+        thin = render_volume(np.full((4, 4, 2), 0.5), cam, tf)
+        thick = render_volume(np.full((4, 4, 8), 0.5), cam, tf)
+        assert (thick.rgba[..., 3] > thin.rgba[..., 3]).all()
+
+    @pytest.mark.parametrize("axis", ["x", "y", "z"])
+    def test_all_view_axes_work(self, axis):
+        rng = np.random.default_rng(0)
+        field = rng.random((6, 7, 8))
+        cam = OrthoCamera((10, 10), axis=axis)
+        frag = render_volume(field, cam, fire(0, 1))
+        assert frag.shape == (10, 10)
+        assert frag.rgba[..., 3].max() > 0
+
+
+class TestBlockCompositingEquivalence:
+    @pytest.mark.parametrize("layout", [(2, 1, 1), (1, 2, 1), (1, 1, 2), (2, 2, 2)])
+    def test_composited_blocks_equal_full_render(self, layout):
+        """The core algebra of sort-last rendering: rendering blocks
+        separately and compositing by depth equals one full render."""
+        rng = np.random.default_rng(1)
+        field = rng.random((8, 8, 8))
+        cam = OrthoCamera((12, 12), axis="z")
+        tf = fire(0, 1)
+        full = render_volume(field, cam, tf)
+        dec = BlockDecomposition((8, 8, 8), layout)
+        frags = [
+            render_block(
+                dec.extract_block(field, b),
+                dec.block_bounds(b),
+                field.shape,
+                cam,
+                tf,
+            )
+            for b in range(dec.n_blocks)
+        ]
+        combined = composite_ordered(frags)
+        assert np.allclose(combined.rgba, full.rgba, atol=1e-5)
+
+    def test_depth_orders_blocks_not_composite_order(self):
+        """Compositing back-block-first must still put the front block
+        in front (per-pixel depth does the sorting)."""
+        field = np.zeros((4, 4, 8))
+        field[:, :, :4] = 1.0  # front half opaque-ish
+        field[:, :, 4:] = 0.5
+        cam = OrthoCamera((4, 4), axis="z")
+        tf = grayscale(0, 1, opacity=0.9)
+        dec = BlockDecomposition((4, 4, 8), (1, 1, 2))
+        f0 = render_block(dec.extract_block(field, 0), dec.block_bounds(0), field.shape, cam, tf)
+        f1 = render_block(dec.extract_block(field, 1), dec.block_bounds(1), field.shape, cam, tf)
+        assert np.allclose(over(f0, f1).rgba, over(f1, f0).rgba)
+
+    def test_footprint_restricted_to_block(self):
+        field = np.ones((8, 8, 8))
+        cam = OrthoCamera((8, 8), axis="z")
+        tf = grayscale(0, 1, opacity=1.0)
+        dec = BlockDecomposition((8, 8, 8), (2, 1, 1))
+        frag = render_block(
+            dec.extract_block(field, 0), dec.block_bounds(0), field.shape, cam, tf
+        )
+        assert (frag.rgba[:4, :, 3] > 0).all()
+        assert (frag.rgba[4:, :, 3] == 0).all()

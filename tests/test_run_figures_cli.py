@@ -1,0 +1,36 @@
+"""Smoke tests for the figure-runner CLI."""
+
+import pathlib
+import subprocess
+import sys
+
+SCRIPT = pathlib.Path(__file__).parent.parent / "benchmarks" / "run_figures.py"
+
+
+def run(*args):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *args],
+        capture_output=True, text=True, timeout=120,
+    )
+
+
+class TestCli:
+    def test_list(self):
+        proc = run("--list")
+        assert proc.returncode == 0
+        assert "fig6" in proc.stdout and "fig10e" in proc.stdout
+
+    def test_no_args_lists(self):
+        proc = run()
+        assert proc.returncode == 0
+        assert "fig2" in proc.stdout
+
+    def test_unknown_figure(self):
+        proc = run("fig99")
+        assert proc.returncode == 2
+        assert "unknown" in proc.stderr
+
+    def test_runs_a_fast_figure(self):
+        proc = run("fig3")
+        assert proc.returncode == 0, proc.stdout[-2000:]
+        assert "Figure 3" in proc.stdout

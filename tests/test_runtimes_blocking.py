@@ -1,0 +1,55 @@
+"""Blocking bulk-synchronous baseline vs the asynchronous MPI controller."""
+
+import pytest
+
+from repro.core.payload import Payload
+from repro.graphs import DataParallel, Reduction
+from repro.runtimes import BlockingMPIController, MPIController
+from repro.runtimes.costs import CallableCost
+
+
+def run_reduction(ctor, cost, leaves=16, valence=2, n_procs=8):
+    g = Reduction(leaves, valence)
+    c = ctor(n_procs, cost_model=cost)
+    c.initialize(g)
+    c.register_callback(g.LEAF, lambda ins, tid: [ins[0]])
+    add = lambda ins, tid: [Payload(sum(p.data for p in ins))]
+    c.register_callback(g.REDUCE, add)
+    c.register_callback(g.ROOT, add)
+    return g, c.run({t: Payload(1) for t in g.leaf_ids()})
+
+
+class TestCorrectness:
+    def test_same_results_as_async(self):
+        cost = CallableCost(lambda t, i: 0.01)
+        g, r_block = run_reduction(BlockingMPIController, cost)
+        _, r_async = run_reduction(MPIController, cost)
+        assert r_block.output(g.root_id).data == r_async.output(g.root_id).data
+
+    def test_all_tasks_execute(self):
+        g, r = run_reduction(BlockingMPIController, CallableCost(lambda t, i: 0.0))
+        assert r.stats.tasks_executed == g.size()
+
+
+class TestBlockingPenalty:
+    def test_barrier_hurts_under_imbalance(self):
+        """One slow leaf per round stalls every rank at the barrier —
+        the paper's explanation for BabelFlow-MPI beating the original
+        blocking implementation."""
+        imbalanced = CallableCost(
+            lambda t, i: 1.0 if t.id % 7 == 0 else 0.01
+        )
+        _, r_block = run_reduction(BlockingMPIController, imbalanced, leaves=32)
+        _, r_async = run_reduction(MPIController, imbalanced, leaves=32)
+        assert r_async.makespan < r_block.makespan
+
+    def test_no_penalty_without_dependencies_or_imbalance(self):
+        cost = CallableCost(lambda t, i: 0.5)
+        g = DataParallel(16)
+        res = {}
+        for ctor in (MPIController, BlockingMPIController):
+            c = ctor(16, cost_model=cost)
+            c.initialize(g)
+            c.register_callback(g.WORK, lambda ins, tid: [ins[0]])
+            res[ctor] = c.run({t: Payload(1) for t in range(16)}).makespan
+        assert res[BlockingMPIController] == pytest.approx(res[MPIController])

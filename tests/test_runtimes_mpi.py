@@ -1,0 +1,95 @@
+"""MPI controller specifics: task maps, in-memory messages, serialization
+accounting, thread-pool trade-off."""
+
+import pytest
+
+from repro.core.errors import ControllerError
+from repro.core.payload import Payload
+from repro.core.taskmap import ModuloMap, RangeMap
+from repro.graphs import DataParallel, Reduction
+from repro.runtimes import DEFAULT_COSTS, MPIController
+
+
+def sum_reduction(c, leaves=16, valence=4, task_map=None, payload_bytes=10**6):
+    g = Reduction(leaves, valence)
+    c.initialize(g, task_map)
+    c.register_callback(g.LEAF, lambda ins, tid: [Payload(ins[0].data, nbytes=payload_bytes)])
+    add = lambda ins, tid: [
+        Payload(sum(p.data for p in ins), nbytes=payload_bytes)
+    ]
+    c.register_callback(g.REDUCE, add)
+    c.register_callback(g.ROOT, add)
+    return g, c.run({t: Payload(1) for t in g.leaf_ids()})
+
+
+class TestTaskMap:
+    def test_default_is_modulo(self):
+        c = MPIController(4)
+        g = Reduction(4, 2)
+        c.initialize(g)
+        assert isinstance(c._task_map, ModuloMap)
+
+    def test_oversized_map_rejected(self):
+        c = MPIController(2)
+        with pytest.raises(ControllerError, match="ranks"):
+            c.initialize(Reduction(4, 2), ModuloMap(8, 7))
+
+    def test_all_tasks_on_one_rank_works(self):
+        """"Executing a task graph on fewer (or even a single) ranks has
+        proven useful for debugging" — and must stay correct."""
+        g = Reduction(8, 2)
+        c = MPIController(4)
+        tm = RangeMap(4, [0] * g.size())
+        gr, result = sum_reduction(c, 8, 2, task_map=tm)
+        assert result.output(0).data == 8
+
+
+class TestInMemoryMessages:
+    def test_intra_rank_skips_serialization(self):
+        g = DataParallel(4)  # no edges at all -> no serialization anywhere
+        c = MPIController(2)
+        c.initialize(g)
+        c.register_callback(g.WORK, lambda ins, tid: [ins[0]])
+        r = c.run({t: Payload(1) for t in range(4)})
+        assert r.stats.get("serialize") == 0.0
+
+    def test_single_rank_run_has_zero_serialize(self):
+        c = MPIController(1)
+        _, result = sum_reduction(c, 16, 4)
+        assert result.stats.get("serialize") == 0.0
+
+    def test_disabling_shortcut_charges_everyone(self):
+        costs = DEFAULT_COSTS.with_(mpi_in_memory=False)
+        c_on = MPIController(1)
+        c_off = MPIController(1, costs=costs)
+        _, r_on = sum_reduction(c_on)
+        _, r_off = sum_reduction(c_off)
+        assert r_off.stats.get("serialize") > 0.0
+        assert r_off.makespan > r_on.makespan
+
+    def test_inter_rank_serialization_scales_with_bytes(self):
+        _, small = sum_reduction(MPIController(4), payload_bytes=10**3)
+        _, big = sum_reduction(MPIController(4), payload_bytes=10**8)
+        assert big.stats.get("serialize") > small.stats.get("serialize")
+        assert big.makespan > small.makespan
+
+
+class TestThreadPool:
+    def test_more_cores_per_rank_helps_oversubscribed_rank(self):
+        """Distributing tasks among fewer ranks trades distributed for
+        shared-memory parallelism (Section IV-A)."""
+        from repro.runtimes.costs import CallableCost
+
+        g = DataParallel(8)
+        results = {}
+        for cores in (1, 4):
+            c = MPIController(
+                1,
+                cores_per_proc=cores,
+                cost_model=CallableCost(lambda task, ins: 1.0),
+            )
+            c.initialize(g)
+            c.register_callback(g.WORK, lambda ins, tid: [ins[0]])
+            results[cores] = c.run({t: Payload(1) for t in range(8)}).makespan
+        assert results[4] < results[1]
+        assert results[1] >= 8.0  # serialized on one core

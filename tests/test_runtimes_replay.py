@@ -1,0 +1,99 @@
+"""Tests for record/replay single-task debugging."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ControllerError
+from repro.core.payload import Payload
+from repro.graphs import Reduction
+from repro.runtimes.replay import (
+    RecordingController,
+    replay_task,
+    verify_recording,
+)
+
+
+def record_sum_reduction(leaves=8, valence=2):
+    g = Reduction(leaves, valence)
+    c = RecordingController()
+    c.initialize(g)
+    fwd = lambda ins, tid: [ins[0]]
+    add = lambda ins, tid: [Payload(sum(p.data for p in ins))]
+    c.register_callback(g.LEAF, fwd)
+    c.register_callback(g.REDUCE, add)
+    c.register_callback(g.ROOT, add)
+    result = c.run({t: Payload(i + 1) for i, t in enumerate(g.leaf_ids())})
+    return g, c.recording, result, {g.LEAF: fwd, g.REDUCE: add, g.ROOT: add}
+
+
+class TestRecording:
+    def test_all_tasks_recorded(self):
+        g, rec, _, _ = record_sum_reduction()
+        assert rec.task_ids() == list(g.task_ids())
+
+    def test_inputs_and_outputs_captured(self):
+        g, rec, result, _ = record_sum_reduction()
+        root_inputs = rec.inputs[0]
+        assert sum(p.data for p in root_inputs) == 36
+        assert rec.outputs[0][0].data == 36
+        assert rec.outputs[0][0] == result.output(0)
+
+    def test_callback_ids_recorded(self):
+        g, rec, _, _ = record_sum_reduction()
+        assert rec.callbacks[0] == g.ROOT
+        assert rec.callbacks[g.leaf_ids()[0]] == g.LEAF
+
+
+class TestReplay:
+    def test_identical_implementation_matches(self):
+        g, rec, _, fns = record_sum_reduction()
+        for tid in rec.task_ids():
+            r = replay_task(rec, fns[rec.callbacks[tid]], tid)
+            assert r.matches, tid
+
+    def test_buggy_implementation_detected(self):
+        g, rec, _, _ = record_sum_reduction()
+        buggy = lambda ins, tid: [Payload(sum(p.data for p in ins) + 1)]
+        r = replay_task(rec, buggy, 0)
+        assert not r.matches
+        assert r.mismatched_channels == [0]
+        assert r.outputs[0].data == 37
+
+    def test_arity_change_detected(self):
+        g, rec, _, _ = record_sum_reduction()
+        weird = lambda ins, tid: [Payload(1), Payload(2)]
+        assert not replay_task(rec, weird, 0).matches
+
+    def test_unknown_task_rejected(self):
+        _, rec, _, _ = record_sum_reduction()
+        with pytest.raises(ControllerError):
+            replay_task(rec, lambda i, t: [], 999)
+
+    def test_equivalent_refactor_passes_verification(self):
+        g, rec, _, fns = record_sum_reduction()
+        refactored = dict(fns)
+        refactored[g.REDUCE] = lambda ins, tid: [
+            Payload(int(np.sum([p.data for p in ins])))
+        ]
+        assert verify_recording(rec, refactored) == []
+
+    def test_verification_pinpoints_broken_tasks(self):
+        g, rec, _, fns = record_sum_reduction()
+        broken = dict(fns)
+        broken[g.ROOT] = lambda ins, tid: [Payload(-1)]
+        assert verify_recording(rec, broken) == [0]
+
+
+class TestWorkloadReplay:
+    def test_merge_tree_join_replay(self, small_field):
+        """The intended workflow: capture a real analysis run, then unit
+        test one join task in isolation."""
+        from repro.analysis.mergetree import MergeTreeWorkload
+
+        wl = MergeTreeWorkload(small_field, 8, 0.5, valence=2)
+        c = RecordingController()
+        result = wl.run(c)
+        rec = c.recording
+        join_tid = wl.graph.join_id(1, 0)
+        r = replay_task(rec, wl.join, join_tid)
+        assert r.matches

@@ -1,0 +1,76 @@
+"""Serial controller specifics: deterministic order, stall detection."""
+
+import pytest
+
+from repro.core.errors import ControllerError
+from repro.core.graph import TaskGraph
+from repro.core.ids import EXTERNAL, TNULL
+from repro.core.payload import Payload
+from repro.core.task import Task
+from repro.graphs import Reduction
+from repro.runtimes import SerialController
+
+
+class TestOrdering:
+    def test_ready_ties_break_by_id(self):
+        g = Reduction(8, 2)
+        order = []
+        c = SerialController()
+        c.initialize(g)
+
+        def record(ins, tid):
+            order.append(tid)
+            return [Payload(sum(p.data for p in ins if p.data is not None) or 1)]
+
+        for cb in g.callbacks():
+            c.register_callback(cb, record)
+        c.run({t: Payload(1) for t in g.leaf_ids()})
+        # Leaves (7..14) in id order, then level 2, level 1, root.
+        assert order[:8] == g.leaf_ids()
+        assert order[-1] == 0
+
+    def test_execution_is_repeatable(self):
+        runs = []
+        for _ in range(2):
+            g = Reduction(4, 2)
+            c = SerialController()
+            c.initialize(g)
+            order = []
+            for cb in g.callbacks():
+                c.register_callback(
+                    cb,
+                    lambda ins, tid: (order.append(tid), [Payload(0)])[1],
+                )
+            c.run({t: Payload(0) for t in g.leaf_ids()})
+            runs.append(order)
+        assert runs[0] == runs[1]
+
+
+class TestStallDetection:
+    def test_impossible_graph_reported(self):
+        class Stuck(TaskGraph):
+            """Task 1 waits for a message task 0 never sends."""
+
+            def size(self):
+                return 2
+
+            def task(self, tid):
+                if tid == 0:
+                    return Task(0, 0, [EXTERNAL], [[TNULL]])
+                return Task(1, 0, [0], [[TNULL]])
+
+        c = SerialController()
+        c.initialize(Stuck())
+        c.register_callback(0, lambda ins, tid: [Payload(1)])
+        with pytest.raises(ControllerError, match="stalled"):
+            c.run({0: Payload(1)})
+
+    def test_wall_time_reported(self):
+        g = Reduction(4, 2)
+        c = SerialController()
+        c.initialize(g)
+        for cb in g.callbacks():
+            c.register_callback(cb, lambda ins, tid: [Payload(1)])
+        r = c.run({t: Payload(1) for t in g.leaf_ids()})
+        assert r.makespan > 0
+        assert r.stats.get("compute") == r.makespan

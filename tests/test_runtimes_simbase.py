@@ -1,0 +1,136 @@
+"""Edge-case tests of the shared simulator-controller machinery."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.core.payload import Payload
+from repro.graphs import DataParallel, Reduction
+from repro.runtimes import (
+    CharmController,
+    LegionIndexController,
+    LegionSPMDController,
+    MPIController,
+)
+from repro.runtimes.costs import CallableCost
+
+
+def sum_reduction(c, leaves=8, valence=2):
+    g = Reduction(leaves, valence)
+    c.initialize(g)
+    c.register_callback(g.LEAF, lambda ins, tid: [ins[0]])
+    add = lambda ins, tid: [Payload(sum(p.data for p in ins))]
+    c.register_callback(g.REDUCE, add)
+    c.register_callback(g.ROOT, add)
+    return g, c.run({t: Payload(1) for t in g.leaf_ids()})
+
+
+class TestControllerReuse:
+    @pytest.mark.parametrize(
+        "ctor",
+        [MPIController, CharmController, LegionSPMDController, LegionIndexController],
+    )
+    def test_run_twice_same_instance(self, ctor):
+        """Per-run state must fully reset: the second run matches the
+        first bit for bit (timings included)."""
+        c = ctor(4)
+        g, r1 = sum_reduction(c)
+        r2 = c.run({t: Payload(1) for t in g.leaf_ids()})
+        assert r1.output(0).data == r2.output(0).data == 8
+        assert r1.makespan == r2.makespan
+
+    def test_reinitialize_with_new_graph(self):
+        c = MPIController(4)
+        sum_reduction(c, leaves=8)
+        g2 = DataParallel(5)
+        c.initialize(g2)
+        c.register_callback(g2.WORK, lambda ins, tid: [ins[0]])
+        r = c.run({t: Payload(t) for t in range(5)})
+        assert r.stats.tasks_executed == 5
+
+
+class TestProcCounts:
+    def test_more_procs_than_tasks(self):
+        c = MPIController(64)
+        _, r = sum_reduction(c, leaves=8)
+        assert r.output(0).data == 8
+
+    def test_single_proc(self):
+        c = CharmController(1)
+        _, r = sum_reduction(c, leaves=8)
+        assert r.output(0).data == 8
+
+    def test_invalid_proc_count(self):
+        from repro.core.errors import ControllerError
+
+        with pytest.raises(ControllerError):
+            MPIController(0)
+
+
+class TestCostInteraction:
+    def test_zero_cost_still_orders_correctly(self):
+        c = MPIController(4, cost_model=CallableCost(lambda t, i: 0.0))
+        _, r = sum_reduction(c)
+        assert r.output(0).data == 8
+
+    def test_negative_model_clamped(self):
+        c = MPIController(4, cost_model=CallableCost(lambda t, i: -1.0))
+        _, r = sum_reduction(c)
+        assert r.makespan >= 0
+
+    def test_makespan_scales_with_machine_speed(self):
+        from repro.sim.machine import SHAHEEN_II
+
+        slow = MPIController(4, cost_model=CallableCost(lambda t, i: 0.1))
+        fast = MPIController(
+            4,
+            cost_model=CallableCost(lambda t, i: 0.1),
+            machine=SHAHEEN_II.with_(core_speed=10.0),
+        )
+        _, r_slow = sum_reduction(slow)
+        _, r_fast = sum_reduction(fast)
+        assert r_fast.makespan < r_slow.makespan
+
+
+class TestMisbehavingGraphs:
+    def test_overdelivery_detected(self):
+        """A graph whose producer sends more messages than the consumer
+        has slots must fail loudly, not corrupt state."""
+        from repro.core.graph import TaskGraph
+        from repro.core.ids import EXTERNAL, TNULL
+        from repro.core.task import Task
+
+        class Overdeliver(TaskGraph):
+            def size(self):
+                return 2
+
+            def task(self, tid):
+                if tid == 0:
+                    # Two channels to task 1, which expects only one.
+                    return Task(0, 0, [EXTERNAL], [[1], [1]])
+                return Task(1, 0, [0], [[TNULL]])
+
+        c = MPIController(2)
+        c.initialize(Overdeliver())
+        c.register_callback(0, lambda ins, tid: [Payload(1)] * (2 - tid))
+        with pytest.raises(SimulationError, match="more messages|already completed"):
+            c.run({0: Payload(1)})
+
+    def test_stall_diagnostic_names_waiting_tasks(self):
+        from repro.core.graph import TaskGraph
+        from repro.core.ids import EXTERNAL, TNULL
+        from repro.core.task import Task
+
+        class Stuck(TaskGraph):
+            def size(self):
+                return 2
+
+            def task(self, tid):
+                if tid == 0:
+                    return Task(0, 0, [EXTERNAL], [[TNULL]])
+                return Task(1, 0, [0], [[TNULL]])  # never fed
+
+        c = MPIController(2)
+        c.initialize(Stuck())
+        c.register_callback(0, lambda ins, tid: [Payload(1)])
+        with pytest.raises(SimulationError, match="stalled"):
+            c.run({0: Payload(1)})

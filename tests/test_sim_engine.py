@@ -1,0 +1,99 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        eng = Engine()
+        log = []
+        eng.after(2.0, log.append, "b")
+        eng.after(1.0, log.append, "a")
+        eng.after(3.0, log.append, "c")
+        eng.run()
+        assert log == ["a", "b", "c"]
+        assert eng.now == 3.0
+
+    def test_ties_fire_in_schedule_order(self):
+        eng = Engine()
+        log = []
+        for i in range(10):
+            eng.at(1.0, log.append, i)
+        eng.run()
+        assert log == list(range(10))
+
+    def test_handlers_can_schedule_more(self):
+        eng = Engine()
+        log = []
+
+        def chain(n):
+            log.append(n)
+            if n < 5:
+                eng.after(1.0, chain, n + 1)
+
+        eng.after(0.0, chain, 0)
+        eng.run()
+        assert log == [0, 1, 2, 3, 4, 5]
+        assert eng.now == 5.0
+
+    def test_cancel(self):
+        eng = Engine()
+        log = []
+        ev = eng.after(1.0, log.append, "x")
+        eng.after(0.5, ev.cancel)
+        eng.run()
+        assert log == []
+
+    def test_run_until(self):
+        eng = Engine()
+        log = []
+        eng.after(1.0, log.append, 1)
+        eng.after(5.0, log.append, 5)
+        eng.run(until=2.0)
+        assert log == [1]
+        assert eng.now == 2.0
+        eng.run()
+        assert log == [1, 5]
+
+    def test_past_scheduling_rejected(self):
+        eng = Engine()
+        eng.after(1.0, lambda: None)
+        eng.run()
+        with pytest.raises(SimulationError):
+            eng.at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().after(-1.0, lambda: None)
+
+    def test_not_reentrant(self):
+        eng = Engine()
+
+        def recurse():
+            eng.run()
+
+        eng.after(0.0, recurse)
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_step(self):
+        eng = Engine()
+        log = []
+        eng.after(1.0, log.append, 1)
+        assert eng.step() is True
+        assert eng.step() is False
+        assert log == [1]
+
+    @given(st.lists(st.floats(0, 100, allow_nan=False), max_size=50))
+    def test_time_is_monotone(self, delays):
+        eng = Engine()
+        times = []
+        for d in delays:
+            eng.after(d, lambda: times.append(eng.now))
+        eng.run()
+        assert times == sorted(times)

@@ -1,0 +1,105 @@
+"""Tests for trace profiling reports."""
+
+import numpy as np
+import pytest
+
+from repro.core.payload import Payload
+from repro.graphs import DataParallel, Reduction
+from repro.runtimes import MPIController
+from repro.runtimes.costs import CallableCost
+from repro.sim.report import category_breakdown, gantt, imbalance, utilization
+from repro.sim.trace import Stats, Trace
+
+
+def make_trace():
+    t = Trace()
+    t.record("compute", 0, 0.0, 1.0, "a")
+    t.record("compute", 1, 0.0, 0.5, "b")
+    t.record("message", 0, 0.5, 0.8, "m")
+    return t
+
+
+class TestUtilization:
+    def test_per_proc_fraction(self):
+        u = utilization(make_trace(), 2)
+        assert u[0] == pytest.approx(1.0)
+        assert u[1] == pytest.approx(0.5)
+
+    def test_empty_trace(self):
+        assert (utilization(Trace(), 3) == 0).all()
+
+    def test_category_filter(self):
+        u = utilization(make_trace(), 2, category="message")
+        assert u[0] == pytest.approx(0.3)
+        assert u[1] == 0.0
+
+
+class TestImbalance:
+    def test_balanced_is_one(self):
+        t = Trace()
+        t.record("compute", 0, 0, 1, "")
+        t.record("compute", 1, 0, 1, "")
+        assert imbalance(t, 2) == pytest.approx(1.0)
+
+    def test_skewed(self):
+        assert imbalance(make_trace(), 2) == pytest.approx(1.0 / 0.75)
+
+    def test_empty(self):
+        assert imbalance(Trace(), 4) == 0.0
+
+
+class TestBreakdown:
+    def test_table_contents(self):
+        s = Stats()
+        s.add("compute", 3.0)
+        s.add("serialize", 1.0)
+        text = category_breakdown(s)
+        assert "compute" in text and "serialize" in text
+        assert "75.0%" in text
+
+    def test_empty(self):
+        assert "no recorded" in category_breakdown(Stats())
+
+
+class TestGantt:
+    def test_rows_and_fill(self):
+        text = gantt(make_trace(), 2, width=10)
+        lines = text.splitlines()
+        assert lines[0].startswith("p0")
+        assert lines[0].count("#") == 10  # busy the whole horizon
+        assert lines[1].count("#") == 5
+
+    def test_elision(self):
+        t = make_trace()
+        text = gantt(t, 100, width=10, max_procs=2)
+        assert "more procs elided" in text
+
+    def test_empty(self):
+        assert gantt(Trace(), 2) == "(empty trace)"
+
+
+class TestOnRealRun:
+    def test_controller_trace_profiles(self):
+        g = Reduction(16, 4)
+        c = MPIController(4, collect_trace=True,
+                          cost_model=CallableCost(lambda t, i: 0.01))
+        c.initialize(g)
+        c.register_callback(g.LEAF, lambda ins, tid: [ins[0]])
+        add = lambda ins, tid: [Payload(sum(p.data for p in ins))]
+        c.register_callback(g.REDUCE, add)
+        c.register_callback(g.ROOT, add)
+        r = c.run({t: Payload(1) for t in g.leaf_ids()})
+        u = utilization(r.trace, 4)
+        assert (u > 0).all()
+        assert imbalance(r.trace, 4) >= 1.0
+        assert "compute" in category_breakdown(r.stats)
+        assert "#" in gantt(r.trace, 4)
+
+    def test_imbalance_detects_skew(self):
+        g = DataParallel(8)
+        skew = CallableCost(lambda t, i: 1.0 if t.id == 0 else 0.01)
+        c = MPIController(8, collect_trace=True, cost_model=skew)
+        c.initialize(g)
+        c.register_callback(g.WORK, lambda ins, tid: [ins[0]])
+        r = c.run({t: Payload(1) for t in range(8)})
+        assert imbalance(r.trace, 8) > 4.0

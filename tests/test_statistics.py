@@ -1,0 +1,119 @@
+"""Tests for the distributed statistics workload."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.statistics import StatisticsWorkload, SummaryStats
+from repro.runtimes import SerialController
+
+from tests.conftest import all_controllers
+
+
+class TestSummaryStats:
+    def test_from_array_basics(self):
+        s = SummaryStats.from_array(np.array([1.0, 2.0, 3.0]), bins=4, bin_range=(0, 4))
+        assert s.count == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.minimum == 1.0 and s.maximum == 3.0
+        assert s.histogram.sum() == 3
+
+    def test_empty_is_identity(self):
+        a = SummaryStats.from_array(np.array([1.0, 2.0]), bins=4, bin_range=(0, 4))
+        e = SummaryStats.from_array(np.array([]), bins=4, bin_range=(0, 4))
+        assert e.merge(a) == a
+        assert a.merge(e) == a
+
+    def test_merge_matches_concatenation(self):
+        rng = np.random.default_rng(0)
+        x, y = rng.random(100), rng.random(50)
+        a = SummaryStats.from_array(x)
+        b = SummaryStats.from_array(y)
+        both = SummaryStats.from_array(np.concatenate([x, y]))
+        m = a.merge(b)
+        assert m.count == both.count
+        assert m.mean == pytest.approx(both.mean)
+        assert m.variance == pytest.approx(both.variance)
+        assert np.array_equal(m.histogram, both.histogram)
+
+    @settings(deadline=None, max_examples=30)
+    @given(st.integers(0, 10_000), st.integers(1, 60), st.integers(1, 60), st.integers(1, 60))
+    def test_merge_associative(self, seed, na, nb, nc):
+        rng = np.random.default_rng(seed)
+        xs = [rng.random(n) for n in (na, nb, nc)]
+        a, b, c = (SummaryStats.from_array(x) for x in xs)
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert left.count == right.count
+        assert left.mean == pytest.approx(right.mean)
+        assert left.m2 == pytest.approx(right.m2, rel=1e-9, abs=1e-12)
+        assert np.array_equal(left.histogram, right.histogram)
+
+    def test_merge_commutative(self):
+        rng = np.random.default_rng(1)
+        a = SummaryStats.from_array(rng.random(40))
+        b = SummaryStats.from_array(rng.random(60))
+        ab, ba = a.merge(b), b.merge(a)
+        assert ab.count == ba.count
+        assert ab.mean == pytest.approx(ba.mean)
+
+    def test_quantiles(self):
+        vals = np.linspace(0.0, 1.0, 10001)
+        s = SummaryStats.from_array(vals, bins=100, bin_range=(0, 1))
+        assert s.quantile(0.5) == pytest.approx(0.5, abs=0.02)
+        assert s.quantile(0.9) == pytest.approx(0.9, abs=0.02)
+        assert s.quantile(0.0) <= s.quantile(1.0)
+
+    def test_quantile_validation(self):
+        s = SummaryStats.from_array(np.array([1.0]))
+        with pytest.raises(ValueError):
+            s.quantile(1.5)
+        with pytest.raises(ValueError):
+            SummaryStats().quantile(0.5)
+
+    def test_incompatible_histograms_rejected(self):
+        a = SummaryStats.from_array(np.array([1.0]), bins=4)
+        b = SummaryStats.from_array(np.array([1.0]), bins=8)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SummaryStats.from_array(np.array([1.0]), bins=0)
+        with pytest.raises(ValueError):
+            SummaryStats.from_array(np.array([1.0]), bin_range=(1.0, 1.0))
+
+
+class TestWorkload:
+    def test_matches_single_pass_reference(self, small_field):
+        wl = StatisticsWorkload(small_field, 16, valence=4)
+        ref = wl.reference()
+        got = wl.global_stats(wl.run(SerialController()))
+        assert got.count == ref.count
+        assert got.mean == pytest.approx(ref.mean)
+        assert got.variance == pytest.approx(ref.variance)
+        assert got.minimum == ref.minimum and got.maximum == ref.maximum
+        assert np.array_equal(got.histogram, ref.histogram)
+
+    def test_all_controllers_agree(self, small_field):
+        wl = StatisticsWorkload(small_field, 8, valence=2)
+        results = [wl.global_stats(wl.run(c)) for c in all_controllers(4)]
+        for r in results[1:]:
+            assert r == results[0]
+
+    def test_degenerate_single_block(self, small_field):
+        wl = StatisticsWorkload(small_field, 1, valence=2)
+        got = wl.global_stats(wl.run(SerialController()))
+        assert got.count == small_field.size
+
+    def test_cost_model_scales(self, small_field):
+        from repro.runtimes import MPIController
+
+        base = StatisticsWorkload(small_field, 8, valence=2)
+        big = StatisticsWorkload(
+            small_field, 8, valence=2, sim_shape=(1024, 1024, 1024)
+        )
+        r1 = base.run(MPIController(4, cost_model=base.cost_model()))
+        r2 = big.run(MPIController(4, cost_model=big.cost_model()))
+        assert r2.makespan > r1.makespan

@@ -1,0 +1,62 @@
+"""Tests for repro.util.fmt and repro.util.timer."""
+
+import time
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.fmt import format_bytes, format_time
+from repro.util.timer import Timer
+
+
+class TestFormatBytes:
+    def test_plain_bytes(self):
+        assert format_bytes(0) == "0 B"
+        assert format_bytes(512) == "512 B"
+
+    def test_units(self):
+        assert format_bytes(1024) == "1.00 KiB"
+        assert format_bytes(1536) == "1.50 KiB"
+        assert format_bytes(1024**2) == "1.00 MiB"
+        assert format_bytes(3 * 1024**3) == "3.00 GiB"
+
+    def test_negative(self):
+        assert format_bytes(-2048) == "-2.00 KiB"
+
+    @given(st.floats(0, 1e18, allow_nan=False))
+    def test_never_raises(self, n):
+        assert isinstance(format_bytes(n), str)
+
+
+class TestFormatTime:
+    def test_zero(self):
+        assert format_time(0.0) == "0 s"
+
+    def test_units(self):
+        assert format_time(2.5) == "2.5 s"
+        assert format_time(0.012) == "12 ms"
+        assert format_time(3.4e-6) == "3.4 us"
+        assert format_time(5e-9) == "5 ns"
+
+    def test_negative(self):
+        assert format_time(-0.5).startswith("-")
+
+    @given(st.floats(0, 1e6, allow_nan=False))
+    def test_never_raises(self, s):
+        assert isinstance(format_time(s), str)
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert 0.005 < t.elapsed < 1.0
+
+    def test_elapsed_while_running(self):
+        with Timer() as t:
+            first = t.elapsed
+            time.sleep(0.005)
+            assert t.elapsed >= first
+
+    def test_unstarted_is_zero(self):
+        assert Timer().elapsed == 0.0

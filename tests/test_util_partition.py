@@ -1,0 +1,115 @@
+"""Tests for repro.util.partition."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.partition import (
+    block_bounds,
+    block_decompose,
+    block_layout,
+    even_chunks,
+    factor3d,
+    split_range,
+)
+
+
+class TestSplitRange:
+    def test_even_split(self):
+        assert split_range(10, 2, 0) == (0, 5)
+        assert split_range(10, 2, 1) == (5, 10)
+
+    def test_uneven_split_first_chunks_bigger(self):
+        assert split_range(10, 3, 0) == (0, 4)
+        assert split_range(10, 3, 1) == (4, 7)
+        assert split_range(10, 3, 2) == (7, 10)
+
+    def test_more_parts_than_items(self):
+        chunks = [split_range(2, 4, i) for i in range(4)]
+        assert chunks == [(0, 1), (1, 2), (2, 2), (2, 2)]
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            split_range(10, 0, 0)
+
+    def test_invalid_index(self):
+        with pytest.raises(ValueError):
+            split_range(10, 3, 3)
+        with pytest.raises(ValueError):
+            split_range(10, 3, -1)
+
+    @given(st.integers(0, 500), st.integers(1, 60))
+    def test_chunks_cover_exactly(self, total, parts):
+        chunks = list(even_chunks(total, parts))
+        assert chunks[0][0] == 0
+        assert chunks[-1][1] == total
+        for (alo, ahi), (blo, bhi) in zip(chunks, chunks[1:]):
+            assert ahi == blo
+            assert ahi >= alo and bhi >= blo
+
+    @given(st.integers(0, 500), st.integers(1, 60))
+    def test_chunk_sizes_differ_by_at_most_one(self, total, parts):
+        sizes = [hi - lo for lo, hi in even_chunks(total, parts)]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestFactor3d:
+    def test_cube(self):
+        assert factor3d(8) == (2, 2, 2)
+        assert factor3d(64) == (4, 4, 4)
+
+    def test_one(self):
+        assert factor3d(1) == (1, 1, 1)
+
+    def test_prime(self):
+        assert sorted(factor3d(7)) == [1, 1, 7]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            factor3d(0)
+
+    @given(st.integers(1, 4096))
+    def test_product_is_n(self, n):
+        fx, fy, fz = factor3d(n)
+        assert fx * fy * fz == n
+
+    @given(st.integers(1, 1024))
+    def test_near_cubic(self, n):
+        # The spread of the chosen factors is minimal among all
+        # factorizations (brute force check for small n).
+        fx, fy, fz = factor3d(n)
+        best = min(
+            max(a, b, n // (a * b)) - min(a, b, n // (a * b))
+            for a in range(1, n + 1)
+            if n % a == 0
+            for b in range(1, n // a + 1)
+            if (n // a) % b == 0
+        )
+        assert max(fx, fy, fz) - min(fx, fy, fz) == best
+
+
+class TestBlockDecompose:
+    def test_blocks_tile_grid(self):
+        shape = (12, 10, 8)
+        blocks = block_decompose(shape, 8)
+        assert len(blocks) == 8
+        total = sum(
+            (x1 - x0) * (y1 - y0) * (z1 - z0)
+            for (x0, x1), (y0, y1), (z0, z1) in blocks
+        )
+        assert total == 12 * 10 * 8
+
+    def test_layout_matches_decompose(self):
+        shape = (16, 8, 32)
+        layout = block_layout(shape, 16)
+        assert layout[0] * layout[1] * layout[2] == 16
+        # The largest factor goes on the largest axis.
+        assert layout[2] == max(layout)
+
+    def test_non_3d_rejected(self):
+        with pytest.raises(ValueError):
+            block_decompose((4, 4), 2)
+
+    def test_block_bounds_validation(self):
+        with pytest.raises(ValueError):
+            block_bounds((4, 4, 4), (2, 2), (0, 0))
