@@ -21,9 +21,20 @@ blocking-send baseline.
 
 from __future__ import annotations
 
+if __package__ in (None, ""):
+    # Direct invocation (`python benchmarks/bench_fig6_...py`): make the
+    # repo root and src/ importable without an installed package.
+    import os
+    import sys
+
+    _root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    for _p in (_root, os.path.join(_root, "src")):
+        if _p not in sys.path:
+            sys.path.insert(0, _p)
+
 import pytest
 
-from benchmarks.harness import SCALE, bench_field, print_series, sweep_sizes
+from benchmarks.harness import SCALE, bench_field, observe, print_series, sweep_sizes
 from repro.analysis.mergetree import MergeTreeWorkload
 from repro.runtimes import (
     BlockingMPIController,
@@ -53,7 +64,7 @@ def workload():
 
 
 def run_point(workload, ctor, cores: int):
-    c = ctor(cores, cost_model=workload.cost_model())
+    c = observe(ctor(cores, cost_model=workload.cost_model()))
     return workload.run(c)
 
 
@@ -98,3 +109,9 @@ def test_fig6_mergetree_runtimes(workload, sweep, benchmark):
     assert legion[high] > mpi[high]
     mid = SIZES[-2]
     assert legion[mid] / legion[high] < mpi[mid] / mpi[high]
+
+
+if __name__ == "__main__":
+    raise SystemExit(
+        pytest.main([__file__, "-q", "-s", "--no-header", "-p", "no:cacheprovider"])
+    )

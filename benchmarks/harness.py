@@ -14,19 +14,57 @@ Scale control: the sweeps default to a laptop-friendly range; set
 Absolute seconds are *virtual* (simulated) time and are not expected to
 match the paper's testbed — see EXPERIMENTS.md for the per-figure
 comparison of shapes.
+
+Tracing: set ``REPRO_TRACE=<path>`` to capture every benchmarked run's
+observability events into one file — Chrome trace-event JSON by default
+(open in Perfetto / ``chrome://tracing``, or feed to
+``python -m repro.obs summarize``), JSONL when the path ends in
+``.jsonl``.  All runs of the process share the file; each run becomes
+its own process track.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
 from repro.data import hcci_proxy
+from repro.obs import EventSink
 
 #: "small" (default) or "full" sweep ranges.
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+_trace_exporter: EventSink | None = None
+
+
+def trace_exporter() -> EventSink | None:
+    """The process-wide exporter configured by ``REPRO_TRACE``, if any.
+
+    Created lazily on first use and closed (flushed to disk) atexit.
+    """
+    global _trace_exporter
+    path = os.environ.get("REPRO_TRACE")
+    if not path:
+        return None
+    if _trace_exporter is None:
+        from repro.obs import ChromeTraceExporter, JsonlExporter
+
+        cls = JsonlExporter if path.endswith(".jsonl") else ChromeTraceExporter
+        _trace_exporter = cls(path)
+        atexit.register(_trace_exporter.close)
+    return _trace_exporter
+
+
+def observe(controller):
+    """Attach the ``REPRO_TRACE`` exporter (when configured) and return
+    the controller, so benchmark call sites stay one-liners."""
+    exporter = trace_exporter()
+    if exporter is not None:
+        controller.add_sink(exporter)
+    return controller
 
 
 def sweep_sizes(small: Sequence[int], full: Sequence[int]) -> list[int]:
@@ -76,4 +114,4 @@ def speedups(values: Mapping[int, float]) -> dict[int, float]:
 
 def run_and_time(make_controller: Callable, workload, task_map=None) -> float:
     """Run a workload on a fresh controller; return the virtual makespan."""
-    return workload.run(make_controller(), task_map).makespan
+    return workload.run(observe(make_controller()), task_map).makespan

@@ -1,19 +1,34 @@
 #!/usr/bin/env python3
-"""The diagnostic toolbox: Dot, traces, Gantt charts, record/replay.
+"""The diagnostic toolbox: Dot, events, metrics, critical path, replay.
 
 The paper sells BabelFlow partly on developer experience — task graphs
 you can draw, over-decomposed runs you can debug serially, identical
 tasks across runtimes for regression testing.  This example walks the
-whole toolbox on one merge-tree run.
+whole toolbox on one merge-tree run, built on the observability layer
+(:mod:`repro.obs`): structured lifecycle events feed every view — span
+traces, Chrome trace files, metrics, and the critical-path analyzer.
 
 Run:  python examples/profiling_and_debugging.py
 """
 
 from __future__ import annotations
 
+import tempfile
+
 from repro.analysis.mergetree import MergeTreeWorkload
 from repro.data import hcci_proxy
-from repro.runtimes import MPIController, RecordingController, replay_task
+from repro.obs import (
+    ChromeTraceExporter,
+    ListSink,
+    critical_path,
+    load_events,
+)
+from repro.runtimes import (
+    CharmController,
+    MPIController,
+    RecordingController,
+    replay_task,
+)
 from repro.sim.report import category_breakdown, gantt, imbalance, utilization
 
 
@@ -32,19 +47,58 @@ def main() -> None:
     print("dot snippet of leaf 0's neighborhood:")
     print("\n".join(dot.splitlines()[:6]) + "\n...")
 
-    # --- 2. Profile a traced run. ---------------------------------------
+    # --- 2. Observe a run: events in memory + a Chrome trace on disk. ---
+    sink = ListSink()
+    trace_path = tempfile.mktemp(suffix=".json")
+    exporter = ChromeTraceExporter(trace_path)
     c = MPIController(4, cost_model=wl.cost_model(), collect_trace=True)
+    c.add_sink(sink)
+    c.add_sink(exporter)
     result = wl.run(c)
+    exporter.close()
     print(f"\nmakespan: {result.makespan:.4f}s virtual")
+    print(f"lifecycle events observed: {len(sink.events)} "
+          f"({len(sink.types())} distinct types)")
+    print(f"chrome trace written: {trace_path} "
+          f"(open in Perfetto, or `python -m repro.obs summarize`)")
+
+    # --- 3. Where did the time go?  Stats, metrics, critical path. ------
     print("\nwhere the time went:")
     print(category_breakdown(result.stats))
+
+    m = result.metrics  # always on, even with no sinks attached
+    lat = m.histograms["task_compute_seconds"]
+    print(f"\ntask latency: n={lat['count']} mean={lat['mean']:.2e}s "
+          f"max={lat['max']:.2e}s")
+    print(f"peak ready-queue depth: {m.gauge('queue_depth_peak'):.0f}")
+    print(f"mean utilization: {m.gauge('utilization_mean'):.0%}")
+
+    cp = critical_path(sink.events)
+    chain = " -> ".join(f"t{t}" for t in cp.tasks[:8])
+    print(f"\ncritical path ({len(cp.tasks)} tasks): {chain} ...")
+    print(cp.breakdown())
+
+    # --- 4. The classic span-trace views still work (built on events). --
     u = utilization(result.trace, 4)
     print(f"\nper-rank utilization: {[f'{x:.0%}' for x in u]}")
     print(f"load imbalance (max/mean): {imbalance(result.trace, 4):.2f}")
     print("\nschedule (# = computing):")
     print(gantt(result.trace, 4, width=64))
 
-    # --- 3. Record a run, then unit test one task in isolation. ---------
+    # --- 5. Same events from a different runtime (regression testing). --
+    charm_sink = ListSink()
+    charm = CharmController(4, cost_model=wl.cost_model())
+    charm.add_sink(charm_sink)
+    wl.run(charm)
+    shared = sink.types() & charm_sink.types()
+    print(f"\nMPI and Charm++ share {len(shared)} event types — one "
+          f"consumer profiles every backend")
+
+    # Round-trip: the Chrome trace reloads to the exact event stream.
+    reloaded = load_events(trace_path)
+    assert len(reloaded) == len(sink.events)
+
+    # --- 6. Record a run, then unit test one task in isolation. ---------
     rec_controller = RecordingController()
     wl.run(rec_controller)
     rec = rec_controller.recording

@@ -1,0 +1,91 @@
+"""Runtime observability: events, metrics, exporters, critical path.
+
+The paper's pitch is one task graph on many runtimes; this subsystem
+makes the *differences* between those runtimes measurable.  Every
+controller emits the same structured event vocabulary
+(:mod:`repro.obs.events`) through attached :class:`EventSink` objects,
+keeps an always-on :class:`MetricsRegistry`
+(:mod:`repro.obs.metrics`) snapshotted into each
+:class:`~repro.runtimes.result.RunResult`, and can stream runs to
+Chrome-trace / JSONL files (:mod:`repro.obs.export`) for Perfetto or
+the ``python -m repro.obs summarize`` CLI, including critical-path
+attribution (:mod:`repro.obs.critical_path`).
+
+Quick start::
+
+    from repro.obs import ChromeTraceExporter, ListSink, critical_path
+
+    sink = ListSink()
+    controller = MPIController(4, sinks=[sink])
+    result = workload.run(controller)
+    cp = critical_path(sink.events)
+    print(cp.breakdown(), result.metrics.summary())
+"""
+
+from repro.obs.critical_path import BUCKETS, CriticalPath, PathStep, critical_path
+from repro.obs.events import (
+    CORE_VOCABULARY,
+    MESSAGE_DELIVERED,
+    MESSAGE_SENT,
+    MIGRATION,
+    OVERHEAD,
+    RUN_FINISHED,
+    RUN_STARTED,
+    TASK_ENQUEUED,
+    TASK_FINISHED,
+    TASK_STARTED,
+    VOCABULARY,
+    Event,
+    EventSink,
+    ListSink,
+)
+from repro.obs.export import (
+    ChromeTraceExporter,
+    JsonlExporter,
+    events_from_chrome,
+    events_from_jsonl,
+    load_events,
+    split_runs,
+)
+from repro.obs.hub import NULL_HUB, ObsHub
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+
+__all__ = [
+    "BUCKETS",
+    "CORE_VOCABULARY",
+    "ChromeTraceExporter",
+    "Counter",
+    "CriticalPath",
+    "Event",
+    "EventSink",
+    "Gauge",
+    "Histogram",
+    "JsonlExporter",
+    "ListSink",
+    "MESSAGE_DELIVERED",
+    "MESSAGE_SENT",
+    "MIGRATION",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NULL_HUB",
+    "OVERHEAD",
+    "ObsHub",
+    "PathStep",
+    "RUN_FINISHED",
+    "RUN_STARTED",
+    "TASK_ENQUEUED",
+    "TASK_FINISHED",
+    "TASK_STARTED",
+    "VOCABULARY",
+    "critical_path",
+    "events_from_chrome",
+    "events_from_jsonl",
+    "load_events",
+    "split_runs",
+]

@@ -1,0 +1,131 @@
+"""``python -m repro.obs`` — summarize saved runtime traces.
+
+Sub-commands:
+
+* ``summarize <trace>`` — per-run category totals, top-k tasks, load
+  imbalance, and the critical-path breakdown.  Accepts Chrome
+  trace-event files written by
+  :class:`~repro.obs.export.ChromeTraceExporter` (``REPRO_TRACE=...``)
+  and JSONL event logs.  ``--gantt`` adds the ASCII schedule.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.obs.critical_path import critical_path
+from repro.obs.events import RUN_STARTED, Event
+from repro.obs.export import load_events, split_runs
+
+
+def _run_label(run: list[Event], index: int) -> str:
+    for ev in run:
+        if ev.type == RUN_STARTED:
+            return ev.label or f"run {index}"
+    return f"run {index}"
+
+
+def summarize_run(run: list[Event], index: int, top: int, show_gantt: bool) -> str:
+    """Render one run's summary block."""
+    # Reporting sits on the sim layer; import here keeps repro.obs
+    # importable without pulling numpy at module import time.
+    from repro.sim.report import (
+        category_breakdown,
+        gantt,
+        imbalance,
+        n_procs_of,
+        stats_from_events,
+        top_tasks,
+        trace_from_events,
+    )
+
+    stats = stats_from_events(run)
+    procs = n_procs_of(run)
+    lines = [
+        f"== {_run_label(run, index)} ({procs} procs) ==",
+        f"makespan {stats.makespan:.6f}s  tasks {stats.tasks_executed}  "
+        f"messages {stats.messages}  bytes {stats.bytes_sent}",
+        "",
+        "where the time went (all procs):",
+        category_breakdown(stats),
+    ]
+
+    rows = top_tasks(run, top)
+    if rows:
+        lines += ["", f"top {len(rows)} tasks by compute time:"]
+        lines += [
+            f"  t{task:<8} {dur:.6f}s  on p{proc}" for task, dur, proc in rows
+        ]
+
+    trace = trace_from_events(run)
+    if procs > 0 and trace.spans:
+        lines += [
+            "",
+            f"load imbalance (max/mean busy): "
+            f"{imbalance(trace, procs):.2f}",
+        ]
+
+    cp = critical_path(run)
+    if cp.steps:
+        chain = " -> ".join(f"t{t}" for t in cp.tasks[:12])
+        if len(cp.tasks) > 12:
+            chain += f" -> ... ({len(cp.tasks)} tasks)"
+        lines += [
+            "",
+            f"critical path ({len(cp.steps)} tasks, "
+            f"ends at {cp.makespan:.6f}s):",
+            f"  {chain}",
+            f"  {cp.breakdown()}",
+        ]
+
+    if show_gantt and trace.spans and procs > 0:
+        lines += ["", "schedule (# = computing):", gantt(trace, procs)]
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_sum = sub.add_parser(
+        "summarize", help="summarize a saved Chrome-trace/JSONL event log"
+    )
+    p_sum.add_argument("trace", help="path written via REPRO_TRACE or an exporter")
+    p_sum.add_argument(
+        "--top", type=int, default=5, metavar="K",
+        help="how many of the longest tasks to list (default 5)",
+    )
+    p_sum.add_argument(
+        "--gantt", action="store_true", help="draw the ASCII schedule too"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        events = load_events(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not events:
+        print(f"error: {args.trace}: no events found", file=sys.stderr)
+        return 2
+
+    blocks = [
+        summarize_run(run, i, args.top, args.gantt)
+        for i, run in enumerate(split_runs(events))
+    ]
+    try:
+        print("\n\n".join(blocks))
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # Downstream pager/head closed early; silence the shutdown flush.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,157 @@
+"""Critical-path analysis over an executed event stream.
+
+Walks the *actual* dependency chain of a finished run backwards from the
+last task to finish and attributes the makespan to four buckets:
+
+* ``compute`` — callback time on the chain,
+* ``overhead`` — runtime bookkeeping attached to chain tasks (dispatch,
+  staging, launch, de-/serialization, ...),
+* ``network`` — send-to-delivery time of the binding input message of
+  each chain task,
+* ``wait`` — everything else: queueing behind busy cores, round
+  barriers, spawn skew (the gap between a task's binding input arriving
+  and its compute starting, minus the overhead paid in between).
+
+Per backend the same graph yields very different splits — the analysis
+makes the *why* of Figs. 3/6/10 quantitative instead of eyeballed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.events import (
+    MESSAGE_DELIVERED,
+    OVERHEAD,
+    TASK_FINISHED,
+    TASK_STARTED,
+    Event,
+)
+
+#: Makespan attribution buckets, in report order.
+BUCKETS = ("compute", "overhead", "network", "wait")
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One task on the critical path (source-to-sink order)."""
+
+    task: int
+    proc: int
+    start: float
+    end: float
+    compute: float
+    overhead: float
+    network: float  # transfer time of the binding input message
+    wait: float  # un-attributed gap before compute started
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.overhead + self.network + self.wait
+
+
+@dataclass
+class CriticalPath:
+    """The executed longest chain and its makespan attribution."""
+
+    steps: list[PathStep] = field(default_factory=list)
+    makespan: float = 0.0
+    totals: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def tasks(self) -> list[int]:
+        """Task ids along the path, source first."""
+        return [s.task for s in self.steps]
+
+    def breakdown(self) -> str:
+        """One-line ``bucket time (share)`` summary."""
+        if self.makespan <= 0:
+            return "(empty run)"
+        parts = [
+            f"{b} {self.totals.get(b, 0.0):.6f}s "
+            f"({self.totals.get(b, 0.0) / self.makespan:.1%})"
+            for b in BUCKETS
+        ]
+        return " + ".join(parts)
+
+
+def critical_path(events: list[Event]) -> CriticalPath:
+    """Analyze one run's event stream (a single run's events).
+
+    The stream must contain ``task_started``/``task_finished`` pairs;
+    ``message_delivered`` events define the dependency edges and
+    ``overhead`` events refine the attribution.  Streams from any
+    backend — including the serial controller's zero-duration messages —
+    are accepted.
+    """
+    starts: dict[int, Event] = {}
+    ends: dict[int, Event] = {}
+    overhead_of: dict[int, float] = {}
+    incoming: dict[int, list[Event]] = {}
+    for ev in events:
+        if ev.type == TASK_STARTED:
+            starts[ev.task] = ev  # retries: last attempt wins
+        elif ev.type == TASK_FINISHED:
+            ends[ev.task] = ev
+        elif ev.type == OVERHEAD and ev.task >= 0 and ev.dst_task < 0:
+            # Per-edge sender-side costs (serialization: task=producer,
+            # dst_task=consumer) happen after the producer's compute and
+            # are not part of its pre-compute gap — skip them here.
+            overhead_of[ev.task] = overhead_of.get(ev.task, 0.0) + ev.dur
+        elif ev.type == MESSAGE_DELIVERED and ev.dst_task >= 0:
+            incoming.setdefault(ev.dst_task, []).append(ev)
+
+    cp = CriticalPath(totals={b: 0.0 for b in BUCKETS})
+    if not ends:
+        return cp
+
+    sink = max(ends, key=lambda t: (ends[t].t, t))
+    cp.makespan = ends[sink].t
+
+    steps_rev: list[PathStep] = []
+    cur: int | None = sink
+    visited: set[int] = set()
+    while cur is not None and cur not in visited:
+        visited.add(cur)
+        end_ev = ends[cur]
+        start_ev = starts.get(cur)
+        start_t = start_ev.t if start_ev is not None else end_ev.t - end_ev.dur
+        compute = end_ev.dur
+        ovh = overhead_of.get(cur, 0.0)
+
+        msgs = incoming.get(cur, ())
+        binding = max(msgs, key=lambda m: m.t) if msgs else None
+        if binding is not None:
+            network = binding.dur
+            ready_t = binding.t
+            producer = binding.task if binding.task in ends else None
+        else:
+            network = 0.0
+            ready_t = 0.0  # source task: gate is the start of the run
+            producer = None
+
+        wait = max(0.0, start_t - ready_t - ovh)
+        steps_rev.append(
+            PathStep(
+                task=cur,
+                proc=end_ev.proc,
+                start=start_t,
+                end=end_ev.t,
+                compute=compute,
+                overhead=ovh,
+                network=network,
+                wait=wait,
+            )
+        )
+        cur = producer
+
+    cp.steps = list(reversed(steps_rev))
+    for s in cp.steps:
+        cp.totals["compute"] += s.compute
+        cp.totals["overhead"] += s.overhead
+        cp.totals["network"] += s.network
+        cp.totals["wait"] += s.wait
+    return cp
+
+
+__all__ = ["BUCKETS", "CriticalPath", "PathStep", "critical_path"]

@@ -1,0 +1,156 @@
+"""Structured runtime lifecycle events and the sink protocol.
+
+Every controller — serial, MPI, Charm++, Legion SPMD, and Legion
+index-launch — narrates its execution through the same small vocabulary
+of events, emitted at the points where trace spans were recorded
+historically.  Consumers implement :class:`EventSink`; a controller fans
+events out to its attached sinks through
+:class:`~repro.obs.hub.ObsHub`.
+
+Events are *zero-cost when unobserved*: controllers construct an
+:class:`Event` only inside an ``if hub:`` guard, so a run with no sinks
+attached allocates nothing (the regression test in
+``tests/test_obs_overhead.py`` enforces this).
+
+Timestamps are virtual seconds (wall seconds for the serial controller,
+which has no virtual clock).  Events may be emitted out of timestamp
+order — the simulator knows a span's end at submission time — so
+consumers that need chronology should sort by ``t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+#: A task entered a proc's ready queue (all inputs present).
+TASK_ENQUEUED = "task_enqueued"
+#: A task's callback began computing on a core (runtime overhead paid).
+TASK_STARTED = "task_started"
+#: A task's callback finished; ``dur`` is its compute time.
+TASK_FINISHED = "task_finished"
+#: A dataflow payload entered the wire (or the in-proc fast path).
+MESSAGE_SENT = "message_sent"
+#: A dataflow payload arrived at its destination proc.
+MESSAGE_DELIVERED = "message_delivered"
+#: Runtime bookkeeping time (``category``: dispatch, staging, serialize,
+#: launch, spawn, lb, migrate, send, wasted, ...).
+OVERHEAD = "overhead"
+#: Charm++ moved a queued chare between PEs (load balancing).
+MIGRATION = "migration"
+#: A controller run began; ``label`` is the backend class name.
+RUN_STARTED = "run_started"
+#: A controller run completed; ``t`` and ``dur`` are the makespan.
+RUN_FINISHED = "run_finished"
+
+#: The complete event vocabulary shared by all backends.
+VOCABULARY = frozenset(
+    {
+        TASK_ENQUEUED,
+        TASK_STARTED,
+        TASK_FINISHED,
+        MESSAGE_SENT,
+        MESSAGE_DELIVERED,
+        OVERHEAD,
+        MIGRATION,
+        RUN_STARTED,
+        RUN_FINISHED,
+    }
+)
+
+#: Lifecycle events every backend emits on every non-empty run
+#: (``MIGRATION`` is conditional on the Charm++ load balancer acting).
+CORE_VOCABULARY = frozenset(
+    {
+        TASK_ENQUEUED,
+        TASK_STARTED,
+        TASK_FINISHED,
+        MESSAGE_SENT,
+        MESSAGE_DELIVERED,
+        OVERHEAD,
+        RUN_STARTED,
+        RUN_FINISHED,
+    }
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One structured observation of a controller run.
+
+    Attributes:
+        type: one of the module-level event-type constants.
+        t: virtual timestamp in seconds (event end for ``*_finished`` /
+            ``message_delivered``; those carry the extent in ``dur``).
+        proc: proc the event happened on (sender for messages; -1 for
+            run-level events that belong to no proc).
+        task: primary task id (producer for messages; -1 when N/A).
+        dst_proc: receiving proc for messages and migrations.
+        dst_task: consuming task for dataflow messages.
+        dur: extent in virtual seconds (compute time, overhead time,
+            send-to-delivery time).
+        category: overhead category (matches the ``Stats`` categories).
+        nbytes: payload size for messages and migrations.
+        label: human-readable annotation (span label compatibility).
+    """
+
+    type: str
+    t: float
+    proc: int = -1
+    task: int = -1
+    dst_proc: int = -1
+    dst_task: int = -1
+    dur: float = 0.0
+    category: str = ""
+    nbytes: int = 0
+    label: str = ""
+
+    def to_dict(self) -> dict:
+        """Compact dict form: default-valued fields are dropped."""
+        out: dict = {"type": self.type, "t": self.t}
+        for f in fields(self):
+            if f.name in ("type", "t"):
+                continue
+            v = getattr(self, f.name)
+            if v != f.default:
+                out[f.name] = v
+        return out
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Event":
+        """Inverse of :meth:`to_dict` (ignores unknown keys)."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in d.items() if k in known})
+
+
+class EventSink:
+    """Receives the event stream of one or more controller runs.
+
+    Subclasses override :meth:`emit`; :meth:`close` flushes any buffered
+    state (file exporters write their output here).  A sink may be
+    attached to several controllers in sequence — runs are delimited by
+    ``run_started`` / ``run_finished`` events.
+    """
+
+    def emit(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+
+
+class ListSink(EventSink):
+    """Buffers every event in memory (tests, ad-hoc analysis)."""
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def emit(self, event: Event) -> None:
+        self.events.append(event)
+
+    def by_type(self, type_: str) -> list[Event]:
+        """All buffered events of one type, in emission order."""
+        return [e for e in self.events if e.type == type_]
+
+    def types(self) -> set[str]:
+        """The set of event types observed so far."""
+        return {e.type for e in self.events}

@@ -1,0 +1,248 @@
+"""Event-stream exporters and loaders.
+
+Two on-disk formats:
+
+* **Chrome trace-event JSON** (:class:`ChromeTraceExporter`) — loadable
+  in Perfetto / ``chrome://tracing``.  Each controller run becomes one
+  process (pid); procs become threads (tid); compute and overhead
+  intervals become complete (``"ph": "X"``) slices; network transfers
+  land on per-proc ``net`` tracks in a sibling pid.  Every exported
+  record carries the originating event in ``args.ev``, so the file
+  round-trips losslessly back into :class:`~repro.obs.events.Event`
+  objects via :func:`load_events`.
+* **JSONL** (:class:`JsonlExporter`) — one compact JSON object per
+  event, streamed as emitted (crash-safe, grep-able).
+
+Both formats are recognised by :func:`load_events`, which the
+``python -m repro.obs`` CLI and the critical-path analyzer build on.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable
+
+from repro.obs.events import (
+    MESSAGE_DELIVERED,
+    OVERHEAD,
+    RUN_FINISHED,
+    RUN_STARTED,
+    TASK_FINISHED,
+    Event,
+    EventSink,
+)
+
+#: Offset separating a run's compute pid from its network pid.
+_NET_PID_OFFSET = 10_000
+#: Seconds -> Chrome microseconds.
+_US = 1e6
+
+
+class ChromeTraceExporter(EventSink):
+    """Buffers events and writes a Chrome trace-event file on close.
+
+    Several controller runs may share one exporter (the benchmark
+    harness attaches a single exporter to every run of a sweep); each
+    run is rendered as its own named process.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._events: list[Event] = []
+        self._closed = False
+
+    def emit(self, event: Event) -> None:
+        self._events.append(event)
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+
+    def trace_events(self) -> list[dict]:
+        """The buffered stream as Chrome trace-event records."""
+        records: list[dict] = []
+        run = -1
+        run_label = ""
+        for ev in self._events:
+            if ev.type == RUN_STARTED:
+                run += 1
+                run_label = ev.label or f"run{run}"
+                for pid, suffix in (
+                    (run, ""),
+                    (run + _NET_PID_OFFSET, " net"),
+                ):
+                    records.append(
+                        {
+                            "name": "process_name",
+                            "ph": "M",
+                            "pid": pid,
+                            "tid": 0,
+                            "args": {"name": f"{run_label}{suffix} (run {run})"},
+                        }
+                    )
+            pid = max(run, 0)
+            records.append(self._record(ev, pid))
+        records.sort(key=lambda r: (r.get("ts", -1), r["pid"]))
+        return records
+
+    @staticmethod
+    def _record(ev: Event, pid: int) -> dict:
+        tid = max(ev.proc, 0)
+        args = {"ev": ev.to_dict()}
+        base = {"pid": pid, "tid": tid, "args": args}
+        if ev.type == TASK_FINISHED:
+            return {
+                **base,
+                "ph": "X",
+                "name": ev.label or f"t{ev.task}",
+                "cat": "compute",
+                "ts": (ev.t - ev.dur) * _US,
+                "dur": ev.dur * _US,
+            }
+        if ev.type == OVERHEAD:
+            return {
+                **base,
+                "ph": "X",
+                "name": ev.category or "overhead",
+                "cat": ev.category or "overhead",
+                "ts": (ev.t - ev.dur) * _US if ev.dur else ev.t * _US,
+                "dur": ev.dur * _US,
+            }
+        if ev.type == MESSAGE_DELIVERED:
+            return {
+                **base,
+                "pid": pid + _NET_PID_OFFSET,
+                "ph": "X",
+                "name": ev.label or f"t{ev.task}->t{ev.dst_task}",
+                "cat": "message",
+                "ts": (ev.t - ev.dur) * _US,
+                "dur": ev.dur * _US,
+            }
+        # Everything else (enqueue, sent, migration, run markers) becomes
+        # an instant event; the payload in args.ev preserves full fidelity.
+        scope = "p" if ev.type in (RUN_STARTED, RUN_FINISHED) else "t"
+        return {
+            **base,
+            "ph": "i",
+            "s": scope,
+            "name": ev.type if ev.task < 0 else f"{ev.type} t{ev.task}",
+            "cat": ev.type,
+            "ts": max(ev.t, 0.0) * _US,
+        }
+
+    def write(self, fp: IO[str]) -> None:
+        json.dump(
+            {"traceEvents": self.trace_events(), "displayTimeUnit": "ms"},
+            fp,
+        )
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        with open(self.path, "w") as fp:
+            self.write(fp)
+
+
+class JsonlExporter(EventSink):
+    """Streams one JSON object per event (append-only event log)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fp: IO[str] | None = open(path, "w")
+
+    def emit(self, event: Event) -> None:
+        if self._fp is None:
+            raise ValueError(f"JsonlExporter({self.path!r}) is closed")
+        self._fp.write(json.dumps(event.to_dict()) + "\n")
+
+    def close(self) -> None:
+        if self._fp is not None:
+            self._fp.close()
+            self._fp = None
+
+
+# ---------------------------------------------------------------------- #
+# Loading
+# ---------------------------------------------------------------------- #
+
+
+def events_from_chrome(doc: dict) -> list[Event]:
+    """Recover the original event stream from an exported Chrome trace.
+
+    Exported records are timestamp-sorted, which interleaves concurrent
+    runs; the recovered stream is regrouped run by run (a run's compute
+    and network tracks share ``pid % _NET_PID_OFFSET``) so
+    :func:`split_runs` partitions it correctly.
+    """
+    keyed = []
+    for i, rec in enumerate(doc.get("traceEvents", [])):
+        ev = (rec.get("args") or {}).get("ev")
+        if ev is not None:
+            run = rec.get("pid", 0) % _NET_PID_OFFSET
+            keyed.append((run, i, Event.from_dict(ev)))
+    keyed.sort(key=lambda k: k[:2])
+    return [ev for _, _, ev in keyed]
+
+
+def events_from_jsonl(lines: Iterable[str]) -> list[Event]:
+    """Parse a JSONL event log."""
+    events = []
+    for line in lines:
+        line = line.strip()
+        if line:
+            events.append(Event.from_dict(json.loads(line)))
+    return events
+
+
+def load_events(path: str) -> list[Event]:
+    """Load an event stream from a Chrome-trace or JSONL file.
+
+    The format is sniffed from the content, not the extension.
+
+    Raises:
+        ValueError: when the file is neither format.
+    """
+    with open(path) as fp:
+        head = fp.read(1)
+        fp.seek(0)
+        if head == "{":
+            try:
+                return events_from_chrome(json.load(fp))
+            except json.JSONDecodeError:
+                fp.seek(0)
+                return events_from_jsonl(fp)
+        if head in ("[", ""):
+            doc = json.load(fp) if head else {}
+            if isinstance(doc, list):  # bare traceEvents array
+                return events_from_chrome({"traceEvents": doc})
+            return []
+        raise ValueError(f"{path}: not a Chrome trace or JSONL event log")
+
+
+def split_runs(events: Iterable[Event]) -> list[list[Event]]:
+    """Partition a multi-run stream at ``run_started`` boundaries.
+
+    Events preceding the first ``run_started`` (legacy streams) form
+    their own run.
+    """
+    runs: list[list[Event]] = []
+    current: list[Event] = []
+    for ev in events:
+        if ev.type == RUN_STARTED and current:
+            runs.append(current)
+            current = []
+        current.append(ev)
+    if current:
+        runs.append(current)
+    return runs
+
+
+__all__ = [
+    "ChromeTraceExporter",
+    "JsonlExporter",
+    "events_from_chrome",
+    "events_from_jsonl",
+    "load_events",
+    "split_runs",
+]

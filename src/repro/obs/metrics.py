@@ -1,0 +1,167 @@
+"""Always-on, low-overhead run metrics.
+
+Unlike the event stream (opt-in, allocation per event), the metrics
+registry is collected on *every* run: its instruments are a handful of
+attribute updates per task, cheap enough to leave on at 32k simulated
+procs.  Controllers snapshot the registry into
+:attr:`~repro.runtimes.result.RunResult.metrics` at the end of a run.
+
+Instruments:
+
+* :class:`Counter` — monotonically increasing integer/float.
+* :class:`Gauge` — last-written value (set at snapshot time for derived
+  quantities like utilization).
+* :class:`Histogram` — power-of-two bucketed distribution with exact
+  count/total/min/max; ``observe`` is O(1) with no allocation after the
+  first hit of a bucket.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, n: float = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = v
+
+    def set_max(self, v: float) -> None:
+        """Keep the running maximum of the observed values."""
+        if v > self.value:
+            self.value = v
+
+
+class Histogram:
+    """Log2-bucketed distribution of non-negative samples.
+
+    Bucket ``e`` counts samples ``x`` with ``2**(e-1) <= x < 2**e``
+    (``frexp`` exponent); zeros land in a dedicated bucket.  Exact
+    ``count``, ``total``, ``min`` and ``max`` ride along, so means and
+    extremes are not quantized.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, x: float) -> None:
+        self.count += 1
+        self.total += x
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+        e = math.frexp(x)[1] if x > 0 else -1074  # zero/denormal bucket
+        b = self.buckets
+        b[e] = b.get(e, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        """Plain-dict form (JSON-friendly)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "buckets": {
+                (2.0 ** e if e > -1074 else 0.0): n
+                for e, n in sorted(self.buckets.items())
+            },
+        }
+
+
+@dataclass
+class MetricsSnapshot:
+    """Frozen copy of a registry, attached to a finished run's result."""
+
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, dict] = field(default_factory=dict)
+
+    def counter(self, name: str, default: float = 0) -> float:
+        return self.counters.get(name, default)
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        return self.gauges.get(name, default)
+
+    def summary(self) -> str:
+        """Multi-line human-readable dump."""
+        lines = []
+        for name, v in sorted(self.counters.items()):
+            lines.append(f"{name} = {v:g}")
+        for name, v in sorted(self.gauges.items()):
+            lines.append(f"{name} = {v:.6g}")
+        for name, h in sorted(self.histograms.items()):
+            lines.append(
+                f"{name}: n={h['count']} mean={h['mean']:.6g} "
+                f"min={h['min']:.6g} max={h['max']:.6g}"
+            )
+        return "\n".join(lines)
+
+
+class MetricsRegistry:
+    """Named instruments of one controller run.
+
+    ``counter`` / ``gauge`` / ``histogram`` get-or-create, so hot paths
+    fetch the instrument once and update the returned object directly.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram()
+        return h
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Copy every instrument into a plain :class:`MetricsSnapshot`."""
+        return MetricsSnapshot(
+            counters={k: c.value for k, c in self._counters.items()},
+            gauges={k: g.value for k, g in self._gauges.items()},
+            histograms={k: h.snapshot() for k, h in self._histograms.items()},
+        )

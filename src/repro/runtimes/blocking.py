@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.core.ids import TaskId
 from repro.core.payload import Payload
+from repro.obs.events import MESSAGE_DELIVERED, MESSAGE_SENT, OVERHEAD, Event
 from repro.runtimes.mpi import MPIController
 
 
@@ -40,8 +41,9 @@ class BlockingMPIController(MPIController):
         stats = self._result.stats
         stats.add("serialize", ser)
         stats.add("blocked_send", inject + latency)
+        obs = self._obs
         if wait > 0.0:
-            self._cluster.compute(
+            start, end = self._cluster.compute(
                 sproc,
                 wait,
                 self._receive,
@@ -53,7 +55,50 @@ class BlockingMPIController(MPIController):
                 category="send",
                 label=f"t{producer}->t{dst}",
             )
+            if obs:
+                # The send bypasses the NIC (the core blocks through the
+                # whole transfer), so the message events are emitted here
+                # rather than by Cluster.send: serialization is overhead,
+                # the rest of the occupancy is the wire interval.
+                mstart = min(start + ser / self.machine.core_speed, end)
+                if ser > 0.0:
+                    obs.emit(
+                        Event(
+                            OVERHEAD,
+                            mstart,
+                            proc=sproc,
+                            task=producer,
+                            dst_task=dst,
+                            dur=mstart - start,
+                            category=self._comm_category(),
+                            label=f"ser t{producer}->t{dst}",
+                        )
+                    )
+                edge = dict(
+                    proc=sproc,
+                    dst_proc=dproc,
+                    task=producer,
+                    dst_task=dst,
+                    nbytes=payload.nbytes,
+                    label=f"t{producer}->t{dst}",
+                )
+                obs.emit(Event(MESSAGE_SENT, mstart, **edge))
+                obs.emit(
+                    Event(MESSAGE_DELIVERED, end, dur=end - mstart, **edge)
+                )
         else:
+            if obs:
+                now = self._engine.now
+                edge = dict(
+                    proc=sproc,
+                    dst_proc=dproc,
+                    task=producer,
+                    dst_task=dst,
+                    nbytes=payload.nbytes,
+                    label=f"t{producer}->t{dst}",
+                )
+                obs.emit(Event(MESSAGE_SENT, now, **edge))
+                obs.emit(Event(MESSAGE_DELIVERED, now, **edge))
             self._receive(sproc, dproc, producer, dst, payload)
 
     def _prepare_run(self) -> None:

@@ -23,6 +23,7 @@ from __future__ import annotations
 from repro.core.errors import SimulationError
 from repro.core.ids import TaskId
 from repro.core.payload import Payload
+from repro.obs.events import MIGRATION, OVERHEAD, Event
 from repro.runtimes.simbase import SimController
 
 #: LB rounds with zero progress after which the run is declared stalled.
@@ -93,7 +94,21 @@ class CharmController(SimController):
             self._idle_lb_rounds = 0
         self._executed_at_last_lb = self._executed
         self._lb_rounds += 1
-        self._result.stats.add("lb", self.costs.charm_lb_cost * self.n_procs)
+        lb_cost = self.costs.charm_lb_cost * self.n_procs
+        self._result.stats.add("lb", lb_cost)
+        if self._obs:
+            # The LB strategy runs centrally; bill it as one overhead
+            # interval starting at the measurement instant.
+            self._obs.emit(
+                Event(
+                    OVERHEAD,
+                    self._engine.now + lb_cost,
+                    proc=0,
+                    dur=lb_cost,
+                    category="lb",
+                    label=f"lb round {self._lb_rounds}",
+                )
+            )
         self._balance()
         self._engine.after(self.costs.charm_lb_period, self._lb_tick)
 
@@ -134,6 +149,18 @@ class CharmController(SimController):
         self._migrations += 1
         nbytes = sum(p.nbytes for p in pt.slots if p is not None)
         self._result.stats.add("migrate", self.costs.charm_migration_cost)
+        if self._obs:
+            self._obs.emit(
+                Event(
+                    MIGRATION,
+                    self._engine.now,
+                    proc=src,
+                    dst_proc=dst,
+                    task=tid,
+                    nbytes=nbytes,
+                    label=f"migrate t{tid}",
+                )
+            )
         # The chare state travels as one message; it re-enters the run
         # queue at the destination on arrival.
         self._cluster.send(
@@ -144,12 +171,30 @@ class CharmController(SimController):
             dst,
             tid,
             label=f"migrate t{tid}",
+            src_task=tid,
         )
 
     def _arrive_migrated(self, dst: int, tid: TaskId) -> None:
+        if self._obs:
+            self._obs.emit(
+                Event(
+                    OVERHEAD,
+                    self._engine.now + self.costs.charm_migration_cost,
+                    proc=dst,
+                    task=tid,
+                    dur=self.costs.charm_migration_cost,
+                    category="migrate",
+                    label=f"unpack t{tid}",
+                )
+            )
         self._engine.after(
             self.costs.charm_migration_cost, self._enqueue, dst, tid
         )
+
+    def _snapshot_metrics(self):
+        self._metrics.counter("migrations").inc(self._migrations)
+        self._metrics.counter("lb_rounds").inc(self._lb_rounds)
+        return super()._snapshot_metrics()
 
     @property
     def migrations(self) -> int:

@@ -27,6 +27,7 @@ from repro.core.graph import TaskGraph
 from repro.core.ids import CallbackId, TaskId
 from repro.core.payload import Payload
 from repro.core.taskmap import TaskMap
+from repro.obs.events import EventSink
 from repro.runtimes.result import RunResult
 
 #: Accepted forms for one task's initial input: a single payload (for the
@@ -41,10 +42,20 @@ class Controller(ABC):
         self._graph: TaskGraph | None = None
         self._task_map: TaskMap | None = None
         self._registry: CallbackRegistry | None = None
+        self._sinks: list[EventSink] = []
 
     # ------------------------------------------------------------------ #
     # Setup
     # ------------------------------------------------------------------ #
+
+    def add_sink(self, sink: EventSink) -> None:
+        """Attach an observability sink to subsequent runs.
+
+        Sinks receive the structured lifecycle events of every
+        :meth:`run` (see :mod:`repro.obs.events`).  The controller never
+        closes attached sinks — their owner does, after the last run.
+        """
+        self._sinks.append(sink)
 
     def initialize(
         self, graph: TaskGraph, task_map: TaskMap | None = None

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from repro.core.ids import TaskId
 from repro.core.payload import Payload
+from repro.obs.events import OVERHEAD, Event
 from repro.runtimes.simbase import SimController
 from repro.sim.resource import Resource
 
@@ -70,7 +71,19 @@ class LegionIndexController(SimController):
         spawn = self.costs.legion_spawn_overhead
         for tid in self._rounds[r]:
             self._result.stats.add("spawn", spawn)
-            self._parent.submit(spawn, self._spawn_done, tid)
+            start, end = self._parent.submit(spawn, self._spawn_done, tid)
+            if self._obs:
+                self._obs.emit(
+                    Event(
+                        OVERHEAD,
+                        end,
+                        proc=0,
+                        task=tid,
+                        dur=end - start,
+                        category="spawn",
+                        label=f"spawn t{tid} (round {r})",
+                    )
+                )
 
     def _spawn_done(self, tid: TaskId) -> None:
         self._spawned.add(tid)

@@ -31,6 +31,7 @@ from repro.core.errors import ControllerError
 from repro.core.ids import TaskId
 from repro.core.payload import Payload
 from repro.core.taskmap import ModuloMap
+from repro.obs.events import OVERHEAD, Event
 from repro.runtimes.simbase import SimController
 from repro.sim.resource import Resource
 
@@ -67,14 +68,39 @@ class LegionSPMDController(SimController):
         # shard tasks serially, so shard s starts with a skewed delay.
         per_shard = self.costs.legion_must_epoch_overhead
         for s in range(self.n_procs):
-            self._launchers[s].submit((s + 1) * per_shard)
+            start, end = self._launchers[s].submit((s + 1) * per_shard)
+            if self._obs:
+                self._obs.emit(
+                    Event(
+                        OVERHEAD,
+                        end,
+                        proc=s,
+                        dur=end - start,
+                        category="spawn",
+                        label=f"must-epoch shard {s}",
+                    )
+                )
         self._result.stats.add("spawn", per_shard * self.n_procs)
 
     def _on_ready(self, tid: TaskId) -> None:
         proc = self._proc_of(tid)
         launch = self.costs.legion_single_launch_overhead
         self._result.stats.add("launch", launch)
-        self._launchers[proc].submit(launch, self._enqueue, proc, tid)
+        start, end = self._launchers[proc].submit(
+            launch, self._enqueue, proc, tid
+        )
+        if self._obs:
+            self._obs.emit(
+                Event(
+                    OVERHEAD,
+                    end,
+                    proc=proc,
+                    task=tid,
+                    dur=end - start,
+                    category="launch",
+                    label=f"launch t{tid}",
+                )
+            )
 
     # ------------------------------------------------------------------ #
     # Costs

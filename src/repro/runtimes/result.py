@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.core.ids import TaskId
 from repro.core.payload import Payload
+from repro.obs.metrics import MetricsSnapshot
 from repro.sim.trace import Stats, Trace
 
 
@@ -19,11 +20,15 @@ class RunResult:
             is empty or contains TNULL).
         stats: aggregate timing statistics (virtual time).
         trace: full span trace when tracing was enabled, else None.
+        metrics: always-on metrics snapshot (task latency distribution,
+            bytes on the wire, queue depths, utilization); populated by
+            every backend at the end of the run.
     """
 
     outputs: dict[TaskId, dict[int, Payload]] = field(default_factory=dict)
     stats: Stats = field(default_factory=Stats)
     trace: Trace | None = None
+    metrics: MetricsSnapshot | None = None
 
     def output(self, tid: TaskId, channel: int = 0) -> Payload:
         """The payload task ``tid`` returned on ``channel``.

@@ -6,20 +6,42 @@ execution."*  The serial controller is that guarantee in its simplest
 form: a deterministic readiness-queue execution with no simulated cluster
 at all.  It is the reference every other backend is regression-tested
 against, and the easiest place to debug a new dataflow.
+
+Observability: the serial controller speaks the same event vocabulary as
+the distributed backends (see :mod:`repro.obs.events`), with everything
+on proc 0 of a wall-clock timeline.  Runtime overhead is genuinely zero
+here, so its ``overhead`` events carry ``dur=0.0`` — emitted anyway so
+one consumer handles every backend uniformly.
 """
 
 from __future__ import annotations
 
 import time
 from collections import deque
+from typing import Sequence
 
 from repro.core.callbacks import CallbackRegistry
 from repro.core.errors import ControllerError
 from repro.core.graph import TaskGraph
 from repro.core.ids import TNULL, TaskId, is_real_task
 from repro.core.payload import Payload
+from repro.obs.events import (
+    MESSAGE_DELIVERED,
+    MESSAGE_SENT,
+    OVERHEAD,
+    RUN_FINISHED,
+    RUN_STARTED,
+    TASK_ENQUEUED,
+    TASK_FINISHED,
+    TASK_STARTED,
+    Event,
+    EventSink,
+)
+from repro.obs.hub import ObsHub
+from repro.obs.metrics import MetricsRegistry
 from repro.runtimes.controller import Controller
 from repro.runtimes.result import RunResult
+from repro.sim.trace import Trace
 
 
 class SerialController(Controller):
@@ -29,7 +51,21 @@ class SerialController(Controller):
     executes in the same order.  ``RunResult.stats.makespan`` reports the
     summed real wall time of the callbacks (a serial run has no virtual
     clock).
+
+    Args:
+        sinks: observability sinks receiving the run's lifecycle events.
+        collect_trace: keep a full span trace on the result (all spans on
+            proc 0, wall-clock timeline).
     """
+
+    def __init__(
+        self,
+        sinks: Sequence[EventSink] = (),
+        collect_trace: bool = False,
+    ) -> None:
+        super().__init__()
+        self._sinks.extend(sinks)
+        self.collect_trace = collect_trace
 
     def _execute(
         self,
@@ -37,10 +73,22 @@ class SerialController(Controller):
         registry: CallbackRegistry,
         inputs: dict[TaskId, list[Payload]],
     ) -> RunResult:
-        result = RunResult()
+        run_sinks = list(self._sinks)
+        trace = None
+        if self.collect_trace:
+            trace = Trace()
+            run_sinks.append(trace)
+        obs = ObsHub(run_sinks)
+        metrics = MetricsRegistry()
+        m_task_seconds = metrics.histogram("task_compute_seconds")
+        m_message_bytes = metrics.histogram("message_nbytes")
+        queue_peak = 0
+
+        result = RunResult(trace=trace)
         slots: dict[TaskId, list[Payload | None]] = {}
         remaining: dict[TaskId, int] = {}
         ready: deque[TaskId] = deque()
+        wall_total = 0.0  # doubles as the event timeline
 
         def ensure(tid: TaskId) -> None:
             if tid not in slots:
@@ -49,6 +97,7 @@ class SerialController(Controller):
                 remaining[tid] = t.n_inputs
 
         def deposit(tid: TaskId, slot: int, payload: Payload) -> None:
+            nonlocal queue_peak
             ensure(tid)
             if slots[tid][slot] is not None:
                 raise ControllerError(
@@ -58,14 +107,21 @@ class SerialController(Controller):
             remaining[tid] -= 1
             if remaining[tid] == 0:
                 ready.append(tid)
+                if len(ready) > queue_peak:
+                    queue_peak = len(ready)
+                if obs:
+                    obs.emit(
+                        Event(TASK_ENQUEUED, wall_total, proc=0, task=tid)
+                    )
 
+        if obs:
+            obs.emit(Event(RUN_STARTED, 0.0, label=type(self).__name__))
         for tid, payloads in sorted(inputs.items()):
             task = graph.task(tid)
             for slot, payload in zip(task.external_inputs(), payloads):
                 deposit(tid, slot, payload)
 
         executed = 0
-        wall_total = 0.0
         # Per (producer, consumer) pair, the next slot index to fill, so
         # multi-channel edges between the same pair stay ordered.
         cursor: dict[tuple[TaskId, TaskId], int] = {}
@@ -74,6 +130,7 @@ class SerialController(Controller):
             ready.clear()
             for tid in batch:
                 task = graph.task(tid)
+                t_start = wall_total
                 t0 = time.perf_counter()
                 outputs = registry.invoke(
                     task.callback,
@@ -83,8 +140,28 @@ class SerialController(Controller):
                 )
                 elapsed = time.perf_counter() - t0
                 wall_total += elapsed
+                m_task_seconds.observe(elapsed)
                 result.stats.add_callback(task.callback, elapsed)
                 executed += 1
+                if obs:
+                    obs.emit(
+                        Event(
+                            OVERHEAD, t_start, proc=0, task=tid,
+                            category="dispatch",
+                        )
+                    )
+                    obs.emit(
+                        Event(
+                            TASK_STARTED, t_start, proc=0, task=tid,
+                            label=f"t{tid}",
+                        )
+                    )
+                    obs.emit(
+                        Event(
+                            TASK_FINISHED, wall_total, proc=0, task=tid,
+                            dur=elapsed, label=f"t{tid}",
+                        )
+                    )
                 for ch, (channel, payload) in enumerate(
                     zip(task.outgoing, outputs)
                 ):
@@ -104,7 +181,18 @@ class SerialController(Controller):
                                 f"than it has slots"
                             )
                         cursor[key] = idx + 1
+                        if obs:
+                            edge = dict(
+                                proc=0, dst_proc=0, task=tid, dst_task=dst,
+                                nbytes=payload.nbytes,
+                                label=f"t{tid}->t{dst}",
+                            )
+                            obs.emit(Event(MESSAGE_SENT, wall_total, **edge))
+                            obs.emit(
+                                Event(MESSAGE_DELIVERED, wall_total, **edge)
+                            )
                         deposit(dst, slot_list[idx], payload)
+                        m_message_bytes.observe(payload.nbytes)
                         result.stats.messages += 1
                         result.stats.bytes_sent += payload.nbytes
         if executed != graph.size():
@@ -116,4 +204,22 @@ class SerialController(Controller):
         result.stats.tasks_executed = executed
         result.stats.makespan = wall_total
         result.stats.add("compute", wall_total)
+        if obs:
+            obs.emit(
+                Event(
+                    RUN_FINISHED, wall_total, dur=wall_total,
+                    label=type(self).__name__,
+                )
+            )
+        metrics.counter("tasks_executed").inc(executed)
+        metrics.counter("messages_sent").inc(result.stats.messages)
+        metrics.counter("bytes_sent").inc(result.stats.bytes_sent)
+        metrics.counter("retries")
+        metrics.gauge("queue_depth_peak").set(float(queue_peak))
+        metrics.gauge("queue_depth_peak_mean").set(float(queue_peak))
+        if wall_total > 0:
+            for name in ("utilization_mean", "utilization_max", "utilization_min"):
+                metrics.gauge(name).set(1.0)
+            metrics.gauge("imbalance").set(1.0)
+        result.metrics = metrics.snapshot()
         return result

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import time
 from collections import deque
+from typing import Sequence
 
 from repro.core.callbacks import CallbackRegistry
 from repro.core.errors import ControllerError, SimulationError
@@ -34,6 +35,18 @@ from repro.core.graph import TaskGraph
 from repro.core.ids import EXTERNAL, TNULL, TaskId, is_real_task
 from repro.core.payload import Payload
 from repro.core.task import Task
+from repro.obs.events import (
+    OVERHEAD,
+    RUN_FINISHED,
+    RUN_STARTED,
+    TASK_ENQUEUED,
+    TASK_FINISHED,
+    TASK_STARTED,
+    Event,
+    EventSink,
+)
+from repro.obs.hub import ObsHub
+from repro.obs.metrics import MetricsRegistry
 from repro.runtimes.controller import Controller
 from repro.runtimes.costs import DEFAULT_COSTS, CostModel, NullCost, RuntimeCosts
 from repro.runtimes.result import RunResult
@@ -81,6 +94,9 @@ class SimController(Controller):
             ``wasted`` stats category.
         fault_retry_delay: virtual seconds between a failed attempt and
             the re-enqueue (a restart/detection delay).
+        sinks: observability sinks receiving the run's structured
+            lifecycle events (see :mod:`repro.obs.events`); equivalent to
+            calling :meth:`~repro.runtimes.controller.Controller.add_sink`.
     """
 
     def __init__(
@@ -94,8 +110,10 @@ class SimController(Controller):
         procs_per_node: int | None = None,
         faults: dict[TaskId, int] | None = None,
         fault_retry_delay: float = 0.0,
+        sinks: Sequence[EventSink] = (),
     ) -> None:
         super().__init__()
+        self._sinks.extend(sinks)
         if n_procs <= 0:
             raise ControllerError(f"n_procs must be positive, got {n_procs}")
         self.n_procs = n_procs
@@ -171,14 +189,24 @@ class SimController(Controller):
         inputs: dict[TaskId, list[Payload]],
     ) -> RunResult:
         self._engine = Engine()
-        trace = Trace() if self.collect_trace else None
+        sinks = list(self._sinks)
+        trace = None
+        if self.collect_trace:
+            # Span tracing is an event sink like any other consumer.
+            trace = Trace()
+            sinks.append(trace)
+        obs = self._obs = ObsHub(sinks)
+        metrics = self._metrics = MetricsRegistry()
+        self._m_task_seconds = metrics.histogram("task_compute_seconds")
+        self._m_message_bytes = metrics.histogram("message_nbytes")
+        self._queue_peak = [0] * self.n_procs
         self._cluster = Cluster(
             self._engine,
             self.machine,
             self.n_procs,
             self.cores_per_proc,
-            trace=trace,
             procs_per_node=self.procs_per_node,
+            obs=obs,
         )
         self._result = RunResult(trace=trace)
         self._graph_run = graph
@@ -193,6 +221,8 @@ class SimController(Controller):
         self._total = graph.size()
         self._finish_time = 0.0
 
+        if obs:
+            obs.emit(Event(RUN_STARTED, 0.0, label=type(self).__name__))
         self._prepare_run()
         for tid, payloads in sorted(inputs.items()):
             self._engine.at(0.0, self._deposit_external, tid, payloads)
@@ -212,7 +242,43 @@ class SimController(Controller):
         stats.tasks_executed = self._executed
         stats.messages = self._cluster.messages_sent
         stats.bytes_sent = self._cluster.bytes_sent
+        if obs:
+            obs.emit(
+                Event(
+                    RUN_FINISHED,
+                    self._finish_time,
+                    dur=self._finish_time,
+                    label=type(self).__name__,
+                )
+            )
+        self._result.metrics = self._snapshot_metrics()
         return self._result
+
+    def _snapshot_metrics(self):
+        """Finalize counters/gauges and freeze the registry."""
+        m = self._metrics
+        m.counter("tasks_executed").inc(self._executed)
+        m.counter("messages_sent").inc(self._cluster.messages_sent)
+        m.counter("bytes_sent").inc(self._cluster.bytes_sent)
+        m.counter("retries").inc(self.retries)
+        makespan = self._finish_time
+        peaks = self._queue_peak
+        m.gauge("queue_depth_peak").set(float(max(peaks, default=0)))
+        m.gauge("queue_depth_peak_mean").set(
+            sum(peaks) / len(peaks) if peaks else 0.0
+        )
+        if makespan > 0:
+            busy = [
+                self._cluster.core_busy_time(p) / (makespan * self.cores_per_proc)
+                for p in range(self.n_procs)
+            ]
+            mean = sum(busy) / len(busy)
+            m.gauge("utilization_mean").set(mean)
+            m.gauge("utilization_max").set(max(busy))
+            m.gauge("utilization_min").set(min(busy))
+            if mean > 0:
+                m.gauge("imbalance").set(max(busy) / mean)
+        return m.snapshot()
 
     # ------------------------------------------------------------------ #
     # Input deposit
@@ -260,7 +326,13 @@ class SimController(Controller):
         if pt.queued:
             raise SimulationError(f"task {tid} enqueued twice")
         pt.queued = True
-        self._ready[proc].append(tid)
+        ready = self._ready[proc]
+        ready.append(tid)
+        if len(ready) > self._queue_peak[proc]:
+            self._queue_peak[proc] = len(ready)
+        obs = self._obs
+        if obs:
+            obs.emit(Event(TASK_ENQUEUED, self._engine.now, proc=proc, task=tid))
         self._pump(proc)
 
     def _pump(self, proc: int) -> None:
@@ -281,13 +353,14 @@ class SimController(Controller):
         compute = self.cost_model.duration(task, task_inputs, wall)
         overhead = self._pre_compute_overhead(proc, tid)
         stats = self._result.stats
+        self._m_task_seconds.observe(compute)
         if self._fault_budget.get(tid, 0) > 0:
             # Transient failure: the attempt consumes its full time but
             # its outputs are discarded; the task retries (idempotence).
             self._fault_budget[tid] -= 1
             self.retries += 1
             stats.add("wasted", overhead + compute)
-            self._cluster.compute(
+            start, end = self._cluster.compute(
                 proc,
                 overhead + compute,
                 self._attempt_failed,
@@ -295,12 +368,13 @@ class SimController(Controller):
                 tid,
                 label=f"t{tid} (failed attempt)",
             )
+            self._emit_task(proc, tid, start, end, overhead, " (failed attempt)")
             return
         stats.add(self._pre_compute_category(), overhead)
         stats.add("compute", compute)
         stats.add_callback(task.callback, compute)
         pt.slots = []  # release input references
-        self._cluster.compute(
+        start, end = self._cluster.compute(
             proc,
             overhead + compute,
             self._task_done,
@@ -308,6 +382,44 @@ class SimController(Controller):
             tid,
             outputs,
             label=f"t{tid}",
+        )
+        self._emit_task(proc, tid, start, end, overhead)
+
+    def _emit_task(
+        self,
+        proc: int,
+        tid: TaskId,
+        start: float,
+        end: float,
+        overhead: float,
+        suffix: str = "",
+    ) -> None:
+        """Emit the overhead / started / finished triple of one attempt.
+
+        ``start``/``end`` are the core occupancy returned by the cluster
+        (already scaled by ``core_speed``); the raw ``overhead`` is
+        rescaled the same way so the compute interval excludes it.
+        """
+        obs = self._obs
+        if not obs:
+            return
+        ovh = overhead / self.machine.core_speed
+        cstart = min(start + ovh, end)
+        label = f"t{tid}{suffix}"
+        category = "wasted" if suffix else self._pre_compute_category()
+        obs.emit(
+            Event(OVERHEAD, cstart, proc=proc, task=tid, dur=ovh, category=category)
+        )
+        obs.emit(Event(TASK_STARTED, cstart, proc=proc, task=tid, label=label))
+        obs.emit(
+            Event(
+                TASK_FINISHED,
+                end,
+                proc=proc,
+                task=tid,
+                dur=end - cstart,
+                label=label,
+            )
         )
 
     def _attempt_failed(self, proc: int, tid: TaskId) -> None:
@@ -342,6 +454,7 @@ class SimController(Controller):
                 self._result.outputs.setdefault(tid, {})[ch] = payload
             for dst in channel:
                 if is_real_task(dst):
+                    self._m_message_bytes.observe(payload.nbytes)
                     self._send(proc, tid, dst, payload)
 
     def _send(
@@ -352,7 +465,7 @@ class SimController(Controller):
         if ser > 0.0:
             self._result.stats.add(self._comm_category(), ser)
             # Serialization occupies a sender core before injection.
-            self._cluster.compute(
+            start, end = self._cluster.compute(
                 sproc,
                 ser,
                 self._inject,
@@ -364,6 +477,20 @@ class SimController(Controller):
                 category="serialize",
                 label=f"ser t{producer}->t{dst}",
             )
+            obs = self._obs
+            if obs:
+                obs.emit(
+                    Event(
+                        OVERHEAD,
+                        end,
+                        proc=sproc,
+                        task=producer,
+                        dst_task=dst,
+                        dur=end - start,
+                        category=self._comm_category(),
+                        label=f"ser t{producer}->t{dst}",
+                    )
+                )
         else:
             self._inject(sproc, dproc, producer, dst, payload)
 
@@ -386,6 +513,8 @@ class SimController(Controller):
             dst,
             payload,
             label=f"t{producer}->t{dst}",
+            src_task=producer,
+            dst_task=dst,
         )
 
     def _receive(
@@ -399,7 +528,7 @@ class SimController(Controller):
         deser = self._receive_cost(sproc, dproc, payload)
         if deser > 0.0:
             self._result.stats.add(self._comm_category(), deser)
-            self._cluster.compute(
+            start, end = self._cluster.compute(
                 dproc,
                 deser,
                 self._deposit,
@@ -409,5 +538,18 @@ class SimController(Controller):
                 category="serialize",
                 label=f"deser t{producer}->t{dst}",
             )
+            obs = self._obs
+            if obs:
+                obs.emit(
+                    Event(
+                        OVERHEAD,
+                        end,
+                        proc=dproc,
+                        task=dst,
+                        dur=end - start,
+                        category=self._comm_category(),
+                        label=f"deser t{producer}->t{dst}",
+                    )
+                )
         else:
             self._deposit(dst, producer, payload)

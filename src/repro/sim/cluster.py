@@ -19,6 +19,8 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.core.errors import SimulationError
+from repro.obs.events import MESSAGE_DELIVERED, MESSAGE_SENT, Event
+from repro.obs.hub import NULL_HUB, ObsHub
 from repro.sim.engine import Engine
 from repro.sim.machine import MachineSpec
 from repro.sim.resource import MultiResource, Resource
@@ -34,7 +36,10 @@ class Cluster:
         n_procs: number of simulated processes.
         cores_per_proc: compute servers per proc (1 = a proc is one core).
         trace: optional :class:`~repro.sim.trace.Trace` receiving compute
-            and message records.
+            and message records (direct span recording; the controllers
+            instead attach traces as event sinks on ``obs``).
+        obs: observability hub receiving ``message_sent`` /
+            ``message_delivered`` events for every transfer.
     """
 
     def __init__(
@@ -45,6 +50,7 @@ class Cluster:
         cores_per_proc: int = 1,
         trace: Trace | None = None,
         procs_per_node: int | None = None,
+        obs: ObsHub = NULL_HUB,
     ) -> None:
         if n_procs <= 0:
             raise SimulationError(f"n_procs must be positive, got {n_procs}")
@@ -57,6 +63,7 @@ class Cluster:
         self.n_procs = n_procs
         self.cores_per_proc = cores_per_proc
         self.trace = trace
+        self.obs = obs
         if procs_per_node is None:
             procs_per_node = max(1, machine.cores_per_node // cores_per_proc)
         elif procs_per_node <= 0:
@@ -143,13 +150,17 @@ class Cluster:
         fn: Callable[..., Any],
         *args: Any,
         label: str = "",
+        src_task: int = -1,
+        dst_task: int = -1,
     ) -> float:
         """Transmit ``nbytes`` from ``src`` to ``dst``; ``fn(*args)`` fires
         on delivery.
 
         Same-proc sends deliver immediately on the next event (zero cost:
         the controllers model any serialization/copy cost explicitly as
-        compute).  Returns the delivery time.
+        compute).  Returns the delivery time.  ``src_task``/``dst_task``
+        annotate the emitted ``message_sent``/``message_delivered``
+        events so trace consumers can follow the dataflow edge.
         """
         self._check_proc(src)
         self._check_proc(dst)
@@ -160,13 +171,46 @@ class Cluster:
         inject, latency = self.message_time(src, dst, nbytes)
         if src == dst:
             ev = self.engine.after(0.0, fn, *args)
+            if self.obs:
+                self._emit_message(
+                    src, dst, nbytes, ev.time, ev.time, label, src_task, dst_task
+                )
             return ev.time
         start, inj_end = self._nics[src].submit(inject)
         deliver = inj_end + latency
         self.engine.at(deliver, fn, *args)
         if self.trace is not None:
             self.trace.record("message", src, start, deliver, label or f"->{dst}")
+        if self.obs:
+            self._emit_message(
+                src, dst, nbytes, start, deliver, label, src_task, dst_task
+            )
         return deliver
+
+    def _emit_message(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        start: float,
+        deliver: float,
+        label: str,
+        src_task: int,
+        dst_task: int,
+    ) -> None:
+        label = label or f"->{dst}"
+        common = dict(
+            proc=src,
+            dst_proc=dst,
+            task=src_task,
+            dst_task=dst_task,
+            nbytes=nbytes,
+            label=label,
+        )
+        self.obs.emit(Event(MESSAGE_SENT, start, **common))
+        self.obs.emit(
+            Event(MESSAGE_DELIVERED, deliver, dur=deliver - start, **common)
+        )
 
     # ------------------------------------------------------------------ #
     # Internals

@@ -1,16 +1,24 @@
-"""Profiling reports over execution traces.
+"""Profiling reports over execution traces and event streams.
 
 Turning a :class:`~repro.sim.trace.Trace` into the numbers a performance
 engineer asks for: per-proc utilization, load imbalance, per-category
 breakdowns, and an ASCII Gantt chart for eyeballing schedules — the
 debugging workflow the paper supports with Dot drawings, extended to the
 time axis.
+
+The reporting layer sits on top of :mod:`repro.obs`: a saved event log
+(Chrome trace or JSONL) converts back into a :class:`Trace` via
+:func:`trace_from_events` or into aggregate :class:`Stats` via
+:func:`stats_from_events`, so every report here works identically on
+live runs and on files written by the exporters.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import events as _ev
+from repro.obs.events import Event
 from repro.sim.trace import Stats, Trace
 
 
@@ -55,6 +63,61 @@ def category_breakdown(stats: Stats) -> str:
         lines.append(f"{name:<{width}}{secs:>12.6f}{share:>8.1%}")
     lines.append(f"{'total':<{width}}{total:>12.6f}{1:>8.1%}")
     return "\n".join(lines)
+
+
+def trace_from_events(events: list[Event]) -> Trace:
+    """Rebuild a span :class:`Trace` from a (loaded) event stream."""
+    trace = Trace()
+    for event in events:
+        trace.emit(event)
+    return trace
+
+
+def stats_from_events(events: list[Event]) -> Stats:
+    """Aggregate an event stream into run :class:`Stats`.
+
+    Compute time, per-category overheads, task/message counts and bytes
+    are recomputed from the events; ``network`` (send-to-delivery time,
+    which the live ``Stats`` never tracked because it occupies no core)
+    is included as its own category.
+    """
+    stats = Stats()
+    for ev in events:
+        if ev.type == _ev.TASK_FINISHED:
+            stats.tasks_executed += 1
+            stats.add("compute", ev.dur)
+            stats.makespan = max(stats.makespan, ev.t)
+        elif ev.type == _ev.OVERHEAD:
+            stats.add(ev.category or "overhead", ev.dur)
+        elif ev.type == _ev.MESSAGE_SENT:
+            stats.messages += 1
+            stats.bytes_sent += ev.nbytes
+        elif ev.type == _ev.MESSAGE_DELIVERED:
+            if ev.dur > 0.0:
+                stats.add("network", ev.dur)
+        elif ev.type == _ev.RUN_FINISHED:
+            stats.makespan = max(stats.makespan, ev.t)
+    return stats
+
+
+def top_tasks(events: list[Event], k: int = 10) -> list[tuple[int, float, int]]:
+    """The ``k`` longest task executions of a run.
+
+    Returns ``(task id, compute seconds, proc)`` tuples, longest first.
+    Retried tasks count each attempt separately.
+    """
+    rows = [
+        (ev.task, ev.dur, ev.proc)
+        for ev in events
+        if ev.type == _ev.TASK_FINISHED
+    ]
+    rows.sort(key=lambda r: -r[1])
+    return rows[:k]
+
+
+def n_procs_of(events: list[Event]) -> int:
+    """Number of procs that appear in an event stream."""
+    return max((ev.proc for ev in events if ev.proc >= 0), default=-1) + 1
 
 
 def gantt(

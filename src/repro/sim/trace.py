@@ -4,6 +4,14 @@ Controllers record what happened on the simulated cluster: compute spans,
 message spans, runtime-overhead spans.  :class:`Trace` stores full records
 (optional, for debugging and timeline inspection); :class:`Stats`
 aggregates per-category totals cheaply and is always collected.
+
+Since the :mod:`repro.obs` subsystem landed, span collection sits *on
+top* of the structured event stream: :class:`Trace` is an
+:class:`~repro.obs.events.EventSink`, and ``collect_trace=True`` on a
+controller simply attaches a fresh ``Trace`` to the run's sinks.  Spans
+are synthesized from ``task_started``/``task_finished``, ``overhead``
+and ``message_delivered`` events; direct :meth:`Trace.record` calls
+remain supported for code that builds traces by hand.
 """
 
 from __future__ import annotations
@@ -11,6 +19,9 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Iterable
+
+from repro.obs import events as _ev
+from repro.obs.events import Event, EventSink
 
 
 @dataclass(frozen=True)
@@ -28,11 +39,19 @@ class Span:
         return self.end - self.start
 
 
-class Trace:
+class Trace(EventSink):
     """Ordered collection of :class:`Span` records.
 
     Keeping full traces at 32k simulated procs is expensive, so traces are
     opt-in; the aggregate :class:`Stats` suffices for the benchmarks.
+
+    As an :class:`~repro.obs.events.EventSink`, a ``Trace`` can be
+    attached to any controller (that is how ``collect_trace=True`` is
+    implemented) or replayed from a saved event log::
+
+        trace = Trace()
+        for event in load_events(path):
+            trace.emit(event)
     """
 
     def __init__(self) -> None:
@@ -43,6 +62,39 @@ class Trace:
     ) -> None:
         """Append a span."""
         self.spans.append(Span(category, proc, start, end, label))
+
+    def emit(self, event: Event) -> None:
+        """Synthesize spans from a structured lifecycle event.
+
+        ``task_finished`` becomes a ``compute`` span, ``overhead`` a span
+        of its category, ``message_delivered`` a ``message`` span on the
+        sending proc.  Zero-duration overheads and in-proc messages are
+        skipped, matching the historical span stream.
+        """
+        if event.type == _ev.TASK_FINISHED:
+            self.record(
+                "compute",
+                event.proc,
+                event.t - event.dur,
+                event.t,
+                event.label or f"t{event.task}",
+            )
+        elif event.type == _ev.OVERHEAD and event.dur > 0.0:
+            self.record(
+                event.category or "overhead",
+                event.proc,
+                event.t - event.dur,
+                event.t,
+                event.label,
+            )
+        elif event.type == _ev.MESSAGE_DELIVERED and event.dur > 0.0:
+            self.record(
+                "message",
+                event.proc,
+                event.t - event.dur,
+                event.t,
+                event.label or f"->{event.dst_proc}",
+            )
 
     def by_category(self, category: str) -> list[Span]:
         """All spans of one category, in record order."""

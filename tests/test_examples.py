@@ -6,25 +6,33 @@ internally (segmentation vs reference, image vs single-pass render,
 ground-truth recovery), so a zero exit code is a strong signal.
 """
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES = sorted(
-    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
-)
+REPO = pathlib.Path(__file__).parent.parent
+EXAMPLES = sorted((REPO / "examples").glob("*.py"))
 
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
 def test_example_runs(script, tmp_path):
+    # The examples import `repro` from the source tree; the subprocess
+    # does not inherit this process's sys.path, so put src/ on its
+    # PYTHONPATH explicitly.
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    prior = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{prior}" if prior else src
     proc = subprocess.run(
         [sys.executable, str(script)],
         cwd=tmp_path,  # examples may write output files (ppm)
         capture_output=True,
         text=True,
         timeout=300,
+        env=env,
     )
     assert proc.returncode == 0, proc.stderr[-2000:]
     assert proc.stdout.strip(), "example produced no output"

@@ -1,0 +1,101 @@
+"""``python -m repro.obs summarize`` over saved traces."""
+
+import pytest
+
+from repro.core.payload import Payload
+from repro.graphs import Reduction
+from repro.obs import ChromeTraceExporter, JsonlExporter
+from repro.obs.cli import main
+from repro.runtimes import MPIController
+from repro.runtimes.costs import CallableCost
+
+
+def write_trace(path, exporter_cls, runs=1):
+    exporter = exporter_cls(str(path))
+    c = MPIController(4, cost_model=CallableCost(lambda t, i: 0.01))
+    c.add_sink(exporter)
+    g = Reduction(16, 4)
+    c.initialize(g, None)
+    c.register_callback(g.LEAF, lambda ins, tid: [ins[0]])
+    add = lambda ins, tid: [Payload(sum(p.data for p in ins))]
+    c.register_callback(g.REDUCE, add)
+    c.register_callback(g.ROOT, add)
+    inputs = {t: Payload(i + 1) for i, t in enumerate(g.leaf_ids())}
+    for _ in range(runs):
+        c.run(inputs)
+    exporter.close()
+    return path
+
+
+class TestSummarize:
+    def test_chrome_trace_summary(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.json", ChromeTraceExporter)
+        assert main(["summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "MPIController (4 procs)" in out
+        assert "makespan" in out and "tasks 21" in out
+        assert "where the time went" in out
+        assert "compute" in out and "dispatch" in out
+        assert "top 5 tasks by compute time:" in out
+        assert "load imbalance" in out
+        assert "critical path" in out
+        assert "wait" in out  # the breakdown line
+
+    def test_jsonl_trace_summary(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", JsonlExporter)
+        assert main(["summarize", str(path)]) == 0
+        assert "critical path" in capsys.readouterr().out
+
+    def test_multi_run_trace_gets_one_block_per_run(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.json", ChromeTraceExporter, runs=3)
+        assert main(["summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("== MPIController") == 3
+
+    def test_top_k_flag(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.json", ChromeTraceExporter)
+        assert main(["summarize", str(path), "--top", "3"]) == 0
+        assert "top 3 tasks" in capsys.readouterr().out
+
+    def test_gantt_flag(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.json", ChromeTraceExporter)
+        assert main(["summarize", str(path), "--gantt"]) == 0
+        out = capsys.readouterr().out
+        assert "schedule (# = computing):" in out
+        assert "p0" in out
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["summarize", str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_garbage_file_exits_2(self, tmp_path, capsys):
+        p = tmp_path / "bad.txt"
+        p.write_text("hello\n")
+        assert main(["summarize", str(p)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_empty_trace_exits_2(self, tmp_path, capsys):
+        p = tmp_path / "empty.jsonl"
+        p.write_text("")
+        assert main(["summarize", str(p)]) == 2
+        assert "no events" in capsys.readouterr().err
+
+    def test_module_entry_point(self, tmp_path):
+        import subprocess
+        import sys
+        import os
+        import pathlib
+
+        path = write_trace(tmp_path / "t.json", ChromeTraceExporter)
+        repo = pathlib.Path(__file__).parent.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo / "src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.obs", "summarize", str(path)],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        assert "critical path" in proc.stdout

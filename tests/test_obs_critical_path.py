@@ -1,0 +1,139 @@
+"""Critical-path analysis on hand-built event streams with known
+longest chains, plus consistency checks on real controller runs."""
+
+import random
+
+import pytest
+
+from repro.core.payload import Payload
+from repro.graphs import Reduction
+from repro.obs import BUCKETS, Event, ListSink, critical_path
+from repro.runtimes import LegionIndexController, MPIController
+from repro.runtimes.costs import CallableCost
+
+
+def diamond_events():
+    """A -> {B, C} -> D; the executed longest chain is A -> B -> D.
+
+    Hand-placed times::
+
+        A: [0.0, 1.0]         (compute 1.0)
+        A->B delivered 1.5 (wire 0.5);  A->C delivered 1.2 (wire 0.2)
+        B: [1.5, 3.5]         (compute 2.0)
+        C: [1.2, 2.2]         (compute 1.0)
+        B->D delivered 4.0 (wire 0.5);  C->D delivered 2.4 (wire 0.2)
+        D: overhead 0.2, starts 4.4, ends 5.4 (compute 1.0)
+    """
+    A, B, C, D = 0, 1, 2, 3
+    return [
+        Event("run_started", 0.0, label="hand"),
+        Event("task_started", 0.0, proc=0, task=A),
+        Event("task_finished", 1.0, proc=0, task=A, dur=1.0),
+        Event("message_sent", 1.0, proc=0, task=A, dst_proc=1, dst_task=B),
+        Event("message_delivered", 1.5, proc=0, task=A, dst_proc=1,
+              dst_task=B, dur=0.5),
+        Event("message_sent", 1.0, proc=0, task=A, dst_proc=2, dst_task=C),
+        Event("message_delivered", 1.2, proc=0, task=A, dst_proc=2,
+              dst_task=C, dur=0.2),
+        Event("task_started", 1.5, proc=1, task=B),
+        Event("task_finished", 3.5, proc=1, task=B, dur=2.0),
+        Event("task_started", 1.2, proc=2, task=C),
+        Event("task_finished", 2.2, proc=2, task=C, dur=1.0),
+        Event("message_sent", 3.5, proc=1, task=B, dst_proc=3, dst_task=D),
+        Event("message_delivered", 4.0, proc=1, task=B, dst_proc=3,
+              dst_task=D, dur=0.5),
+        Event("message_sent", 2.2, proc=2, task=C, dst_proc=3, dst_task=D),
+        Event("message_delivered", 2.4, proc=2, task=C, dst_proc=3,
+              dst_task=D, dur=0.2),
+        Event("overhead", 4.4, proc=3, task=D, dur=0.2, category="dispatch"),
+        Event("task_started", 4.4, proc=3, task=D),
+        Event("task_finished", 5.4, proc=3, task=D, dur=1.0),
+        Event("run_finished", 5.4, dur=5.4, label="hand"),
+    ]
+
+
+class TestDiamond:
+    def test_longest_chain_is_recovered(self):
+        cp = critical_path(diamond_events())
+        assert cp.tasks == [0, 1, 3]  # A -> B -> D, source first
+        assert cp.makespan == pytest.approx(5.4)
+
+    def test_exact_buckets(self):
+        cp = critical_path(diamond_events())
+        assert cp.totals["compute"] == pytest.approx(4.0)  # 1 + 2 + 1
+        assert cp.totals["overhead"] == pytest.approx(0.2)
+        # A->B (0.5) binds B; B->D (0.5) binds D; A is a source.
+        assert cp.totals["network"] == pytest.approx(1.0)
+        # D waited 4.4 - 4.0 - 0.2(overhead) = 0.2 between its binding
+        # input arriving and compute starting.
+        assert cp.totals["wait"] == pytest.approx(0.2)
+        assert sum(cp.totals[b] for b in BUCKETS) == pytest.approx(cp.makespan)
+
+    def test_steps_carry_per_task_detail(self):
+        cp = critical_path(diamond_events())
+        d = cp.steps[-1]
+        assert (d.task, d.proc) == (3, 3)
+        assert d.compute == pytest.approx(1.0)
+        assert d.overhead == pytest.approx(0.2)
+        assert d.network == pytest.approx(0.5)
+        assert d.wait == pytest.approx(0.2)
+        assert d.total == pytest.approx(d.end - 4.0 + d.network)
+
+    def test_event_order_is_irrelevant(self):
+        evs = diamond_events()
+        rng = random.Random(7)
+        for _ in range(5):
+            rng.shuffle(evs)
+            cp = critical_path(evs)
+            assert cp.tasks == [0, 1, 3]
+
+    def test_breakdown_renders_all_buckets(self):
+        text = critical_path(diamond_events()).breakdown()
+        for b in BUCKETS:
+            assert b in text
+
+    def test_empty_stream(self):
+        cp = critical_path([])
+        assert cp.steps == [] and cp.makespan == 0.0
+        assert cp.breakdown() == "(empty run)"
+
+
+class TestRealRuns:
+    def run_reduction(self, c):
+        g = Reduction(16, 4)
+        c.initialize(g, None)
+        c.register_callback(g.LEAF, lambda ins, tid: [ins[0]])
+        add = lambda ins, tid: [Payload(sum(p.data for p in ins))]
+        c.register_callback(g.REDUCE, add)
+        c.register_callback(g.ROOT, add)
+        return g, c.run({t: Payload(i + 1) for i, t in enumerate(g.leaf_ids())})
+
+    @pytest.mark.parametrize(
+        "ctor",
+        [
+            lambda: MPIController(4, cost_model=CallableCost(lambda t, i: 0.01)),
+            lambda: LegionIndexController(
+                4, cost_model=CallableCost(lambda t, i: 0.01)
+            ),
+        ],
+        ids=["mpi", "legion-index"],
+    )
+    def test_path_ends_at_makespan_and_starts_at_source(self, ctor):
+        sink = ListSink()
+        c = ctor()
+        c.add_sink(sink)
+        g, result = self.run_reduction(c)
+        cp = critical_path(sink.events)
+        assert cp.makespan == pytest.approx(result.makespan)
+        # A 16-leaf, valence-4 reduction is 3 levels: leaf, reduce, root.
+        assert len(cp.tasks) == 3
+        assert cp.tasks[-1] == g.root_id
+        assert cp.tasks[0] in set(g.leaf_ids())
+        # The buckets tile the makespan up to unattributed inter-task
+        # gaps (e.g. producer-side serialization between a finish and
+        # the next message's injection), which are tiny here.
+        total = sum(cp.totals[b] for b in BUCKETS)
+        assert total == pytest.approx(cp.makespan, rel=0.05)
+        for step in cp.steps:
+            assert step.compute >= 0 and step.overhead >= 0
+            assert step.network >= 0 and step.wait >= 0

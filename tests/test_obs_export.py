@@ -1,0 +1,162 @@
+"""Trace exporters: Chrome trace-event JSON and JSONL must be valid,
+timestamp-consistent, and round-trip the exact event stream."""
+
+import json
+
+import pytest
+
+from repro.core.payload import Payload
+from repro.graphs import Reduction
+from repro.obs import (
+    ChromeTraceExporter,
+    Event,
+    JsonlExporter,
+    ListSink,
+    events_from_jsonl,
+    load_events,
+    split_runs,
+)
+from repro.runtimes import MPIController
+
+
+def run_reduction(controller):
+    g = Reduction(16, 4)
+    controller.initialize(g, None)
+    controller.register_callback(g.LEAF, lambda ins, tid: [ins[0]])
+    add = lambda ins, tid: [Payload(sum(p.data for p in ins))]
+    controller.register_callback(g.REDUCE, add)
+    controller.register_callback(g.ROOT, add)
+    return g, controller.run(
+        {t: Payload(i + 1) for i, t in enumerate(g.leaf_ids())}
+    )
+
+
+def canon(events):
+    return sorted(json.dumps(e.to_dict(), sort_keys=True) for e in events)
+
+
+@pytest.fixture
+def traced_run(tmp_path):
+    """One MPI run captured by every sink at once."""
+    cpath = tmp_path / "trace.json"
+    jpath = tmp_path / "trace.jsonl"
+    chrome = ChromeTraceExporter(str(cpath))
+    jsonl = JsonlExporter(str(jpath))
+    sink = ListSink()
+    c = MPIController(4)
+    for s in (chrome, jsonl, sink):
+        c.add_sink(s)
+    _, result = run_reduction(c)
+    chrome.close()
+    jsonl.close()
+    return cpath, jpath, sink, result
+
+
+class TestChromeTrace:
+    def test_valid_json_document(self, traced_run):
+        cpath, _, _, _ = traced_run
+        doc = json.loads(cpath.read_text())
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["traceEvents"]
+
+    def test_timestamps_monotonically_consistent(self, traced_run):
+        """ts/dur are non-negative microseconds, slices stay inside the
+        run, and the record list is ts-sorted."""
+        cpath, _, _, result = traced_run
+        doc = json.loads(cpath.read_text())
+        records = [r for r in doc["traceEvents"] if r["ph"] != "M"]
+        span_us = result.makespan * 1e6
+        last_ts = -1.0
+        for r in records:
+            assert r["ts"] >= 0
+            assert r["ts"] >= last_ts
+            last_ts = r["ts"]
+            if r["ph"] == "X":
+                assert r["dur"] >= 0
+                assert r["ts"] + r["dur"] <= span_us * (1 + 1e-9) + 1e-3
+            else:
+                assert r["ts"] <= span_us * (1 + 1e-9) + 1e-3
+
+    def test_process_metadata_names_runs(self, traced_run):
+        cpath, _, _, _ = traced_run
+        doc = json.loads(cpath.read_text())
+        meta = [r for r in doc["traceEvents"] if r["ph"] == "M"]
+        names = {r["args"]["name"] for r in meta}
+        assert any("MPIController" in n for n in names)
+        assert any(" net" in n for n in names)
+
+    def test_round_trips_exact_event_stream(self, traced_run):
+        cpath, _, sink, _ = traced_run
+        assert canon(load_events(str(cpath))) == canon(sink.events)
+
+    def test_multi_run_files_split_per_run(self, tmp_path):
+        cpath = tmp_path / "two.json"
+        chrome = ChromeTraceExporter(str(cpath))
+        c = MPIController(4)
+        c.add_sink(chrome)
+        run_reduction(c)
+        run_reduction(c)
+        chrome.close()
+        runs = split_runs(load_events(str(cpath)))
+        assert len(runs) == 2
+        assert len(runs[0]) == len(runs[1])
+        for run in runs:
+            assert run[0].type == "run_started"
+        # Two runs means two compute pids in the file.
+        doc = json.loads(cpath.read_text())
+        pids = {r["pid"] for r in doc["traceEvents"]}
+        assert {0, 1} <= pids
+
+    def test_close_is_idempotent(self, tmp_path):
+        path = tmp_path / "once.json"
+        exp = ChromeTraceExporter(str(path))
+        exp.emit(Event("run_started", 0.0, label="X"))
+        exp.close()
+        path.write_text(path.read_text() + " ")  # marker
+        exp.close()  # second close must not rewrite the file
+        assert path.read_text().endswith(" ")
+
+
+class TestJsonl:
+    def test_streams_one_event_per_line(self, traced_run):
+        _, jpath, sink, _ = traced_run
+        lines = jpath.read_text().splitlines()
+        assert len(lines) == len(sink.events)
+        parsed = events_from_jsonl(lines)
+        assert parsed == sink.events  # order-preserving, lossless
+
+    def test_load_events_sniffs_jsonl(self, traced_run):
+        _, jpath, sink, _ = traced_run
+        assert load_events(str(jpath)) == sink.events
+
+    def test_emit_after_close_raises(self, tmp_path):
+        exp = JsonlExporter(str(tmp_path / "x.jsonl"))
+        exp.close()
+        exp.close()  # idempotent
+        with pytest.raises(ValueError):
+            exp.emit(Event("overhead", 0.0))
+
+
+class TestLoadEvents:
+    def test_rejects_garbage(self, tmp_path):
+        p = tmp_path / "garbage.txt"
+        p.write_text("not a trace\n")
+        with pytest.raises(ValueError):
+            load_events(str(p))
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            load_events(str(tmp_path / "nope.json"))
+
+    def test_bare_trace_events_array(self, tmp_path):
+        ev = Event("task_finished", 1.0, proc=0, task=1, dur=1.0)
+        p = tmp_path / "bare.json"
+        p.write_text(json.dumps([{"ph": "X", "pid": 0, "tid": 0,
+                                  "ts": 0, "dur": 1, "name": "t1",
+                                  "args": {"ev": ev.to_dict()}}]))
+        assert load_events(str(p)) == [ev]
+
+    def test_split_runs_without_markers_is_one_run(self):
+        evs = [Event("task_finished", 1.0, task=0, dur=1.0)]
+        assert split_runs(evs) == [evs]

@@ -1,0 +1,54 @@
+"""REPRO_TRACE wiring: the benchmark harness attaches one process-wide
+exporter to every observed controller."""
+
+import benchmarks.harness as harness
+from repro.core.payload import Payload
+from repro.graphs import DataParallel
+from repro.obs import ChromeTraceExporter, JsonlExporter, load_events
+from repro.runtimes import MPIController
+
+
+def run_flat(c):
+    g = DataParallel(8)
+    c.initialize(g)
+    c.register_callback(g.WORK, lambda ins, tid: [ins[0]])
+    return c.run({t: Payload(1) for t in range(8)})
+
+
+def fresh(monkeypatch, path):
+    monkeypatch.setattr(harness, "_trace_exporter", None)
+    if path is None:
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+    else:
+        monkeypatch.setenv("REPRO_TRACE", str(path))
+
+
+def test_no_env_means_no_exporter(monkeypatch):
+    fresh(monkeypatch, None)
+    assert harness.trace_exporter() is None
+    c = MPIController(2)
+    assert harness.observe(c) is c
+    assert c._sinks == []
+
+
+def test_env_selects_chrome_by_default(monkeypatch, tmp_path):
+    fresh(monkeypatch, tmp_path / "t.json")
+    exp = harness.trace_exporter()
+    assert isinstance(exp, ChromeTraceExporter)
+    assert harness.trace_exporter() is exp  # singleton
+
+
+def test_jsonl_suffix_selects_jsonl(monkeypatch, tmp_path):
+    fresh(monkeypatch, tmp_path / "t.jsonl")
+    assert isinstance(harness.trace_exporter(), JsonlExporter)
+
+
+def test_observed_runs_land_in_the_file(monkeypatch, tmp_path):
+    path = tmp_path / "t.jsonl"
+    fresh(monkeypatch, path)
+    run_flat(harness.observe(MPIController(2)))
+    run_flat(harness.observe(MPIController(2)))
+    harness.trace_exporter().close()
+    events = load_events(str(path))
+    assert sum(1 for e in events if e.type == "run_started") == 2
+    assert sum(1 for e in events if e.type == "task_finished") == 16

@@ -1,0 +1,161 @@
+"""Always-on metrics: instrument semantics and snapshot consistency with
+the event stream / span trace across the runtime families."""
+
+import pytest
+
+from repro.core.payload import Payload
+from repro.graphs import Reduction
+from repro.obs import Counter, Gauge, Histogram, ListSink, MetricsRegistry
+from repro.runtimes import (
+    CharmController,
+    LegionSPMDController,
+    MPIController,
+    SerialController,
+)
+
+FAMILIES = [
+    ("serial", SerialController),
+    ("mpi", lambda: MPIController(4, collect_trace=True)),
+    ("charm", lambda: CharmController(4, collect_trace=True)),
+    ("legion-spmd", lambda: LegionSPMDController(4, collect_trace=True)),
+]
+
+
+def run_reduction(controller):
+    g = Reduction(16, 4)
+    controller.initialize(g, None)
+    controller.register_callback(g.LEAF, lambda ins, tid: [ins[0]])
+    add = lambda ins, tid: [Payload(sum(p.data for p in ins))]
+    controller.register_callback(g.REDUCE, add)
+    controller.register_callback(g.ROOT, add)
+    return g, controller.run(
+        {t: Payload(i + 1) for i, t in enumerate(g.leaf_ids())}
+    )
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_gauge(self):
+        g = Gauge()
+        g.set(2.0)
+        g.set_max(1.0)
+        assert g.value == 2.0
+        g.set_max(3.0)
+        assert g.value == 3.0
+
+    def test_histogram_exact_aggregates(self):
+        h = Histogram()
+        for x in (0.0, 0.5, 1.5, 3.0, 3.0):
+            h.observe(x)
+        assert h.count == 5
+        assert h.total == pytest.approx(8.0)
+        assert h.mean == pytest.approx(1.6)
+        assert (h.min, h.max) == (0.0, 3.0)
+
+    def test_histogram_log2_buckets(self):
+        h = Histogram()
+        h.observe(0.0)  # zero bucket
+        h.observe(0.5)  # [0.5, 1)  -> 2**0
+        h.observe(1.5)  # [1, 2)    -> 2**1
+        h.observe(3.0)  # [2, 4)    -> 2**2
+        h.observe(3.5)
+        snap = h.snapshot()
+        assert snap["buckets"] == {0.0: 1, 1.0: 1, 2.0: 1, 4.0: 2}
+
+    def test_empty_histogram_snapshot(self):
+        snap = Histogram().snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] == 0.0 and snap["max"] == 0.0
+
+    def test_registry_get_or_create(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        assert r.gauge("b") is r.gauge("b")
+        assert r.histogram("c") is r.histogram("c")
+        r.counter("a").inc(2)
+        snap = r.snapshot()
+        assert snap.counter("a") == 2
+        assert snap.counter("missing", -1) == -1
+        assert "a = 2" in snap.summary()
+
+
+@pytest.mark.parametrize(
+    "ctor", [f[1] for f in FAMILIES], ids=[f[0] for f in FAMILIES]
+)
+class TestSnapshotConsistency:
+    """The snapshot must agree with the other sources of truth: stats,
+    the span trace, and the event stream."""
+
+    def test_counts_match_spans_and_events(self, ctor):
+        sink = ListSink()
+        c = ctor()
+        c.add_sink(sink)
+        g, result = run_reduction(c)
+        m = result.metrics
+        assert m is not None
+
+        assert m.counter("tasks_executed") == g.size()
+        assert m.counter("tasks_executed") == result.stats.tasks_executed
+        assert m.counter("messages_sent") == result.stats.messages
+        assert m.counter("bytes_sent") == result.stats.bytes_sent
+        assert m.counter("retries") == 0
+
+        # One task_finished event and one latency sample per task.
+        finished = sink.by_type("task_finished")
+        assert len(finished) == g.size()
+        assert m.histograms["task_compute_seconds"]["count"] == g.size()
+
+        # One message_sent event and one size sample per dataflow message.
+        assert len(sink.by_type("message_sent")) == result.stats.messages
+        assert m.histograms["message_nbytes"]["count"] == result.stats.messages
+
+        # Trace spans (when collected) mirror the compute events.
+        if result.trace is not None:
+            compute = result.trace.by_category("compute")
+            assert len(compute) == g.size()
+
+    def test_gauges_are_sane(self, ctor):
+        c = ctor()
+        _, result = run_reduction(c)
+        m = result.metrics
+        assert m.gauge("queue_depth_peak") >= 1
+        assert 0.0 < m.gauge("utilization_mean") <= 1.0
+        assert (
+            m.gauge("utilization_min")
+            <= m.gauge("utilization_mean")
+            <= m.gauge("utilization_max") + 1e-12
+        )
+        assert m.gauge("imbalance") >= 1.0 - 1e-12
+
+    def test_metrics_collected_without_sinks(self, ctor):
+        """Metrics are always on — no sinks, no tracing needed."""
+        c = ctor()
+        if hasattr(c, "collect_trace"):
+            c.collect_trace = False
+        _, result = run_reduction(c)
+        assert result.metrics is not None
+        assert result.metrics.counter("tasks_executed") == 21
+
+
+class TestCharmExtras:
+    def test_migration_counters_in_snapshot(self):
+        from repro.runtimes import DEFAULT_COSTS
+        from repro.runtimes.costs import CallableCost
+        from repro.graphs import DataParallel
+
+        heavy = CallableCost(lambda t, i: 1.0 if t.id % 4 == 0 else 0.001)
+        c = CharmController(
+            4, costs=DEFAULT_COSTS.with_(charm_lb_period=0.1), cost_model=heavy
+        )
+        g = DataParallel(64)
+        c.initialize(g)
+        c.register_callback(g.WORK, lambda ins, tid: [ins[0]])
+        result = c.run({t: Payload(1) for t in range(64)})
+        m = result.metrics
+        assert m.counter("migrations") == c.migrations > 0
+        assert m.counter("lb_rounds") == c.lb_rounds > 0

@@ -1,0 +1,79 @@
+"""The zero-cost-when-unobserved guarantee: with no sinks attached and
+tracing disabled, a run must not allocate a single Event or Span object.
+
+Enforced by poisoning the constructors — any allocation raises, so the
+guard fails loudly if an emission site loses its ``if obs:`` check.
+"""
+
+import pytest
+
+from repro.core.payload import Payload
+from repro.graphs import Reduction
+from repro.obs import ListSink
+from repro.obs.events import Event
+from repro.runtimes import (
+    CharmController,
+    LegionIndexController,
+    LegionSPMDController,
+    MPIController,
+    SerialController,
+)
+from repro.sim.trace import Span
+
+ALL = [
+    SerialController,
+    lambda: MPIController(4),
+    lambda: CharmController(4),
+    lambda: LegionSPMDController(4),
+    lambda: LegionIndexController(4),
+]
+IDS = ["serial", "mpi", "charm", "legion-spmd", "legion-index"]
+
+
+def run_reduction(controller):
+    g = Reduction(16, 4)
+    controller.initialize(g, None)
+    controller.register_callback(g.LEAF, lambda ins, tid: [ins[0]])
+    add = lambda ins, tid: [Payload(sum(p.data for p in ins))]
+    controller.register_callback(g.REDUCE, add)
+    controller.register_callback(g.ROOT, add)
+    return g, controller.run(
+        {t: Payload(i + 1) for i, t in enumerate(g.leaf_ids())}
+    )
+
+
+@pytest.fixture
+def poisoned(monkeypatch):
+    """Make any Event or Span construction raise."""
+
+    def boom_event(self, *a, **k):
+        raise AssertionError("Event allocated on an unobserved run")
+
+    def boom_span(self, *a, **k):
+        raise AssertionError("Span allocated on an unobserved run")
+
+    monkeypatch.setattr(Event, "__init__", boom_event)
+    monkeypatch.setattr(Span, "__init__", boom_span)
+
+
+@pytest.mark.parametrize("ctor", ALL, ids=IDS)
+def test_unobserved_run_allocates_no_events_or_spans(ctor, poisoned):
+    g, result = run_reduction(ctor())
+    assert result.stats.tasks_executed == g.size()
+    assert result.trace is None
+    # Metrics stay on even when events are off.
+    assert result.metrics is not None
+    assert result.metrics.counter("tasks_executed") == g.size()
+
+
+def test_poison_actually_fires_when_observed(poisoned):
+    c = MPIController(4)
+    c.add_sink(ListSink())
+    with pytest.raises(AssertionError, match="unobserved run"):
+        run_reduction(c)
+
+
+def test_collect_trace_allocates_spans_only_when_asked():
+    c = MPIController(4, collect_trace=True)
+    _, result = run_reduction(c)
+    assert result.trace is not None and result.trace.spans
