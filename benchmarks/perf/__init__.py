@@ -1,0 +1,24 @@
+"""Perf-regression harness for the simulator hot path.
+
+Three microbenchmarks cover the substrate layers that the paper's
+figure runs exercise hardest:
+
+* ``engine_events`` — raw event-loop throughput (schedule + drain plain
+  :meth:`~repro.sim.engine.Engine.call_at` events).
+* ``controller_tasks`` — end-to-end task throughput of a simulated
+  controller on a trivial reduction (task materialization, routing,
+  resource model; no analysis work).
+* ``fig6_point`` — the profiled figure-6 point: MergeTree with 1024
+  leaves on a 256-process :class:`~repro.runtimes.MPIController`,
+  including the real merge-tree callbacks.
+
+``python -m benchmarks.perf`` runs the suite and writes
+``BENCH_simcore.json`` at the repo root; ``--check BASELINE`` also
+compares against a committed baseline and exits non-zero on a >30%
+wall-clock regression or any determinism drift (the fig6 makespan must
+match the baseline bit for bit).  See ``docs/performance.md``.
+"""
+
+from benchmarks.perf.suite import check_against_baseline, run_suite
+
+__all__ = ["run_suite", "check_against_baseline"]

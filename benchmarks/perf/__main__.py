@@ -1,0 +1,71 @@
+"""CLI entry point: ``python -m benchmarks.perf``.
+
+Runs the hot-path suite, writes ``BENCH_simcore.json`` at the repo root
+(or ``--output``), and with ``--check BASELINE`` exits 1 on a wall-clock
+regression beyond the threshold or any determinism drift.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+from benchmarks.perf.suite import (
+    BENCHMARKS,
+    DEFAULT_OUTPUT,
+    DEFAULT_THRESHOLD,
+    check_against_baseline,
+    run_suite,
+    write_report,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.perf",
+        description="Simulator hot-path perf suite (see docs/performance.md).",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=3,
+        help="repetitions per benchmark; best (minimum) wall time is kept",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT,
+        help=f"where to write the report (default: {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--only", action="append", choices=sorted(BENCHMARKS),
+        help="run a subset of benchmarks (repeatable)",
+    )
+    parser.add_argument(
+        "--check", type=Path, metavar="BASELINE",
+        help="compare against a baseline report; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--threshold", type=float,
+        default=float(os.environ.get("REPRO_PERF_THRESHOLD", DEFAULT_THRESHOLD)),
+        help="allowed fractional wall-clock slowdown vs baseline "
+        "(default 0.30; env REPRO_PERF_THRESHOLD overrides)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_suite(reps=args.reps, only=args.only)
+    write_report(report, args.output)
+    print(f"[perf] report written to {args.output}")
+
+    if args.check is not None:
+        baseline = json.loads(args.check.read_text())
+        failures = check_against_baseline(report, baseline, args.threshold)
+        if failures:
+            for f in failures:
+                print(f"[perf] FAIL {f}", file=sys.stderr)
+            return 1
+        print(f"[perf] OK: within {args.threshold:.0%} of {args.check}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

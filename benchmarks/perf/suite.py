@@ -1,0 +1,177 @@
+"""Simulator hot-path microbenchmarks and the regression check.
+
+Each benchmark returns a JSON-friendly dict with at least a ``seconds``
+field (best of ``reps`` repetitions — the minimum is the right estimator
+for wall time on a noisy host, since noise only ever adds).  Derived
+rates ride along for human reading but the regression check compares
+only ``seconds`` (lower is better) and the determinism fields.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_simcore.json"
+
+#: Regression tolerance: fail when seconds exceed baseline by more than this.
+DEFAULT_THRESHOLD = 0.30
+
+SCHEMA_VERSION = 1
+
+
+def _best_of(reps: int, fn: Callable[[], Any]) -> tuple[float, Any]:
+    """Run ``fn`` ``reps`` times; return (best seconds, last result)."""
+    best = None
+    result = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        result = fn()
+        dt = time.perf_counter() - t0
+        best = dt if best is None else min(best, dt)
+    return best, result
+
+
+def bench_engine_events(reps: int, n_events: int = 200_000) -> dict:
+    """Raw engine throughput: schedule then drain plain events."""
+    from repro.sim.engine import Engine
+
+    def once() -> int:
+        eng = Engine()
+        fired = 0
+
+        def tick() -> None:
+            nonlocal fired
+            fired += 1
+
+        call_at = eng.call_at
+        for i in range(n_events):
+            call_at(i * 1e-6, tick)
+        eng.run()
+        return fired
+
+    seconds, fired = _best_of(reps, once)
+    if fired != n_events:
+        raise RuntimeError(f"engine dropped events: {fired}/{n_events}")
+    return {
+        "seconds": round(seconds, 6),
+        "events": n_events,
+        "events_per_sec": round(n_events / seconds),
+    }
+
+
+def bench_controller_tasks(reps: int, leaves: int = 4096, valence: int = 4) -> dict:
+    """Task throughput of a simulated controller on a trivial reduction."""
+    from repro.core.payload import Payload
+    from repro.graphs import Reduction
+    from repro.runtimes import MPIController
+
+    def once():
+        g = Reduction(leaves, valence)
+        c = MPIController(64)
+        c.initialize(g, None)
+        c.register_callback(g.LEAF, lambda ins, tid: [ins[0]])
+        add = lambda ins, tid: [Payload(sum(p.data for p in ins))]
+        c.register_callback(g.REDUCE, add)
+        c.register_callback(g.ROOT, add)
+        result = c.run({t: Payload(1) for t in g.leaf_ids()})
+        return g.size(), result
+
+    seconds, (n_tasks, result) = _best_of(reps, once)
+    if result.stats.tasks_executed != n_tasks:
+        raise RuntimeError("controller did not execute every task")
+    return {
+        "seconds": round(seconds, 6),
+        "tasks": n_tasks,
+        "tasks_per_sec": round(n_tasks / seconds),
+    }
+
+
+def bench_fig6_point(reps: int) -> dict:
+    """The profiled figure-6 point: MergeTree 1024 leaves / 256 procs."""
+    from benchmarks.harness import bench_field
+    from repro.analysis.mergetree import MergeTreeWorkload
+    from repro.runtimes import MPIController
+
+    workload = MergeTreeWorkload(
+        bench_field(), 1024, threshold=0.45, valence=4,
+        sim_shape=(1024, 1024, 1024),
+    )
+
+    def once():
+        controller = MPIController(256, cost_model=workload.cost_model())
+        return workload.run(controller)
+
+    seconds, result = _best_of(reps, once)
+    return {
+        "seconds": round(seconds, 6),
+        "makespan": result.makespan,
+        "tasks_executed": result.stats.tasks_executed,
+    }
+
+
+BENCHMARKS: dict[str, Callable[[int], dict]] = {
+    "engine_events": bench_engine_events,
+    "controller_tasks": bench_controller_tasks,
+    "fig6_point": bench_fig6_point,
+}
+
+#: Fields that must match the baseline exactly — any drift means the
+#: simulation result changed, which this suite treats as a failure
+#: regardless of speed.
+DETERMINISM_FIELDS = {
+    "fig6_point": ("makespan", "tasks_executed"),
+    "controller_tasks": ("tasks",),
+    "engine_events": ("events",),
+}
+
+
+def run_suite(reps: int = 3, only: list[str] | None = None) -> dict:
+    """Run the benchmarks and return the report dict."""
+    names = only or list(BENCHMARKS)
+    report: dict[str, Any] = {"schema": SCHEMA_VERSION, "reps": reps, "benchmarks": {}}
+    for name in names:
+        fn = BENCHMARKS[name]
+        print(f"[perf] {name} ...", flush=True)
+        entry = fn(reps)
+        report["benchmarks"][name] = entry
+        print(f"[perf] {name}: {entry['seconds']:.4f}s", flush=True)
+    return report
+
+
+def write_report(report: dict, path: Path) -> None:
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def check_against_baseline(
+    report: dict, baseline: dict, threshold: float = DEFAULT_THRESHOLD
+) -> list[str]:
+    """Compare a fresh report against a baseline; return failure messages.
+
+    A benchmark fails when its wall time exceeds the baseline by more
+    than ``threshold`` (fraction), or when any determinism field
+    differs.  Benchmarks present in only one of the two reports are
+    skipped (the suite may grow over time).
+    """
+    failures: list[str] = []
+    base_benches = baseline.get("benchmarks", {})
+    for name, entry in report.get("benchmarks", {}).items():
+        base = base_benches.get(name)
+        if base is None:
+            continue
+        limit = base["seconds"] * (1.0 + threshold)
+        if entry["seconds"] > limit:
+            failures.append(
+                f"{name}: {entry['seconds']:.4f}s exceeds baseline "
+                f"{base['seconds']:.4f}s by more than {threshold:.0%}"
+            )
+        for field in DETERMINISM_FIELDS.get(name, ()):
+            if field in base and entry.get(field) != base[field]:
+                failures.append(
+                    f"{name}: {field} changed from {base[field]!r} "
+                    f"to {entry.get(field)!r} (determinism regression)"
+                )
+    return failures

@@ -15,6 +15,7 @@ linear id of coordinate ``(x, y, z)`` is ``(x * ny + y) * nz + z``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -51,6 +52,10 @@ class BlockDecomposition:
         return cls(tuple(shape), block_layout(shape, nblocks))
 
     def __post_init__(self) -> None:
+        # Normalize to tuples so the decomposition is hashable (the
+        # hot-path per-block caches below are keyed by it).
+        object.__setattr__(self, "shape", tuple(self.shape))
+        object.__setattr__(self, "layout", tuple(self.layout))
         if len(self.shape) != 3 or len(self.layout) != 3:
             raise ValueError("shape and layout must be 3D")
         for s, l in zip(self.shape, self.layout):
@@ -90,13 +95,40 @@ class BlockDecomposition:
             raise ValueError(f"block coords {coords} out of layout {self.layout}")
         return (cx * by + cy) * bz + cz
 
+    @lru_cache(maxsize=None)
     def block_bounds(self, block: int) -> tuple[tuple[int, int], ...]:
-        """Per-axis ``[lo, hi)`` voxel bounds of ``block``."""
+        """Per-axis ``[lo, hi)`` voxel bounds of ``block`` (cached: the
+        decomposition is immutable and every task recomputes its block's
+        bounds)."""
         coords = self.block_coords(block)
         return tuple(
             split_range(s, parts, c)
             for s, parts, c in zip(self.shape, self.layout, coords)
         )
+
+    @lru_cache(maxsize=None)
+    def axis_block_tables(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-axis lookup arrays mapping a global coordinate to its
+        block coordinate along that axis (cached, read-only).
+
+        ``axis_block_tables()[0][x]`` equals the x block coordinate that
+        :meth:`block_of_point` computes — the closed-form divmod algebra,
+        tabulated once so bulk queries are plain fancy indexing.
+        """
+        tables = []
+        for size, parts in zip(self.shape, self.layout):
+            base, extra = divmod(size, parts)
+            pivot = extra * (base + 1)
+            v = np.arange(size, dtype=np.int64)
+            if base:
+                t = np.where(
+                    v < pivot, v // (base + 1), extra + (v - pivot) // base
+                )
+            else:
+                t = v  # base == 0: every block holds exactly one voxel
+            t.flags.writeable = False
+            tables.append(t)
+        return tuple(tables)
 
     def block_of_point(self, x: int, y: int, z: int) -> int:
         """Block containing global coordinate ``(x, y, z)``."""
@@ -149,10 +181,12 @@ class BlockDecomposition:
         (x0, x1), (y0, y1), (z0, z1) = self.block_bounds(block)
         return np.ascontiguousarray(field[x0:x1, y0:y1, z0:z1])
 
+    @lru_cache(maxsize=None)
     def boundary_mask(self, block: int) -> np.ndarray:
         """Boolean mask (block-shaped) of voxels on an *interior* block
         face, i.e. faces shared with a neighboring block (grid-boundary
-        faces do not count: nothing can merge through them)."""
+        faces do not count: nothing can merge through them).  Cached and
+        read-only: combine with ``&``, do not write into it."""
         (x0, x1), (y0, y1), (z0, z1) = self.block_bounds(block)
         shape = (x1 - x0, y1 - y0, z1 - z0)
         mask = np.zeros(shape, dtype=bool)
@@ -169,4 +203,5 @@ class BlockDecomposition:
             mask[:, :, 0] = True
         if z1 < nz:
             mask[:, :, -1] = True
+        mask.flags.writeable = False
         return mask

@@ -105,6 +105,7 @@ def extract_boundary(
     block_index: int,
     labels: np.ndarray,
     values: np.ndarray,
+    gids: np.ndarray | None = None,
 ) -> BoundaryComponents:
     """Build the boundary payload of one leaf block.
 
@@ -115,6 +116,8 @@ def extract_boundary(
             voxel, -1 below threshold), as from
             :func:`~repro.analysis.mergetree.sequential.segment_block`.
         values: the block's scalar field (to record rep values).
+        gids: the block's global-id array, if the caller already has it
+            (recomputed from the decomposition otherwise).
 
     Only voxels on faces shared with a neighboring block are carried;
     grid-boundary faces cannot merge with anything.
@@ -123,20 +126,23 @@ def extract_boundary(
         raise ValueError("labels and values must have the same shape")
     mask = decomp.boundary_mask(block_index) & (labels >= 0)
     bounds = decomp.block_bounds(block_index)
-    gids = decomp.gids_array(bounds)
+    if gids is None:
+        gids = decomp.gids_array(bounds)
+    # gid = (x*ny + y)*nz + z is strictly increasing in the block's C
+    # order, and boolean selection preserves that order, so the selected
+    # gids are already ascending — no sort needed.
     sel_gids = gids[mask].ravel()
     sel_labels = labels[mask].ravel()
-    order = np.argsort(sel_gids)
-    sel_gids = sel_gids[order]
-    sel_labels = sel_labels[order]
     comp_gid, comp_idx = np.unique(sel_labels, return_inverse=True)
     # Representative values: reps are voxels of this block, so translate
     # each rep gid to block-local coordinates and read the field.
     (x0, _), (y0, _), (z0, _) = bounds
-    comp_val = np.empty(len(comp_gid), dtype=np.float64)
-    for i, g in enumerate(comp_gid):
-        x, y, z = decomp.coords(int(g))
-        comp_val[i] = values[x - x0, y - y0, z - z0]
+    _, ny, nz = decomp.shape
+    reps = comp_gid.astype(np.int64)
+    rz = reps % nz
+    ry = (reps // nz) % ny
+    rx = reps // (ny * nz)
+    comp_val = values[rx - x0, ry - y0, rz - z0].astype(np.float64)
     return BoundaryComponents(
         gids=sel_gids.astype(np.int64),
         comp_idx=comp_idx.astype(np.int32),

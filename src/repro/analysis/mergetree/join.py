@@ -28,7 +28,7 @@ from typing import Collection, Sequence
 
 import numpy as np
 
-from repro.analysis.mergetree.blocks import NEIGHBOR_OFFSETS, BlockDecomposition
+from repro.analysis.mergetree.blocks import BlockDecomposition
 from repro.analysis.mergetree.boundary import BoundaryComponents
 from repro.analysis.mergetree.union_find import UnionFind
 
@@ -54,9 +54,6 @@ def join_components(
         ``(merged_boundary, relabel_map)``.
     """
     region = set(region_blocks)
-    # Concatenate children; gids are disjoint across children.
-    all_gids = np.concatenate([p.gids for p in parts]) if parts else np.empty(0, np.int64)
-    comp_of_voxel: dict[int, int] = {}
     comp_val: dict[int, float] = {}
     uf = UnionFind()
     for p in parts:
@@ -64,21 +61,61 @@ def join_components(
             rep = int(p.comp_gid[c])
             uf.add(rep)
             comp_val[rep] = float(p.comp_val[c])
-        for g, ci in zip(p.gids, p.comp_idx):
-            comp_of_voxel[int(g)] = int(p.comp_gid[ci])
+
+    # Concatenate children (gids are disjoint across children) and sort
+    # by gid so neighbor membership is a binary search, not a dict probe.
+    if parts:
+        all_gids = np.concatenate([p.gids for p in parts])
+        all_reps = np.concatenate([p.comp_gid[p.comp_idx] for p in parts])
+    else:
+        all_gids = np.empty(0, np.int64)
+        all_reps = np.empty(0, np.int64)
+    order = np.argsort(all_gids, kind="stable")
+    sg = all_gids[order]
+    srep = all_reps[order]
+    n_voxels = len(sg)
 
     # Union across interfaces: any 6-adjacent pair of carried voxels.
+    # Adjacency is symmetric, so probing only the +stride neighbor of
+    # each axis finds every pair once; distinct rep pairs are
+    # deduplicated before union (the partition depends only on the *set*
+    # of adjacent rep pairs, not their multiplicity or order, and
+    # everything downstream depends only on the partition).
     nx, ny, nz = decomp.shape
-    for g in comp_of_voxel:
-        x, y, z = decomp.coords(g)
-        for dx, dy, dz in NEIGHBOR_OFFSETS:
-            ux, uy, uz = x + dx, y + dy, z + dz
-            if not (0 <= ux < nx and 0 <= uy < ny and 0 <= uz < nz):
+    q = sg // nz
+    z = sg - q * nz
+    y = q % ny
+    x = q // ny
+    if n_voxels:
+        pair_lo: list[np.ndarray] = []
+        pair_hi: list[np.ndarray] = []
+        for coord, size, stride in ((x, nx, ny * nz), (y, ny, nz), (z, nz, 1)):
+            idx = (coord < size - 1).nonzero()[0]
+            if not len(idx):
                 continue
-            ug = (ux * ny + uy) * nz + uz
-            other = comp_of_voxel.get(ug)
-            if other is not None:
-                uf.union(comp_of_voxel[g], other)
+            ug = sg[idx] + stride
+            pos = np.searchsorted(sg, ug)
+            pos[pos == n_voxels] = 0  # out-of-range probes cannot match
+            hit = sg[pos] == ug
+            if not hit.any():
+                continue
+            ra = srep[idx[hit]]
+            rb = srep[pos[hit]]
+            ne = ra != rb
+            if ne.any():
+                pair_lo.append(np.minimum(ra[ne], rb[ne]))
+                pair_hi.append(np.maximum(ra[ne], rb[ne]))
+        if pair_lo:
+            lo = np.concatenate(pair_lo)
+            hi = np.concatenate(pair_hi)
+            union = uf.union
+            big = nx * ny * nz
+            if big < 2**31:  # lo * big + hi cannot overflow int64
+                for code in np.unique(lo * big + hi).tolist():
+                    union(code // big, code % big)
+            else:
+                for a, b in set(zip(lo.tolist(), hi.tolist())):
+                    union(a, b)
 
     # Elect the representative of each union class.
     classes: dict[int, list[int]] = {}
@@ -93,25 +130,54 @@ def join_components(
             if r != best:
                 relabel[r] = (best, comp_val[best])
 
-    # Reduce to the merged region's outer boundary.
-    keep_gids: list[int] = []
-    keep_reps: list[int] = []
-    for g in sorted(comp_of_voxel):
-        x, y, z = decomp.coords(g)
-        outer = False
-        for dx, dy, dz in NEIGHBOR_OFFSETS:
-            ux, uy, uz = x + dx, y + dy, z + dz
-            if not (0 <= ux < nx and 0 <= uy < ny and 0 <= uz < nz):
-                continue  # grid border: nothing beyond
-            if decomp.block_of_point(ux, uy, uz) not in region:
-                outer = True
-                break
-        if outer:
-            keep_gids.append(g)
-            keep_reps.append(new_rep_of[comp_of_voxel[g]])
-    if keep_gids:
-        gids_arr = np.array(keep_gids, dtype=np.int64)
-        reps_arr = np.array(keep_reps, dtype=np.int64)
+    # Reduce to the merged region's outer boundary: keep a voxel when any
+    # in-grid 6-neighbor lies in a block outside the region.  Block
+    # lookups use the decomposition's cached per-axis coordinate ->
+    # block-coordinate tables, and ``sg`` is already in the ascending-gid
+    # order the old ``sorted()`` loop produced.
+    region_sorted = np.sort(np.fromiter(region, dtype=np.int64, count=len(region)))
+    n_region = len(region_sorted)
+    _, by, bz = decomp.layout
+    outer = np.zeros(n_voxels, dtype=bool)
+    if n_voxels and not n_region:
+        # No region: every voxel with an in-grid neighbor stays.
+        outer = (
+            (x > 0) | (x < nx - 1)
+            | (y > 0) | (y < ny - 1)
+            | (z > 0) | (z < nz - 1)
+        )
+    elif n_voxels:
+        tx, ty, tz = decomp.axis_block_tables()
+        cbx, cby, cbz = tx[x], ty[y], tz[z]
+        byz = by * bz
+        x_term = cbx * byz
+        # Moving one step along an axis changes only that axis's block
+        # coordinate; the other two contribute a fixed per-voxel term.
+        axes = (
+            (x, nx, tx, byz, cby * bz + cbz),
+            (y, ny, ty, bz, x_term + cbz),
+            (z, nz, tz, 1, x_term + cby * bz),
+        )
+        for coord, size, table, mult, rest in axes:
+            for sign in (-1, 1):
+                valid = (coord > 0 if sign < 0 else coord < size - 1) & ~outer
+                idx = valid.nonzero()[0]
+                if not len(idx):
+                    continue
+                blk = table[coord[idx] + sign] * mult + rest[idx]
+                pos = np.searchsorted(region_sorted, blk)
+                pos[pos == n_region] = 0
+                outside = region_sorted[pos] != blk
+                outer[idx[outside]] = True
+
+    if outer.any():
+        gids_arr = sg[outer]
+        kept_reps = srep[outer]
+        uniq, inv = np.unique(kept_reps, return_inverse=True)
+        new_uniq = np.fromiter(
+            (new_rep_of[int(r)] for r in uniq), dtype=np.int64, count=len(uniq)
+        )
+        reps_arr = new_uniq[inv]
         comp_gid, comp_idx = np.unique(reps_arr, return_inverse=True)
         comp_vals = np.array(
             [comp_val[new_rep_of.get(int(g), int(g))] for g in comp_gid],
@@ -125,7 +191,6 @@ def join_components(
         )
     else:
         merged = BoundaryComponents.empty()
-    del all_gids
     return merged, relabel
 
 

@@ -43,11 +43,16 @@ class JoinTree:
         gids: global vertex id per node.
         values: scalar value per node.
         parent: parent sweep-index per node (-1 at roots).
+        flat: optional flat (C-order) voxel index per node within the
+            source block; :func:`block_join_tree` fills it so
+            :func:`segment_block` can scatter labels without a gid
+            lookup.
     """
 
     gids: np.ndarray
     values: np.ndarray
     parent: np.ndarray
+    flat: np.ndarray | None = None
 
     @property
     def n_nodes(self) -> int:
@@ -304,7 +309,7 @@ def block_join_tree(
 
     parent = np.full(m, -1, dtype=np.int64)
     if m == 0:
-        return JoinTree(ids, vals, parent)
+        return JoinTree(ids, vals, parent, flat_of_slot)
 
     uf = ArrayUnionFind(m)
     lowest = np.arange(m, dtype=np.int64)
@@ -340,7 +345,7 @@ def block_join_tree(
             uf.union(ru, rv)
             # rv survives and its lowest node is the vertex in hand.
             lowest[rv] = slot
-    return JoinTree(ids, vals, parent)
+    return JoinTree(ids, vals, parent, flat_of_slot)
 
 
 def block_split_tree(
@@ -376,12 +381,9 @@ def segment_block(
     tree = block_join_tree(block, gids, threshold=threshold)
     labels_nodes = tree.segment(threshold)
     out = np.full(block.size, -1, dtype=np.int64)
-    # Recover each node's flat voxel index through the gid layout: nodes
-    # were taken from this block, so gids are unique within it.
-    flat_gids = np.asarray(gids, dtype=np.int64).ravel()
-    gid_to_flat = {int(g): i for i, g in enumerate(flat_gids)}
-    for node in range(tree.n_nodes):
-        out[gid_to_flat[int(tree.gids[node])]] = labels_nodes[node]
+    # The tree carries each node's flat voxel index, so labels scatter
+    # straight back into the block without a gid lookup.
+    out[tree.flat] = labels_nodes
     return out.reshape(block.shape)
 
 

@@ -172,7 +172,7 @@ class MergeTreeWorkload:
         gids = self.decomp.gids_array(bounds)
         labels = segment_block(block, gids, self.threshold)
         state = LocalTreeState(block=b, labels=labels)
-        boundary = extract_boundary(self.decomp, b, labels, block)
+        boundary = extract_boundary(self.decomp, b, labels, block, gids)
         out_state = Payload(state, nbytes=int(state.nbytes * self.volume_scale))
         out_boundary = self._surface_payload(boundary)
         if self.graph.join_rounds == 0:
@@ -267,6 +267,9 @@ class MergeTreeWorkload:
         p = self.params
         vol = self.volume_scale
         surf = self.surface_scale
+        # A leaf's labels array never changes down the correction chain,
+        # so its active-voxel count is computed once per block.
+        active_cache: dict[int, float] = {}
 
         def cost(task, inputs):
             cb = task.callback
@@ -284,8 +287,11 @@ class MergeTreeWorkload:
                 return p.relay_per_byte * inputs[0].nbytes
             if cb == g.CORRECTION:
                 state = inputs[0].data
-                active = float(np.count_nonzero(state.labels >= 0)) * vol
-                return p.correction_per_voxel * max(1.0, active)
+                active = active_cache.get(state.block)
+                if active is None:
+                    active = float(np.count_nonzero(state.labels >= 0))
+                    active_cache[state.block] = active
+                return p.correction_per_voxel * max(1.0, active * vol)
             # segmentation
             state = inputs[0].data
             return p.segmentation_per_voxel * state.labels.size * vol

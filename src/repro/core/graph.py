@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections import deque
+from functools import lru_cache
 from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.core.errors import GraphError
@@ -26,6 +27,48 @@ from repro.core.task import Task
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.taskmap import TaskMap
+
+
+def _rounds_from(tasks: Iterable[Task]) -> list[list[TaskId]]:
+    """Partition already-materialized ``tasks`` into dependency rounds.
+
+    Shared by :meth:`TaskGraph.rounds` and :meth:`TaskGraph.validate`, so
+    validation does not re-materialize the whole graph a second time just
+    for the cycle check.
+    """
+    indeg: dict[TaskId, int] = {}
+    consumers: dict[TaskId, list[TaskId]] = {}
+    for t in tasks:
+        indeg[t.id] = sum(1 for src in t.incoming if is_real_task(src))
+        # Count every message (edge multiplicity matters: a consumer
+        # expecting two messages from one producer has in-degree 2).
+        for channel in t.outgoing:
+            for dst in channel:
+                if is_real_task(dst):
+                    consumers.setdefault(t.id, []).append(dst)
+    level: dict[TaskId, int] = {}
+    queue = deque(sorted(tid for tid, d in indeg.items() if d == 0))
+    for tid in queue:
+        level[tid] = 0
+    processed = 0
+    while queue:
+        tid = queue.popleft()
+        processed += 1
+        for dst in consumers.get(tid, []):
+            indeg[dst] -= 1
+            level[dst] = max(level.get(dst, 0), level[tid] + 1)
+            if indeg[dst] == 0:
+                queue.append(dst)
+    if processed != len(indeg):
+        raise GraphError(
+            f"graph has a dependency cycle: {len(indeg) - processed} "
+            f"task(s) never became ready"
+        )
+    n_rounds = 1 + max(level.values(), default=-1)
+    out: list[list[TaskId]] = [[] for _ in range(n_rounds)]
+    for tid in sorted(level):
+        out[level[tid]].append(tid)
+    return out
 
 
 class TaskGraph(ABC):
@@ -92,13 +135,28 @@ class TaskGraph(ABC):
         for tid in self.task_ids():
             yield self.task(tid)
 
+    def boundary_ids(self) -> tuple[list[TaskId], list[TaskId]]:
+        """``(source_ids, sink_ids)`` computed in a single graph scan.
+
+        Prefer this over calling :meth:`source_ids` and :meth:`sink_ids`
+        separately when both are needed — each of those is a full scan.
+        """
+        sources: list[TaskId] = []
+        sinks: list[TaskId] = []
+        for t in self.tasks():
+            if t.external_inputs():
+                sources.append(t.id)
+            if t.is_sink():
+                sinks.append(t.id)
+        return sources, sinks
+
     def source_ids(self) -> list[TaskId]:
         """Ids of tasks with at least one host-provided (EXTERNAL) input."""
-        return [t.id for t in self.tasks() if t.external_inputs()]
+        return self.boundary_ids()[0]
 
     def sink_ids(self) -> list[TaskId]:
         """Ids of tasks that return at least one channel to the caller."""
-        return [t.id for t in self.tasks() if t.is_sink()]
+        return self.boundary_ids()[1]
 
     def rounds(self) -> list[list[TaskId]]:
         """Partition the tasks into *rounds of noninterfering tasks*.
@@ -113,39 +171,7 @@ class TaskGraph(ABC):
         Raises:
             GraphError: if the graph contains a dependency cycle.
         """
-        indeg: dict[TaskId, int] = {}
-        consumers: dict[TaskId, list[TaskId]] = {}
-        for t in self.tasks():
-            indeg[t.id] = sum(1 for src in t.incoming if is_real_task(src))
-            # Count every message (edge multiplicity matters: a consumer
-            # expecting two messages from one producer has in-degree 2).
-            for channel in t.outgoing:
-                for dst in channel:
-                    if is_real_task(dst):
-                        consumers.setdefault(t.id, []).append(dst)
-        level: dict[TaskId, int] = {}
-        queue = deque(sorted(tid for tid, d in indeg.items() if d == 0))
-        for tid in queue:
-            level[tid] = 0
-        processed = 0
-        while queue:
-            tid = queue.popleft()
-            processed += 1
-            for dst in consumers.get(tid, []):
-                indeg[dst] -= 1
-                level[dst] = max(level.get(dst, 0), level[tid] + 1)
-                if indeg[dst] == 0:
-                    queue.append(dst)
-        if processed != len(indeg):
-            raise GraphError(
-                f"graph has a dependency cycle: {len(indeg) - processed} "
-                f"task(s) never became ready"
-            )
-        n_rounds = 1 + max(level.values(), default=-1)
-        out: list[list[TaskId]] = [[] for _ in range(n_rounds)]
-        for tid in sorted(level):
-            out[level[tid]].append(tid)
-        return out
+        return _rounds_from(self.tasks())
 
     # ------------------------------------------------------------------ #
     # Validation
@@ -215,7 +241,7 @@ class TaskGraph(ABC):
                         f"edge {src}->{tid} asymmetric: {tid} expects "
                         f"{expected} message(s) but {src} sends {sent}"
                     )
-        self.rounds()  # raises on cycles
+        _rounds_from(tasks.values())  # raises on cycles; reuses the scan
 
     # ------------------------------------------------------------------ #
     # Interop / debugging
@@ -245,5 +271,89 @@ class TaskGraph(ABC):
 
         return graph_to_dot(self, subset=subset)
 
+    # ------------------------------------------------------------------ #
+    # Caching
+    # ------------------------------------------------------------------ #
+
+    def cached(self, maxsize: int | None = None) -> "TaskGraph":
+        """A view of this graph that memoizes :meth:`task` materializations.
+
+        Procedural graphs rebuild a :class:`~repro.core.task.Task` on
+        every ``task(tid)`` call; the controllers query each task several
+        times per run (input deposit, output routing, placement), so they
+        execute against a cached view.  **Caching contract:** the graph
+        must be a pure function of ``tid`` — ``task(tid)`` always returns
+        an equivalent task, and the structure does not change while a
+        cached view is alive.  All shipped graphs satisfy this; graphs
+        mutated in place must not be wrapped.
+
+        Args:
+            maxsize: LRU capacity; ``None`` (default) caches without
+                bound — the right choice for a single run, where every
+                task materializes exactly once anyway.
+        """
+        return CachedGraph(self, maxsize)
+
     def __len__(self) -> int:
         return self.size()
+
+
+class CachedGraph(TaskGraph):
+    """Memoizing view of another graph (see :meth:`TaskGraph.cached`).
+
+    ``task`` is backed by :func:`functools.lru_cache`; the full-graph
+    structure queries (``rounds``, ``boundary_ids``, ``callbacks``,
+    ``size``) are computed once and reused, de-duplicating the repeated
+    scans controllers and validators would otherwise pay.  Unknown
+    attributes delegate to the wrapped graph, so graph-specific helpers
+    (``leaf_ids()``, ``describe()``, ...) keep working on the view.
+    """
+
+    def __init__(self, base: TaskGraph, maxsize: int | None = None) -> None:
+        while isinstance(base, CachedGraph):  # never stack caches
+            base = base._base
+        self._base = base
+        # Instance attribute shadows the class method: lookups go
+        # straight to the C-implemented lru_cache wrapper.
+        self.task = lru_cache(maxsize=maxsize)(base.task)
+        self._size: int | None = None
+        self._callbacks: list[CallbackId] | None = None
+        self._rounds: list[list[TaskId]] | None = None
+        self._boundary: tuple[list[TaskId], list[TaskId]] | None = None
+
+    def size(self) -> int:
+        if self._size is None:
+            self._size = self._base.size()
+        return self._size
+
+    def task(self, tid: TaskId) -> Task:  # shadowed by the instance attr
+        return self._base.task(tid)  # pragma: no cover
+
+    def task_ids(self) -> Iterator[TaskId]:
+        return self._base.task_ids()
+
+    def callbacks(self) -> list[CallbackId]:
+        if self._callbacks is None:
+            self._callbacks = self._base.callbacks()
+        return list(self._callbacks)
+
+    def rounds(self) -> list[list[TaskId]]:
+        if self._rounds is None:
+            self._rounds = super().rounds()
+        return self._rounds
+
+    def boundary_ids(self) -> tuple[list[TaskId], list[TaskId]]:
+        if self._boundary is None:
+            self._boundary = super().boundary_ids()
+        return self._boundary
+
+    def cached(self, maxsize: int | None = None) -> "TaskGraph":
+        """Already cached; returns itself (unbounded) or a resized view."""
+        if maxsize is None:
+            return self
+        return CachedGraph(self._base, maxsize)
+
+    def __getattr__(self, name: str):
+        # Only called when normal lookup fails: delegate graph-specific
+        # attributes (callback-id constants, id helpers, ...).
+        return getattr(self._base, name)

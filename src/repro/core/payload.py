@@ -23,37 +23,82 @@ import numpy as np
 from repro.core.errors import SerializationError
 
 
+# Concrete scalar types estimated at 8 bytes each: a sequence containing
+# only these costs exactly 8 + 16*len (8-byte value + 8-byte per-element
+# overhead) without visiting the elements.  np.bool_ is deliberately
+# absent — it is not a numbers type and resolves through its ``nbytes``
+# attribute instead.
+_SCALAR_TYPES = frozenset(
+    {int, float, bool, np.float64, np.float32, np.int64, np.int32}
+)
+
+
 def estimate_nbytes(obj: Any) -> int:
     """Best-effort wire size of ``obj`` in bytes.
 
     numpy arrays report their buffer size; bytes-likes their length;
-    containers recurse with a small per-element overhead; everything else
-    falls back to the pickled length.  The estimate only feeds the network
-    *cost model*, so being within a small factor is enough.
+    containers add a small per-element overhead to their contents;
+    everything else falls back to the pickled length.  The estimate only
+    feeds the network *cost model*, so being within a small factor is
+    enough.
+
+    Hot path: payloads are overwhelmingly flat numeric sequences, which
+    are sized in O(len) type checks with no per-element dispatch.
+    Nested containers are walked iteratively (the decomposition is
+    additive, so traversal order does not change the total), which also
+    keeps deeply nested structures from hitting the recursion limit.
     """
-    if obj is None:
-        return 0
-    if isinstance(obj, np.ndarray):
-        return int(obj.nbytes)
-    if isinstance(obj, (bytes, bytearray, memoryview)):
-        return len(obj)
-    if isinstance(obj, (int, float, bool, np.integer, np.floating)):
-        return 8
-    if isinstance(obj, str):
-        return len(obj.encode("utf-8", errors="replace"))
-    if isinstance(obj, (list, tuple, set, frozenset)):
-        return 8 + sum(estimate_nbytes(x) + 8 for x in obj)
-    if isinstance(obj, dict):
-        return 8 + sum(
-            estimate_nbytes(k) + estimate_nbytes(v) + 16 for k, v in obj.items()
-        )
-    nbytes_attr = getattr(obj, "nbytes", None)
-    if isinstance(nbytes_attr, (int, np.integer)):
-        return int(nbytes_attr)
-    try:
-        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
-    except Exception:
-        return 64  # opaque object: charge a nominal header
+    total = 0
+    stack = [obj]
+    pop = stack.pop
+    while stack:
+        o = pop()
+        if o is None:
+            continue
+        if type(o) in _SCALAR_TYPES:
+            total += 8
+            continue
+        if isinstance(o, np.ndarray):
+            total += int(o.nbytes)
+        elif isinstance(o, (bytes, bytearray, memoryview)):
+            total += len(o)
+        elif isinstance(o, (int, float, bool, np.integer, np.floating)):
+            total += 8
+        elif isinstance(o, str):
+            total += len(o.encode("utf-8", errors="replace"))
+        elif isinstance(o, (list, tuple, set, frozenset)):
+            # 8 + sum(estimate(x) + 8): the container header and the
+            # per-element overhead are charged now, elements later.
+            total += 8 + 8 * len(o)
+            scalars = _SCALAR_TYPES
+            if all(type(x) in scalars for x in o):
+                total += 8 * len(o)  # homogeneous numeric fast path
+            else:
+                stack.extend(o)
+                if len(stack) > 10_000_000:
+                    # A legal (acyclic) structure never outgrows its own
+                    # element count; a cycle grows without bound.
+                    raise RecursionError(
+                        "payload structure too large or cyclic"
+                    )
+        elif isinstance(o, dict):
+            total += 8 + 16 * len(o)
+            stack.extend(o.keys())
+            stack.extend(o.values())
+            if len(stack) > 10_000_000:
+                raise RecursionError("payload structure too large or cyclic")
+        else:
+            nbytes_attr = getattr(o, "nbytes", None)
+            if isinstance(nbytes_attr, (int, np.integer)):
+                total += int(nbytes_attr)
+            else:
+                try:
+                    total += len(
+                        pickle.dumps(o, protocol=pickle.HIGHEST_PROTOCOL)
+                    )
+                except Exception:
+                    total += 64  # opaque object: charge a nominal header
+    return total
 
 
 class Payload:
@@ -62,41 +107,33 @@ class Payload:
     Args:
         data: the wrapped object.  ``None`` is legal and represents an
             empty message (used e.g. for pure-signal edges).
-        nbytes: explicit wire size; when omitted it is estimated lazily on
-            first access and cached.
+        nbytes: explicit wire size; when omitted it is estimated at
+            construction time.
 
     Payloads compare equal when their ``data`` compare equal (numpy arrays
     are compared element-wise), which the cross-controller regression tests
     rely on.
     """
 
-    __slots__ = ("_data", "_nbytes")
+    __slots__ = ("data", "nbytes")
 
     def __init__(self, data: Any = None, nbytes: int | None = None) -> None:
-        self._data = data
-        if nbytes is not None and nbytes < 0:
+        self.data = data
+        if nbytes is None:
+            nbytes = estimate_nbytes(data)
+        elif nbytes < 0:
             raise ValueError(f"nbytes must be non-negative, got {nbytes}")
-        self._nbytes = nbytes
-
-    @property
-    def data(self) -> Any:
-        """The wrapped object."""
-        return self._data
-
-    @property
-    def nbytes(self) -> int:
-        """Wire size in bytes (explicit or estimated, cached)."""
-        if self._nbytes is None:
-            self._nbytes = estimate_nbytes(self._data)
-        return self._nbytes
+        # Plain attributes, not properties: every simulated message reads
+        # both on the hot path.
+        self.nbytes = nbytes
 
     def serialize(self) -> bytes:
         """Flatten to a binary buffer (pickle)."""
         try:
-            return pickle.dumps(self._data, protocol=pickle.HIGHEST_PROTOCOL)
+            return pickle.dumps(self.data, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception as exc:
             raise SerializationError(
-                f"cannot serialize payload of type {type(self._data).__name__}"
+                f"cannot serialize payload of type {type(self.data).__name__}"
             ) from exc
 
     @classmethod
@@ -110,7 +147,7 @@ class Payload:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Payload):
             return NotImplemented
-        a, b = self._data, other._data
+        a, b = self.data, other.data
         if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
             return (
                 isinstance(a, np.ndarray)
@@ -133,4 +170,4 @@ class Payload:
         raise TypeError("Payload is unhashable")
 
     def __repr__(self) -> str:
-        return f"Payload({type(self._data).__name__}, ~{self.nbytes} B)"
+        return f"Payload({type(self.data).__name__}, ~{self.nbytes} B)"

@@ -94,6 +94,21 @@ class MergeTreeGraph(TaskGraph):
                 self._join_round_base[r] + self._join_count[r]
             )
 
+        # Plain-int segment bases for the id algebra in describe()/task().
+        # Those run once per task per run (the materialization hot path),
+        # so they skip the checked IdSegments conversions; indices built
+        # there are valid by construction.  The public *_id helpers keep
+        # their range checks.
+        self._b_local = seg.base("local")
+        self._b_join = seg.base("join")
+        self._b_relay = seg.base("relay")
+        self._b_corr = seg.base("correction")
+        self._b_seg = seg.base("segmentation")
+        self._total = seg.total
+        self._relay_levels = sorted(
+            self._relay_base.items(), key=lambda kv: kv[1], reverse=True
+        )
+
     # ------------------------------------------------------------------ #
     # Parameters
     # ------------------------------------------------------------------ #
@@ -165,30 +180,36 @@ class MergeTreeGraph(TaskGraph):
         ``join``: ``round``, ``index``; for ``relay``: ``round``,
         ``level``, ``pos``; for ``correction``: ``round``, ``leaf``.
         """
-        phase, idx = self._seg.to_local(tid)
-        if phase in ("local", "segmentation"):
-            return {"phase": phase, "leaf": idx}
-        if phase == "join":
+        if not 0 <= tid < self._total:
+            raise GraphError(
+                f"task id {tid} outside id space [0, {self._total})"
+            )
+        if tid < self._b_join:
+            return {"phase": "local", "leaf": tid - self._b_local}
+        if tid < self._b_relay:
+            idx = tid - self._b_join
             for r in range(1, self._d + 1):
                 if idx < self._join_round_base[r + 1]:
                     return {
-                        "phase": phase,
+                        "phase": "join",
                         "round": r,
                         "index": idx - self._join_round_base[r],
                     }
             raise GraphError(f"corrupt join index {idx}")  # pragma: no cover
-        if phase == "relay":
-            for (r, l), base in sorted(
-                self._relay_base.items(), key=lambda kv: kv[1], reverse=True
-            ):
+        if tid < self._b_corr:
+            idx = tid - self._b_relay
+            for (r, l), base in self._relay_levels:
                 if idx >= base:
-                    return {"phase": phase, "round": r, "level": l, "pos": idx - base}
+                    return {"phase": "relay", "round": r, "level": l, "pos": idx - base}
             raise GraphError(f"corrupt relay index {idx}")  # pragma: no cover
-        return {
-            "phase": phase,
-            "round": idx // self._n + 1,
-            "leaf": idx % self._n,
-        }
+        if tid < self._b_seg:
+            idx = tid - self._b_corr
+            return {
+                "phase": "correction",
+                "round": idx // self._n + 1,
+                "leaf": idx % self._n,
+            }
+        return {"phase": "segmentation", "leaf": tid - self._b_seg}
 
     # ------------------------------------------------------------------ #
     # TaskGraph interface
@@ -204,56 +225,61 @@ class MergeTreeGraph(TaskGraph):
         info = self.describe(tid)
         phase = info["phase"]
         k, n, d = self._k, self._n, self._d
+        b_local, b_join, b_corr = self._b_local, self._b_join, self._b_corr
+        jb = self._join_round_base
         if phase == "local":
             i = info["leaf"]
             if d == 0:
-                return Task(tid, self.LOCAL, [EXTERNAL], [[self.segmentation_id(i)]])
+                return Task(tid, self.LOCAL, [EXTERNAL], [[self._b_seg + i]])
             return Task(
                 tid,
                 self.LOCAL,
                 [EXTERNAL],
                 [
-                    [self.correction_id(1, i)],
-                    [self.join_id(1, i // k)],
+                    [b_corr + i],
+                    [b_join + i // k],
                 ],
             )
         if phase == "join":
             r, j = info["round"], info["index"]
+            child = j * k
             if r == 1:
-                incoming = [self.local_id(j * k + c) for c in range(k)]
+                incoming = [b_local + child + c for c in range(k)]
+                down = [b_corr + child + c for c in range(k)]
             else:
-                incoming = [self.join_id(r - 1, j * k + c) for c in range(k)]
-            up = [TNULL] if r == d else [self.join_id(r + 1, j // k)]
-            if r == 1:
-                down = [self.correction_id(1, j * k + c) for c in range(k)]
-            else:
-                down = [self.relay_id(r, r - 1, j * k + c) for c in range(k)]
+                cb = b_join + jb[r - 1] + child
+                incoming = [cb + c for c in range(k)]
+                rb = self._b_relay + self._relay_base[(r, r - 1)] + child
+                down = [rb + c for c in range(k)]
+            up = [TNULL] if r == d else [b_join + jb[r + 1] + j // k]
             return Task(tid, self.JOIN, incoming, [up, down])
         if phase == "relay":
             r, l, m = info["round"], info["level"], info["pos"]
+            b_relay = self._b_relay
+            rbase = self._relay_base
             if l == r - 1:
-                incoming = [self.join_id(r, m // k)]
+                incoming = [b_join + jb[r] + m // k]
             else:
-                incoming = [self.relay_id(r, l + 1, m // k)]
+                incoming = [b_relay + rbase[(r, l + 1)] + m // k]
             if l == 1:
-                down = [self.correction_id(r, m * k + c) for c in range(k)]
+                cb = b_corr + (r - 1) * n + m * k
+                down = [cb + c for c in range(k)]
             else:
-                down = [self.relay_id(r, l - 1, m * k + c) for c in range(k)]
+                db = b_relay + rbase[(r, l - 1)] + m * k
+                down = [db + c for c in range(k)]
             return Task(tid, self.RELAY, incoming, [down])
         if phase == "correction":
             r, i = info["round"], info["leaf"]
-            prev = self.local_id(i) if r == 1 else self.correction_id(r - 1, i)
+            prev = b_local + i if r == 1 else b_corr + (r - 2) * n + i
             if r == 1:
-                aug = self.join_id(1, i // k)
+                aug = b_join + i // k
             else:
-                aug = self.relay_id(r, 1, i // k)
-            nxt = (
-                self.segmentation_id(i) if r == d else self.correction_id(r + 1, i)
-            )
+                aug = self._b_relay + self._relay_base[(r, 1)] + i // k
+            nxt = self._b_seg + i if r == d else b_corr + r * n + i
             return Task(tid, self.CORRECTION, [prev, aug], [[nxt]])
         # segmentation
         i = info["leaf"]
-        prev = self.local_id(i) if d == 0 else self.correction_id(d, i)
+        prev = b_local + i if d == 0 else b_corr + (d - 1) * n + i
         return Task(tid, self.SEGMENTATION, [prev], [[TNULL]])
 
     def _check_round(self, r: int) -> None:

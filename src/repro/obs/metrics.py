@@ -78,7 +78,10 @@ class Histogram:
             self.max = x
         e = math.frexp(x)[1] if x > 0 else -1074  # zero/denormal bucket
         b = self.buckets
-        b[e] = b.get(e, 0) + 1
+        try:
+            b[e] += 1
+        except KeyError:
+            b[e] = 1
 
     @property
     def mean(self) -> float:

@@ -44,16 +44,7 @@ class BlockingMPIController(MPIController):
         obs = self._obs
         if wait > 0.0:
             start, end = self._cluster.compute(
-                sproc,
-                wait,
-                self._receive,
-                sproc,
-                dproc,
-                producer,
-                dst,
-                payload,
-                category="send",
-                label=f"t{producer}->t{dst}",
+                sproc, wait, self._receive, sproc, dproc, producer, dst, payload
             )
             if obs:
                 # The send bypasses the NIC (the core blocks through the

@@ -47,7 +47,7 @@ class CharmController(SimController):
         self._idle_lb_rounds = 0
         self._executed_at_last_lb = 0
         if self.costs.charm_lb_period > 0:
-            self._engine.after(self.costs.charm_lb_period, self._lb_tick)
+            self._engine.call_after(self.costs.charm_lb_period, self._lb_tick)
 
     def _proc_of(self, tid: TaskId) -> int:
         owner = self._chare_owner.get(tid)
@@ -110,7 +110,7 @@ class CharmController(SimController):
                 )
             )
         self._balance()
-        self._engine.after(self.costs.charm_lb_period, self._lb_tick)
+        self._engine.call_after(self.costs.charm_lb_period, self._lb_tick)
 
     def _balance(self) -> None:
         """One-shot queue-length leveling of ready-but-queued chares.
@@ -162,7 +162,8 @@ class CharmController(SimController):
                 )
             )
         # The chare state travels as one message; it re-enters the run
-        # queue at the destination on arrival.
+        # queue at the destination on arrival.  The label is only used
+        # by the message events, so build it only when a sink exists.
         self._cluster.send(
             src,
             dst,
@@ -170,7 +171,7 @@ class CharmController(SimController):
             self._arrive_migrated,
             dst,
             tid,
-            label=f"migrate t{tid}",
+            label=f"migrate t{tid}" if self._obs else "",
             src_task=tid,
         )
 
@@ -187,7 +188,7 @@ class CharmController(SimController):
                     label=f"unpack t{tid}",
                 )
             )
-        self._engine.after(
+        self._engine.call_after(
             self.costs.charm_migration_cost, self._enqueue, dst, tid
         )
 

@@ -105,6 +105,10 @@ class Controller(ABC):
                 callback is missing, or inputs do not match the graph.
         """
         graph, registry = self._require_ready()
+        # Per-run task-materialization memo: input validation and the
+        # backend each query every task, so one run materializes each
+        # task at most once (procedural graphs rebuild tasks per call).
+        graph = graph.cached()
         normalized = self._normalize_inputs(graph, initial_inputs)
         return self._execute(graph, registry, normalized)
 

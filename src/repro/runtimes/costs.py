@@ -34,6 +34,10 @@ from repro.core.task import Task
 class CostModel(ABC):
     """Maps an executed task to virtual compute seconds."""
 
+    #: Whether :meth:`duration` reads ``wall_time``.  Controllers skip the
+    #: per-task clock reads when False; unknown subclasses default to True.
+    needs_wall_time: bool = True
+
     @abstractmethod
     def duration(
         self, task: Task, inputs: list[Payload], wall_time: float
@@ -49,6 +53,8 @@ class CostModel(ABC):
 
 class NullCost(CostModel):
     """Zero compute cost (ordering and communication only)."""
+
+    needs_wall_time = False
 
     def duration(self, task: Task, inputs: list[Payload], wall_time: float) -> float:
         return 0.0
@@ -68,6 +74,8 @@ class MeasuredCost(CostModel):
 
 class CallableCost(CostModel):
     """Analytic model: ``fn(task, inputs)`` seconds, ignoring wall time."""
+
+    needs_wall_time = False
 
     def __init__(self, fn: Callable[[Task, list[Payload]], float]) -> None:
         self._fn = fn
@@ -93,6 +101,9 @@ class PerCallbackCost(CostModel):
             cid: self._coerce(m) for cid, m in models.items()
         }
         self._default = self._coerce(default)
+        self.needs_wall_time = self._default.needs_wall_time or any(
+            m.needs_wall_time for m in self._models.values()
+        )
 
     @staticmethod
     def _coerce(m: CostModel | float) -> CostModel:

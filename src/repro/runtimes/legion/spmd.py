@@ -50,14 +50,21 @@ class LegionSPMDController(SimController):
             )
 
     def _proc_of(self, tid: TaskId) -> int:
-        assert self._task_map is not None
-        return self._task_map.shard(tid)
+        # Static placement: memoize shard() per task id (hot path).
+        cache = self._shard_cache
+        proc = cache.get(tid)
+        if proc is None:
+            assert self._task_map is not None
+            proc = self._task_map.shard(tid)
+            cache[tid] = proc
+        return proc
 
     # ------------------------------------------------------------------ #
     # Launch pipeline
     # ------------------------------------------------------------------ #
 
     def _prepare_run(self) -> None:
+        self._shard_cache: dict[TaskId, int] = {}
         # One serial launcher per shard: the shard task issues its single
         # task launchers one after the other.
         self._launchers = [

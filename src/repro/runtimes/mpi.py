@@ -42,9 +42,20 @@ class MPIController(SimController):
                 f"controller has {self.n_procs}"
             )
 
+    def _prepare_run(self) -> None:
+        # Placement is static for the whole run, so shard() — called once
+        # per message on the hot path — is memoized per task id.
+        self._shard_cache: dict[TaskId, int] = {}
+        super()._prepare_run()
+
     def _proc_of(self, tid: TaskId) -> int:
-        assert self._task_map is not None
-        return self._task_map.shard(tid)
+        cache = self._shard_cache
+        proc = cache.get(tid)
+        if proc is None:
+            assert self._task_map is not None
+            proc = self._task_map.shard(tid)
+            cache[tid] = proc
+        return proc
 
     def _serialize_cost(self, sproc: int, dproc: int, payload: Payload) -> float:
         if sproc == dproc and self.costs.mpi_in_memory:

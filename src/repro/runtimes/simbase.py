@@ -32,7 +32,7 @@ from typing import Sequence
 from repro.core.callbacks import CallbackRegistry
 from repro.core.errors import ControllerError, SimulationError
 from repro.core.graph import TaskGraph
-from repro.core.ids import EXTERNAL, TNULL, TaskId, is_real_task
+from repro.core.ids import EXTERNAL, TNULL, TaskId
 from repro.core.payload import Payload
 from repro.core.task import Task
 from repro.obs.events import (
@@ -56,19 +56,41 @@ from repro.sim.machine import SHAHEEN_II, MachineSpec
 from repro.sim.trace import Trace
 
 
+def _task_label(tid: TaskId, suffix: str = "") -> str:
+    """Task-attempt label; only built when a sink observes the run."""
+    return f"t{tid}{suffix}"
+
+
 class _PhysicalTask:
     """Runtime state of one task instance."""
 
-    __slots__ = ("task", "slots", "remaining", "cursor", "queued")
+    __slots__ = (
+        "task", "slots", "remaining", "cursor", "queued", "slot_map", "attempt"
+    )
 
     def __init__(self, task: Task) -> None:
         self.task = task
-        self.slots: list[Payload | None] = [None] * task.n_inputs
-        self.remaining = task.n_inputs
+        n = task.n_inputs
+        self.slots: list[Payload | None] = [None] * n
+        self.remaining = n
         # Next slot to fill per producer id (EXTERNAL included), so
         # multiple channels between the same pair fill slots in order.
         self.cursor: dict[TaskId, int] = {}
         self.queued = False  # guards double enqueue
+        # producer id -> slot indices, built in one pass over the inputs
+        # (the per-producer Task.input_slots_from scan is O(n_inputs)
+        # per producer and this is the message hot path).
+        slot_map: dict[TaskId, list[int]] = {}
+        for i, src in enumerate(task.incoming):
+            lst = slot_map.get(src)
+            if lst is None:
+                slot_map[src] = [i]
+            else:
+                lst.append(i)
+        self.slot_map = slot_map
+        # (outputs, compute, overhead) of the first dispatch; reused by
+        # fault retries so inputs can be released at first dispatch.
+        self.attempt: tuple[list[Payload], float, float] | None = None
 
 
 class SimController(Controller):
@@ -195,7 +217,11 @@ class SimController(Controller):
             # Span tracing is an event sink like any other consumer.
             trace = Trace()
             sinks.append(trace)
-        obs = self._obs = ObsHub(sinks)
+        hub = ObsHub(sinks)
+        # `None` rather than an empty hub when unobserved: the hot-path
+        # guards become a C-level identity test instead of calling
+        # ObsHub.__bool__ tens of thousands of times per run.
+        obs = self._obs = hub if sinks else None
         metrics = self._metrics = MetricsRegistry()
         self._m_task_seconds = metrics.histogram("task_compute_seconds")
         self._m_message_bytes = metrics.histogram("message_nbytes")
@@ -206,9 +232,17 @@ class SimController(Controller):
             self.n_procs,
             self.cores_per_proc,
             procs_per_node=self.procs_per_node,
-            obs=obs,
+            obs=hub,
         )
         self._result = RunResult(trace=trace)
+        # Per-run hot-path caches: the category hooks return constants
+        # for every shipped backend, and binding the stats dicts once
+        # turns each accounting call into a plain ``dict[k] += v``.
+        self._comm_cat = self._comm_category()
+        self._pre_cat = self._pre_compute_category()
+        self._cat_time = self._result.stats.category_time
+        self._cb_time = self._result.stats.callback_time
+        self._needs_wall = self.cost_model.needs_wall_time
         self._graph_run = graph
         self._registry_run = registry
         self._ptasks = {}
@@ -224,8 +258,11 @@ class SimController(Controller):
         if obs:
             obs.emit(Event(RUN_STARTED, 0.0, label=type(self).__name__))
         self._prepare_run()
-        for tid, payloads in sorted(inputs.items()):
-            self._engine.at(0.0, self._deposit_external, tid, payloads)
+        if inputs:
+            # One batched time-zero event instead of one per source task:
+            # the deposits run in the same (sorted) order, so every
+            # downstream event keeps its relative (time, seq) position.
+            self._engine.call_at(0.0, self._deposit_initial, sorted(inputs.items()))
         self._engine.run()
 
         if self._executed != self._total:
@@ -291,6 +328,14 @@ class SimController(Controller):
             self._ptasks[tid] = pt
         return pt
 
+    def _deposit_initial(
+        self, items: list[tuple[TaskId, list[Payload]]]
+    ) -> None:
+        deposit = self._deposit
+        for tid, payloads in items:
+            for payload in payloads:
+                deposit(tid, EXTERNAL, payload)
+
     def _deposit_external(self, tid: TaskId, payloads: list[Payload]) -> None:
         for payload in payloads:
             self._deposit(tid, EXTERNAL, payload)
@@ -302,10 +347,13 @@ class SimController(Controller):
                 f"already completed (producer sends more messages than "
                 f"the consumer has slots)"
             )
-        pt = self._ptask(tid)
-        slot_list = pt.task.input_slots_from(producer)
+        pt = self._ptasks.get(tid)
+        if pt is None:
+            pt = _PhysicalTask(self._graph_run.task(tid))
+            self._ptasks[tid] = pt
+        slot_list = pt.slot_map.get(producer)
         idx = pt.cursor.get(producer, 0)
-        if idx >= len(slot_list):
+        if slot_list is None or idx >= len(slot_list):
             raise SimulationError(
                 f"task {tid} received more messages from {producer} than "
                 f"it has slots"
@@ -322,7 +370,10 @@ class SimController(Controller):
     # ------------------------------------------------------------------ #
 
     def _enqueue(self, proc: int, tid: TaskId) -> None:
-        pt = self._ptask(tid)
+        pt = self._ptasks.get(tid)
+        if pt is None:
+            pt = _PhysicalTask(self._graph_run.task(tid))
+            self._ptasks[tid] = pt
         if pt.queued:
             raise SimulationError(f"task {tid} enqueued twice")
         pt.queued = True
@@ -331,8 +382,10 @@ class SimController(Controller):
         if len(ready) > self._queue_peak[proc]:
             self._queue_peak[proc] = len(ready)
         obs = self._obs
-        if obs:
-            obs.emit(Event(TASK_ENQUEUED, self._engine.now, proc=proc, task=tid))
+        if obs is not None:
+            obs.emit(
+                Event(TASK_ENQUEUED, self._engine._now, proc=proc, task=tid)
+            )
         self._pump(proc)
 
     def _pump(self, proc: int) -> None:
@@ -343,47 +396,56 @@ class SimController(Controller):
     def _start_task(self, proc: int, tid: TaskId) -> None:
         pt = self._ptasks[tid]
         self._busy[proc] += 1
-        task = pt.task
-        task_inputs: list[Payload] = pt.slots  # type: ignore[assignment]
-        t0 = time.perf_counter()
-        outputs = self._registry_run.invoke(
-            task.callback, task_inputs, tid, task.n_outputs
-        )
-        wall = time.perf_counter() - t0
-        compute = self.cost_model.duration(task, task_inputs, wall)
-        overhead = self._pre_compute_overhead(proc, tid)
-        stats = self._result.stats
+        stash = pt.attempt
+        if stash is None:
+            task = pt.task
+            task_inputs: list[Payload] = pt.slots  # type: ignore[assignment]
+            if self._needs_wall:
+                t0 = time.perf_counter()
+                outputs = self._registry_run.invoke(
+                    task.callback, task_inputs, tid, task.n_outputs
+                )
+                wall = time.perf_counter() - t0
+            else:
+                outputs = self._registry_run.invoke(
+                    task.callback, task_inputs, tid, task.n_outputs
+                )
+                wall = 0.0
+            compute = self.cost_model.duration(task, task_inputs, wall)
+            overhead = self._pre_compute_overhead(proc, tid)
+            # Inputs are released at the *first* dispatch, failed or not;
+            # retries reuse the stashed outputs below (tasks are
+            # idempotent by contract), so the buffered payloads need not
+            # stay pinned through fault/retry cycles.
+            pt.slots = []
+            pt.attempt = (outputs, compute, overhead)
+        else:
+            outputs, compute, overhead = stash
+        cat_time = self._cat_time
         self._m_task_seconds.observe(compute)
-        if self._fault_budget.get(tid, 0) > 0:
+        if self._fault_budget and self._fault_budget.get(tid, 0) > 0:
             # Transient failure: the attempt consumes its full time but
             # its outputs are discarded; the task retries (idempotence).
             self._fault_budget[tid] -= 1
             self.retries += 1
-            stats.add("wasted", overhead + compute)
+            cat_time["wasted"] += overhead + compute
             start, end = self._cluster.compute(
-                proc,
-                overhead + compute,
-                self._attempt_failed,
-                proc,
-                tid,
-                label=f"t{tid} (failed attempt)",
+                proc, overhead + compute, self._attempt_failed, proc, tid
             )
-            self._emit_task(proc, tid, start, end, overhead, " (failed attempt)")
+            if self._obs is not None:
+                self._emit_task(
+                    proc, tid, start, end, overhead, " (failed attempt)"
+                )
             return
-        stats.add(self._pre_compute_category(), overhead)
-        stats.add("compute", compute)
-        stats.add_callback(task.callback, compute)
-        pt.slots = []  # release input references
+        cat_time[self._pre_cat] += overhead
+        cat_time["compute"] += compute
+        self._cb_time[pt.task.callback] += compute
+        pt.attempt = None  # drop the output reference once dispatched
         start, end = self._cluster.compute(
-            proc,
-            overhead + compute,
-            self._task_done,
-            proc,
-            tid,
-            outputs,
-            label=f"t{tid}",
+            proc, overhead + compute, self._task_done, proc, tid, outputs
         )
-        self._emit_task(proc, tid, start, end, overhead)
+        if self._obs is not None:
+            self._emit_task(proc, tid, start, end, overhead)
 
     def _emit_task(
         self,
@@ -405,8 +467,8 @@ class SimController(Controller):
             return
         ovh = overhead / self.machine.core_speed
         cstart = min(start + ovh, end)
-        label = f"t{tid}{suffix}"
-        category = "wasted" if suffix else self._pre_compute_category()
+        label = _task_label(tid, suffix)
+        category = "wasted" if suffix else self._pre_cat
         obs.emit(
             Event(OVERHEAD, cstart, proc=proc, task=tid, dur=ovh, category=category)
         )
@@ -427,7 +489,7 @@ class SimController(Controller):
         pt = self._ptasks[tid]
         pt.queued = False
         self._pump(proc)
-        self._engine.after(
+        self._engine.call_after(
             self.fault_retry_delay, self._enqueue, self._proc_of(tid), tid
         )
 
@@ -435,7 +497,9 @@ class SimController(Controller):
         self._busy[proc] -= 1
         self._executed += 1
         self._done.add(tid)
-        self._finish_time = max(self._finish_time, self._engine.now)
+        now = self._engine._now
+        if now > self._finish_time:
+            self._finish_time = now
         self._route_outputs(proc, tid, outputs)
         del self._ptasks[tid]
         self._pump(proc)
@@ -448,14 +512,18 @@ class SimController(Controller):
     def _route_outputs(
         self, proc: int, tid: TaskId, outputs: list[Payload]
     ) -> None:
-        task = self._graph_run.task(tid)
+        # The physical task is still registered here (it is removed by
+        # _task_done right after routing), so reuse its materialization.
+        task = self._ptasks[tid].task
+        observe = self._m_message_bytes.observe
+        send = self._send
         for ch, (channel, payload) in enumerate(zip(task.outgoing, outputs)):
             if not channel or TNULL in channel:
                 self._result.outputs.setdefault(tid, {})[ch] = payload
             for dst in channel:
-                if is_real_task(dst):
-                    self._m_message_bytes.observe(payload.nbytes)
-                    self._send(proc, tid, dst, payload)
+                if dst >= 0:  # is_real_task, inlined
+                    observe(payload.nbytes)
+                    send(proc, tid, dst, payload)
 
     def _send(
         self, sproc: int, producer: TaskId, dst: TaskId, payload: Payload
@@ -463,22 +531,13 @@ class SimController(Controller):
         dproc = self._proc_of(dst)
         ser = self._serialize_cost(sproc, dproc, payload)
         if ser > 0.0:
-            self._result.stats.add(self._comm_category(), ser)
+            self._cat_time[self._comm_cat] += ser
             # Serialization occupies a sender core before injection.
             start, end = self._cluster.compute(
-                sproc,
-                ser,
-                self._inject,
-                sproc,
-                dproc,
-                producer,
-                dst,
-                payload,
-                category="serialize",
-                label=f"ser t{producer}->t{dst}",
+                sproc, ser, self._inject, sproc, dproc, producer, dst, payload
             )
             obs = self._obs
-            if obs:
+            if obs is not None:
                 obs.emit(
                     Event(
                         OVERHEAD,
@@ -487,7 +546,7 @@ class SimController(Controller):
                         task=producer,
                         dst_task=dst,
                         dur=end - start,
-                        category=self._comm_category(),
+                        category=self._comm_cat,
                         label=f"ser t{producer}->t{dst}",
                     )
                 )
@@ -502,6 +561,8 @@ class SimController(Controller):
         dst: TaskId,
         payload: Payload,
     ) -> None:
+        # No explicit label: Cluster derives "t{producer}->t{dst}" lazily
+        # from src_task/dst_task, and only when a sink is attached.
         self._cluster.send(
             sproc,
             dproc,
@@ -512,7 +573,6 @@ class SimController(Controller):
             producer,
             dst,
             payload,
-            label=f"t{producer}->t{dst}",
             src_task=producer,
             dst_task=dst,
         )
@@ -527,19 +587,12 @@ class SimController(Controller):
     ) -> None:
         deser = self._receive_cost(sproc, dproc, payload)
         if deser > 0.0:
-            self._result.stats.add(self._comm_category(), deser)
+            self._cat_time[self._comm_cat] += deser
             start, end = self._cluster.compute(
-                dproc,
-                deser,
-                self._deposit,
-                dst,
-                producer,
-                payload,
-                category="serialize",
-                label=f"deser t{producer}->t{dst}",
+                dproc, deser, self._deposit, dst, producer, payload
             )
             obs = self._obs
-            if obs:
+            if obs is not None:
                 obs.emit(
                     Event(
                         OVERHEAD,
@@ -547,7 +600,7 @@ class SimController(Controller):
                         proc=dproc,
                         task=dst,
                         dur=end - start,
-                        category=self._comm_category(),
+                        category=self._comm_cat,
                         label=f"deser t{producer}->t{dst}",
                     )
                 )

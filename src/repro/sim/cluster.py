@@ -12,10 +12,17 @@ Message timing follows the standard postal model: the sender's NIC is
 occupied for ``nbytes / bandwidth`` and the payload arrives ``latency``
 seconds after injection completes.  Intra-node transfers use the faster
 shared-memory path and skip the NIC queue contention of other nodes.
+
+Observability flows exclusively through the event stream: controllers
+attach :class:`~repro.sim.trace.Trace` (or any other sink) to ``obs``;
+the historical direct span-recording path was removed.  ``compute`` and
+``send`` are on the simulator's hottest path, so they build labels and
+event objects only when a sink is attached.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable
 
 from repro.core.errors import SimulationError
@@ -24,7 +31,13 @@ from repro.obs.hub import NULL_HUB, ObsHub
 from repro.sim.engine import Engine
 from repro.sim.machine import MachineSpec
 from repro.sim.resource import MultiResource, Resource
-from repro.sim.trace import Trace
+
+
+def _edge_label(src_task: int, dst_task: int, dst_proc: int) -> str:
+    """Default message label; only built when a sink observes the run."""
+    if src_task >= 0 and dst_task >= 0:
+        return f"t{src_task}->t{dst_task}"
+    return f"->{dst_proc}"
 
 
 class Cluster:
@@ -35,12 +48,15 @@ class Cluster:
         machine: hardware parameters.
         n_procs: number of simulated processes.
         cores_per_proc: compute servers per proc (1 = a proc is one core).
-        trace: optional :class:`~repro.sim.trace.Trace` receiving compute
-            and message records (direct span recording; the controllers
-            instead attach traces as event sinks on ``obs``).
         obs: observability hub receiving ``message_sent`` /
             ``message_delivered`` events for every transfer.
     """
+
+    __slots__ = (
+        "engine", "machine", "n_procs", "cores_per_proc", "obs",
+        "procs_per_node", "_cores", "_nics", "_core_speed", "_observed",
+        "_single_core", "bytes_sent", "messages_sent",
+    )
 
     def __init__(
         self,
@@ -48,7 +64,6 @@ class Cluster:
         machine: MachineSpec,
         n_procs: int,
         cores_per_proc: int = 1,
-        trace: Trace | None = None,
         procs_per_node: int | None = None,
         obs: ObsHub = NULL_HUB,
     ) -> None:
@@ -62,7 +77,6 @@ class Cluster:
         self.machine = machine
         self.n_procs = n_procs
         self.cores_per_proc = cores_per_proc
-        self.trace = trace
         self.obs = obs
         if procs_per_node is None:
             procs_per_node = max(1, machine.cores_per_node // cores_per_proc)
@@ -71,13 +85,26 @@ class Cluster:
                 f"procs_per_node must be positive, got {procs_per_node}"
             )
         self.procs_per_node = procs_per_node
-        self._cores = [
-            MultiResource(engine, cores_per_proc, name=f"core{p}")
-            for p in range(n_procs)
-        ]
+        # A single-server MultiResource behaves exactly like Resource but
+        # pays heap bookkeeping per submit; use the scalar server when a
+        # proc is one core (the common case).
+        if cores_per_proc == 1:
+            self._cores: list[Resource | MultiResource] = [
+                Resource(engine, name=f"core{p}") for p in range(n_procs)
+            ]
+        else:
+            self._cores = [
+                MultiResource(engine, cores_per_proc, name=f"core{p}")
+                for p in range(n_procs)
+            ]
         self._nics = [
             Resource(engine, name=f"nic{p}") for p in range(n_procs)
         ]
+        # Hot-path constants hoisted out of compute()/send().  The hub's
+        # sink tuple is frozen at construction, so its truthiness is too.
+        self._core_speed = machine.core_speed
+        self._observed = bool(obs)
+        self._single_core = cores_per_proc == 1
         self.bytes_sent = 0
         self.messages_sent = 0
 
@@ -109,19 +136,35 @@ class Cluster:
         duration: float,
         fn: Callable[..., Any] | None = None,
         *args: Any,
-        category: str = "compute",
-        label: str = "",
     ) -> tuple[float, float]:
         """Run work of ``duration`` virtual seconds on ``proc``'s cores.
 
         The duration is divided by the machine's ``core_speed``.  Returns
         ``(start, end)``; ``fn(*args)`` fires at ``end`` if given.
         """
-        self._check_proc(proc)
-        scaled = duration / self.machine.core_speed
-        start, end = self._cores[proc].submit(scaled, fn, *args)
-        if self.trace is not None:
-            self.trace.record(category, proc, start, end, label)
+        if not 0 <= proc < self.n_procs:
+            raise SimulationError(
+                f"proc {proc} out of range [0, {self.n_procs})"
+            )
+        dur = duration / self._core_speed
+        if not self._single_core:
+            return self._cores[proc].submit(dur, fn, *args)
+        # Single-server fast path: the FIFO bookkeeping is three field
+        # updates, and the completion event goes straight onto the heap
+        # (end >= now always, so the past-check in call_at cannot fire).
+        if dur < 0:
+            raise SimulationError(f"negative duration {dur}")
+        core = self._cores[proc]
+        engine = self.engine
+        start = engine._now
+        if core._free_at > start:
+            start = core._free_at
+        end = start + dur
+        core._free_at = end
+        core.busy_time += dur
+        core.jobs_served += 1
+        if fn is not None:
+            heappush(engine._heap, (end, engine._next_seq(), fn, args))
         return start, end
 
     def core_busy_time(self, proc: int) -> float:
@@ -160,28 +203,47 @@ class Cluster:
         the controllers model any serialization/copy cost explicitly as
         compute).  Returns the delivery time.  ``src_task``/``dst_task``
         annotate the emitted ``message_sent``/``message_delivered``
-        events so trace consumers can follow the dataflow edge.
+        events so trace consumers can follow the dataflow edge; when no
+        explicit ``label`` is given, one is derived from them lazily —
+        only if a sink is attached.
         """
-        self._check_proc(src)
-        self._check_proc(dst)
+        n = self.n_procs
+        if not 0 <= src < n or not 0 <= dst < n:
+            bad = src if not 0 <= src < n else dst
+            raise SimulationError(f"proc {bad} out of range [0, {n})")
         if nbytes < 0:
             raise SimulationError(f"negative message size {nbytes}")
         self.messages_sent += 1
         self.bytes_sent += nbytes
-        inject, latency = self.message_time(src, dst, nbytes)
+        engine = self.engine
         if src == dst:
-            ev = self.engine.after(0.0, fn, *args)
-            if self.obs:
+            t = engine._now
+            heappush(engine._heap, (t, engine._next_seq(), fn, args))
+            if self._observed:
                 self._emit_message(
-                    src, dst, nbytes, ev.time, ev.time, label, src_task, dst_task
+                    src, dst, nbytes, t, t, label, src_task, dst_task
                 )
-            return ev.time
-        start, inj_end = self._nics[src].submit(inject)
+            return t
+        m = self.machine
+        if src // self.procs_per_node == dst // self.procs_per_node:
+            inject = nbytes / m.intra_bandwidth
+            latency = m.intra_latency
+        else:
+            inject = nbytes / m.inter_bandwidth
+            latency = m.inter_latency
+        # Inlined NIC bookkeeping (see compute); inject >= 0 because
+        # nbytes was validated above, so deliver >= now always.
+        nic = self._nics[src]
+        start = engine._now
+        if nic._free_at > start:
+            start = nic._free_at
+        inj_end = start + inject
+        nic._free_at = inj_end
+        nic.busy_time += inject
+        nic.jobs_served += 1
         deliver = inj_end + latency
-        self.engine.at(deliver, fn, *args)
-        if self.trace is not None:
-            self.trace.record("message", src, start, deliver, label or f"->{dst}")
-        if self.obs:
+        heappush(engine._heap, (deliver, engine._next_seq(), fn, args))
+        if self._observed:
             self._emit_message(
                 src, dst, nbytes, start, deliver, label, src_task, dst_task
             )
@@ -198,7 +260,7 @@ class Cluster:
         src_task: int,
         dst_task: int,
     ) -> None:
-        label = label or f"->{dst}"
+        label = label or _edge_label(src_task, dst_task, dst)
         common = dict(
             proc=src,
             dst_proc=dst,

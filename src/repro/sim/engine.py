@@ -5,19 +5,28 @@ ordered, so two events at the same virtual time fire in scheduling order,
 making every simulation replayable bit-for-bit.  All runtime controllers
 (:mod:`repro.runtimes`) execute on top of this engine; *virtual* seconds
 advance only through event timestamps, never through wall-clock time.
+
+Hot path: the heap stores plain ``(time, seq, fn, args)`` tuples, so
+ordering is resolved by C tuple comparison (``seq`` is unique, so the
+comparison never reaches ``fn``) and the common non-cancellable schedule
+allocates no handle object.  :meth:`Engine.call_at` / :meth:`Engine.call_after`
+are that fast path; :meth:`Engine.at` / :meth:`Engine.after` layer the
+cancellable :class:`Event` handle API on top by pushing
+``(time, seq, None, handle)`` entries that the loop checks for
+cancellation before firing.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
+from heapq import heappop, heappush
 from typing import Any, Callable
 
 from repro.core.errors import SimulationError
 
 
 class Event:
-    """Handle to a scheduled event; supports cancellation."""
+    """Handle to a cancellable scheduled event."""
 
     __slots__ = ("time", "seq", "fn", "args", "cancelled")
 
@@ -49,10 +58,15 @@ class Engine:
         assert eng.now == 1.0
     """
 
+    __slots__ = ("_heap", "_now", "_seq", "_next_seq", "_running")
+
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        # Entries: (time, seq, fn, args) — or (time, seq, None, Event)
+        # for cancellable events scheduled through at()/after().
+        self._heap: list[tuple] = []
         self._now = 0.0
         self._seq = itertools.count()
+        self._next_seq = self._seq.__next__
         self._running = False
 
     @property
@@ -65,8 +79,46 @@ class Engine:
         """Number of events still queued (including cancelled ones)."""
         return len(self._heap)
 
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+
+    def call_at(self, time: float, fn: Callable[..., Any], *args: Any) -> float:
+        """Schedule ``fn(*args)`` at absolute virtual ``time`` (fast path).
+
+        No handle is allocated, so the event cannot be cancelled; use
+        :meth:`at` when cancellation is needed.  Returns the effective
+        fire time (clamped to ``now``).
+
+        Raises:
+            SimulationError: when scheduling into the past.
+        """
+        now = self._now
+        if time < now:
+            if time < now - 1e-12:
+                raise SimulationError(
+                    f"cannot schedule event at {time} before now={now}"
+                )
+            time = now
+        heappush(self._heap, (time, self._next_seq(), fn, args))
+        return time
+
+    def call_after(
+        self, delay: float, fn: Callable[..., Any], *args: Any
+    ) -> float:
+        """Schedule ``fn(*args)`` after ``delay`` virtual seconds (fast path).
+
+        Raises:
+            SimulationError: for negative delays.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.call_at(self._now + delay, fn, *args)
+
     def at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at absolute virtual ``time``.
+
+        Returns a cancellable :class:`Event` handle.
 
         Raises:
             SimulationError: when scheduling into the past.
@@ -75,12 +127,14 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule event at {time} before now={self._now}"
             )
-        ev = Event(max(time, self._now), next(self._seq), fn, args)
-        heapq.heappush(self._heap, ev)
+        ev = Event(max(time, self._now), self._next_seq(), fn, args)
+        heappush(self._heap, (ev.time, ev.seq, None, ev))
         return ev
 
     def after(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` after ``delay`` virtual seconds.
+
+        Returns a cancellable :class:`Event` handle.
 
         Raises:
             SimulationError: for negative delays.
@@ -89,14 +143,21 @@ class Engine:
             raise SimulationError(f"negative delay {delay}")
         return self.at(self._now + delay, fn, *args)
 
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
     def step(self) -> bool:
         """Fire the next event.  Returns False when the queue is empty."""
-        while self._heap:
-            ev = heapq.heappop(self._heap)
-            if ev.cancelled:
-                continue
-            self._now = ev.time
-            ev.fn(*ev.args)
+        heap = self._heap
+        while heap:
+            time, _seq, fn, args = heappop(heap)
+            if fn is None:
+                if args.cancelled:
+                    continue
+                fn, args = args.fn, args.args
+            self._now = time
+            fn(*args)
             return True
         return False
 
@@ -109,19 +170,31 @@ class Engine:
         if self._running:
             raise SimulationError("Engine.run is not re-entrant")
         self._running = True
+        heap = self._heap
         try:
-            while self._heap:
-                nxt = self._heap[0]
-                if nxt.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and nxt.time > until:
-                    self._now = until
-                    break
-                self.step()
+            if until is None:
+                # Hot loop: pop-and-fire with no peeking.
+                while heap:
+                    time, _seq, fn, args = heappop(heap)
+                    if fn is None:
+                        if args.cancelled:
+                            continue
+                        fn, args = args.fn, args.args
+                    self._now = time
+                    fn(*args)
             else:
-                if until is not None and until > self._now:
-                    self._now = until
+                while heap:
+                    nxt = heap[0]
+                    if nxt[2] is None and nxt[3].cancelled:
+                        heappop(heap)
+                        continue
+                    if nxt[0] > until:
+                        self._now = until
+                        break
+                    self.step()
+                else:
+                    if until > self._now:
+                        self._now = until
         finally:
             self._running = False
         return self._now

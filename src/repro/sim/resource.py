@@ -27,6 +27,8 @@ class Resource:
         busy_time: total virtual seconds spent serving (for utilization).
     """
 
+    __slots__ = ("_engine", "name", "_free_at", "busy_time", "jobs_served")
+
     def __init__(self, engine: Engine, name: str = "") -> None:
         self._engine = engine
         self.name = name
@@ -44,13 +46,16 @@ class Resource:
         """
         if duration < 0:
             raise SimulationError(f"negative duration {duration}")
-        start = max(self._engine.now, self._free_at)
+        engine = self._engine
+        start = engine._now
+        if self._free_at > start:
+            start = self._free_at
         end = start + duration
         self._free_at = end
         self.busy_time += duration
         self.jobs_served += 1
         if fn is not None:
-            self._engine.at(end, fn, *args)
+            engine.call_at(end, fn, *args)
         return start, end
 
     @property
@@ -65,6 +70,10 @@ class Resource:
 
 class MultiResource:
     """``k`` identical FIFO servers with earliest-available dispatch."""
+
+    __slots__ = (
+        "_engine", "name", "servers", "_free", "busy_time", "jobs_served"
+    )
 
     def __init__(self, engine: Engine, servers: int, name: str = "") -> None:
         if servers <= 0:
@@ -88,13 +97,15 @@ class MultiResource:
         if duration < 0:
             raise SimulationError(f"negative duration {duration}")
         free_at, idx = heapq.heappop(self._free)
-        start = max(self._engine.now, free_at)
+        start = self._engine._now
+        if free_at > start:
+            start = free_at
         end = start + duration
         heapq.heappush(self._free, (end, idx))
         self.busy_time += duration
         self.jobs_served += 1
         if fn is not None:
-            self._engine.at(end, fn, *args)
+            self._engine.call_at(end, fn, *args)
         return start, end
 
     def earliest_free(self) -> float:

@@ -1,0 +1,43 @@
+"""Regenerate the determinism golden file.
+
+Runs one fixed workload per controller and records makespan, stats,
+metrics, and the complete observability event stream.  The golden file
+(``determinism.json``) was first generated from the pre-optimization
+code, so ``tests/test_determinism_golden.py`` proves that every hot-path
+optimization preserves bit-identical simulated behaviour.
+
+Usage::
+
+    PYTHONPATH=src python tests/golden/generate_determinism.py
+
+Only regenerate after an *intentional* behaviour change, and say so in
+the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+
+from golden_workloads import CONTROLLERS, golden_record  # noqa: E402
+
+OUT = os.path.join(os.path.dirname(__file__), "determinism.json")
+
+
+def main() -> None:
+    goldens = {name: golden_record(name) for name in CONTROLLERS}
+    with open(OUT, "w") as f:
+        json.dump(goldens, f, indent=1, sort_keys=True)
+    for name, rec in goldens.items():
+        n_events = len(rec.get("events", rec.get("event_structure", [])))
+        print(f"{name:<16} makespan={rec.get('makespan')!r:<24} "
+              f"events={n_events} root={rec['root_value']}")
+    print(f"wrote {OUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+"""Fixed per-controller workloads for the determinism regression goldens.
+
+Shared between ``tests/golden/generate_determinism.py`` (writes the
+golden file) and ``tests/test_determinism_golden.py`` (compares a fresh
+run against it).  The golden file was generated from the pre-optimization
+code, so these records define "bit-identical to pre-change behaviour":
+makespan, per-category stats, metrics, and the complete observability
+event stream.
+
+The workload is a 32-leaf binary reduction whose payloads are plain
+Python lists of floats — deliberately, so the wire sizes flow through
+:func:`repro.core.payload.estimate_nbytes` and the goldens also lock its
+exact estimates.  Costs are analytic (no wall-clock dependence); the
+serial controller runs on a wall-clock timeline, so its record keeps the
+event *structure* and drops timestamps.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable
+
+from repro.core.payload import Payload
+from repro.graphs import Reduction
+from repro.obs import ListSink
+from repro.runtimes import (
+    BlockingMPIController,
+    CharmController,
+    LegionIndexController,
+    LegionSPMDController,
+    MPIController,
+    SerialController,
+)
+from repro.runtimes.costs import DEFAULT_COSTS, CallableCost
+
+LEAVES = 32
+VALENCE = 2
+PROCS = 6
+
+
+def _cost(task, inputs):
+    nb = sum(p.nbytes for p in inputs)
+    return 1e-4 * (task.id % 7 + 1) + nb * 2e-9
+
+
+def _make_cost():
+    return CallableCost(_cost)
+
+
+CONTROLLERS: dict[str, Callable] = {
+    "serial": lambda: SerialController(),
+    "mpi": lambda: MPIController(PROCS, cost_model=_make_cost()),
+    "blocking": lambda: BlockingMPIController(PROCS, cost_model=_make_cost()),
+    # A short LB period so load balancing and chare migration trigger.
+    "charm": lambda: CharmController(
+        PROCS,
+        cost_model=_make_cost(),
+        costs=DEFAULT_COSTS.with_(charm_lb_period=0.0005),
+    ),
+    "legion_spmd": lambda: LegionSPMDController(PROCS, cost_model=_make_cost()),
+    "legion_index": lambda: LegionIndexController(PROCS, cost_model=_make_cost()),
+    # Transient faults: locks the retry path's timing and accounting.
+    "mpi_faults": lambda: MPIController(
+        PROCS,
+        cost_model=_make_cost(),
+        faults={0: 2, 7: 1},
+        fault_retry_delay=0.0003,
+    ),
+}
+
+
+def _leaf(ins, tid):
+    return [Payload(list(ins[0].data))]
+
+
+def _reduce(ins, tid):
+    merged: list[float] = []
+    for p in ins:
+        merged.extend(p.data)
+    return [Payload(merged)]
+
+
+def run_workload(controller):
+    """Run the golden reduction on ``controller``; returns (graph, sink, result)."""
+    g = Reduction(LEAVES, VALENCE)
+    sink = ListSink()
+    controller.add_sink(sink)
+    controller.initialize(g)
+    controller.register_callback(g.LEAF, _leaf)
+    controller.register_callback(g.REDUCE, _reduce)
+    controller.register_callback(g.ROOT, _reduce)
+    inputs = {
+        tid: Payload([float(tid) + 0.25 * j for j in range(tid % 3 + 1)])
+        for tid in g.leaf_ids()
+    }
+    return g, sink, controller.run(inputs)
+
+
+def golden_record(name: str) -> dict:
+    """One controller's golden record, normalized to JSON-safe values."""
+    g, sink, result = run_workload(CONTROLLERS[name]())
+    root = result.output(g.root_id).data
+    rec: dict = {
+        "root_value": sum(root),
+        "root_len": len(root),
+        "tasks_executed": result.stats.tasks_executed,
+        "messages": result.stats.messages,
+        "bytes_sent": result.stats.bytes_sent,
+    }
+    if name == "serial":
+        # Wall-clock timeline: keep the deterministic structure only.
+        rec["event_structure"] = [
+            {k: v for k, v in e.to_dict().items() if k not in ("t", "dur")}
+            for e in sink.events
+        ]
+        rec["counters"] = dict(result.metrics.counters)
+        rec["message_nbytes"] = result.metrics.histograms["message_nbytes"]
+    else:
+        rec["makespan"] = result.stats.makespan
+        rec["category_time"] = dict(result.stats.category_time)
+        rec["callback_time"] = {
+            str(k): v for k, v in result.stats.callback_time.items()
+        }
+        rec["events"] = [e.to_dict() for e in sink.events]
+        rec["counters"] = dict(result.metrics.counters)
+        rec["gauges"] = dict(result.metrics.gauges)
+        rec["histograms"] = dict(result.metrics.histograms)
+    # Normalize through JSON so float/str key coercion matches the file.
+    return json.loads(json.dumps(rec))

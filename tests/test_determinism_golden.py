@@ -1,0 +1,51 @@
+"""Golden-file determinism regression for the simulator hot path.
+
+``tests/golden/determinism.json`` was generated from the *pre-optimization*
+code (``tests/golden/generate_determinism.py``).  These tests re-run the
+same workloads on the current code and require bit-identical results:
+makespan, per-category stats, metrics, and the complete observability
+event stream.  Any hot-path "optimization" that changes a single float or
+reorders a single event fails here.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from tests.golden_workloads import CONTROLLERS, golden_record
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "determinism.json"
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    with GOLDEN_PATH.open() as fh:
+        return json.load(fh)
+
+
+@pytest.mark.parametrize("name", sorted(CONTROLLERS))
+def test_bit_identical_to_golden(name: str, golden: dict) -> None:
+    fresh = golden_record(name)
+    want = golden[name]
+    # Compare piecewise for readable failures before the full comparison.
+    for key in want:
+        assert key in fresh, f"{name}: record lost key {key!r}"
+        if key == "events" or key == "event_structure":
+            assert len(fresh[key]) == len(want[key]), (
+                f"{name}: event count changed "
+                f"{len(want[key])} -> {len(fresh[key])}"
+            )
+            for i, (got_ev, want_ev) in enumerate(zip(fresh[key], want[key])):
+                assert got_ev == want_ev, (
+                    f"{name}: event {i} diverged:\n"
+                    f"  got  {got_ev}\n  want {want_ev}"
+                )
+        else:
+            assert fresh[key] == want[key], (
+                f"{name}: {key} diverged:\n"
+                f"  got  {fresh[key]!r}\n  want {want[key]!r}"
+            )
+    assert fresh == want, f"{name}: record gained unexpected keys"

@@ -77,3 +77,34 @@ def test_collect_trace_allocates_spans_only_when_asked():
     c = MPIController(4, collect_trace=True)
     _, result = run_reduction(c)
     assert result.trace is not None and result.trace.spans
+
+
+@pytest.fixture
+def poisoned_labels(monkeypatch):
+    """Make any task/edge label construction raise.
+
+    Event labels are plain strings, so the Event/Span poison above
+    cannot see them; poisoning the label builders proves the hot path
+    does not even *format* a label when nobody is observing.
+    """
+    import repro.runtimes.simbase as simbase
+    import repro.sim.cluster as cluster
+
+    def boom(*a, **k):
+        raise AssertionError("label built on an unobserved run")
+
+    monkeypatch.setattr(simbase, "_task_label", boom)
+    monkeypatch.setattr(cluster, "_edge_label", boom)
+
+
+@pytest.mark.parametrize("ctor", ALL, ids=IDS)
+def test_unobserved_run_builds_no_label_strings(ctor, poisoned_labels):
+    g, result = run_reduction(ctor())
+    assert result.stats.tasks_executed == g.size()
+
+
+def test_label_poison_actually_fires_when_observed(poisoned_labels):
+    c = MPIController(4)
+    c.add_sink(ListSink())
+    with pytest.raises(AssertionError, match="label built"):
+        run_reduction(c)

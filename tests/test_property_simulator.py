@@ -87,12 +87,17 @@ def test_per_pair_fifo_delivery(msgs):
 @settings(deadline=None, max_examples=20)
 @given(st.integers(1, 64), st.integers(1, 8))
 def test_trace_busy_fraction_bounded(n_jobs, procs):
+    """The cluster no longer records spans directly (controllers emit
+    lifecycle events instead); build the trace from the occupancy
+    intervals ``compute`` returns and check the utilization bound."""
     trace = Trace()
     eng = Engine()
-    cl = Cluster(eng, SHAHEEN_II, procs, trace=trace)
+    cl = Cluster(eng, SHAHEEN_II, procs)
     rng = np.random.default_rng(n_jobs * 31 + procs)
     for i in range(n_jobs):
-        cl.compute(int(rng.integers(procs)), float(rng.random() + 0.01))
+        p = int(rng.integers(procs))
+        start, end = cl.compute(p, float(rng.random() + 0.01))
+        trace.record("compute", p, start, end, f"job{i}")
     eng.run()
     frac = trace.busy_fraction(procs)
     assert 0.0 < frac <= 1.0 + 1e-9

@@ -3,15 +3,19 @@
 import pytest
 
 from repro.core.errors import SimulationError
+from repro.obs.hub import ObsHub
 from repro.sim.cluster import Cluster
 from repro.sim.engine import Engine
 from repro.sim.machine import SHAHEEN_II, MachineSpec
 from repro.sim.trace import Stats, Trace
 
 
-def make(n_procs=4, cores=1, machine=SHAHEEN_II, trace=None, ppn=None):
+def make(n_procs=4, cores=1, machine=SHAHEEN_II, obs=None, ppn=None):
     eng = Engine()
-    return eng, Cluster(eng, machine, n_procs, cores, trace=trace, procs_per_node=ppn)
+    kwargs = {} if obs is None else {"obs": obs}
+    return eng, Cluster(
+        eng, machine, n_procs, cores, procs_per_node=ppn, **kwargs
+    )
 
 
 class TestMachineSpec:
@@ -117,21 +121,25 @@ class TestNetwork:
 
 
 class TestTrace:
-    def test_spans_recorded(self):
+    def test_message_spans_via_obs(self):
+        # The historical direct span-recording path is gone: spans are
+        # synthesized from the event stream.  The cluster emits message
+        # events; compute spans come from the controllers' task events.
         trace = Trace()
-        eng, cl = make(trace=trace)
-        cl.compute(0, 1.0, category="compute", label="t0")
-        cl.send(0, 1, 1000, lambda: None)
+        eng, cl = make(n_procs=64, obs=ObsHub([trace]))
+        cl.send(0, 40, 8 * 10**6, lambda: None)
         eng.run()
-        assert len(trace.by_category("compute")) == 1
-        assert len(trace.by_category("message")) == 1
+        spans = trace.by_category("message")
+        assert len(spans) == 1
+        assert spans[0].label == "->40"
         assert trace.makespan() > 0
 
     def test_busy_fraction(self):
         trace = Trace()
-        eng, cl = make(n_procs=2, trace=trace)
-        cl.compute(0, 2.0)
-        cl.compute(1, 2.0)
+        eng, cl = make(n_procs=2)
+        for p in (0, 1):
+            start, end = cl.compute(p, 2.0)
+            trace.record("compute", p, start, end)
         eng.run()
         assert trace.busy_fraction(2) == pytest.approx(1.0)
 

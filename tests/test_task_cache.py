@@ -1,0 +1,83 @@
+"""The per-run task-materialization memo.
+
+Procedural graphs rebuild a Task object on every ``task(tid)`` call, and
+a controller queries each task several times per run (input validation,
+deposit, routing, placement).  ``Controller.run`` wraps the graph in a
+:class:`~repro.core.graph.CachedGraph` view, so the underlying graph
+must materialize each task **at most once per run** — on every backend.
+
+Enforced here with a counting proxy graph; see also
+``tests/test_determinism_golden.py`` for the complementary guarantee
+that the memo does not change any simulated result.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.payload import Payload
+from repro.graphs import Reduction
+from tests.conftest import all_controllers
+
+
+class CountingReduction(Reduction):
+    """A reduction that counts how often each task id is materialized."""
+
+    def __init__(self, leaves: int, valence: int) -> None:
+        super().__init__(leaves, valence)
+        self.calls: Counter = Counter()
+
+    def task(self, tid):
+        self.calls[tid] += 1
+        return super().task(tid)
+
+
+def run_once(controller, graph):
+    add = lambda ins, tid: [Payload(sum(p.data for p in ins))]
+    controller.register_callback(graph.LEAF, lambda ins, tid: [ins[0]])
+    controller.register_callback(graph.REDUCE, add)
+    controller.register_callback(graph.ROOT, add)
+    return controller.run(
+        {t: Payload(i + 1) for i, t in enumerate(graph.leaf_ids())}
+    )
+
+
+@pytest.mark.parametrize(
+    "controller", all_controllers(4), ids=lambda c: type(c).__name__
+)
+def test_each_task_materializes_at_most_once_per_run(controller):
+    g = CountingReduction(16, 4)
+    controller.initialize(g, None)
+    g.calls.clear()  # drop any initialize-time queries; the memo is per run
+    result = run_once(controller, g)
+    assert result.stats.tasks_executed == g.size()
+    over = {tid: n for tid, n in g.calls.items() if n > 1}
+    assert not over, f"tasks materialized more than once: {over}"
+    # Input validation walks the whole graph, so every id appears exactly once.
+    assert sorted(g.calls) == list(range(g.size()))
+
+
+@pytest.mark.parametrize(
+    "controller", all_controllers(4), ids=lambda c: type(c).__name__
+)
+def test_memo_is_per_run_not_per_controller(controller):
+    """A second run gets a fresh view: stale caching across runs would
+    hide graph rebinds, so each run re-materializes (once)."""
+    g = CountingReduction(16, 4)
+    controller.initialize(g, None)
+    g.calls.clear()
+    first = run_once(controller, g)
+    second = run_once(controller, g)
+    # (Makespan is wall-clock on the serial backend; compare outputs.)
+    assert first.output(0).data == second.output(0).data
+    assert set(g.calls.values()) == {2}
+
+
+def test_cached_view_delegates_graph_helpers():
+    g = CountingReduction(16, 4)
+    view = g.cached()
+    assert view.leaf_ids() == g.leaf_ids()
+    assert view.size() == g.size()
+    view.task(0)
+    view.task(0)
+    assert g.calls[0] == 1
