@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Fault injection and recovery: chaos on a reduction, exact answers out.
+
+The paper argues that idempotent tasks make resilience nearly free — a
+lost attempt can simply run again.  This example makes that concrete
+(:mod:`repro.faults`): a seeded fault storm (transient faults, one
+mid-run rank death, lossy links) hits the same 32-leaf reduction on the
+MPI and Charm++ backends, recovery re-places and replays what was lost,
+and the final answer is asserted bit-identical to the fault-free run.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from __future__ import annotations
+
+from repro.core.payload import Payload
+from repro.faults import FaultPlan, RetryPolicy
+from repro.graphs import Reduction
+from repro.obs import FAULT_VOCABULARY, ListSink
+from repro.runtimes import CharmController, MPIController
+from repro.runtimes.costs import CallableCost
+
+LEAVES, VALENCE, PROCS = 32, 2, 6
+
+
+def run(ctor_kwargs: dict, sink: ListSink | None = None):
+    g = Reduction(LEAVES, VALENCE)
+    cost = CallableCost(lambda task, ins: 1e-4 * (task.id % 7 + 1))
+    c = ctor_kwargs.pop("ctor")(PROCS, cost_model=cost, **ctor_kwargs)
+    if sink is not None:
+        c.add_sink(sink)
+    c.initialize(g)
+    c.register_callback(g.LEAF, lambda ins, tid: [ins[0]])
+    add = lambda ins, tid: [Payload(sum(p.data for p in ins))]
+    c.register_callback(g.REDUCE, add)
+    c.register_callback(g.ROOT, add)
+    result = c.run({t: Payload(i + 1) for i, t in enumerate(g.leaf_ids())})
+    return result.output(g.root_id).data, result
+
+
+def main() -> None:
+    # --- 1. The fault-free reference. -----------------------------------
+    clean_root, clean = run({"ctor": MPIController})
+    print(f"clean run:  root={clean_root}  makespan={clean.makespan:.5f}s")
+
+    # --- 2. A seeded storm: same plan every time, never wall clock. -----
+    plan = FaultPlan.random(
+        seed=7,
+        task_ids=range(2 * LEAVES - 1),
+        n_procs=PROCS,
+        task_fault_rate=0.15,       # ~15% of tasks fail 1-2 attempts
+        n_rank_deaths=1,            # one rank dies mid-run...
+        death_window=(0.002, 0.004),
+        link_fault_rate=0.08,       # ...and a few links drop messages
+        link_window=(0.0, 0.004),
+        link_drop=True,
+    )
+    policy = RetryPolicy(
+        max_attempts=8, backoff_base=2e-4, backoff_factor=2.0, spread=1e-4
+    )
+    print(f"\nstorm: {plan!r}")
+
+    for ctor in (MPIController, CharmController):
+        sink = ListSink()
+        root, result = run(
+            {"ctor": ctor, "fault_plan": plan, "retry_policy": policy}, sink
+        )
+        assert root == clean_root, "recovery must preserve the exact answer"
+        m = result.metrics.counters
+        print(f"\n{ctor.__name__}: root={root}  "
+              f"makespan={result.makespan:.5f}s "
+              f"(+{result.makespan - clean.makespan:.5f}s vs clean)")
+        print(f"  faults injected:  {m['faults_injected']:.0f} "
+              f"(dropped messages: {m['messages_dropped']:.0f}, "
+              f"retransmitted: {m['messages_retransmitted']:.0f})")
+        print(f"  rank deaths:      {m['rank_deaths']:.0f} -> "
+              f"{m['tasks_migrated']:.0f} tasks re-placed, "
+              f"{m['tasks_replayed']:.0f} lineage replays")
+        wasted = result.stats.category_time.get("wasted", 0.0)
+        tail = result.metrics.gauges["recovery_tail_seconds"]
+        print(f"  wasted compute:   {wasted:.5f}s")
+        print(f"  recovery tail:    {tail:.5f}s of the makespan")
+        # The recovery story is narrated in the shared event stream.
+        assert FAULT_VOCABULARY <= sink.types()
+        for ev in sink.events:
+            if ev.type in ("rank.dead", "task.migrated"):
+                print(f"    {ev.t:.5f}s {ev.type:13s} {ev.label}")
+        if ctor is MPIController:
+            # Determinism: the same storm replays bit-identically.
+            root2, result2 = run(
+                {"ctor": ctor, "fault_plan": plan, "retry_policy": policy}
+            )
+            assert (root2, result2.makespan) == (root, result.makespan)
+            print("  re-run: bit-identical (same storm, same schedule)")
+
+    print("\nevery run recovered to the exact fault-free answer.")
+
+
+if __name__ == "__main__":
+    main()

@@ -38,3 +38,9 @@ class SerializationError(BabelFlowError):
 class SimulationError(BabelFlowError):
     """The discrete-event substrate was misused or reached an inconsistent
     state (e.g., deadlock: no runnable events but tasks remain)."""
+
+
+class FaultError(BabelFlowError):
+    """A fault plan is invalid (e.g. it kills every rank) or a run became
+    unrecoverable (a task exhausted its retry budget, a message could not
+    be delivered within the retransmission budget)."""

@@ -1,0 +1,47 @@
+"""Fault injection and recovery for the simulated runtimes.
+
+The paper's central safety argument — task graphs built from *idempotent*
+tasks can be re-executed by any controller — makes resilience almost
+free: if an attempt is lost, run it again.  This package turns that
+argument into a subsystem:
+
+* :class:`FaultPlan` schedules transient task faults, permanent rank
+  deaths, and link degradation/drops against a simulated run —
+  deterministically or seeded-randomly (never wall clock).
+* :class:`RetryPolicy` governs the reaction: exponential backoff with a
+  deterministic spread, per-task attempt budgets, and per-attempt
+  timeout detection.
+* The recovery path lives in the controllers
+  (:mod:`repro.runtimes.simbase`): failed attempts retry with backoff,
+  dead ranks trigger re-placement onto survivors (static re-map for the
+  MPI-style backends, chare migration for Charm++, index re-launch for
+  Legion) plus *lineage replay* — only the upstream tasks whose outputs
+  were lost re-execute.
+* Dropped messages recover by sender-side retransmission under the same
+  policy (:mod:`repro.sim.cluster`).
+
+Recovery narrates itself through the shared observability vocabulary
+(``fault.injected``, ``task.retry``, ``rank.dead``, ``task.migrated``)
+and accounts wasted compute in ``RunResult.stats`` — see
+``docs/fault_tolerance.md``.
+"""
+
+from repro.faults.plan import (
+    FaultPlan,
+    LinkFault,
+    LinkFaultTable,
+    RankDeath,
+    TaskFault,
+)
+from repro.faults.policy import DEFAULT_RETRY_POLICY, RetryPolicy, legacy_policy
+
+__all__ = [
+    "DEFAULT_RETRY_POLICY",
+    "FaultPlan",
+    "LinkFault",
+    "LinkFaultTable",
+    "RankDeath",
+    "RetryPolicy",
+    "TaskFault",
+    "legacy_policy",
+]

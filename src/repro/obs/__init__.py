@@ -25,14 +25,19 @@ Quick start::
 from repro.obs.critical_path import BUCKETS, CriticalPath, PathStep, critical_path
 from repro.obs.events import (
     CORE_VOCABULARY,
+    FAULT_INJECTED,
+    FAULT_VOCABULARY,
     MESSAGE_DELIVERED,
     MESSAGE_SENT,
     MIGRATION,
     OVERHEAD,
+    RANK_DEAD,
     RUN_FINISHED,
     RUN_STARTED,
     TASK_ENQUEUED,
     TASK_FINISHED,
+    TASK_MIGRATED,
+    TASK_RETRY,
     TASK_STARTED,
     VOCABULARY,
     Event,
@@ -64,6 +69,8 @@ __all__ = [
     "CriticalPath",
     "Event",
     "EventSink",
+    "FAULT_INJECTED",
+    "FAULT_VOCABULARY",
     "Gauge",
     "Histogram",
     "JsonlExporter",
@@ -77,10 +84,13 @@ __all__ = [
     "OVERHEAD",
     "ObsHub",
     "PathStep",
+    "RANK_DEAD",
     "RUN_FINISHED",
     "RUN_STARTED",
     "TASK_ENQUEUED",
     "TASK_FINISHED",
+    "TASK_MIGRATED",
+    "TASK_RETRY",
     "TASK_STARTED",
     "VOCABULARY",
     "critical_path",

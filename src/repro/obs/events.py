@@ -42,19 +42,41 @@ RUN_STARTED = "run_started"
 #: A controller run completed; ``t`` and ``dur`` are the makespan.
 RUN_FINISHED = "run_finished"
 
+#: A planned fault fired (``category``: ``task`` for a transient task
+#: fault, ``timeout`` for a per-task timeout detection, ``rank`` for a
+#: permanent rank death, ``link`` for a dropped message).
+FAULT_INJECTED = "fault.injected"
+#: A failed attempt was rescheduled; ``dur`` is the backoff delay and
+#: ``proc`` the rank the retry will run on.
+TASK_RETRY = "task.retry"
+#: A rank died permanently; everything it held is lost.
+RANK_DEAD = "rank.dead"
+#: Recovery re-placed a task from a dead rank onto a survivor
+#: (``proc`` -> ``dst_proc``).
+TASK_MIGRATED = "task.migrated"
+
+#: Events emitted only by the fault-tolerance layer (:mod:`repro.faults`);
+#: they appear in a stream only when a fault plan is installed.
+FAULT_VOCABULARY = frozenset(
+    {FAULT_INJECTED, TASK_RETRY, RANK_DEAD, TASK_MIGRATED}
+)
+
 #: The complete event vocabulary shared by all backends.
-VOCABULARY = frozenset(
-    {
-        TASK_ENQUEUED,
-        TASK_STARTED,
-        TASK_FINISHED,
-        MESSAGE_SENT,
-        MESSAGE_DELIVERED,
-        OVERHEAD,
-        MIGRATION,
-        RUN_STARTED,
-        RUN_FINISHED,
-    }
+VOCABULARY = (
+    frozenset(
+        {
+            TASK_ENQUEUED,
+            TASK_STARTED,
+            TASK_FINISHED,
+            MESSAGE_SENT,
+            MESSAGE_DELIVERED,
+            OVERHEAD,
+            MIGRATION,
+            RUN_STARTED,
+            RUN_FINISHED,
+        }
+    )
+    | FAULT_VOCABULARY
 )
 
 #: Lifecycle events every backend emits on every non-empty run

@@ -110,6 +110,14 @@ class BlockingMPIController(MPIController):
         else:
             self._held[r].append(tid)
 
+    def _on_recover(self, tid: TaskId) -> None:
+        # The rebuilt task will report ready again once its lineage
+        # replays; a stale held entry would double-enqueue it at the
+        # barrier release.
+        held = self._held[self._round_of[tid]]
+        if tid in held:
+            held.remove(tid)
+
     def _on_task_done(self, proc: int, tid: TaskId) -> None:
         r = self._round_of[tid]
         self._round_remaining[r] -= 1

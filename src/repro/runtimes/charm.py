@@ -56,6 +56,16 @@ class CharmController(SimController):
             self._chare_owner[tid] = owner
         return owner
 
+    def _set_placement(self, tid: TaskId, proc: int) -> None:
+        self._chare_owner[tid] = proc
+
+    def _replace_task(self, tid: TaskId, new_proc: int) -> None:
+        # Death recovery is a runtime-driven chare migration: bill the
+        # same per-chare cost the load balancer pays.
+        super()._replace_task(tid, new_proc)
+        self._migrations += 1
+        self._result.stats.add("migrate", self.costs.charm_migration_cost)
+
     # ------------------------------------------------------------------ #
     # Communication costs
     # ------------------------------------------------------------------ #
@@ -81,7 +91,7 @@ class CharmController(SimController):
     # ------------------------------------------------------------------ #
 
     def _lb_tick(self) -> None:
-        if self._executed >= self._total:
+        if len(self._done) >= self._total:
             return  # run finished; stop rescheduling
         if self._executed == self._executed_at_last_lb:
             self._idle_lb_rounds += 1
@@ -120,21 +130,23 @@ class CharmController(SimController):
         chares are popped into a pool and handed to the PEs below their
         desired length.
         """
-        lengths = [len(q) for q in self._ready]
-        total = sum(lengths)
-        base, extra = divmod(total, self.n_procs)
+        # Dead PEs neither donate nor receive chares.
+        procs = self._survivors if self._dead_procs else range(self.n_procs)
+        lengths = {p: len(self._ready[p]) for p in procs}
+        total = sum(lengths.values())
+        base, extra = divmod(total, len(lengths))
         # The `extra` currently-longest queues keep one more chare.
-        order = sorted(range(self.n_procs), key=lambda p: -lengths[p])
-        desired = [base] * self.n_procs
+        order = sorted(procs, key=lambda p: -lengths[p])
+        desired = {p: base for p in procs}
         for p in order[:extra]:
             desired[p] = base + 1
         pool: list[tuple[TaskId, int]] = []
-        for p in range(self.n_procs):
+        for p in procs:
             while lengths[p] > desired[p]:
                 tid = self._ready[p].pop()  # migrate the freshest arrival
                 pool.append((tid, p))
                 lengths[p] -= 1
-        for p in range(self.n_procs):
+        for p in procs:
             while lengths[p] < desired[p] and pool:
                 tid, src = pool.pop()
                 self._migrate(tid, src, p)
@@ -176,6 +188,10 @@ class CharmController(SimController):
         )
 
     def _arrive_migrated(self, dst: int, tid: TaskId) -> None:
+        if self._dead_procs and dst in self._dead_procs:
+            # The destination PE died while the chare was in flight; the
+            # death recovery already re-placed and rebuilt it.
+            return
         if self._obs:
             self._obs.emit(
                 Event(

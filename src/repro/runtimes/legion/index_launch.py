@@ -52,6 +52,10 @@ class LegionIndexController(SimController):
         self._round_remaining = [len(tids) for tids in self._rounds]
         self._spawned: set[TaskId] = set()
         self._waiting_ready: set[TaskId] = set()
+        # Tasks whose spawn completed, kept only when rank deaths are
+        # planned: recovery must know whether a lost task still has its
+        # launch pending or needs the parent to re-launch it.
+        self._launch_done: set[TaskId] = set()
         self._current_round = -1
         # The parent task spawning subtasks is a serial resource on proc 0.
         self._parent = Resource(self._engine, name="parent")
@@ -59,6 +63,44 @@ class LegionIndexController(SimController):
 
     def _proc_of(self, tid: TaskId) -> int:
         return self._owner[tid]
+
+    def _set_placement(self, tid: TaskId, proc: int) -> None:
+        self._owner[tid] = proc
+
+    def _on_recover(self, tid: TaskId) -> None:
+        self._waiting_ready.discard(tid)
+        if tid in self._launch_done:
+            # The launched subtask died with its rank; the parent must
+            # issue the index point again (index re-launch).
+            self._launch_done.discard(tid)
+            self._spawned.discard(tid)
+            self._respawn(tid)
+        # else: the spawn is still queued at the parent and will land on
+        # the new owner when it completes.
+
+    def _on_replay(self, tid: TaskId) -> None:
+        # A completed point re-executes: it must go through the parent's
+        # launch path again before it can be scheduled.
+        self._launch_done.discard(tid)
+        self._spawned.discard(tid)
+        self._respawn(tid)
+
+    def _respawn(self, tid: TaskId) -> None:
+        spawn = self.costs.legion_spawn_overhead
+        self._result.stats.add("spawn", spawn)
+        start, end = self._parent.submit(spawn, self._spawn_done, tid)
+        if self._obs:
+            self._obs.emit(
+                Event(
+                    OVERHEAD,
+                    end,
+                    proc=0,
+                    task=tid,
+                    dur=end - start,
+                    category="spawn",
+                    label=f"respawn t{tid}",
+                )
+            )
 
     # ------------------------------------------------------------------ #
     # Round orchestration
@@ -87,6 +129,8 @@ class LegionIndexController(SimController):
 
     def _spawn_done(self, tid: TaskId) -> None:
         self._spawned.add(tid)
+        if self._inflight is not None:
+            self._launch_done.add(tid)
         if tid in self._waiting_ready:
             self._waiting_ready.discard(tid)
             self._enqueue(self._owner[tid], tid)

@@ -59,6 +59,11 @@ class LegionSPMDController(SimController):
             cache[tid] = proc
         return proc
 
+    def _set_placement(self, tid: TaskId, proc: int) -> None:
+        # Recovery re-shards the task: later launches go through the
+        # surviving shard's launcher and cores.
+        self._shard_cache[tid] = proc
+
     # ------------------------------------------------------------------ #
     # Launch pipeline
     # ------------------------------------------------------------------ #

@@ -57,6 +57,11 @@ class MPIController(SimController):
             cache[tid] = proc
         return proc
 
+    def _set_placement(self, tid: TaskId, proc: int) -> None:
+        # Static re-map: recovery pins the task's shard over the task map
+        # (the cache is authoritative on every later shard() lookup).
+        self._shard_cache[tid] = proc
+
     def _serialize_cost(self, sproc: int, dproc: int, payload: Payload) -> float:
         if sproc == dproc and self.costs.mpi_in_memory:
             return 0.0

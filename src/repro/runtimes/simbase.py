@@ -30,17 +30,23 @@ from collections import deque
 from typing import Sequence
 
 from repro.core.callbacks import CallbackRegistry
-from repro.core.errors import ControllerError, SimulationError
+from repro.core.errors import ControllerError, FaultError, SimulationError
 from repro.core.graph import TaskGraph
 from repro.core.ids import EXTERNAL, TNULL, TaskId
 from repro.core.payload import Payload
 from repro.core.task import Task
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import DEFAULT_RETRY_POLICY, RetryPolicy, legacy_policy
 from repro.obs.events import (
+    FAULT_INJECTED,
     OVERHEAD,
+    RANK_DEAD,
     RUN_FINISHED,
     RUN_STARTED,
     TASK_ENQUEUED,
     TASK_FINISHED,
+    TASK_MIGRATED,
+    TASK_RETRY,
     TASK_STARTED,
     Event,
     EventSink,
@@ -65,7 +71,8 @@ class _PhysicalTask:
     """Runtime state of one task instance."""
 
     __slots__ = (
-        "task", "slots", "remaining", "cursor", "queued", "slot_map", "attempt"
+        "task", "slots", "remaining", "cursor", "queued", "slot_map",
+        "attempt", "attempts",
     )
 
     def __init__(self, task: Task) -> None:
@@ -73,6 +80,7 @@ class _PhysicalTask:
         n = task.n_inputs
         self.slots: list[Payload | None] = [None] * n
         self.remaining = n
+        self.attempts = 0  # failed attempts so far (retry-budget input)
         # Next slot to fill per producer id (EXTERNAL included), so
         # multiple channels between the same pair fill slots in order.
         self.cursor: dict[TaskId, int] = {}
@@ -108,14 +116,26 @@ class SimController(Controller):
         collect_trace: keep a full span trace on the result (debugging).
         procs_per_node: how many procs share a node; defaults to
             ``cores_per_node // cores_per_proc``.
-        faults: transient-fault injection: ``{task_id: n}`` makes the
+        faults: legacy transient-fault shim: ``{task_id: n}`` makes the
             first ``n`` attempts of that task fail after consuming their
             full compute time; the controller then re-executes it — safe
             because tasks are idempotent by contract (the property the
-            paper leans on).  Wasted attempt time lands in the
-            ``wasted`` stats category.
-        fault_retry_delay: virtual seconds between a failed attempt and
-            the re-enqueue (a restart/detection delay).
+            paper leans on).  Equivalent to
+            ``fault_plan=FaultPlan(task_faults=faults)`` with
+            :func:`~repro.faults.policy.legacy_policy`.  Wasted attempt
+            time lands in the ``wasted`` stats category.
+        fault_retry_delay: legacy shim: virtual seconds between a failed
+            attempt and the re-enqueue (a restart/detection delay).
+        fault_plan: full fault schedule (transient task faults, permanent
+            rank deaths, link degradation/drops) — see
+            :mod:`repro.faults`.  A plan is consumed *per run*: each
+            ``run()`` materializes a fresh budget from the immutable
+            plan, so running twice injects the same faults twice.
+            Mutually exclusive with ``faults``.
+        retry_policy: reaction to failed attempts and dropped messages
+            (backoff, attempt budget, timeout detection); defaults to
+            :data:`~repro.faults.policy.DEFAULT_RETRY_POLICY` when a
+            plan is installed.
         sinks: observability sinks receiving the run's structured
             lifecycle events (see :mod:`repro.obs.events`); equivalent to
             calling :meth:`~repro.runtimes.controller.Controller.add_sink`.
@@ -132,6 +152,8 @@ class SimController(Controller):
         procs_per_node: int | None = None,
         faults: dict[TaskId, int] | None = None,
         fault_retry_delay: float = 0.0,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
         sinks: Sequence[EventSink] = (),
     ) -> None:
         super().__init__()
@@ -147,6 +169,22 @@ class SimController(Controller):
         self.procs_per_node = procs_per_node
         self.faults = dict(faults) if faults else {}
         self.fault_retry_delay = fault_retry_delay
+        if faults and fault_plan is not None:
+            raise ControllerError(
+                "pass either the legacy faults= dict or fault_plan=, not both"
+            )
+        if faults:
+            # Compatibility shim: the legacy kwargs become a plan plus the
+            # flat-delay/unlimited-attempts policy they always implied.
+            fault_plan = FaultPlan(task_faults=self.faults)
+            if retry_policy is None:
+                retry_policy = legacy_policy(fault_retry_delay)
+        if fault_plan is not None:
+            fault_plan.validate(n_procs)
+            if retry_policy is None:
+                retry_policy = DEFAULT_RETRY_POLICY
+        self.fault_plan = fault_plan
+        self.retry_policy = retry_policy
         #: failed attempts observed in the last run.
         self.retries = 0
         # Per-run state; created in _execute.
@@ -226,6 +264,7 @@ class SimController(Controller):
         self._m_task_seconds = metrics.histogram("task_compute_seconds")
         self._m_message_bytes = metrics.histogram("message_nbytes")
         self._queue_peak = [0] * self.n_procs
+        plan = self.fault_plan
         self._cluster = Cluster(
             self._engine,
             self.machine,
@@ -233,6 +272,8 @@ class SimController(Controller):
             self.cores_per_proc,
             procs_per_node=self.procs_per_node,
             obs=hub,
+            link_faults=plan.link_table() if plan is not None else None,
+            retry=self.retry_policy,
         )
         self._result = RunResult(trace=trace)
         # Per-run hot-path caches: the category hooks return constants
@@ -246,9 +287,31 @@ class SimController(Controller):
         self._graph_run = graph
         self._registry_run = registry
         self._ptasks = {}
-        self._fault_budget = dict(self.faults)
+        # The plan's budget is materialized fresh per run (per-run
+        # consumption semantics; the legacy faults= dict behaved the same).
+        self._fault_budget = plan.task_budget() if plan is not None else {}
+        self._policy = self.retry_policy
+        self._timeout_raw = (
+            self._policy.task_timeout * self.machine.core_speed
+            if self._policy is not None
+            else float("inf")
+        )
         self.retries = 0
         self._done: set[TaskId] = set()
+        # Rank-death recovery state.  All empty/None on the clean path,
+        # so the hot-path guards are single truthiness tests.
+        self._dead_procs: set[int] = set()
+        self._survivors: list[int] = []
+        self._replaying: set[TaskId] = set()
+        self._replay_targets: dict[TaskId, set[TaskId]] = {}
+        track_deaths = plan is not None and plan.has_rank_deaths
+        self._inflight: dict[TaskId, tuple] | None = {} if track_deaths else None
+        self._initial_inputs = inputs
+        self._initial_deposited = False
+        self._faults_injected = 0
+        self._tasks_replayed = 0
+        self._tasks_migrated = 0
+        self._first_fault_time: float | None = None
         self._ready = [deque() for _ in range(self.n_procs)]
         self._busy = [0] * self.n_procs
         self._executed = 0
@@ -258,6 +321,9 @@ class SimController(Controller):
         if obs:
             obs.emit(Event(RUN_STARTED, 0.0, label=type(self).__name__))
         self._prepare_run()
+        if plan is not None:
+            for death in plan.rank_deaths:
+                self._engine.call_at(death.at, self._rank_death, death.proc)
         if inputs:
             # One batched time-zero event instead of one per source task:
             # the deposits run in the same (sorted) order, so every
@@ -265,13 +331,13 @@ class SimController(Controller):
             self._engine.call_at(0.0, self._deposit_initial, sorted(inputs.items()))
         self._engine.run()
 
-        if self._executed != self._total:
+        if len(self._done) != self._total:
             stuck = [
                 t for t, pt in self._ptasks.items() if pt.remaining > 0
             ][:8]
             raise SimulationError(
                 f"{type(self).__name__}: dataflow stalled after "
-                f"{self._executed}/{self._total} tasks "
+                f"{len(self._done)}/{self._total} tasks "
                 f"(waiting tasks include {stuck})"
             )
         stats = self._result.stats
@@ -299,6 +365,25 @@ class SimController(Controller):
         m.counter("bytes_sent").inc(self._cluster.bytes_sent)
         m.counter("retries").inc(self.retries)
         makespan = self._finish_time
+        if self.fault_plan is not None:
+            # Fault/recovery metrics exist only when a plan is installed,
+            # so clean runs keep their exact metric set (and goldens).
+            m.counter("faults_injected").inc(self._faults_injected)
+            m.counter("rank_deaths").inc(len(self._dead_procs))
+            m.counter("tasks_replayed").inc(self._tasks_replayed)
+            m.counter("tasks_migrated").inc(self._tasks_migrated)
+            m.counter("messages_dropped").inc(self._cluster.messages_dropped)
+            m.counter("messages_retransmitted").inc(
+                self._cluster.messages_retransmitted
+            )
+            first = self._first_fault_time
+            drop = self._cluster.first_drop_time
+            if drop is not None and (first is None or drop < first):
+                first = drop
+            if first is not None:
+                m.gauge("recovery_tail_seconds").set(
+                    max(0.0, makespan - first)
+                )
         peaks = self._queue_peak
         m.gauge("queue_depth_peak").set(float(max(peaks, default=0)))
         m.gauge("queue_depth_peak_mean").set(
@@ -331,6 +416,10 @@ class SimController(Controller):
     def _deposit_initial(
         self, items: list[tuple[TaskId, list[Payload]]]
     ) -> None:
+        # Flag first: a task rebuilt after a later rank death must know
+        # whether its external inputs were already delivered (and lost)
+        # or are still on their way in this very batch.
+        self._initial_deposited = True
         deposit = self._deposit
         for tid, payloads in items:
             for payload in payloads:
@@ -370,6 +459,8 @@ class SimController(Controller):
     # ------------------------------------------------------------------ #
 
     def _enqueue(self, proc: int, tid: TaskId) -> None:
+        if self._dead_procs and proc in self._dead_procs:
+            return  # stale enqueue onto a dead rank; recovery re-placed it
         pt = self._ptasks.get(tid)
         if pt is None:
             pt = _PhysicalTask(self._graph_run.task(tid))
@@ -428,13 +519,62 @@ class SimController(Controller):
             # its outputs are discarded; the task retries (idempotence).
             self._fault_budget[tid] -= 1
             self.retries += 1
+            pt.attempts += 1
+            self._faults_injected += 1
             cat_time["wasted"] += overhead + compute
             start, end = self._cluster.compute(
                 proc, overhead + compute, self._attempt_failed, proc, tid
             )
+            if self._first_fault_time is None:
+                self._first_fault_time = start
+            if self._inflight is not None:
+                self._inflight[tid] = (proc, start, end, compute, overhead, None)
             if self._obs is not None:
+                self._obs.emit(
+                    Event(
+                        FAULT_INJECTED,
+                        start,
+                        proc=proc,
+                        task=tid,
+                        category="task",
+                        label=_task_label(tid, " fault"),
+                    )
+                )
                 self._emit_task(
                     proc, tid, start, end, overhead, " (failed attempt)"
+                )
+            return
+        if overhead + compute > self._timeout_raw:
+            # Timeout detection: the attempt is aborted at the policy's
+            # per-task deadline and handled as a fault.  A task whose
+            # compute always exceeds the timeout burns its whole attempt
+            # budget and raises FaultError in _attempt_failed.
+            self.retries += 1
+            pt.attempts += 1
+            self._faults_injected += 1
+            cat_time["wasted"] += self._timeout_raw
+            start, end = self._cluster.compute(
+                proc, self._timeout_raw, self._attempt_failed, proc, tid
+            )
+            if self._first_fault_time is None:
+                self._first_fault_time = start
+            if self._inflight is not None:
+                self._inflight[tid] = (
+                    proc, start, end, self._timeout_raw, 0.0, None
+                )
+            if self._obs is not None:
+                self._obs.emit(
+                    Event(
+                        FAULT_INJECTED,
+                        start,
+                        proc=proc,
+                        task=tid,
+                        category="timeout",
+                        label=_task_label(tid, " timeout"),
+                    )
+                )
+                self._emit_task(
+                    proc, tid, start, end, 0.0, " (timed out)"
                 )
             return
         cat_time[self._pre_cat] += overhead
@@ -444,6 +584,10 @@ class SimController(Controller):
         start, end = self._cluster.compute(
             proc, overhead + compute, self._task_done, proc, tid, outputs
         )
+        if self._inflight is not None:
+            self._inflight[tid] = (
+                proc, start, end, compute, overhead, pt.task.callback
+            )
         if self._obs is not None:
             self._emit_task(proc, tid, start, end, overhead)
 
@@ -485,25 +629,57 @@ class SimController(Controller):
         )
 
     def _attempt_failed(self, proc: int, tid: TaskId) -> None:
+        if self._dead_procs and proc in self._dead_procs:
+            return  # the rank died under the attempt; recovery re-placed it
         self._busy[proc] -= 1
+        if self._inflight is not None:
+            self._inflight.pop(tid, None)
         pt = self._ptasks[tid]
         pt.queued = False
         self._pump(proc)
-        self._engine.call_after(
-            self.fault_retry_delay, self._enqueue, self._proc_of(tid), tid
-        )
+        policy = self._policy
+        if not policy.allows_attempt(pt.attempts):
+            raise FaultError(
+                f"task {tid} failed {pt.attempts} attempts "
+                f"(RetryPolicy.max_attempts={policy.max_attempts})"
+            )
+        delay = policy.delay(tid, pt.attempts)
+        target = self._target_proc(tid)
+        if self._obs is not None:
+            self._obs.emit(
+                Event(
+                    TASK_RETRY,
+                    self._engine._now,
+                    proc=target,
+                    task=tid,
+                    dur=delay,
+                    label=_task_label(tid, f" retry #{pt.attempts}"),
+                )
+            )
+        self._engine.call_after(delay, self._enqueue, target, tid)
 
     def _task_done(self, proc: int, tid: TaskId, outputs: list[Payload]) -> None:
+        if self._dead_procs and proc in self._dead_procs:
+            return  # the attempt's rank died; recovery replays the task
         self._busy[proc] -= 1
         self._executed += 1
+        replay = False
+        if self._replaying and tid in self._replaying:
+            self._replaying.discard(tid)
+            replay = True
         self._done.add(tid)
+        if self._inflight is not None:
+            self._inflight.pop(tid, None)
         now = self._engine._now
         if now > self._finish_time:
             self._finish_time = now
         self._route_outputs(proc, tid, outputs)
         del self._ptasks[tid]
         self._pump(proc)
-        self._on_task_done(proc, tid)
+        if not replay:
+            # Round/barrier bookkeeping already saw the first completion;
+            # a lineage replay must not decrement it twice.
+            self._on_task_done(proc, tid)
 
     # ------------------------------------------------------------------ #
     # Output routing
@@ -517,6 +693,20 @@ class SimController(Controller):
         task = self._ptasks[tid].task
         observe = self._m_message_bytes.observe
         send = self._send
+        targets = (
+            self._replay_targets.pop(tid, None) if self._replay_targets else None
+        )
+        if targets is not None:
+            # Lineage replay: re-feed only the consumers that lost this
+            # producer's payloads.  Everyone else already received them
+            # (or has them in flight), and the sink outputs were already
+            # collected from the first completion.
+            for channel, payload in zip(task.outgoing, outputs):
+                for dst in channel:
+                    if dst >= 0 and dst in targets:
+                        observe(payload.nbytes)
+                        send(proc, tid, dst, payload)
+            return
         for ch, (channel, payload) in enumerate(zip(task.outgoing, outputs)):
             if not channel or TNULL in channel:
                 self._result.outputs.setdefault(tid, {})[ch] = payload
@@ -585,12 +775,22 @@ class SimController(Controller):
         dst: TaskId,
         payload: Payload,
     ) -> None:
+        if self._dead_procs and dproc in self._dead_procs:
+            return  # delivered to a dead rank; the payload is lost
         deser = self._receive_cost(sproc, dproc, payload)
         if deser > 0.0:
             self._cat_time[self._comm_cat] += deser
-            start, end = self._cluster.compute(
-                dproc, deser, self._deposit, dst, producer, payload
-            )
+            if self._inflight is None:
+                start, end = self._cluster.compute(
+                    dproc, deser, self._deposit, dst, producer, payload
+                )
+            else:
+                # Rank deaths are planned: the deposit at the end of the
+                # deserialization must re-check that the proc is alive.
+                start, end = self._cluster.compute(
+                    dproc, deser, self._deposit_recv, dproc, dst, producer,
+                    payload,
+                )
             obs = self._obs
             if obs is not None:
                 obs.emit(
@@ -606,3 +806,166 @@ class SimController(Controller):
                 )
         else:
             self._deposit(dst, producer, payload)
+
+    def _deposit_recv(
+        self, dproc: int, dst: TaskId, producer: TaskId, payload: Payload
+    ) -> None:
+        """Post-deserialization deposit that tolerates a mid-flight death."""
+        if dproc in self._dead_procs:
+            return
+        self._deposit(dst, producer, payload)
+
+    # ------------------------------------------------------------------ #
+    # Rank-death recovery
+    # ------------------------------------------------------------------ #
+
+    def _target_proc(self, tid: TaskId) -> int:
+        """Like :meth:`_proc_of` but never resolves to a dead rank."""
+        proc = self._proc_of(tid)
+        if self._dead_procs and proc in self._dead_procs:
+            proc = self._survivor_for(tid)
+        return proc
+
+    def _survivor_for(self, tid: TaskId) -> int:
+        """Deterministic surviving rank for a re-placed task."""
+        survivors = self._survivors
+        return survivors[tid % len(survivors)]
+
+    def _set_placement(self, tid: TaskId, proc: int) -> None:
+        """Backend hook: pin ``tid``'s placement to ``proc`` (recovery)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support rank-death re-placement"
+        )
+
+    def _on_recover(self, tid: TaskId) -> None:
+        """Backend hook: purge stale scheduling state of a recovered task."""
+
+    def _on_replay(self, tid: TaskId) -> None:
+        """Backend hook: a completed task is about to re-execute."""
+
+    def _replace_task(self, tid: TaskId, new_proc: int) -> None:
+        """Move a task off a dead rank onto ``new_proc``."""
+        self._set_placement(tid, new_proc)
+        self._tasks_migrated += 1
+        if self._obs is not None:
+            self._obs.emit(
+                Event(
+                    TASK_MIGRATED,
+                    self._engine._now,
+                    proc=new_proc,
+                    task=tid,
+                    label=_task_label(tid, f" -> p{new_proc}"),
+                )
+            )
+
+    def _rank_death(self, proc: int) -> None:
+        """Kill rank ``proc`` permanently and recover everything it owned."""
+        if proc in self._dead_procs:
+            return
+        now = self._engine._now
+        self._dead_procs.add(proc)
+        self._survivors = [
+            p for p in range(self.n_procs) if p not in self._dead_procs
+        ]
+        if not self._survivors:
+            raise FaultError("every rank is dead; nothing left to recover on")
+        self._faults_injected += 1
+        if self._first_fault_time is None:
+            self._first_fault_time = now
+        if self._obs is not None:
+            self._obs.emit(
+                Event(
+                    RANK_DEAD,
+                    now,
+                    proc=proc,
+                    category="rank",
+                    label=f"rank {proc} died",
+                )
+            )
+        # Attempts running on the dead rank die with it: reverse their
+        # pre-charged accounting and bill the fraction actually burned
+        # before the death as waste.
+        if self._inflight:
+            for tid in sorted(self._inflight):
+                iproc, start, end, compute, overhead, cb = self._inflight[tid]
+                if iproc != proc:
+                    continue
+                del self._inflight[tid]
+                raw = compute + overhead
+                span = end - start
+                frac = (
+                    max(0.0, min(1.0, (now - start) / span))
+                    if span > 0.0
+                    else 1.0
+                )
+                if cb is None:
+                    # Failed/timed-out attempt: already billed as waste in
+                    # full; keep only the burned fraction.
+                    self._cat_time["wasted"] += raw * (frac - 1.0)
+                else:
+                    self._cat_time[self._pre_cat] -= overhead
+                    self._cat_time["compute"] -= compute
+                    self._cb_time[cb] -= compute
+                    self._cat_time["wasted"] += raw * frac
+        # The rank's run queue is gone with it; recover every unfinished
+        # task it owned (materialized or not) onto the survivors.
+        self._ready[proc].clear()
+        lost = [
+            tid
+            for tid in self._graph_run.task_ids()
+            if tid not in self._done and self._proc_of(tid) == proc
+        ]
+        for tid in lost:
+            self._recover_task(tid)
+
+    def _recover_task(self, tid: TaskId) -> None:
+        """Re-place an unfinished task from a dead rank and rebuild it."""
+        self._replace_task(tid, self._survivor_for(tid))
+        if self._inflight is not None:
+            self._inflight.pop(tid, None)
+        self._on_recover(tid)
+        self._rebuild_task(tid)
+
+    def _rebuild_task(self, tid: TaskId) -> None:
+        """Fresh physical task plus the lineage replay that refills it.
+
+        Whatever inputs were buffered on the dead rank are lost; producers
+        that already completed re-execute (idempotence), producers still
+        pending will feed the rebuilt task through the normal routing
+        path when they finish.  A producer *already marked replaying* (a
+        second failure can arrive while an earlier recovery is in flight)
+        must have this consumer merged into its replay-target set, or its
+        replayed outputs would route only to the first failure's victims.
+        """
+        pt = _PhysicalTask(self._graph_run.task(tid))
+        self._ptasks[tid] = pt
+        for producer in dict.fromkeys(pt.task.incoming):
+            if producer == EXTERNAL:
+                if self._initial_deposited:
+                    for payload in self._initial_inputs.get(tid, ()):
+                        self._deposit(tid, EXTERNAL, payload)
+            elif producer in self._done or producer in self._replaying:
+                self._require_replay(producer, tid)
+        if pt.task.n_inputs == 0:
+            self._on_ready(tid)
+
+    def _require_replay(self, producer: TaskId, consumer: TaskId) -> None:
+        """Replay ``producer`` so that ``consumer`` gets its payloads back."""
+        targets = self._replay_targets.get(producer)
+        if targets is None:
+            self._replay_targets[producer] = {consumer}
+        else:
+            targets.add(consumer)
+        self._mark_replay(producer)
+
+    def _mark_replay(self, tid: TaskId) -> None:
+        """Schedule a completed task for re-execution (lineage replay)."""
+        if tid in self._replaying:
+            return
+        self._replaying.add(tid)
+        self._done.discard(tid)
+        self._tasks_replayed += 1
+        if self._proc_of(tid) in self._dead_procs:
+            self._replace_task(tid, self._survivor_for(tid))
+        self._on_replay(tid)
+        self._rebuild_task(tid)

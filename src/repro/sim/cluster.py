@@ -23,14 +23,18 @@ event objects only when a sink is attached.
 from __future__ import annotations
 
 from heapq import heappush
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
-from repro.core.errors import SimulationError
-from repro.obs.events import MESSAGE_DELIVERED, MESSAGE_SENT, Event
+from repro.core.errors import FaultError, SimulationError
+from repro.obs.events import FAULT_INJECTED, MESSAGE_DELIVERED, MESSAGE_SENT, Event
 from repro.obs.hub import NULL_HUB, ObsHub
 from repro.sim.engine import Engine
 from repro.sim.machine import MachineSpec
 from repro.sim.resource import MultiResource, Resource
+
+if TYPE_CHECKING:
+    from repro.faults.plan import LinkFaultTable
+    from repro.faults.policy import RetryPolicy
 
 
 def _edge_label(src_task: int, dst_task: int, dst_proc: int) -> str:
@@ -56,6 +60,8 @@ class Cluster:
         "engine", "machine", "n_procs", "cores_per_proc", "obs",
         "procs_per_node", "_cores", "_nics", "_core_speed", "_observed",
         "_single_core", "bytes_sent", "messages_sent",
+        "_link_faults", "_retry", "messages_dropped",
+        "messages_retransmitted", "first_drop_time",
     )
 
     def __init__(
@@ -66,6 +72,8 @@ class Cluster:
         cores_per_proc: int = 1,
         procs_per_node: int | None = None,
         obs: ObsHub = NULL_HUB,
+        link_faults: "LinkFaultTable | None" = None,
+        retry: "RetryPolicy | None" = None,
     ) -> None:
         if n_procs <= 0:
             raise SimulationError(f"n_procs must be positive, got {n_procs}")
@@ -107,6 +115,13 @@ class Cluster:
         self._single_core = cores_per_proc == 1
         self.bytes_sent = 0
         self.messages_sent = 0
+        # Fault layer: None on the clean path, so the per-send guard is
+        # a single identity test (zero-cost when no plan is installed).
+        self._link_faults = link_faults
+        self._retry = retry
+        self.messages_dropped = 0
+        self.messages_retransmitted = 0
+        self.first_drop_time: float | None = None
 
     # ------------------------------------------------------------------ #
     # Topology
@@ -195,6 +210,7 @@ class Cluster:
         label: str = "",
         src_task: int = -1,
         dst_task: int = -1,
+        _attempt: int = 1,
     ) -> float:
         """Transmit ``nbytes`` from ``src`` to ``dst``; ``fn(*args)`` fires
         on delivery.
@@ -206,6 +222,13 @@ class Cluster:
         events so trace consumers can follow the dataflow edge; when no
         explicit ``label`` is given, one is derived from them lazily —
         only if a sink is attached.
+
+        When a link-fault table is installed (see :mod:`repro.faults`),
+        active faults scale the injection/latency; a *drop* loses the
+        message and schedules a sender-side retransmission after the
+        retry policy's backoff (``_attempt`` tracks the retransmission
+        count — a dropped message that exhausts the budget raises
+        :class:`~repro.core.errors.FaultError`).
         """
         n = self.n_procs
         if not 0 <= src < n or not 0 <= dst < n:
@@ -231,6 +254,15 @@ class Cluster:
         else:
             inject = nbytes / m.inter_bandwidth
             latency = m.inter_latency
+        if self._link_faults is not None:
+            inject, latency, dropped = self._link_faults.apply(
+                src, dst, engine._now, inject, latency
+            )
+            if dropped:
+                return self._drop(
+                    src, dst, nbytes, fn, args, label, src_task, dst_task,
+                    _attempt,
+                )
         # Inlined NIC bookkeeping (see compute); inject >= 0 because
         # nbytes was validated above, so deliver >= now always.
         nic = self._nics[src]
@@ -272,6 +304,80 @@ class Cluster:
         self.obs.emit(Event(MESSAGE_SENT, start, **common))
         self.obs.emit(
             Event(MESSAGE_DELIVERED, deliver, dur=deliver - start, **common)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Link-fault recovery (sender-side retransmission)
+    # ------------------------------------------------------------------ #
+
+    def _drop(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        label: str,
+        src_task: int,
+        dst_task: int,
+        attempt: int,
+    ) -> float:
+        """A link fault lost the message; schedule a retransmission.
+
+        The sender keeps the payload buffered until delivery (standard
+        reliable-transport semantics), so recovery is a deterministic
+        re-send after the policy's backoff — no upstream replay needed.
+        """
+        now = self.engine._now
+        self.messages_dropped += 1
+        if self.first_drop_time is None:
+            self.first_drop_time = now
+        if self._observed:
+            self.obs.emit(
+                Event(
+                    FAULT_INJECTED,
+                    now,
+                    proc=src,
+                    dst_proc=dst,
+                    task=src_task,
+                    dst_task=dst_task,
+                    nbytes=nbytes,
+                    category="link",
+                    label=label or _edge_label(src_task, dst_task, dst),
+                )
+            )
+        policy = self._retry
+        if policy is None or not policy.allows_attempt(attempt):
+            raise FaultError(
+                f"message {src}->{dst} ({nbytes} bytes) dropped and "
+                f"retransmission budget exhausted after {attempt} attempt(s)"
+            )
+        key = dst_task if dst_task >= 0 else dst
+        self.engine.call_after(
+            policy.delay(key, attempt),
+            self._resend,
+            src, dst, nbytes, fn, args, label, src_task, dst_task,
+            attempt + 1,
+        )
+        return now
+
+    def _resend(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        label: str,
+        src_task: int,
+        dst_task: int,
+        attempt: int,
+    ) -> None:
+        self.messages_retransmitted += 1
+        self.send(
+            src, dst, nbytes, fn, *args,
+            label=label, src_task=src_task, dst_task=dst_task,
+            _attempt=attempt,
         )
 
     # ------------------------------------------------------------------ #

@@ -66,7 +66,51 @@ CONTROLLERS: dict[str, Callable] = {
         faults={0: 2, 7: 1},
         fault_retry_delay=0.0003,
     ),
+    # Seeded chaos plans (see repro.faults): lock the full recovery
+    # machinery — rank death, re-placement, lineage replay, backoff.
+    "mpi_chaos": lambda: MPIController(
+        PROCS,
+        cost_model=_make_cost(),
+        fault_plan=_chaos_plan(),
+        retry_policy=_chaos_policy(),
+    ),
+    "charm_chaos": lambda: CharmController(
+        PROCS,
+        cost_model=_make_cost(),
+        costs=DEFAULT_COSTS.with_(charm_lb_period=0.0005),
+        fault_plan=_chaos_plan(),
+        retry_policy=_chaos_policy(),
+    ),
 }
+
+
+def _chaos_plan():
+    from repro.faults import FaultPlan
+
+    # Purely seed-driven; the same call always builds the same plan.
+    # The death window sits mid-run so recovery needs lineage replay.
+    return FaultPlan.random(
+        seed=7,
+        task_ids=range(2 * LEAVES - 1),
+        n_procs=PROCS,
+        task_fault_rate=0.15,
+        n_rank_deaths=1,
+        death_window=(0.002, 0.004),
+        link_fault_rate=0.08,
+        link_window=(0.0, 0.004),
+        link_drop=True,
+    )
+
+
+def _chaos_policy():
+    from repro.faults import RetryPolicy
+
+    return RetryPolicy(
+        max_attempts=8,
+        backoff_base=0.0002,
+        backoff_factor=2.0,
+        spread=0.0001,
+    )
 
 
 def _leaf(ins, tid):

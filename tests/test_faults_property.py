@@ -1,0 +1,178 @@
+"""Chaos property suite: seeded fault storms never corrupt results.
+
+The paper's resilience argument — idempotent tasks can simply re-execute —
+is quantified here over the *space of (graph, fault plan)* pairs: random
+layered DAGs (the machinery of ``test_property_random_dags``) run under
+seeded-random :class:`~repro.faults.FaultPlan`\\ s (transient task faults,
+a mid-run rank death, dropped links) on every simulator backend, and any
+run that completes must produce outputs **bit-identical** to the
+fault-free serial reference.  A second invariant pins determinism: the
+same (graph, plan, backend) triple replays the same virtual makespan.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.payload import Payload
+from repro.faults import FaultPlan, RetryPolicy
+from repro.runtimes import (
+    BlockingMPIController,
+    CharmController,
+    LegionIndexController,
+    LegionSPMDController,
+    MPIController,
+    SerialController,
+)
+from repro.runtimes.costs import CallableCost
+
+from tests.test_property_random_dags import (
+    RandomLayeredGraph,
+    hashing_callback,
+)
+
+PROCS = 4
+
+SIM_CONTROLLERS = [
+    MPIController,
+    BlockingMPIController,
+    CharmController,
+    LegionSPMDController,
+    LegionIndexController,
+]
+
+#: Generous budget + backoff so chaos runs always complete.
+CHAOS_POLICY = RetryPolicy(
+    max_attempts=None,
+    backoff_base=0.0005,
+    backoff_factor=2.0,
+    backoff_max=0.01,
+    spread=0.0002,
+)
+
+
+def chaos_plan(seed: int, graph: RandomLayeredGraph) -> FaultPlan:
+    """Seeded-random storm: transient faults, one death, lossy links."""
+    return FaultPlan.random(
+        seed=seed,
+        task_ids=list(graph.task_ids()),
+        n_procs=PROCS,
+        task_fault_rate=0.3,
+        max_faults_per_task=2,
+        n_rank_deaths=1,
+        death_window=(0.001, 0.02),
+        link_fault_rate=0.1,
+        link_window=(0.0, 0.01),
+        link_drop=True,
+    )
+
+
+def run_graph(graph: RandomLayeredGraph, ctor, **kwargs):
+    c = ctor(**kwargs)
+    c.initialize(graph)
+
+    def cb(inputs, tid):
+        return hashing_callback(inputs, tid, graph.task(tid).n_outputs)
+
+    c.register_callback(0, cb)
+    inputs = {}
+    for tid in graph.task_ids():
+        ext = graph.task(tid).external_inputs()
+        if ext:
+            inputs[tid] = [Payload(f"seed-{tid}-{s}") for s in range(len(ext))]
+    result = c.run(inputs)
+    outputs = {
+        (tid, ch): p.data
+        for tid, by_ch in result.outputs.items()
+        for ch, p in by_ch.items()
+    }
+    return outputs, result
+
+
+# Virtual compute so the death window lands mid-run.
+def _cost():
+    return CallableCost(lambda t, i: 0.002 * (t.id % 5 + 1))
+
+
+@settings(deadline=None, max_examples=12)
+@given(
+    st.lists(st.integers(2, 6), min_size=2, max_size=4),
+    st.integers(0, 10_000),
+)
+def test_chaos_runs_recover_bit_identical_outputs(sizes, seed):
+    graph = RandomLayeredGraph(sizes, seed)
+    graph.validate()
+    reference, _ = run_graph(graph, SerialController)
+    assert reference
+    plan = chaos_plan(seed, graph)
+    for ctor in SIM_CONTROLLERS:
+        outputs, result = run_graph(
+            graph,
+            ctor,
+            n_procs=PROCS,
+            cost_model=_cost(),
+            fault_plan=plan,
+            retry_policy=CHAOS_POLICY,
+        )
+        assert outputs == reference, ctor.__name__
+        counters = result.metrics.counters
+        injected = counters["faults_injected"]
+        assert injected >= sum(plan.task_faults.values()), ctor.__name__
+
+
+@settings(deadline=None, max_examples=8)
+@given(
+    st.lists(st.integers(2, 5), min_size=2, max_size=3),
+    st.integers(0, 10_000),
+)
+def test_chaos_runs_are_deterministic(sizes, seed):
+    """Same (graph, plan, backend): bit-identical virtual timeline."""
+    graph = RandomLayeredGraph(sizes, seed)
+    plan = chaos_plan(seed, graph)
+    for ctor in (MPIController, CharmController):
+        runs = [
+            run_graph(
+                graph,
+                ctor,
+                n_procs=PROCS,
+                cost_model=_cost(),
+                fault_plan=plan,
+                retry_policy=CHAOS_POLICY,
+            )
+            for _ in range(2)
+        ]
+        (out_a, res_a), (out_b, res_b) = runs
+        assert out_a == out_b
+        assert res_a.makespan == res_b.makespan
+        assert dict(res_a.stats.category_time) == dict(
+            res_b.stats.category_time
+        )
+        assert res_a.metrics.counters == res_b.metrics.counters
+
+
+@settings(deadline=None, max_examples=8)
+@given(st.integers(0, 10_000))
+def test_death_storm_on_deep_graph(seed):
+    """Two rank deaths on a deeper pipeline still recover exactly."""
+    graph = RandomLayeredGraph([3, 3, 3, 3, 3], seed)
+    reference, _ = run_graph(graph, SerialController)
+    plan = FaultPlan.random(
+        seed=seed,
+        task_ids=list(graph.task_ids()),
+        n_procs=PROCS,
+        task_fault_rate=0.1,
+        n_rank_deaths=2,
+        death_window=(0.002, 0.03),
+    )
+    outputs, result = run_graph(
+        graph,
+        MPIController,
+        n_procs=PROCS,
+        cost_model=_cost(),
+        fault_plan=plan,
+        retry_policy=CHAOS_POLICY,
+    )
+    assert outputs == reference
+    assert result.metrics.counters["rank_deaths"] == len(plan.rank_deaths)

@@ -69,8 +69,13 @@ class TestEvent:
         assert ev.type == "overhead" and ev.t == 1.0
 
     def test_vocabulary_contains_all_types(self):
+        from repro.obs import FAULT_VOCABULARY
+
         assert CORE_VOCABULARY < VOCABULARY
-        assert VOCABULARY - CORE_VOCABULARY == {MIGRATION}
+        assert VOCABULARY - CORE_VOCABULARY == {MIGRATION} | FAULT_VOCABULARY
+        assert FAULT_VOCABULARY == {
+            "fault.injected", "task.retry", "rank.dead", "task.migrated",
+        }
 
 
 class TestSinks:
@@ -158,4 +163,6 @@ class TestCharmMigrationEvents:
         assert len(lb) == c.lb_rounds
         # Migration metrics ride along on the snapshot.
         # (re-run result is the last run; counters match the properties)
-        assert sink.types() == VOCABULARY
+        from repro.obs import FAULT_VOCABULARY
+
+        assert sink.types() == VOCABULARY - FAULT_VOCABULARY
