@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.harness import bench_field, print_series
+from benchmarks.harness import bench_field, observe, print_series
 from repro.analysis.mergetree import MergeTreeWorkload
 from repro.core.taskmap import BlockMap
 from repro.runtimes import DEFAULT_COSTS, MPIController
@@ -27,7 +27,7 @@ def run_point(cores: int, in_memory: bool):
         sim_shape=(1024, 1024, 1024),
     )
     costs = DEFAULT_COSTS.with_(mpi_in_memory=in_memory)
-    c = MPIController(cores, cost_model=wl.cost_model(), costs=costs)
+    c = observe(MPIController(cores, cost_model=wl.cost_model(), costs=costs))
     return wl.run(c, BlockMap(cores, wl.graph.size()))
 
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.harness import print_series
+from benchmarks.harness import observe, print_series
 from repro.core.payload import Payload
 from repro.graphs import DataParallel
 from repro.runtimes import DEFAULT_COSTS, CharmController
@@ -28,11 +28,11 @@ def run_point(period_idx: int):
     cost = CallableCost(
         lambda t, i: 0.5 if t.id % PES in (0, 1) else 0.005
     )
-    c = CharmController(
+    c = observe(CharmController(
         PES,
         cost_model=cost,
         costs=DEFAULT_COSTS.with_(charm_lb_period=period),
-    )
+    ))
     g = DataParallel(TASKS)
     c.initialize(g)
     c.register_callback(g.WORK, lambda ins, tid: [ins[0]])

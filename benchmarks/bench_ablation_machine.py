@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.harness import bench_field, print_series
+from benchmarks.harness import bench_field, observe, print_series
 from repro.analysis.mergetree import MergeTreeWorkload
 from repro.runtimes import MPIController
 from repro.sim.machine import SHAHEEN_II
@@ -40,7 +40,9 @@ def workload():
 
 
 def run_point(workload, machine):
-    c = MPIController(CORES, machine=machine, cost_model=workload.cost_model())
+    c = observe(
+        MPIController(CORES, machine=machine, cost_model=workload.cost_model())
+    )
     return workload.run(c)
 
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.harness import print_series
+from benchmarks.harness import observe, print_series
 from repro.core.payload import Payload
 from repro.graphs import DataParallel
 from repro.runtimes import DEFAULT_COSTS, CharmController, MPIController
@@ -36,7 +36,7 @@ def imbalanced_cost(n_tasks: int) -> CallableCost:
 def run_point(ctor, factor: int, lb: bool = True):
     n = PES * factor
     costs = DEFAULT_COSTS.with_(charm_lb_period=0.05 if lb else 0.0)
-    c = ctor(PES, cost_model=imbalanced_cost(n), costs=costs)
+    c = observe(ctor(PES, cost_model=imbalanced_cost(n), costs=costs))
     g = DataParallel(n)
     c.initialize(g)
     c.register_callback(g.WORK, lambda ins, tid: [ins[0]])

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.harness import bench_field, print_series
+from benchmarks.harness import bench_field, observe, print_series
 from repro.analysis.mergetree import MergeTreeWorkload, mergetree_locality_map
 from repro.core.taskmap import BlockMap, ModuloMap
 from repro.runtimes import MPIController
@@ -38,7 +38,7 @@ def make_maps(graph):
 
 
 def run_point(workload, tmap):
-    c = MPIController(CORES, cost_model=workload.cost_model())
+    c = observe(MPIController(CORES, cost_model=workload.cost_model()))
     return workload.run(c, tmap)
 
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.harness import bench_field, print_series
+from benchmarks.harness import bench_field, observe, print_series
 from repro.analysis.rendering import RenderingCostParams, RenderingWorkload
 from repro.runtimes import MPIController
 
@@ -26,7 +26,7 @@ def run_point(k: int):
         sim_image_shape=(2048, 2048), sim_shape=(1024, 1024, 1024),
         cost_params=RenderingCostParams(render_per_sample=0.0),
     )
-    c = MPIController(N, cost_model=wl.cost_model())
+    c = observe(MPIController(N, cost_model=wl.cost_model()))
     r = wl.run(c)
     return r, wl
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.harness import bench_field, print_series
+from benchmarks.harness import bench_field, observe, print_series
 from repro.analysis.mergetree import MergeTreeWorkload
 from repro.runtimes import MPIController
 
@@ -25,7 +25,7 @@ def run_point(valence: int):
         bench_field(), LEAVES, threshold=0.45, valence=valence,
         sim_shape=(1024, 1024, 1024),
     )
-    c = MPIController(CORES, cost_model=wl.cost_model())
+    c = observe(MPIController(CORES, cost_model=wl.cost_model()))
     r = wl.run(c)
     return r, wl
 

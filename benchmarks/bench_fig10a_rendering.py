@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.harness import bench_field, print_series, sweep_sizes
+from benchmarks.harness import bench_field, observe, print_series, sweep_sizes
 from repro.analysis.rendering import RenderingWorkload
 from repro.core.payload import Payload
 from repro.graphs import DataParallel
@@ -31,7 +31,7 @@ def run_point(cores: int):
     )
     g = DataParallel(cores)
     cost = CallableCost(lambda task, ins: wl.render_cost(task.id))
-    c = MPIController(cores, cost_model=cost)
+    c = observe(MPIController(cores, cost_model=cost))
     c.initialize(g)
     c.register_callback(
         g.WORK,

@@ -10,13 +10,13 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.compositing_common import SIZES, compositing_sweep, make_workload
-from benchmarks.harness import print_series
+from benchmarks.harness import observe, print_series
 from repro.runtimes import MPIController
 
 
 def run_point(n: int):
     wl = make_workload(n, "reduction", render=True)
-    return wl.run(MPIController(n, cost_model=wl.cost_model()))
+    return wl.run(observe(MPIController(n, cost_model=wl.cost_model())))
 
 
 @pytest.fixture(scope="module")

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.harness import bench_field, print_series, sweep_sizes
+from benchmarks.harness import bench_field, observe, print_series, sweep_sizes
 from repro.analysis.mergetree import MergeTreeWorkload
 from repro.runtimes import LegionIndexController, LegionSPMDController
 
@@ -33,7 +33,7 @@ def make_workload(leaves: int) -> MergeTreeWorkload:
 
 def run_point(ctor, cores: int):
     wl = make_workload(cores)
-    c = ctor(cores, cost_model=wl.cost_model())
+    c = observe(ctor(cores, cost_model=wl.cost_model()))
     return wl.run(c)
 
 

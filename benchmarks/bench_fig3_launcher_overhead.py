@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.harness import print_series, sweep_sizes
+from benchmarks.harness import observe, print_series, sweep_sizes
 from repro.core.payload import Payload
 from repro.graphs import DataParallel
 from repro.runtimes import LegionIndexController, LegionSPMDController
@@ -25,7 +25,7 @@ SIZES = sweep_sizes(small=[128, 256, 512, 1024, 2048], full=[128, 256, 512, 1024
 
 def run_point(ctor, n: int):
     g = DataParallel(n)
-    c = ctor(n, cost_model=CallableCost(lambda t, i: TOTAL_WORK / n))
+    c = observe(ctor(n, cost_model=CallableCost(lambda t, i: TOTAL_WORK / n)))
     c.initialize(g)
     c.register_callback(g.WORK, lambda ins, tid: [ins[0]])
     return c.run({t: Payload(1, nbytes=1 << 20) for t in range(n)})

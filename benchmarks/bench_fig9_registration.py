@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.harness import print_series, sweep_sizes
+from benchmarks.harness import observe, print_series, sweep_sizes
 from repro.analysis.registration import (
     RegistrationWorkload,
     SyntheticVolumeGrid,
@@ -49,11 +49,11 @@ def workload():
 
 
 def run_point(workload, ctor, nodes: int):
-    c = ctor(
+    c = observe(ctor(
         nodes * CORES_PER_NODE_USED,
         cost_model=workload.cost_model(),
         procs_per_node=CORES_PER_NODE_USED,
-    )
+    ))
     result = workload.run(c)
     assert workload.verify(result), "registration must recover ground truth"
     return result

@@ -3,6 +3,12 @@
 Runs the hot-path suite, writes ``BENCH_simcore.json`` at the repo root
 (or ``--output``), and with ``--check BASELINE`` exits 1 on a wall-clock
 regression beyond the threshold or any determinism drift.
+
+``--trace-dir DIR`` captures a JSONL event trace per traceable benchmark
+(CI uploads them as artifacts).  On a ``--check`` failure the traces are
+diffed against ``--baseline-traces DIR`` when given (``python -m
+repro.obs diff`` style: which tasks/phases moved, compute vs. network
+vs. wait), falling back to a single-run attribution report.
 """
 
 from __future__ import annotations
@@ -17,10 +23,59 @@ from benchmarks.perf.suite import (
     BENCHMARKS,
     DEFAULT_OUTPUT,
     DEFAULT_THRESHOLD,
+    TRACEABLE,
+    capture_trace,
     check_against_baseline,
     run_suite,
     write_report,
 )
+
+
+def _trace_name(bench: str) -> str:
+    return f"trace_{bench}.jsonl"
+
+
+def _capture_traces(trace_dir: Path, names: list[str]) -> dict[str, Path]:
+    """Capture one JSONL trace per traceable benchmark in ``names``."""
+    trace_dir.mkdir(parents=True, exist_ok=True)
+    captured: dict[str, Path] = {}
+    for name in names:
+        if name not in TRACEABLE:
+            continue
+        path = trace_dir / _trace_name(name)
+        print(f"[perf] capturing trace for {name} -> {path}", flush=True)
+        capture_trace(name, str(path))
+        captured[name] = path
+    return captured
+
+
+def _explain_regressions(
+    failures: list[str],
+    captured: dict[str, Path],
+    baseline_traces: Path | None,
+) -> None:
+    """Print per-benchmark attribution for each failed benchmark."""
+    from repro.obs import attribution_report, load_events, render_diff
+    from repro.obs.diff import diff_traces
+
+    failed = {f.split(":", 1)[0] for f in failures}
+    for name in sorted(failed & set(captured)):
+        current = load_events(str(captured[name]))
+        base_path = (
+            baseline_traces / _trace_name(name)
+            if baseline_traces is not None
+            else None
+        )
+        print(f"[perf] --- attribution for {name} ---", file=sys.stderr)
+        if base_path is not None and base_path.exists():
+            for d in diff_traces(load_events(str(base_path)), current):
+                print(render_diff(d), file=sys.stderr)
+        else:
+            print(
+                "[perf] (no baseline trace; single-run attribution)",
+                file=sys.stderr,
+            )
+            print(attribution_report(current), file=sys.stderr)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -50,11 +105,26 @@ def main(argv: list[str] | None = None) -> int:
         help="allowed fractional wall-clock slowdown vs baseline "
         "(default 0.30; env REPRO_PERF_THRESHOLD overrides)",
     )
+    parser.add_argument(
+        "--trace-dir", type=Path, metavar="DIR",
+        help="capture a JSONL event trace per traceable benchmark here "
+        "(separate single-shot runs; timing runs stay unobserved)",
+    )
+    parser.add_argument(
+        "--baseline-traces", type=Path, metavar="DIR",
+        help="trace dir of the baseline run; on --check failure the "
+        "regression is diffed against it (which tasks/phases moved)",
+    )
     args = parser.parse_args(argv)
 
     report = run_suite(reps=args.reps, only=args.only)
     write_report(report, args.output)
     print(f"[perf] report written to {args.output}")
+
+    names = args.only or list(BENCHMARKS)
+    captured: dict[str, Path] = {}
+    if args.trace_dir is not None:
+        captured = _capture_traces(args.trace_dir, names)
 
     if args.check is not None:
         baseline = json.loads(args.check.read_text())
@@ -62,6 +132,14 @@ def main(argv: list[str] | None = None) -> int:
         if failures:
             for f in failures:
                 print(f"[perf] FAIL {f}", file=sys.stderr)
+            if not captured:
+                # Capture on demand so the failure report can say *what*
+                # moved, not just that the wall time did.
+                trace_dir = args.trace_dir or Path("perf-traces")
+                captured = _capture_traces(
+                    trace_dir, sorted({f.split(":", 1)[0] for f in failures})
+                )
+            _explain_regressions(failures, captured, args.baseline_traces)
             return 1
         print(f"[perf] OK: within {args.threshold:.0%} of {args.check}")
     return 0

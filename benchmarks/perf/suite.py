@@ -119,6 +119,101 @@ BENCHMARKS: dict[str, Callable[[int], dict]] = {
     "fig6_point": bench_fig6_point,
 }
 
+#: Benchmarks whose run can be re-captured as an event trace (the
+#: engine microbenchmark has no controller, hence no events).
+TRACEABLE: tuple[str, ...] = ("controller_tasks", "fig6_point")
+
+
+def _maybe_slowed(inner, slow_task: int | None, slow_factor: float):
+    """Wrap a cost model so one task's compute is inflated.
+
+    Used by the diff acceptance test and the CI obs smoke step to build
+    a seeded "regressed" trace whose slowdown has a known culprit.
+    """
+    if slow_task is None:
+        return inner
+    from repro.runtimes.costs import CostModel
+
+    class _SlowTask(CostModel):
+        needs_wall_time = inner.needs_wall_time
+
+        def duration(self, task, inputs, wall_time):
+            d = inner.duration(task, inputs, wall_time)
+            return d * slow_factor if task.id == slow_task else d
+
+    return _SlowTask()
+
+
+def capture_trace(
+    name: str,
+    path: str,
+    slow_task: int | None = None,
+    slow_factor: float = 50.0,
+    leaves: int = 4096,
+    valence: int = 4,
+) -> dict:
+    """Run one traceable benchmark once with a JSONL exporter attached.
+
+    This is the attribution side of the perf suite: the timing runs stay
+    unobserved (observability would shift the numbers), and on demand the
+    same workload is re-run once with an exporter so
+    ``python -m repro.obs diff`` can explain *what moved*.  Unlike the
+    timing run, the capture installs a deterministic analytic cost model
+    (tasks need nonzero compute for per-task attribution);
+    ``slow_task``/``slow_factor`` optionally inflate one task to fabricate
+    a known regression.
+
+    Returns ``{"path", "makespan", "tasks"}``.
+    """
+    from repro.obs import JsonlExporter
+
+    if name == "controller_tasks":
+        from repro.core.payload import Payload
+        from repro.graphs import Reduction
+        from repro.runtimes import MPIController
+        from repro.runtimes.costs import CallableCost
+
+        cost = _maybe_slowed(
+            CallableCost(lambda t, ins: 2e-5 * (t.id % 7 + 1)),
+            slow_task,
+            slow_factor,
+        )
+        g = Reduction(leaves, valence)
+        sink = JsonlExporter(path)
+        c = MPIController(64, cost_model=cost, sinks=[sink])
+        c.initialize(g, None)
+        c.register_callback(g.LEAF, lambda ins, tid: [ins[0]])
+        add = lambda ins, tid: [Payload(sum(p.data for p in ins))]
+        c.register_callback(g.REDUCE, add)
+        c.register_callback(g.ROOT, add)
+        result = c.run({t: Payload(1) for t in g.leaf_ids()})
+        sink.close()
+    elif name == "fig6_point":
+        from benchmarks.harness import bench_field
+        from repro.analysis.mergetree import MergeTreeWorkload
+        from repro.runtimes import MPIController
+
+        workload = MergeTreeWorkload(
+            bench_field(), 1024, threshold=0.45, valence=4,
+            sim_shape=(1024, 1024, 1024),
+        )
+        cost = _maybe_slowed(
+            workload.cost_model(), slow_task, slow_factor
+        )
+        sink = JsonlExporter(path)
+        controller = MPIController(256, cost_model=cost, sinks=[sink])
+        result = workload.run(controller)
+        sink.close()
+    else:
+        raise ValueError(
+            f"benchmark {name!r} is not traceable (one of {TRACEABLE})"
+        )
+    return {
+        "path": path,
+        "makespan": result.makespan,
+        "tasks": result.stats.tasks_executed,
+    }
+
 #: Fields that must match the baseline exactly — any drift means the
 #: simulation result changed, which this suite treats as a failure
 #: regardless of speed.

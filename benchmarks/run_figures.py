@@ -7,10 +7,17 @@ single figure without remembering pytest flags::
     python benchmarks/run_figures.py fig6          # one figure
     python benchmarks/run_figures.py fig10e fig10f # several
     python benchmarks/run_figures.py all --full    # everything, big sweeps
+    python benchmarks/run_figures.py fig3 --trace /tmp/fig3.jsonl
     python benchmarks/run_figures.py --list
 
 Each figure prints its paper-style series and *asserts* the paper's
 qualitative shape; a zero exit code means the reproduction claims hold.
+
+``--trace PATH`` (equivalently the ``REPRO_TRACE`` environment variable,
+which propagates to the pytest subprocess) captures every benchmarked
+run's event stream into one trace file — ``.jsonl`` for a JSONL event
+log, anything else for Chrome-trace JSON — ready for
+``python -m repro.obs summarize/timeline/flamegraph/diff``.
 """
 
 from __future__ import annotations
@@ -68,6 +75,11 @@ def main(argv: list[str] | None = None) -> int:
         "--full", action="store_true",
         help="use the larger (paper-leaning) sweep ranges",
     )
+    parser.add_argument(
+        "--trace", metavar="PATH",
+        help="capture every run's events here (sets REPRO_TRACE; "
+        ".jsonl extension selects the JSONL format)",
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.figures:
@@ -86,6 +98,8 @@ def main(argv: list[str] | None = None) -> int:
     env = dict(os.environ)
     if args.full:
         env["REPRO_BENCH_SCALE"] = "full"
+    if args.trace:
+        env["REPRO_TRACE"] = str(pathlib.Path(args.trace).resolve())
     files = [str(HERE / FIGURES[f][0]) for f in wanted]
     cmd = [
         sys.executable, "-m", "pytest", *files,

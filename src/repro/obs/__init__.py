@@ -8,8 +8,11 @@ keeps an always-on :class:`MetricsRegistry`
 (:mod:`repro.obs.metrics`) snapshotted into each
 :class:`~repro.runtimes.result.RunResult`, and can stream runs to
 Chrome-trace / JSONL files (:mod:`repro.obs.export`) for Perfetto or
-the ``python -m repro.obs summarize`` CLI, including critical-path
-attribution (:mod:`repro.obs.critical_path`).
+the ``python -m repro.obs`` CLI (summarize / timeline / flamegraph /
+diff / slo), including critical-path attribution
+(:mod:`repro.obs.critical_path`), causal-DAG queries
+(:mod:`repro.obs.spans`), per-rank resource timelines
+(:mod:`repro.obs.timeline`), and trace diffing (:mod:`repro.obs.diff`).
 
 Quick start::
 
@@ -52,6 +55,13 @@ from repro.obs.export import (
     load_events,
     split_runs,
 )
+from repro.obs.diff import (
+    RunDiff,
+    attribution_report,
+    diff_runs,
+    diff_traces,
+    render_diff,
+)
 from repro.obs.hub import NULL_HUB, ObsHub
 from repro.obs.metrics import (
     Counter,
@@ -59,11 +69,26 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     MetricsSnapshot,
+    TimeSeries,
+)
+from repro.obs.spans import (
+    CausalDag,
+    TaskSpan,
+    causal_dag,
+    folded_stacks,
+    recovery_accounting,
+)
+from repro.obs.timeline import (
+    RunTimelines,
+    ascii_timeline,
+    resource_timelines,
+    svg_timeline,
 )
 
 __all__ = [
     "BUCKETS",
     "CORE_VOCABULARY",
+    "CausalDag",
     "ChromeTraceExporter",
     "Counter",
     "CriticalPath",
@@ -87,15 +112,29 @@ __all__ = [
     "RANK_DEAD",
     "RUN_FINISHED",
     "RUN_STARTED",
+    "RunDiff",
+    "RunTimelines",
     "TASK_ENQUEUED",
     "TASK_FINISHED",
     "TASK_MIGRATED",
     "TASK_RETRY",
     "TASK_STARTED",
+    "TaskSpan",
+    "TimeSeries",
     "VOCABULARY",
+    "ascii_timeline",
+    "attribution_report",
+    "causal_dag",
     "critical_path",
+    "diff_runs",
+    "diff_traces",
     "events_from_chrome",
     "events_from_jsonl",
+    "folded_stacks",
     "load_events",
+    "recovery_accounting",
+    "render_diff",
+    "resource_timelines",
     "split_runs",
+    "svg_timeline",
 ]

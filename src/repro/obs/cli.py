@@ -1,23 +1,38 @@
-"""``python -m repro.obs`` — summarize saved runtime traces.
+"""``python -m repro.obs`` — analyze saved runtime traces.
 
-Sub-commands:
+Sub-commands (all accept Chrome trace-event files written by
+:class:`~repro.obs.export.ChromeTraceExporter` (``REPRO_TRACE=...``) and
+JSONL event logs; a missing or corrupt file exits 2 with a one-line
+error):
 
 * ``summarize <trace>`` — per-run category totals, top-k tasks, load
-  imbalance, and the critical-path breakdown.  Accepts Chrome
-  trace-event files written by
-  :class:`~repro.obs.export.ChromeTraceExporter` (``REPRO_TRACE=...``)
-  and JSONL event logs.  ``--gantt`` adds the ASCII schedule.
+  imbalance, the critical-path breakdown, and — when the run saw
+  faults — the recovery accounting (wasted compute, retries, recovery
+  tail).  ``--gantt`` adds the ASCII schedule.
+* ``timeline <trace>`` — per-rank ASCII Gantt with utilization,
+  queue-depth and payload-memory peaks; ``--svg FILE`` writes an SVG
+  version.
+* ``flamegraph <trace>`` — folded stacks over the causal DAG
+  (``flamegraph.pl``-compatible; one ``t0;t4;t6 weight`` line per task).
+* ``diff <base> <current>`` — what moved between two traces: makespan
+  delta with critical-path (compute/network/wait) attribution, phase and
+  per-task deltas, new/removed tasks, fault-recovery overhead.
+* ``slo <trace> <spec.json>`` — assert declarative bounds (e.g.
+  ``{"max_idle_fraction": 0.5, "max_recovery_tail_seconds": 1.0}``);
+  exits 1 on violation.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
 from repro.obs.critical_path import critical_path
 from repro.obs.events import RUN_STARTED, Event
 from repro.obs.export import load_events, split_runs
+from repro.obs.spans import folded_stacks, recovery_accounting
 
 
 def _run_label(run: list[Event], index: int) -> str:
@@ -25,6 +40,14 @@ def _run_label(run: list[Event], index: int) -> str:
         if ev.type == RUN_STARTED:
             return ev.label or f"run {index}"
     return f"run {index}"
+
+
+def _load(path: str) -> list[Event]:
+    """Load a trace or raise ValueError with a one-line reason."""
+    events = load_events(path)
+    if not events:
+        raise ValueError(f"{path}: no events found")
+    return events
 
 
 def summarize_run(run: list[Event], index: int, top: int, show_gantt: bool) -> str:
@@ -80,9 +103,210 @@ def summarize_run(run: list[Event], index: int, top: int, show_gantt: bool) -> s
             f"  {cp.breakdown()}",
         ]
 
+    rec = recovery_accounting(run)
+    if rec["faults_injected"] or rec["rank_deaths"]:
+        lines += [
+            "",
+            "fault/recovery accounting:",
+            f"  faults injected {rec['faults_injected']:g}  "
+            f"retries {rec['task_retries']:g}  "
+            f"rank deaths {rec['rank_deaths']:g}  "
+            f"migrated {rec['tasks_migrated']:g}  "
+            f"dropped msgs {rec['messages_dropped']:g}",
+            f"  wasted compute {rec['wasted_seconds']:.6f}s  "
+            f"replayed compute {rec['replayed_seconds']:.6f}s  "
+            f"retry backoff {rec['retry_backoff_seconds']:.6f}s",
+            f"  recovery tail {rec['recovery_tail_seconds']:.6f}s "
+            f"(first fault at {rec['first_fault_time']:.6f}s)",
+        ]
+
     if show_gantt and trace.spans and procs > 0:
         lines += ["", "schedule (# = computing):", gantt(trace, procs)]
     return "\n".join(lines)
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    events = _load(args.trace)
+    blocks = [
+        summarize_run(run, i, args.top, args.gantt)
+        for i, run in enumerate(split_runs(events))
+    ]
+    _print("\n\n".join(blocks))
+    return 0
+
+
+def _select_runs(
+    events: list[Event], which: int | None, path: str
+) -> list[tuple[int, list[Event]]]:
+    runs = split_runs(events)
+    if which is None:
+        return list(enumerate(runs))
+    if not 0 <= which < len(runs):
+        raise ValueError(
+            f"{path}: run {which} out of range (file has {len(runs)})"
+        )
+    return [(which, runs[which])]
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.obs.timeline import ascii_timeline, svg_timeline
+
+    events = _load(args.trace)
+    selected = _select_runs(events, args.run, args.trace)
+    blocks = []
+    for i, run in selected:
+        blocks.append(
+            f"== {_run_label(run, i)} ==\n"
+            + ascii_timeline(run, width=args.width, max_procs=args.max_procs)
+        )
+    _print("\n\n".join(blocks))
+    if args.svg:
+        # One file per selected run; a single run keeps the exact name.
+        for i, run in selected:
+            path = (
+                args.svg
+                if len(selected) == 1
+                else _suffixed(args.svg, f"_run{i}")
+            )
+            with open(path, "w") as fp:
+                fp.write(svg_timeline(run))
+            print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
+def _suffixed(path: str, suffix: str) -> str:
+    root, ext = os.path.splitext(path)
+    return f"{root}{suffix}{ext}"
+
+
+def _cmd_flamegraph(args: argparse.Namespace) -> int:
+    events = _load(args.trace)
+    selected = _select_runs(events, args.run, args.trace)
+    if args.run is None and len(selected) > 1:
+        print(
+            f"note: {args.trace} holds {len(selected)} runs; "
+            f"using run 0 (pick one with --run)",
+            file=sys.stderr,
+        )
+        selected = selected[:1]
+    _, run = selected[0]
+    lines = folded_stacks(run, weight=args.weight)
+    out = "\n".join(lines)
+    if args.output:
+        with open(args.output, "w") as fp:
+            fp.write(out + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        _print(out)
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.obs.diff import diff_traces, render_diff
+
+    events_a = _load(args.base)
+    events_b = _load(args.current)
+    runs_a, runs_b = split_runs(events_a), split_runs(events_b)
+    diffs = diff_traces(events_a, events_b)
+    blocks = [render_diff(d, top=args.top) for d in diffs]
+    if len(runs_a) != len(runs_b):
+        blocks.append(
+            f"note: run counts differ ({len(runs_a)} in {args.base}, "
+            f"{len(runs_b)} in {args.current}); "
+            f"compared the first {len(diffs)} pair(s)"
+        )
+    _print("\n\n".join(blocks))
+    return 0
+
+
+#: SLO metric extractors; spec keys are ``max_<name>`` / ``min_<name>``.
+def _slo_metrics(run: list[Event]) -> dict[str, float]:
+    from repro.obs.timeline import resource_timelines
+
+    tl = resource_timelines(run)
+    cp = critical_path(run)
+    rec = recovery_accounting(run)
+    makespan = tl.makespan
+    return {
+        "makespan": makespan,
+        "idle_fraction": tl.idle_fraction(),
+        "utilization_mean": tl.utilization_mean(),
+        "queue_depth_peak": tl.queue_depth_peak(),
+        "mem_bytes_peak": tl.mem_bytes_peak(),
+        "inflight_bytes_peak": tl.inflight_bytes_peak(),
+        "critical_wait_fraction": (
+            cp.totals.get("wait", 0.0) / makespan if makespan > 0 else 0.0
+        ),
+        "critical_network_fraction": (
+            cp.totals.get("network", 0.0) / makespan if makespan > 0 else 0.0
+        ),
+        "faults_injected": rec["faults_injected"],
+        "task_retries": rec["task_retries"],
+        "rank_deaths": rec["rank_deaths"],
+        "wasted_seconds": rec["wasted_seconds"],
+        "recovery_tail_seconds": rec["recovery_tail_seconds"],
+    }
+
+
+def check_slo(run: list[Event], spec: dict) -> list[str]:
+    """Evaluate one run against a declarative bound spec.
+
+    Returns the violations as human-readable strings (empty = pass).
+    Raises ValueError for unknown spec keys.
+    """
+    metrics = _slo_metrics(run)
+    violations = []
+    for key, bound in spec.items():
+        if key.startswith("max_"):
+            name, is_max = key[4:], True
+        elif key.startswith("min_"):
+            name, is_max = key[4:], False
+        else:
+            raise ValueError(
+                f"SLO key {key!r} must start with 'max_' or 'min_'"
+            )
+        if name not in metrics:
+            raise ValueError(
+                f"unknown SLO metric {name!r} (have: "
+                f"{', '.join(sorted(metrics))})"
+            )
+        value = metrics[name]
+        if (is_max and value > bound) or (not is_max and value < bound):
+            op = ">" if is_max else "<"
+            violations.append(f"{key}: {name} = {value:g} {op} {bound:g}")
+    return violations
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    events = _load(args.trace)
+    try:
+        with open(args.spec) as fp:
+            spec = json.load(fp)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{args.spec}: not valid JSON ({exc})") from exc
+    if not isinstance(spec, dict):
+        raise ValueError(f"{args.spec}: SLO spec must be a JSON object")
+    failed = False
+    for i, run in enumerate(split_runs(events)):
+        label = _run_label(run, i)
+        violations = check_slo(run, spec)
+        if violations:
+            failed = True
+            print(f"FAIL {label} (run {i}):")
+            for v in violations:
+                print(f"  {v}")
+        else:
+            print(f"ok   {label} (run {i}): {len(spec)} bound(s) hold")
+    return 1 if failed else 0
+
+
+def _print(text: str) -> None:
+    try:
+        print(text)
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # Downstream pager/head closed early; silence the shutdown flush.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -92,6 +316,7 @@ def main(argv: list[str] | None = None) -> int:
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
     p_sum = sub.add_parser(
         "summarize", help="summarize a saved Chrome-trace/JSONL event log"
     )
@@ -103,28 +328,71 @@ def main(argv: list[str] | None = None) -> int:
     p_sum.add_argument(
         "--gantt", action="store_true", help="draw the ASCII schedule too"
     )
-    args = parser.parse_args(argv)
+    p_sum.set_defaults(fn=_cmd_summarize)
 
+    p_tl = sub.add_parser(
+        "timeline", help="per-rank resource timeline (ASCII, optional SVG)"
+    )
+    p_tl.add_argument("trace")
+    p_tl.add_argument(
+        "--width", type=int, default=64, metavar="COLS",
+        help="timeline width in characters (default 64)",
+    )
+    p_tl.add_argument(
+        "--max-procs", type=int, default=32, metavar="N",
+        help="ranks to show before eliding (default 32)",
+    )
+    p_tl.add_argument(
+        "--run", type=int, default=None, metavar="I",
+        help="only this run index (default: all runs in the file)",
+    )
+    p_tl.add_argument(
+        "--svg", metavar="FILE", help="also write an SVG Gantt chart"
+    )
+    p_tl.set_defaults(fn=_cmd_timeline)
+
+    p_fg = sub.add_parser(
+        "flamegraph",
+        help="folded stacks over the causal DAG (flamegraph.pl input)",
+    )
+    p_fg.add_argument("trace")
+    p_fg.add_argument(
+        "--weight", choices=("compute", "span"), default="compute",
+        help="stack weight: callback seconds or start-to-end residency",
+    )
+    p_fg.add_argument("--run", type=int, default=None, metavar="I")
+    p_fg.add_argument(
+        "--output", metavar="FILE", help="write here instead of stdout"
+    )
+    p_fg.set_defaults(fn=_cmd_flamegraph)
+
+    p_diff = sub.add_parser(
+        "diff", help="compare two traces run-by-run (what moved, and why)"
+    )
+    p_diff.add_argument("base", help="baseline trace")
+    p_diff.add_argument("current", help="trace to explain against the baseline")
+    p_diff.add_argument(
+        "--top", type=int, default=8, metavar="K",
+        help="how many moved tasks/phases to list (default 8)",
+    )
+    p_diff.set_defaults(fn=_cmd_diff)
+
+    p_slo = sub.add_parser(
+        "slo", help="assert declarative bounds over a trace (exit 1 on breach)"
+    )
+    p_slo.add_argument("trace")
+    p_slo.add_argument(
+        "spec",
+        help='JSON object of bounds, e.g. {"max_idle_fraction": 0.5}',
+    )
+    p_slo.set_defaults(fn=_cmd_slo)
+
+    args = parser.parse_args(argv)
     try:
-        events = load_events(args.trace)
+        return args.fn(args)
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    if not events:
-        print(f"error: {args.trace}: no events found", file=sys.stderr)
-        return 2
-
-    blocks = [
-        summarize_run(run, i, args.top, args.gantt)
-        for i, run in enumerate(split_runs(events))
-    ]
-    try:
-        print("\n\n".join(blocks))
-        sys.stdout.flush()
-    except BrokenPipeError:
-        # Downstream pager/head closed early; silence the shutdown flush.
-        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
-    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

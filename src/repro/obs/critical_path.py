@@ -75,7 +75,9 @@ class CriticalPath:
         return " + ".join(parts)
 
 
-def critical_path(events: list[Event]) -> CriticalPath:
+def critical_path(
+    events: list[Event], sink: int | None = None
+) -> CriticalPath:
     """Analyze one run's event stream (a single run's events).
 
     The stream must contain ``task_started``/``task_finished`` pairs;
@@ -83,6 +85,12 @@ def critical_path(events: list[Event]) -> CriticalPath:
     ``overhead`` events refine the attribution.  Streams from any
     backend — including the serial controller's zero-duration messages —
     are accepted.
+
+    Args:
+        sink: walk backward from this task instead of the last-finishing
+            one (wait-for attribution of an arbitrary output).  The
+            returned ``makespan`` is then the sink's finish time, i.e.
+            the path explains *that task's* latency, not the run's.
     """
     starts: dict[int, Event] = {}
     ends: dict[int, Event] = {}
@@ -105,7 +113,10 @@ def critical_path(events: list[Event]) -> CriticalPath:
     if not ends:
         return cp
 
-    sink = max(ends, key=lambda t: (ends[t].t, t))
+    if sink is None:
+        sink = max(ends, key=lambda t: (ends[t].t, t))
+    elif sink not in ends:
+        raise ValueError(f"task {sink} never finished in this stream")
     cp.makespan = ends[sink].t
 
     steps_rev: list[PathStep] = []

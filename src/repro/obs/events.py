@@ -113,6 +113,15 @@ class Event:
         category: overhead category (matches the ``Stats`` categories).
         nbytes: payload size for messages and migrations.
         label: human-readable annotation (span label compatibility).
+        parents: causal parents of a ``task_started`` event — the
+            producer task id of every payload the attempt consumed, in
+            arrival order (one entry per input slot, so a producer
+            feeding several channels appears several times).  Only
+            populated when an attached sink requests span context
+            (``EventSink.wants_context``); plain sinks see the exact
+            historical stream.  Together with the ``task``/``dst_task``
+            pair on every message event, this makes an exported trace a
+            causal DAG (task -> message -> task).
     """
 
     type: str
@@ -125,6 +134,7 @@ class Event:
     category: str = ""
     nbytes: int = 0
     label: str = ""
+    parents: tuple[int, ...] = ()
 
     def to_dict(self) -> dict:
         """Compact dict form: default-valued fields are dropped."""
@@ -134,14 +144,18 @@ class Event:
                 continue
             v = getattr(self, f.name)
             if v != f.default:
-                out[f.name] = v
+                out[f.name] = list(v) if f.name == "parents" else v
         return out
 
     @classmethod
     def from_dict(cls, d: dict) -> "Event":
         """Inverse of :meth:`to_dict` (ignores unknown keys)."""
         known = {f.name for f in fields(cls)}
-        return cls(**{k: v for k, v in d.items() if k in known})
+        kw = {k: v for k, v in d.items() if k in known}
+        if "parents" in kw:
+            # JSON has no tuples; restore the canonical immutable form.
+            kw["parents"] = tuple(kw["parents"])
+        return cls(**kw)
 
 
 class EventSink:
@@ -151,7 +165,16 @@ class EventSink:
     state (file exporters write their output here).  A sink may be
     attached to several controllers in sequence — runs are delimited by
     ``run_started`` / ``run_finished`` events.
+
+    ``wants_context`` opts the sink into *span-context threading*: when
+    any attached sink sets it, controllers track which producer fed each
+    input slot and stamp :attr:`Event.parents` onto ``task_started``
+    events.  It defaults to False so existing consumers (and the golden
+    determinism streams) observe the exact historical event shapes.
     """
+
+    #: Ask controllers to thread causal parent ids onto task events.
+    wants_context: bool = False
 
     def emit(self, event: Event) -> None:
         raise NotImplementedError
@@ -163,8 +186,9 @@ class EventSink:
 class ListSink(EventSink):
     """Buffers every event in memory (tests, ad-hoc analysis)."""
 
-    def __init__(self) -> None:
+    def __init__(self, wants_context: bool = False) -> None:
         self.events: list[Event] = []
+        self.wants_context = wants_context
 
     def emit(self, event: Event) -> None:
         self.events.append(event)

@@ -44,7 +44,13 @@ class ChromeTraceExporter(EventSink):
     Several controller runs may share one exporter (the benchmark
     harness attaches a single exporter to every run of a sweep); each
     run is rendered as its own named process.
+
+    Exporters request span context (``wants_context``), so exported
+    ``task_started`` records carry causal ``parents`` and the file can
+    be analyzed as a causal DAG (:mod:`repro.obs.spans`).
     """
+
+    wants_context = True
 
     def __init__(self, path: str) -> None:
         self.path = path
@@ -146,6 +152,8 @@ class ChromeTraceExporter(EventSink):
 
 class JsonlExporter(EventSink):
     """Streams one JSON object per event (append-only event log)."""
+
+    wants_context = True
 
     def __init__(self, path: str) -> None:
         self.path = path

@@ -16,12 +16,21 @@ __all__ = ["ObsHub", "NULL_HUB"]
 
 
 class ObsHub:
-    """Broadcasts events to a fixed tuple of sinks."""
+    """Broadcasts events to a fixed tuple of sinks.
 
-    __slots__ = ("sinks",)
+    ``wants_context`` aggregates the attached sinks' capability flags:
+    it is True iff at least one sink asked for span-context threading
+    (:attr:`~repro.obs.events.EventSink.wants_context`), in which case
+    controllers stamp causal ``parents`` onto ``task_started`` events.
+    """
+
+    __slots__ = ("sinks", "wants_context")
 
     def __init__(self, sinks: Iterable[EventSink] = ()) -> None:
         self.sinks: tuple[EventSink, ...] = tuple(sinks)
+        self.wants_context: bool = any(
+            getattr(s, "wants_context", False) for s in self.sinks
+        )
 
     def __bool__(self) -> bool:
         return bool(self.sinks)

@@ -14,11 +14,15 @@ Instruments:
 * :class:`Histogram` — power-of-two bucketed distribution with exact
   count/total/min/max; ``observe`` is O(1) with no allocation after the
   first hit of a bucket.
+* :class:`TimeSeries` — step-function samples over virtual time; the
+  store behind the resource timelines (:mod:`repro.obs.timeline`), which
+  are derived offline from an event stream, never on the hot path.
 """
 
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from dataclasses import dataclass, field
 
 
@@ -102,6 +106,76 @@ class Histogram:
         }
 
 
+class TimeSeries:
+    """A right-continuous step function sampled over virtual time.
+
+    ``sample(t, v)`` records "the quantity became ``v`` at time ``t``";
+    the value holds until the next sample.  Sample times must be
+    non-decreasing (event-stream builders sort first); equal-time
+    samples collapse to the last write, keeping the series canonical.
+    """
+
+    __slots__ = ("times", "values")
+
+    def __init__(self) -> None:
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def sample(self, t: float, v: float) -> None:
+        times = self.times
+        if times:
+            last = times[-1]
+            if t < last:
+                raise ValueError(
+                    f"TimeSeries samples must be time-ordered "
+                    f"({t} < {last})"
+                )
+            if t == last:
+                self.values[-1] = v
+                return
+        times.append(t)
+        self.values.append(v)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __bool__(self) -> bool:
+        return bool(self.times)
+
+    @property
+    def final(self) -> float:
+        """The value after the last sample (0.0 for an empty series)."""
+        return self.values[-1] if self.values else 0.0
+
+    def max(self, default: float = 0.0) -> float:
+        """High-water mark of the series."""
+        return max(self.values, default=default)
+
+    def value_at(self, t: float) -> float:
+        """The step function evaluated at ``t`` (0.0 before the first sample)."""
+        i = bisect_right(self.times, t) - 1
+        return self.values[i] if i >= 0 else 0.0
+
+    def integral(self, until: float) -> float:
+        """Time-weighted integral of the series over ``[0, until]``."""
+        total = 0.0
+        times, values = self.times, self.values
+        for i, (t, v) in enumerate(zip(times, values)):
+            if t >= until:
+                break
+            t_next = times[i + 1] if i + 1 < len(times) else until
+            total += v * (min(t_next, until) - t)
+        return total
+
+    def mean(self, until: float) -> float:
+        """Time-weighted mean over ``[0, until]``."""
+        return self.integral(until) / until if until > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-friendly)."""
+        return {"t": list(self.times), "v": list(self.values)}
+
+
 @dataclass
 class MetricsSnapshot:
     """Frozen copy of a registry, attached to a finished run's result."""
@@ -109,6 +183,7 @@ class MetricsSnapshot:
     counters: dict[str, float] = field(default_factory=dict)
     gauges: dict[str, float] = field(default_factory=dict)
     histograms: dict[str, dict] = field(default_factory=dict)
+    timeseries: dict[str, dict] = field(default_factory=dict)
 
     def counter(self, name: str, default: float = 0) -> float:
         return self.counters.get(name, default)
@@ -142,6 +217,7 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._timeseries: dict[str, TimeSeries] = {}
 
     def counter(self, name: str) -> Counter:
         c = self._counters.get(name)
@@ -161,10 +237,19 @@ class MetricsRegistry:
             h = self._histograms[name] = Histogram()
         return h
 
+    def timeseries(self, name: str) -> TimeSeries:
+        ts = self._timeseries.get(name)
+        if ts is None:
+            ts = self._timeseries[name] = TimeSeries()
+        return ts
+
     def snapshot(self) -> MetricsSnapshot:
         """Copy every instrument into a plain :class:`MetricsSnapshot`."""
         return MetricsSnapshot(
             counters={k: c.value for k, c in self._counters.items()},
             gauges={k: g.value for k, g in self._gauges.items()},
             histograms={k: h.snapshot() for k, h in self._histograms.items()},
+            timeseries={
+                k: ts.to_dict() for k, ts in self._timeseries.items()
+            },
         )

@@ -43,6 +43,10 @@ from repro.runtimes.controller import Controller
 from repro.runtimes.result import RunResult
 from repro.sim.trace import Trace
 
+#: Causal-parent accumulator; only called when a context-requesting sink
+#: observes the run (poisoned by tests/test_obs_overhead.py).
+_parent_list = list
+
 
 class SerialController(Controller):
     """Run the whole graph in the calling thread, tasks in ready order.
@@ -79,6 +83,10 @@ class SerialController(Controller):
             trace = Trace()
             run_sinks.append(trace)
         obs = ObsHub(run_sinks)
+        # Causal-parent tracking is opt-in per sink (exporters ask for
+        # it); plain sinks keep the exact historical event shapes.
+        ctx = obs.wants_context if run_sinks else False
+        arrived: dict[TaskId, list[TaskId]] = {}
         metrics = MetricsRegistry()
         m_task_seconds = metrics.histogram("task_compute_seconds")
         m_message_bytes = metrics.histogram("message_nbytes")
@@ -150,12 +158,22 @@ class SerialController(Controller):
                             category="dispatch",
                         )
                     )
-                    obs.emit(
-                        Event(
-                            TASK_STARTED, t_start, proc=0, task=tid,
-                            label=f"t{tid}",
+                    if ctx:
+                        arr = arrived.get(tid)
+                        obs.emit(
+                            Event(
+                                TASK_STARTED, t_start, proc=0, task=tid,
+                                label=f"t{tid}",
+                                parents=tuple(arr) if arr else (),
+                            )
                         )
-                    )
+                    else:
+                        obs.emit(
+                            Event(
+                                TASK_STARTED, t_start, proc=0, task=tid,
+                                label=f"t{tid}",
+                            )
+                        )
                     obs.emit(
                         Event(
                             TASK_FINISHED, wall_total, proc=0, task=tid,
@@ -181,6 +199,11 @@ class SerialController(Controller):
                                 f"than it has slots"
                             )
                         cursor[key] = idx + 1
+                        if ctx:
+                            arr = arrived.get(dst)
+                            if arr is None:
+                                arr = arrived[dst] = _parent_list()
+                            arr.append(tid)
                         if obs:
                             edge = dict(
                                 proc=0, dst_proc=0, task=tid, dst_task=dst,

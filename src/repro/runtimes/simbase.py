@@ -67,12 +67,17 @@ def _task_label(tid: TaskId, suffix: str = "") -> str:
     return f"t{tid}{suffix}"
 
 
+#: Causal-parent accumulator; only called when a context-requesting sink
+#: observes the run (poisoned by tests/test_obs_overhead.py).
+_parent_list = list
+
+
 class _PhysicalTask:
     """Runtime state of one task instance."""
 
     __slots__ = (
         "task", "slots", "remaining", "cursor", "queued", "slot_map",
-        "attempt", "attempts",
+        "attempt", "attempts", "arrived",
     )
 
     def __init__(self, task: Task) -> None:
@@ -81,6 +86,9 @@ class _PhysicalTask:
         self.slots: list[Payload | None] = [None] * n
         self.remaining = n
         self.attempts = 0  # failed attempts so far (retry-budget input)
+        # Producer task id of each deposited payload, in arrival order.
+        # Allocated lazily, and only when span context is requested.
+        self.arrived: list[TaskId] | None = None
         # Next slot to fill per producer id (EXTERNAL included), so
         # multiple channels between the same pair fill slots in order.
         self.cursor: dict[TaskId, int] = {}
@@ -260,6 +268,10 @@ class SimController(Controller):
         # guards become a C-level identity test instead of calling
         # ObsHub.__bool__ tens of thousands of times per run.
         obs = self._obs = hub if sinks else None
+        # Span-context threading is a second opt-in gate on top of the
+        # sink gate: only pay the per-deposit parent tracking when some
+        # sink (an exporter, typically) asked for causal context.
+        self._ctx = hub.wants_context if sinks else False
         metrics = self._metrics = MetricsRegistry()
         self._m_task_seconds = metrics.histogram("task_compute_seconds")
         self._m_message_bytes = metrics.histogram("message_nbytes")
@@ -450,6 +462,11 @@ class SimController(Controller):
         pt.cursor[producer] = idx + 1
         slot = slot_list[idx]
         pt.slots[slot] = payload
+        if self._ctx and producer >= 0:  # is_real_task, inlined
+            arr = pt.arrived
+            if arr is None:
+                arr = pt.arrived = _parent_list()
+            arr.append(producer)
         pt.remaining -= 1
         if pt.remaining == 0:
             self._on_ready(tid)
@@ -616,7 +633,26 @@ class SimController(Controller):
         obs.emit(
             Event(OVERHEAD, cstart, proc=proc, task=tid, dur=ovh, category=category)
         )
-        obs.emit(Event(TASK_STARTED, cstart, proc=proc, task=tid, label=label))
+        if self._ctx:
+            # Every attempt starts with a *complete* input multiset (a
+            # rebuilt task is fully re-fed before it re-enters a queue),
+            # so the parents stamped here are exactly the producers that
+            # fed this attempt — the causal edge set of the span.
+            arr = self._ptasks[tid].arrived
+            obs.emit(
+                Event(
+                    TASK_STARTED,
+                    cstart,
+                    proc=proc,
+                    task=tid,
+                    label=label,
+                    parents=tuple(arr) if arr else (),
+                )
+            )
+        else:
+            obs.emit(
+                Event(TASK_STARTED, cstart, proc=proc, task=tid, label=label)
+            )
         obs.emit(
             Event(
                 TASK_FINISHED,

@@ -223,6 +223,13 @@ class Cluster:
         explicit ``label`` is given, one is derived from them lazily —
         only if a sink is attached.
 
+        The ``src_task``/``dst_task`` pair is the message's *causal id*:
+        together with ``task_started.parents`` (span context, see
+        :mod:`repro.obs.spans`) it makes an exported trace a causal DAG
+        (task -> message -> task).  The pair is preserved across
+        link-fault retransmissions, so retransmitted payloads stay
+        attributed to their original producer.
+
         When a link-fault table is installed (see :mod:`repro.faults`),
         active faults scale the injection/latency; a *drop* loses the
         message and schedules a sender-side retransmission after the

@@ -1,7 +1,12 @@
-"""``python -m repro.obs summarize`` over saved traces."""
+"""``python -m repro.obs`` over saved traces: summarize, timeline,
+flamegraph, diff, and slo — plus the exit-code contract (2 on a
+missing/corrupt trace, 1 on an SLO breach)."""
+
+import json
 
 import pytest
 
+from tests.golden_workloads import CONTROLLERS, run_workload
 from repro.core.payload import Payload
 from repro.graphs import Reduction
 from repro.obs import ChromeTraceExporter, JsonlExporter
@@ -99,3 +104,188 @@ class TestSummarize:
         )
         assert proc.returncode == 0, proc.stderr[-2000:]
         assert "critical path" in proc.stdout
+
+
+def write_chaos_trace(path):
+    """The golden mpi_chaos workload exported as JSONL."""
+    exporter = JsonlExporter(str(path))
+    c = CONTROLLERS["mpi_chaos"]()
+    c.add_sink(exporter)
+    run_workload(c)
+    exporter.close()
+    return path
+
+
+@pytest.fixture(scope="module")
+def chaos_trace(tmp_path_factory):
+    return write_chaos_trace(tmp_path_factory.mktemp("chaos") / "chaos.jsonl")
+
+
+@pytest.fixture(scope="module")
+def diff_traces(tmp_path_factory):
+    """A clean capture and one with task 3 slowed 50x (perf harness)."""
+    from benchmarks.perf.suite import capture_trace
+
+    d = tmp_path_factory.mktemp("diff")
+    base, slow = d / "base.jsonl", d / "slow.jsonl"
+    capture_trace("controller_tasks", str(base), leaves=64)
+    capture_trace("controller_tasks", str(slow), slow_task=3, leaves=64)
+    return base, slow
+
+
+class TestSummarizeRecovery:
+    def test_chaos_trace_shows_recovery_block(self, chaos_trace, capsys):
+        assert main(["summarize", str(chaos_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "fault/recovery accounting:" in out
+        assert "faults injected" in out and "rank deaths" in out
+        assert "wasted compute" in out and "replayed compute" in out
+        assert "recovery tail" in out and "first fault at" in out
+
+    def test_clean_trace_has_no_recovery_block(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", JsonlExporter)
+        assert main(["summarize", str(path)]) == 0
+        assert "fault/recovery" not in capsys.readouterr().out
+
+
+class TestTimeline:
+    def test_ascii_output(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", JsonlExporter)
+        assert main(["timeline", str(path), "--width", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "== MPIController" in out
+        assert "rank" in out and "util" in out and "q^" in out
+        assert "mean utilization" in out
+
+    def test_svg_output(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", JsonlExporter)
+        svg = tmp_path / "tl.svg"
+        assert main(["timeline", str(path), "--svg", str(svg)]) == 0
+        text = svg.read_text()
+        assert text.startswith("<svg ") and text.endswith("</svg>")
+        assert f"wrote {svg}" in capsys.readouterr().err
+
+    def test_multi_run_svg_gets_one_file_per_run(self, tmp_path):
+        path = write_trace(tmp_path / "t.json", ChromeTraceExporter, runs=2)
+        svg = tmp_path / "tl.svg"
+        assert main(["timeline", str(path), "--svg", str(svg)]) == 0
+        assert (tmp_path / "tl_run0.svg").exists()
+        assert (tmp_path / "tl_run1.svg").exists()
+
+    def test_run_selector_out_of_range_exits_2(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", JsonlExporter)
+        assert main(["timeline", str(path), "--run", "5"]) == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["timeline", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFlamegraph:
+    def test_folded_stacks_on_stdout(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", JsonlExporter)
+        assert main(["flamegraph", str(path)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 21  # Reduction(16, 4) has 21 tasks
+        for line in lines:
+            frames, w = line.rsplit(" ", 1)
+            assert int(w) >= 0
+            assert all(f.startswith("t") for f in frames.split(";"))
+
+    def test_output_file_and_span_weight(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", JsonlExporter)
+        out = tmp_path / "stacks.txt"
+        rc = main(["flamegraph", str(path), "--weight", "span",
+                   "--output", str(out)])
+        assert rc == 0
+        assert out.read_text().strip()
+        assert f"wrote {out}" in capsys.readouterr().err
+
+    def test_multi_run_defaults_to_run_zero_with_note(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.json", ChromeTraceExporter, runs=2)
+        assert main(["flamegraph", str(path)]) == 0
+        assert "using run 0" in capsys.readouterr().err
+
+    def test_garbage_file_exits_2(self, tmp_path, capsys):
+        p = tmp_path / "bad.txt"
+        p.write_text("hello\n")
+        assert main(["flamegraph", str(p)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestDiff:
+    def test_names_the_slowed_task(self, diff_traces, capsys):
+        base, slow = diff_traces
+        assert main(["diff", str(base), str(slow)]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "dominant: compute" in out
+        assert "t3" in out
+
+    def test_missing_baseline_exits_2(self, diff_traces, tmp_path, capsys):
+        _, slow = diff_traces
+        assert main(["diff", str(tmp_path / "no.jsonl"), str(slow)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_empty_current_exits_2(self, diff_traces, tmp_path, capsys):
+        base, _ = diff_traces
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["diff", str(base), str(empty)]) == 2
+        assert "no events" in capsys.readouterr().err
+
+
+class TestSlo:
+    def write_spec(self, tmp_path, spec):
+        p = tmp_path / "slo.json"
+        p.write_text(json.dumps(spec))
+        return p
+
+    def test_passing_bounds_exit_0(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", JsonlExporter)
+        spec = self.write_spec(tmp_path, {
+            "max_idle_fraction": 1.0,
+            "min_utilization_mean": 0.0,
+            "max_faults_injected": 0,
+        })
+        assert main(["slo", str(path), str(spec)]) == 0
+        assert "ok " in capsys.readouterr().out
+
+    def test_violated_bound_exits_1_and_names_metric(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", JsonlExporter)
+        spec = self.write_spec(tmp_path, {"max_makespan": 1e-9})
+        assert main(["slo", str(path), str(spec)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "max_makespan" in out
+
+    def test_recovery_bounds_catch_chaos(self, chaos_trace, tmp_path, capsys):
+        spec = self.write_spec(tmp_path, {"max_rank_deaths": 0})
+        assert main(["slo", str(chaos_trace), str(spec)]) == 1
+        assert "max_rank_deaths" in capsys.readouterr().out
+
+    def test_unknown_metric_exits_2(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", JsonlExporter)
+        spec = self.write_spec(tmp_path, {"max_nonsense": 1})
+        assert main(["slo", str(path), str(spec)]) == 2
+        assert "unknown SLO metric" in capsys.readouterr().err
+
+    def test_unprefixed_key_exits_2(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", JsonlExporter)
+        spec = self.write_spec(tmp_path, {"makespan": 1})
+        assert main(["slo", str(path), str(spec)]) == 2
+        assert "must start with" in capsys.readouterr().err
+
+    def test_invalid_spec_json_exits_2(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", JsonlExporter)
+        spec = tmp_path / "bad.json"
+        spec.write_text("{not json")
+        assert main(["slo", str(path), str(spec)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_non_object_spec_exits_2(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", JsonlExporter)
+        spec = tmp_path / "list.json"
+        spec.write_text("[1, 2]")
+        assert main(["slo", str(path), str(spec)]) == 2
+        assert "JSON object" in capsys.readouterr().err

@@ -138,6 +138,86 @@ class TestJsonl:
             exp.emit(Event("overhead", 0.0))
 
 
+class TestFaultVocabularyRoundTrip:
+    """Chaos-run traces: the fault vocabulary and span context must
+    survive both exporters losslessly."""
+
+    @pytest.fixture(scope="class")
+    def chaos_traced(self, tmp_path_factory):
+        from tests.golden_workloads import CONTROLLERS, run_workload
+
+        d = tmp_path_factory.mktemp("chaos")
+        cpath = d / "chaos.json"
+        jpath = d / "chaos.jsonl"
+        chrome = ChromeTraceExporter(str(cpath))
+        jsonl = JsonlExporter(str(jpath))
+        sink = ListSink(wants_context=True)
+        c = CONTROLLERS["mpi_chaos"]()
+        for s in (chrome, jsonl, sink):
+            c.add_sink(s)
+        run_workload(c)
+        chrome.close()
+        jsonl.close()
+        return cpath, jpath, sink
+
+    def test_stream_exercises_full_fault_vocabulary(self, chaos_traced):
+        from repro.obs.events import FAULT_VOCABULARY
+
+        _, _, sink = chaos_traced
+        assert FAULT_VOCABULARY <= {e.type for e in sink.events}
+
+    def test_chrome_round_trips_fault_events(self, chaos_traced):
+        cpath, _, sink = chaos_traced
+        assert canon(load_events(str(cpath))) == canon(sink.events)
+
+    def test_jsonl_round_trips_fault_events(self, chaos_traced):
+        _, jpath, sink = chaos_traced
+        assert load_events(str(jpath)) == sink.events
+
+    def test_fault_fields_survive_per_type(self, chaos_traced):
+        from repro.obs.events import (
+            FAULT_INJECTED,
+            RANK_DEAD,
+            TASK_MIGRATED,
+            TASK_RETRY,
+        )
+
+        _, jpath, sink = chaos_traced
+        loaded = load_events(str(jpath))
+        by_type = {}
+        for ev in loaded:
+            by_type.setdefault(ev.type, []).append(ev)
+        assert any(e.category for e in by_type[FAULT_INJECTED])
+        assert all(e.dur >= 0 for e in by_type[TASK_RETRY])  # backoff
+        assert all(e.proc >= 0 for e in by_type[RANK_DEAD])
+        assert all(
+            e.proc >= 0 and e.task >= 0 for e in by_type[TASK_MIGRATED]
+        )
+
+    def test_parents_round_trip_as_tuples(self, chaos_traced):
+        _, jpath, sink = chaos_traced
+        loaded = load_events(str(jpath))
+        with_parents = [e for e in loaded if e.parents]
+        assert with_parents  # context sink was attached
+        for got, want in zip(loaded, sink.events):
+            assert isinstance(got.parents, tuple)
+            assert got.parents == want.parents
+
+
+class TestParentsField:
+    def test_default_parents_omitted_from_dict(self):
+        ev = Event("task_started", 1.0, proc=0, task=3)
+        assert "parents" not in ev.to_dict()
+
+    def test_parents_serialize_and_coerce_back_to_tuple(self):
+        ev = Event("task_started", 1.0, proc=0, task=6, parents=(1, 4, 4))
+        d = ev.to_dict()
+        assert d["parents"] == [1, 4, 4]  # JSON-friendly list
+        back = Event.from_dict(json.loads(json.dumps(d)))
+        assert back == ev
+        assert back.parents == (1, 4, 4)
+
+
 class TestLoadEvents:
     def test_rejects_garbage(self, tmp_path):
         p = tmp_path / "garbage.txt"

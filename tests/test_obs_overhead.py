@@ -108,3 +108,47 @@ def test_label_poison_actually_fires_when_observed(poisoned_labels):
     c.add_sink(ListSink())
     with pytest.raises(AssertionError, match="label built"):
         run_reduction(c)
+
+
+@pytest.fixture
+def poisoned_parents(monkeypatch):
+    """Make any causal-parent accumulator allocation raise.
+
+    Span-context threading (Event.parents) is opt-in per sink
+    (``wants_context``); these poisons prove the per-deposit parent
+    tracking never runs unless a sink explicitly asked for it.
+    """
+    import repro.runtimes.serial as serial
+    import repro.runtimes.simbase as simbase
+
+    def boom(*a, **k):
+        raise AssertionError("parent list built without a context sink")
+
+    monkeypatch.setattr(simbase, "_parent_list", boom)
+    monkeypatch.setattr(serial, "_parent_list", boom)
+
+
+@pytest.mark.parametrize("ctor", ALL, ids=IDS)
+def test_unobserved_run_tracks_no_causal_parents(ctor, poisoned_parents):
+    g, result = run_reduction(ctor())
+    assert result.stats.tasks_executed == g.size()
+
+
+@pytest.mark.parametrize("ctor", ALL, ids=IDS)
+def test_plain_sink_tracks_no_causal_parents(ctor, poisoned_parents):
+    # A sink without wants_context must keep the historical event
+    # shapes: no parents field populated, no tracking cost paid.
+    c = ctor()
+    sink = ListSink()
+    c.add_sink(sink)
+    g, result = run_reduction(c)
+    assert result.stats.tasks_executed == g.size()
+    assert all(e.parents == () for e in sink.events)
+
+
+@pytest.mark.parametrize("ctor", ALL, ids=IDS)
+def test_parent_poison_fires_with_context_sink(ctor, poisoned_parents):
+    c = ctor()
+    c.add_sink(ListSink(wants_context=True))
+    with pytest.raises(AssertionError, match="parent list built"):
+        run_reduction(c)

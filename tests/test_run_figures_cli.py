@@ -30,7 +30,18 @@ class TestCli:
         assert proc.returncode == 2
         assert "unknown" in proc.stderr
 
-    def test_runs_a_fast_figure(self):
-        proc = run("fig3")
+    def test_runs_a_fast_figure_and_captures_trace(self, tmp_path):
+        # One subprocess covers both the figure run and the --trace
+        # satellite (REPRO_TRACE propagation into the pytest child).
+        trace = tmp_path / "fig3.jsonl"
+        proc = run("fig3", "--trace", str(trace))
         assert proc.returncode == 0, proc.stdout[-2000:]
         assert "Figure 3" in proc.stdout
+
+        from repro.obs import load_events, split_runs
+
+        assert trace.exists() and trace.stat().st_size > 0
+        events = load_events(str(trace))
+        runs = split_runs(events)
+        assert runs and all(run[0].type == "run_started" for run in runs)
+        assert any(e.type == "task_finished" for e in events)
