@@ -5,6 +5,11 @@ to the runtime; this sweep shows the trade-off on an imbalanced
 over-decomposed workload: balancing too rarely leaves imbalance on the
 table, balancing extremely often pays LB rounds and migrations for
 nothing.
+
+Also locks in the `repro.sched` extraction: the Charm++ controller's
+built-in balancer *is* `PeriodicGreedyBalancer`, so passing one
+explicitly must reproduce the default run exactly, and `NullBalancer`
+must equal turning the period off.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from repro.core.payload import Payload
 from repro.graphs import DataParallel
 from repro.runtimes import DEFAULT_COSTS, CharmController
 from repro.runtimes.costs import CallableCost
+from repro.sched import NullBalancer, PeriodicGreedyBalancer
 
 PES = 16
 TASKS = PES * 16
@@ -23,15 +29,17 @@ PERIODS = [0, 1, 2, 3]  # index into PERIOD_VALUES (0 = LB off)
 PERIOD_VALUES = {0: 0.0, 1: 0.01, 2: 0.1, 3: 1.0}
 
 
-def run_point(period_idx: int):
+def run_point(period_idx: int, balancer=None):
     period = PERIOD_VALUES[period_idx]
     cost = CallableCost(
         lambda t, i: 0.5 if t.id % PES in (0, 1) else 0.005
     )
+    kwargs = {} if balancer is None else {"balancer": balancer}
     c = observe(CharmController(
         PES,
         cost_model=cost,
         costs=DEFAULT_COSTS.with_(charm_lb_period=period),
+        **kwargs,
     ))
     g = DataParallel(TASKS)
     c.initialize(g)
@@ -67,3 +75,14 @@ def test_ablation_lb_period(sweep, benchmark):
     # LB machinery only engages when enabled.
     assert sweep["lb rounds"][0] == 0
     assert sweep["migrations"][1] > 0
+
+
+def test_extracted_balancer_matches_builtin(sweep):
+    # The pluggable strategy is the old built-in, bit for bit.
+    r_explicit, c_explicit = run_point(2, balancer=PeriodicGreedyBalancer())
+    assert r_explicit.makespan == sweep["makespan"][2]
+    assert float(c_explicit.migrations) == sweep["migrations"][2]
+    # NullBalancer == LB disabled, regardless of the configured period.
+    r_null, c_null = run_point(2, balancer=NullBalancer())
+    assert r_null.makespan == sweep["makespan"][0]
+    assert c_null.migrations == 0

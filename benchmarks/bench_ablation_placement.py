@@ -2,9 +2,12 @@
 
 The MPI controller's task map is the user's main tuning knob (Section
 IV-A).  This sweep compares the round-robin default (`ModuloMap`), a
-contiguous `BlockMap`, and the workload-aware locality map that pins each
-leaf's correction chain to the leaf's rank — measuring makespan and the
-bytes that actually cross the network.
+contiguous `BlockMap`, the workload-aware locality map that pins each
+leaf's correction chain to the leaf's rank, and the cost-aware HEFT
+planner (`repro.sched.plan_placement`) fed a profile of the ModuloMap
+baseline — measuring makespan and the bytes that actually cross the
+network.  The planner must never lose to round robin: it sees the same
+simulated costs the run will pay.
 """
 
 from __future__ import annotations
@@ -14,7 +17,9 @@ import pytest
 from benchmarks.harness import bench_field, observe, print_series
 from repro.analysis.mergetree import MergeTreeWorkload, mergetree_locality_map
 from repro.core.taskmap import BlockMap, ModuloMap
+from repro.obs import ListSink
 from repro.runtimes import MPIController
+from repro.sched import ProfiledEstimate, plan_placement
 
 LEAVES = 512
 CORES = 64
@@ -37,15 +42,28 @@ def make_maps(graph):
     }
 
 
-def run_point(workload, tmap):
+def run_point(workload, tmap, sink=None):
     c = observe(MPIController(CORES, cost_model=workload.cost_model()))
+    if sink is not None:
+        c.add_sink(sink)
     return workload.run(c, tmap)
+
+
+def planned_map(workload):
+    """Profile the ModuloMap baseline once, then HEFT-plan from it."""
+    sink = ListSink()
+    run_point(workload, ModuloMap(CORES, workload.graph.size()), sink=sink)
+    return plan_placement(
+        workload.graph, CORES,
+        estimator=ProfiledEstimate.from_events(sink.events),
+    )
 
 
 @pytest.fixture(scope="module")
 def sweep(workload):
     out = {"makespan": {}, "network MB": {}, "serialize s": {}}
     maps = make_maps(workload.graph)
+    maps["HEFT planned"] = planned_map(workload)
     for i, (name, tmap) in enumerate(maps.items()):
         r = run_point(workload, tmap)
         # Network bytes: total minus intra-rank traffic is not directly
@@ -77,3 +95,7 @@ def test_ablation_placement(workload, sweep, benchmark):
     # And it must not cost correctness or blow up the makespan.
     mk = sweep["makespan"]
     assert mk[2] <= 1.5 * min(mk.values())
+    # The cost-aware planner beats the round-robin default outright: it
+    # was fed the measured per-task compute and per-edge traffic of the
+    # very workload it is placing (indexes: 0=Modulo, 3=HEFT planned).
+    assert mk[3] < mk[0]

@@ -1,0 +1,80 @@
+"""Ablation: work stealing on the async-MPI controller.
+
+The MPI controller's static task map can leave ranks idle when the
+placement is skewed; `repro.sched.WorkStealingBalancer` lets an idle
+rank take queued work from the longest backlog.  This sweep measures the
+fix as a function of how skewed the placement is — from the balanced
+round-robin default (stealing should stay out of the way) to every task
+pinned on one rank (stealing rescues all the parallelism the map threw
+away, minus the migration traffic it pays for).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import observe, print_series
+from repro.core.payload import Payload
+from repro.core.taskmap import RangeMap
+from repro.graphs import DataParallel
+from repro.runtimes import MPIController
+from repro.runtimes.costs import CallableCost
+from repro.sched import WorkStealingBalancer
+
+RANKS = 16
+TASKS = RANKS * 16
+
+#: Sweep axis: number of ranks the static map actually uses (the rest
+#: start idle).  RANKS = the balanced modulo baseline.
+OWNERS = [1, 2, 4, RANKS]
+
+
+def skewed_map(owners: int) -> RangeMap:
+    return RangeMap(RANKS, [t % owners for t in range(TASKS)])
+
+
+def run_point(owners: int, stealing: bool):
+    cost = CallableCost(lambda t, i: 0.01)
+    bal = WorkStealingBalancer() if stealing else None
+    kwargs = {} if bal is None else {"balancer": bal}
+    c = observe(MPIController(RANKS, cost_model=cost, **kwargs))
+    g = DataParallel(TASKS)
+    c.initialize(g, skewed_map(owners))
+    c.register_callback(g.WORK, lambda ins, tid: [ins[0]])
+    r = c.run({t: Payload(1) for t in range(TASKS)})
+    stolen = bal.stolen() if bal is not None else 0
+    return r, stolen
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    out = {"static s": {}, "stealing s": {}, "tasks stolen": {}}
+    for owners in OWNERS:
+        r_static, _ = run_point(owners, stealing=False)
+        r_steal, stolen = run_point(owners, stealing=True)
+        out["static s"][owners] = r_static.makespan
+        out["stealing s"][owners] = r_steal.makespan
+        out["tasks stolen"][owners] = float(stolen)
+    return out
+
+
+def test_ablation_stealing(sweep, benchmark):
+    benchmark.pedantic(
+        run_point, args=(1, True), rounds=1, iterations=1
+    )
+    print_series(
+        f"Ablation: work stealing vs. placement skew "
+        f"({TASKS} tasks, {RANKS} ranks)",
+        "ranks used by the static map", OWNERS, sweep, unit="s / count",
+    )
+    static, steal = sweep["static s"], sweep["stealing s"]
+    stolen = sweep["tasks stolen"]
+    # The more skewed the static map, the more stealing recovers; at
+    # full pinning it must win by a wide margin (most of the 16x).
+    for owners in OWNERS[:-1]:
+        assert steal[owners] < static[owners], owners
+    assert steal[1] < static[1] / 4
+    # Steal volume grows as the map gets more skewed.
+    assert stolen[1] > stolen[4] > 0
+    # On the balanced map stealing must not hurt: nothing worth taking.
+    assert steal[RANKS] <= static[RANKS] * 1.05

@@ -113,10 +113,31 @@ def bench_fig6_point(reps: int) -> dict:
     }
 
 
+def bench_placement_plan(reps: int, leaves: int = 1024, shards: int = 256) -> dict:
+    """Planner throughput: HEFT list scheduling over the fig-6 graph."""
+    from repro.graphs import MergeTreeGraph
+    from repro.sched import UniformEstimate, plan_placement
+
+    g = MergeTreeGraph(leaves, 4).cached()
+    est = UniformEstimate(1e-4, nbytes=1e6)
+
+    def once():
+        return plan_placement(g, shards, estimator=est)
+
+    seconds, pm = _best_of(reps, once)
+    return {
+        "seconds": round(seconds, 6),
+        "tasks": g.size(),
+        "tasks_per_sec": round(g.size() / seconds),
+        "est_makespan": pm.est_makespan,
+    }
+
+
 BENCHMARKS: dict[str, Callable[[int], dict]] = {
     "engine_events": bench_engine_events,
     "controller_tasks": bench_controller_tasks,
     "fig6_point": bench_fig6_point,
+    "placement_plan": bench_placement_plan,
 }
 
 #: Benchmarks whose run can be re-captured as an event trace (the
@@ -221,6 +242,7 @@ DETERMINISM_FIELDS = {
     "fig6_point": ("makespan", "tasks_executed"),
     "controller_tasks": ("tasks",),
     "engine_events": ("events",),
+    "placement_plan": ("tasks", "est_makespan"),
 }
 
 

@@ -5,6 +5,10 @@ Mirrors the paper's Listing 1 workflow: implement the tasks, describe the
 dataflow with a stock task graph, register callbacks on a controller, and
 run — then swap the controller without touching the algorithm.
 
+This example spells out the full controller protocol to make the
+swap explicit; for the one-call form see ``repro.run`` (README
+quickstart), which picks the backend by registry name.
+
 Run:  python examples/quickstart.py
 """
 

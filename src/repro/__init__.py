@@ -9,31 +9,73 @@ Subpackages:
 * :mod:`repro.graphs` -- stock dataflow graphs (reduction, broadcast,
   binary swap, neighbor, merge tree, ...).
 * :mod:`repro.runtimes` -- the runtime controllers (Serial, MPI, Charm++,
-  Legion SPMD, Legion index-launch).
+  Legion SPMD, Legion index-launch) and the name registry
+  (:data:`repro.runtimes.REGISTRY`).
+* :mod:`repro.sched` -- pluggable scheduling: cost-aware placement
+  planning (:func:`repro.sched.plan_placement`) and dynamic balancers.
 * :mod:`repro.sim` -- the discrete-event cluster substrate.
+* :mod:`repro.obs` -- observability: lifecycle events, metrics, traces.
+* :mod:`repro.faults` -- fault plans and retry policies.
 * :mod:`repro.analysis` -- the paper's three use cases: topological
   analysis (merge trees), distributed rendering/compositing, and volume
   registration.
 * :mod:`repro.data` -- synthetic dataset generators.
 
-Quickstart::
+Quickstart — one import, one call::
 
-    from repro.core import Payload, ModuloMap
-    from repro.graphs import Reduction
-    from repro.runtimes import MPIController
+    import repro
 
-    graph = Reduction(leaves=16, valence=4)
-    c = MPIController(n_procs=4)
-    c.initialize(graph, ModuloMap(4, graph.size()))
-    c.register_callback(graph.LEAF, lambda ins, tid: [ins[0]])
-    c.register_callback(graph.REDUCE,
-                        lambda ins, tid: [Payload(sum(p.data for p in ins))])
-    c.register_callback(graph.ROOT,
-                        lambda ins, tid: [Payload(sum(p.data for p in ins))])
-    result = c.run({t: Payload(1) for t in graph.leaf_ids()})
+    graph = repro.Reduction(leaves=16, valence=4)
+    add = lambda ins, tid: [repro.Payload(sum(p.data for p in ins))]
+    result = repro.run(
+        graph,
+        callbacks={graph.LEAF: lambda ins, tid: [ins[0]],
+                   graph.REDUCE: add, graph.ROOT: add},
+        inputs={t: repro.Payload(1) for t in graph.leaf_ids()},
+        runtime="mpi",
+        n_procs=4,
+    )
     assert result.output(graph.root_id).data == 16
+
+Swap ``runtime="mpi"`` for any registry name — ``"serial"``,
+``"blocking-mpi"``, ``"charm"``, ``"legion-spmd"``, ``"legion-index"`` —
+to execute the same graph on a different runtime model.  The underlying
+controller protocol (``initialize`` / ``register_callback`` / ``run``)
+remains available for staged setups; see :mod:`repro.runtimes`.
 """
 
-__version__ = "1.0.0"
+from repro.api import run
+from repro.core.payload import Payload
+from repro.core.taskmap import BlockMap, ModuloMap, RangeMap, TaskMap
+from repro.graphs import Reduction
+from repro.runtimes import (
+    REGISTRY,
+    BlockingMPIController,
+    CharmController,
+    LegionIndexController,
+    LegionSPMDController,
+    MPIController,
+    RunResult,
+    SerialController,
+)
 
-__all__ = ["__version__"]
+__version__ = "1.1.0"
+
+__all__ = [
+    "BlockMap",
+    "BlockingMPIController",
+    "CharmController",
+    "LegionIndexController",
+    "LegionSPMDController",
+    "MPIController",
+    "ModuloMap",
+    "Payload",
+    "REGISTRY",
+    "RangeMap",
+    "Reduction",
+    "RunResult",
+    "SerialController",
+    "TaskMap",
+    "run",
+    "__version__",
+]

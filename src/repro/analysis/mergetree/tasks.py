@@ -34,6 +34,7 @@ from repro.core.payload import Payload
 from repro.graphs.merge_tree import MergeTreeGraph
 from repro.runtimes.controller import Controller
 from repro.runtimes.costs import CallableCost, CostModel
+from repro.runtimes.registry import coerce_controller
 
 
 @dataclass(eq=False)
@@ -147,14 +148,17 @@ class MergeTreeWorkload:
             out[self.graph.local_id(b)] = self._volume_payload(block)
         return out
 
-    def run(self, controller: Controller, task_map=None):
+    def run(self, controller: Controller | str, task_map=None, **kwargs):
         """Initialize, register, and run on ``controller``.
 
         Args:
-            controller: a fresh (uninitialized) controller.
+            controller: a fresh (uninitialized) controller, or a
+                :data:`repro.runtimes.REGISTRY` name (``"mpi"``, ...)
+                with ``n_procs=`` and constructor kwargs passed through.
             task_map: optional task map forwarded to ``initialize`` (the
                 MPI / Legion SPMD controllers default to a ModuloMap).
         """
+        controller = coerce_controller(controller, **kwargs)
         controller.initialize(self.graph, task_map)
         self.register(controller)
         return controller.run(self.initial_inputs())

@@ -33,6 +33,7 @@ from repro.core.payload import Payload
 from repro.graphs.neighbor import NeighborRegistration
 from repro.runtimes.controller import Controller
 from repro.runtimes.costs import CallableCost, CostModel
+from repro.runtimes.registry import coerce_controller
 
 
 @dataclass(frozen=True)
@@ -112,8 +113,11 @@ class RegistrationWorkload:
                 out[self.graph.extract_id(cell, s)] = self._scaled(slab)
         return out
 
-    def run(self, controller: Controller, task_map=None):
-        """Initialize, register, and run on ``controller``."""
+    def run(self, controller: Controller | str, task_map=None, **kwargs):
+        """Initialize, register, and run on ``controller`` (a registry
+        name such as ``"mpi"`` also works, with ``n_procs=`` and
+        constructor kwargs passed through)."""
+        controller = coerce_controller(controller, **kwargs)
         controller.initialize(self.graph, task_map)
         self.register(controller)
         return controller.run(self.initial_inputs())

@@ -49,6 +49,7 @@ from repro.graphs.radixk import RadixK
 from repro.graphs.reduction import Reduction
 from repro.runtimes.controller import Controller
 from repro.runtimes.costs import CallableCost, CostModel
+from repro.runtimes.registry import coerce_controller
 
 
 @dataclass(frozen=True)
@@ -161,8 +162,11 @@ class RenderingWorkload:
             out[leaf_ids[b]] = Payload(block)
         return out
 
-    def run(self, controller: Controller, task_map=None):
-        """Initialize, register, and run on ``controller``."""
+    def run(self, controller: Controller | str, task_map=None, **kwargs):
+        """Initialize, register, and run on ``controller`` (a registry
+        name such as ``"mpi"`` also works, with ``n_procs=`` and
+        constructor kwargs passed through)."""
+        controller = coerce_controller(controller, **kwargs)
         controller.initialize(self.graph, task_map)
         self.register(controller)
         return controller.run(self.initial_inputs())

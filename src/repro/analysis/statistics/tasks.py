@@ -21,6 +21,7 @@ from repro.core.payload import Payload
 from repro.graphs.reduction import Reduction
 from repro.runtimes.controller import Controller
 from repro.runtimes.costs import CallableCost, CostModel
+from repro.runtimes.registry import coerce_controller
 
 
 @dataclass(frozen=True)
@@ -89,8 +90,11 @@ class StatisticsWorkload:
             for b in range(self.decomp.n_blocks)
         }
 
-    def run(self, controller: Controller, task_map=None):
-        """Initialize, register, and run on ``controller``."""
+    def run(self, controller: Controller | str, task_map=None, **kwargs):
+        """Initialize, register, and run on ``controller`` (a registry
+        name such as ``"mpi"`` also works, with ``n_procs=`` and
+        constructor kwargs passed through)."""
+        controller = coerce_controller(controller, **kwargs)
         controller.initialize(self.graph, task_map)
         self.register(controller)
         return controller.run(self.initial_inputs())

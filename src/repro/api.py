@@ -1,0 +1,90 @@
+"""The one-call API: :func:`repro.run`.
+
+The controller protocol (construct, ``initialize``, ``register_callback``
+per task type, ``run``) mirrors the paper's Listing 1 and stays the
+primitive; this facade folds the whole ceremony into a single call for
+the common case — pick a runtime by name, hand over the graph, the
+callbacks, and the inputs::
+
+    import repro
+    from repro.graphs import Reduction
+
+    graph = Reduction(leaves=16, valence=4)
+    result = repro.run(
+        graph,
+        callbacks={
+            graph.LEAF: lambda ins, tid: [ins[0]],
+            graph.REDUCE: lambda ins, tid: [Payload(sum(p.data for p in ins))],
+            graph.ROOT: lambda ins, tid: [Payload(sum(p.data for p in ins))],
+        },
+        inputs={t: Payload(1) for t in graph.leaf_ids()},
+        runtime="mpi",
+        n_procs=4,
+    )
+
+Every scheduling/fault/observability knob threads straight through:
+``task_map`` (including :func:`repro.sched.plan_placement`'s planned
+maps), ``cost_model``, ``fault_plan``/``retry_policy``, ``balancer``,
+and ``sinks``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.callbacks import TaskCallback
+from repro.core.graph import TaskGraph
+from repro.core.ids import CallbackId, TaskId
+from repro.core.taskmap import TaskMap
+from repro.obs.events import EventSink
+from repro.runtimes.controller import Controller, InitialInput
+from repro.runtimes.registry import make_controller
+from repro.runtimes.result import RunResult
+
+
+def run(
+    graph: TaskGraph,
+    callbacks: Mapping[CallbackId, TaskCallback],
+    inputs: Mapping[TaskId, InitialInput],
+    runtime: str | type[Controller] = "mpi",
+    n_procs: int | None = None,
+    *,
+    task_map: TaskMap | None = None,
+    sinks: Sequence[EventSink] = (),
+    **kwargs,
+) -> RunResult:
+    """Execute ``graph`` on a named runtime in one call.
+
+    Args:
+        graph: the dataflow to execute.
+        callbacks: one implementation per task type (callback id), as
+            returned by ``graph.callbacks()``.
+        inputs: payloads for every EXTERNAL input slot, keyed by task id.
+        runtime: a :data:`repro.runtimes.REGISTRY` name (``"serial"``,
+            ``"mpi"``, ``"blocking-mpi"``, ``"charm"``, ``"legion-spmd"``,
+            ``"legion-index"``) or a controller class.
+        n_procs: simulated cluster size (required except for
+            ``"serial"``).
+        task_map: explicit placement for the backends that take one
+            (``mpi``, ``blocking-mpi``, ``legion-spmd``); pass a
+            :func:`repro.sched.plan_placement` result for cost-aware
+            placement.
+        sinks: observability sinks attached for this run.
+        **kwargs: forwarded to the controller constructor —
+            ``cost_model``, ``machine``, ``costs``, ``cores_per_proc``,
+            ``fault_plan``, ``retry_policy``, ``balancer``, ...
+
+    Returns:
+        The :class:`~repro.runtimes.result.RunResult` with the returned
+        payloads, timing statistics, and metrics.
+
+    Raises:
+        ControllerError: unknown runtime name (the message lists the
+            valid ones), missing ``n_procs``, a kwarg the chosen backend
+            does not support, or a callback/input mismatch.
+    """
+    controller = make_controller(runtime, n_procs=n_procs, sinks=sinks, **kwargs)
+    controller.initialize(graph, task_map)
+    for cid, fn in callbacks.items():
+        controller.register_callback(cid, fn)
+    return controller.run(inputs)

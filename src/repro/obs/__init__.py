@@ -37,6 +37,10 @@ from repro.obs.events import (
     RANK_DEAD,
     RUN_FINISHED,
     RUN_STARTED,
+    SCHED_MIGRATED,
+    SCHED_PLANNED,
+    SCHED_STEAL,
+    SCHED_VOCABULARY,
     TASK_ENQUEUED,
     TASK_FINISHED,
     TASK_MIGRATED,
@@ -103,6 +107,10 @@ __all__ = [
     "MESSAGE_DELIVERED",
     "MESSAGE_SENT",
     "MIGRATION",
+    "SCHED_MIGRATED",
+    "SCHED_PLANNED",
+    "SCHED_STEAL",
+    "SCHED_VOCABULARY",
     "MetricsRegistry",
     "MetricsSnapshot",
     "NULL_HUB",

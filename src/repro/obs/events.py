@@ -61,6 +61,22 @@ FAULT_VOCABULARY = frozenset(
     {FAULT_INJECTED, TASK_RETRY, RANK_DEAD, TASK_MIGRATED}
 )
 
+#: A planned task map was installed for the run; ``category`` is the
+#: planning strategy, ``dur`` the planner's estimated makespan.
+SCHED_PLANNED = "sched.planned"
+#: A balancer moved a queued task between procs (``proc`` ->
+#: ``dst_proc``; ``nbytes`` is the buffered input state transferred).
+SCHED_MIGRATED = "sched.migrated"
+#: An idle proc stole a queued task (``proc`` is the victim,
+#: ``dst_proc`` the thief); the matching ``sched.migrated`` follows.
+SCHED_STEAL = "sched.steal"
+
+#: Events emitted only by the scheduling layer (:mod:`repro.sched`);
+#: they appear in a stream only when a planned map or balancer is
+#: installed (Charm++'s built-in balancer keeps its legacy ``migration``
+#: events for compatibility).
+SCHED_VOCABULARY = frozenset({SCHED_PLANNED, SCHED_MIGRATED, SCHED_STEAL})
+
 #: The complete event vocabulary shared by all backends.
 VOCABULARY = (
     frozenset(
@@ -77,6 +93,7 @@ VOCABULARY = (
         }
     )
     | FAULT_VOCABULARY
+    | SCHED_VOCABULARY
 )
 
 #: Lifecycle events every backend emits on every non-empty run

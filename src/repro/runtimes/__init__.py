@@ -39,6 +39,12 @@ from repro.runtimes.costs import (
 )
 from repro.runtimes.legion import LegionIndexController, LegionSPMDController
 from repro.runtimes.mpi import MPIController
+from repro.runtimes.registry import (
+    REGISTRY,
+    coerce_controller,
+    make_controller,
+    resolve_runtime,
+)
 from repro.runtimes.replay import (
     Recording,
     RecordingController,
@@ -62,6 +68,7 @@ __all__ = [
     "MPIController",
     "MeasuredCost",
     "NullCost",
+    "REGISTRY",
     "Recording",
     "RecordingController",
     "ReplayResult",
@@ -73,7 +80,10 @@ __all__ = [
     "calibrate_merge_tree",
     "calibrate_registration",
     "calibrate_rendering",
+    "coerce_controller",
+    "make_controller",
     "measure_rate",
     "replay_task",
+    "resolve_runtime",
     "verify_recording",
 ]

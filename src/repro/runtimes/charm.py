@@ -16,18 +16,22 @@ Model highlights, matching the paper's description:
   paying a per-chare migration cost plus the network transfer of the
   chare's buffered inputs.  This is what lets Charm++ overtake static MPI
   placement on imbalanced workloads at scale (paper Figs. 6 and 9).
+
+The balancing *strategy* is the generic
+:class:`~repro.sched.balance.PeriodicGreedyBalancer` (installed by
+default; pass ``balancer=`` to substitute any other strategy, or
+:class:`~repro.sched.balance.NullBalancer` to disable).  The migration
+*mechanics* — per-chare migration cost, buffered-state transfer, unpack
+overhead — stay here, as the backend's ``_migrate_queued`` hook.
 """
 
 from __future__ import annotations
 
-from repro.core.errors import SimulationError
 from repro.core.ids import TaskId
 from repro.core.payload import Payload
 from repro.obs.events import MIGRATION, OVERHEAD, Event
+from repro.sched.balance import PeriodicGreedyBalancer
 from repro.runtimes.simbase import SimController
-
-#: LB rounds with zero progress after which the run is declared stalled.
-_MAX_IDLE_LB_ROUNDS = 10_000
 
 
 class CharmController(SimController):
@@ -37,17 +41,22 @@ class CharmController(SimController):
     placement is handled by the runtime model.
 
     Extra constructor knob: set ``costs.charm_lb_period <= 0`` to disable
-    load balancing entirely (used by the ablation benchmark).
+    load balancing entirely (used by the ablation benchmark), or pass an
+    explicit ``balancer=`` strategy.
     """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if self.balancer is None:
+            # The runtime's own periodic LB, reading its period/cost from
+            # ``costs``; marked built-in so the legacy ``migrations`` /
+            # ``lb_rounds`` counters keep their historical shape.
+            self.balancer = PeriodicGreedyBalancer()
+            self._balancer_builtin = True
 
     def _prepare_run(self) -> None:
         self._chare_owner: dict[TaskId, int] = {}
         self._migrations = 0
-        self._lb_rounds = 0
-        self._idle_lb_rounds = 0
-        self._executed_at_last_lb = 0
-        if self.costs.charm_lb_period > 0:
-            self._engine.call_after(self.costs.charm_lb_period, self._lb_tick)
 
     def _proc_of(self, tid: TaskId) -> int:
         owner = self._chare_owner.get(tid)
@@ -87,78 +96,16 @@ class CharmController(SimController):
         )
 
     # ------------------------------------------------------------------ #
-    # Periodic load balancing
+    # Chare migration (the balancer's backend hook)
     # ------------------------------------------------------------------ #
 
-    def _lb_tick(self) -> None:
-        if len(self._done) >= self._total:
-            return  # run finished; stop rescheduling
-        if self._executed == self._executed_at_last_lb:
-            self._idle_lb_rounds += 1
-            if self._idle_lb_rounds > _MAX_IDLE_LB_ROUNDS:
-                raise SimulationError(
-                    "CharmController: no progress across "
-                    f"{_MAX_IDLE_LB_ROUNDS} LB rounds — dataflow stalled"
-                )
-        else:
-            self._idle_lb_rounds = 0
-        self._executed_at_last_lb = self._executed
-        self._lb_rounds += 1
-        lb_cost = self.costs.charm_lb_cost * self.n_procs
-        self._result.stats.add("lb", lb_cost)
-        if self._obs:
-            # The LB strategy runs centrally; bill it as one overhead
-            # interval starting at the measurement instant.
-            self._obs.emit(
-                Event(
-                    OVERHEAD,
-                    self._engine.now + lb_cost,
-                    proc=0,
-                    dur=lb_cost,
-                    category="lb",
-                    label=f"lb round {self._lb_rounds}",
-                )
-            )
-        self._balance()
-        self._engine.call_after(self.costs.charm_lb_period, self._lb_tick)
-
-    def _balance(self) -> None:
-        """One-shot queue-length leveling of ready-but-queued chares.
-
-        Each PE's desired queue length is the global mean (rounded so the
-        longest queues keep the remainder, minimizing movement); surplus
-        chares are popped into a pool and handed to the PEs below their
-        desired length.
-        """
-        # Dead PEs neither donate nor receive chares.
-        procs = self._survivors if self._dead_procs else range(self.n_procs)
-        lengths = {p: len(self._ready[p]) for p in procs}
-        total = sum(lengths.values())
-        base, extra = divmod(total, len(lengths))
-        # The `extra` currently-longest queues keep one more chare.
-        order = sorted(procs, key=lambda p: -lengths[p])
-        desired = {p: base for p in procs}
-        for p in order[:extra]:
-            desired[p] = base + 1
-        pool: list[tuple[TaskId, int]] = []
-        for p in procs:
-            while lengths[p] > desired[p]:
-                tid = self._ready[p].pop()  # migrate the freshest arrival
-                pool.append((tid, p))
-                lengths[p] -= 1
-        for p in procs:
-            while lengths[p] < desired[p] and pool:
-                tid, src = pool.pop()
-                self._migrate(tid, src, p)
-                lengths[p] += 1
-        assert not pool, "LB pool not drained"
-
-    def _migrate(self, tid: TaskId, src: int, dst: int) -> None:
+    def _migrate_queued(self, tid: TaskId, src: int, dst: int) -> None:
         """Move a queued chare (inputs already buffered) to another PE."""
         pt = self._ptasks[tid]
         pt.queued = False
         self._chare_owner[tid] = dst
         self._migrations += 1
+        self._lb_migrations += 1
         nbytes = sum(p.nbytes for p in pt.slots if p is not None)
         self._result.stats.add("migrate", self.costs.charm_migration_cost)
         if self._obs:
@@ -210,7 +157,10 @@ class CharmController(SimController):
 
     def _snapshot_metrics(self):
         self._metrics.counter("migrations").inc(self._migrations)
-        self._metrics.counter("lb_rounds").inc(self._lb_rounds)
+        if self._balancer_builtin:
+            # Historical counter shape; an explicit balancer= reports
+            # through the generic scheduler counters instead.
+            self._metrics.counter("lb_rounds").inc(self.lb_rounds)
         return super()._snapshot_metrics()
 
     @property
@@ -221,4 +171,5 @@ class CharmController(SimController):
     @property
     def lb_rounds(self) -> int:
         """Number of load-balancing rounds in the last run."""
-        return getattr(self, "_lb_rounds", 0)
+        bal = self.balancer
+        return bal.rounds() if bal is not None else 0

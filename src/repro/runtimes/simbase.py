@@ -26,8 +26,9 @@ results *and* the same virtual timings.
 from __future__ import annotations
 
 import time
+import warnings
 from collections import deque
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.callbacks import CallbackRegistry
 from repro.core.errors import ControllerError, FaultError, SimulationError
@@ -43,6 +44,8 @@ from repro.obs.events import (
     RANK_DEAD,
     RUN_FINISHED,
     RUN_STARTED,
+    SCHED_MIGRATED,
+    SCHED_PLANNED,
     TASK_ENQUEUED,
     TASK_FINISHED,
     TASK_MIGRATED,
@@ -60,6 +63,9 @@ from repro.sim.cluster import Cluster
 from repro.sim.engine import Engine
 from repro.sim.machine import SHAHEEN_II, MachineSpec
 from repro.sim.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (repro.sched imports us)
+    from repro.sched.balance import Balancer
 
 
 def _task_label(tid: TaskId, suffix: str = "") -> str:
@@ -124,16 +130,19 @@ class SimController(Controller):
         collect_trace: keep a full span trace on the result (debugging).
         procs_per_node: how many procs share a node; defaults to
             ``cores_per_node // cores_per_proc``.
-        faults: legacy transient-fault shim: ``{task_id: n}`` makes the
-            first ``n`` attempts of that task fail after consuming their
-            full compute time; the controller then re-executes it — safe
+        faults: **deprecated** transient-fault shim (emits a
+            ``DeprecationWarning``): ``{task_id: n}`` makes the first
+            ``n`` attempts of that task fail after consuming their full
+            compute time; the controller then re-executes it — safe
             because tasks are idempotent by contract (the property the
-            paper leans on).  Equivalent to
+            paper leans on).  Use the bit-exact replacement
             ``fault_plan=FaultPlan(task_faults=faults)`` with
             :func:`~repro.faults.policy.legacy_policy`.  Wasted attempt
             time lands in the ``wasted`` stats category.
-        fault_retry_delay: legacy shim: virtual seconds between a failed
-            attempt and the re-enqueue (a restart/detection delay).
+        fault_retry_delay: **deprecated** shim (emits a
+            ``DeprecationWarning``): virtual seconds between a failed
+            attempt and the re-enqueue; use
+            ``retry_policy=legacy_policy(delay)`` instead.
         fault_plan: full fault schedule (transient task faults, permanent
             rank deaths, link degradation/drops) — see
             :mod:`repro.faults`.  A plan is consumed *per run*: each
@@ -144,6 +153,10 @@ class SimController(Controller):
             (backoff, attempt budget, timeout detection); defaults to
             :data:`~repro.faults.policy.DEFAULT_RETRY_POLICY` when a
             plan is installed.
+        balancer: dynamic load-balancing strategy (see
+            :mod:`repro.sched.balance`); ``None`` keeps the backend's
+            default (static placement everywhere except Charm++, whose
+            built-in periodic balancer stays on).
         sinks: observability sinks receiving the run's structured
             lifecycle events (see :mod:`repro.obs.events`); equivalent to
             calling :meth:`~repro.runtimes.controller.Controller.add_sink`.
@@ -162,6 +175,7 @@ class SimController(Controller):
         fault_retry_delay: float = 0.0,
         fault_plan: FaultPlan | None = None,
         retry_policy: RetryPolicy | None = None,
+        balancer: "Balancer | None" = None,
         sinks: Sequence[EventSink] = (),
     ) -> None:
         super().__init__()
@@ -177,6 +191,14 @@ class SimController(Controller):
         self.procs_per_node = procs_per_node
         self.faults = dict(faults) if faults else {}
         self.fault_retry_delay = fault_retry_delay
+        if faults is not None or fault_retry_delay != 0.0:
+            warnings.warn(
+                "the faults=/fault_retry_delay= kwargs are deprecated; use "
+                "fault_plan=FaultPlan(task_faults=...) with "
+                "retry_policy=legacy_policy(delay) for bit-exact semantics",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         if faults and fault_plan is not None:
             raise ControllerError(
                 "pass either the legacy faults= dict or fault_plan=, not both"
@@ -193,6 +215,11 @@ class SimController(Controller):
                 retry_policy = DEFAULT_RETRY_POLICY
         self.fault_plan = fault_plan
         self.retry_policy = retry_policy
+        self.balancer = balancer
+        # True when the balancer is the backend's own default (Charm++):
+        # the backend then keeps its legacy counters/events and the
+        # generic scheduler metrics stay out of clean-run snapshots.
+        self._balancer_builtin = False
         #: failed attempts observed in the last run.
         self.retries = 0
         # Per-run state; created in _execute.
@@ -329,10 +356,31 @@ class SimController(Controller):
         self._executed = 0
         self._total = graph.size()
         self._finish_time = 0.0
+        self._lb_migrations = 0
 
         if obs:
             obs.emit(Event(RUN_STARTED, 0.0, label=type(self).__name__))
+            tm = self._task_map
+            plan_seconds = getattr(tm, "plan_seconds", None)
+            if plan_seconds is not None:
+                # A planned map (repro.sched.plan) narrates its provenance;
+                # plain maps emit nothing (golden streams unchanged).
+                obs.emit(
+                    Event(
+                        SCHED_PLANNED,
+                        0.0,
+                        dur=getattr(tm, "est_makespan", 0.0),
+                        category=getattr(tm, "strategy", "planned"),
+                        label=f"planned placement ({tm.strategy})",
+                    )
+                )
         self._prepare_run()
+        bal = self.balancer
+        if bal is not None:
+            bal.install(self)
+        # Bound once per run: the pump loop pays one identity test when no
+        # balancer (or a hook-less one) is installed.
+        self._idle_hook = bal.on_idle if bal is not None else None
         if plan is not None:
             for death in plan.rank_deaths:
                 self._engine.call_at(death.at, self._rank_death, death.proc)
@@ -341,6 +389,11 @@ class SimController(Controller):
             # the deposits run in the same (sorted) order, so every
             # downstream event keeps its relative (time, seq) position.
             self._engine.call_at(0.0, self._deposit_initial, sorted(inputs.items()))
+        if self._idle_hook is not None:
+            # Scheduled after the initial deposits: procs the task map
+            # left without any work would otherwise never be pumped, so
+            # an idle-stealing balancer would never see them.
+            self._engine.call_at(0.0, self._probe_idle)
         self._engine.run()
 
         if len(self._done) != self._total:
@@ -377,6 +430,16 @@ class SimController(Controller):
         m.counter("bytes_sent").inc(self._cluster.bytes_sent)
         m.counter("retries").inc(self.retries)
         makespan = self._finish_time
+        plan_seconds = getattr(self._task_map, "plan_seconds", None)
+        if plan_seconds is not None:
+            # Scheduler metrics exist only when the feature is opted into,
+            # so clean runs keep their exact metric set (and goldens).
+            m.gauge("placement_plan_seconds").set(plan_seconds)
+        bal = self.balancer
+        if bal is not None and not self._balancer_builtin:
+            m.counter("lb_rounds").inc(bal.rounds())
+            m.counter("tasks_stolen").inc(bal.stolen())
+            m.counter("tasks_migrated_lb").inc(self._lb_migrations)
         if self.fault_plan is not None:
             # Fault/recovery metrics exist only when a plan is installed,
             # so clean runs keep their exact metric set (and goldens).
@@ -500,6 +563,66 @@ class SimController(Controller):
         while self._busy[proc] < self.cores_per_proc and self._ready[proc]:
             tid = self._ready[proc].popleft()
             self._start_task(proc, tid)
+        hook = self._idle_hook
+        if (
+            hook is not None
+            and not self._ready[proc]
+            and self._busy[proc] < self.cores_per_proc
+        ):
+            # The proc drained its queue with cores to spare: give the
+            # balancer (work stealing) a chance to find it more work.
+            hook(self, proc)
+
+    def _probe_idle(self) -> None:
+        """Pump every proc once so the balancer's idle hook sees procs
+        that start the run with an empty queue."""
+        for p in range(self.n_procs):
+            self._pump(p)
+
+    def _migrate_queued(self, tid: TaskId, src: int, dst: int) -> None:
+        """Move a queued (not yet started) task to another proc.
+
+        The caller (a :class:`~repro.sched.balance.Balancer`) already
+        removed ``tid`` from ``src``'s ready queue.  The buffered input
+        payloads travel as one message and the task re-enters the run
+        queue at the destination on arrival.  Backends with richer
+        migration semantics (Charm++'s chare migration) override this.
+        """
+        pt = self._ptasks[tid]
+        pt.queued = False
+        self._set_placement(tid, dst)
+        self._lb_migrations += 1
+        nbytes = sum(p.nbytes for p in pt.slots if p is not None)
+        obs = self._obs
+        if obs is not None:
+            obs.emit(
+                Event(
+                    SCHED_MIGRATED,
+                    self._engine._now,
+                    proc=src,
+                    dst_proc=dst,
+                    task=tid,
+                    nbytes=nbytes,
+                    label=_task_label(tid, f" -> p{dst}"),
+                )
+            )
+        self._cluster.send(
+            src,
+            dst,
+            nbytes,
+            self._arrive_balanced,
+            dst,
+            tid,
+            label=_task_label(tid, " balance") if obs else "",
+            src_task=tid,
+        )
+
+    def _arrive_balanced(self, dst: int, tid: TaskId) -> None:
+        if self._dead_procs and dst in self._dead_procs:
+            # The destination died while the task was in flight; the
+            # death recovery already re-placed and rebuilt it.
+            return
+        self._enqueue(dst, tid)
 
     def _start_task(self, proc: int, tid: TaskId) -> None:
         pt = self._ptasks[tid]

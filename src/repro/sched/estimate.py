@@ -1,0 +1,176 @@
+"""Cost estimates feeding the static placement planner.
+
+:func:`~repro.sched.plan.plan_placement` needs two numbers it cannot get
+from the runtime itself (planning happens *before* the run): how long a
+task will compute, and how many bytes each dataflow edge will carry.  A
+:class:`CostEstimate` answers both; the planner never executes callbacks.
+
+Provided estimators, from crudest to most faithful:
+
+* :class:`UniformEstimate` — every task costs the same; captures graph
+  *shape* only (critical-path depth, fan-in).
+* :class:`CallbackWeightEstimate` — per-callback (task-type) weights; the
+  usual middle ground when task types have known relative costs.
+* :class:`ModelEstimate` — ask an existing
+  :class:`~repro.runtimes.costs.CostModel` with empty inputs.  Works for
+  analytic models that only read ``task`` (e.g. the rendering workload's
+  per-block render model); models that inspect real payloads fall back to
+  a default.
+* :class:`ProfiledEstimate` — measured from the event stream of a
+  baseline run (:meth:`ProfiledEstimate.from_events`): per-task compute
+  from ``task_finished`` durations, per-edge bytes from ``message_sent``
+  payload sizes.  Profile once under any placement, then plan — the
+  profile is placement-invariant because compute times and edge payloads
+  do not depend on where tasks ran.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.ids import CallbackId, TaskId
+from repro.core.task import Task
+from repro.obs.events import MESSAGE_SENT, TASK_FINISHED, Event
+from repro.runtimes.costs import CostModel
+
+
+class CostEstimate:
+    """Planner-facing estimate of task compute time and edge traffic."""
+
+    def compute_seconds(self, task: Task) -> float:
+        """Estimated compute seconds of ``task`` (uncalibrated host time;
+        the planner rescales by the machine's ``core_speed``)."""
+        raise NotImplementedError
+
+    def edge_bytes(self, producer: TaskId, consumer: TaskId) -> float:
+        """Estimated payload bytes flowing ``producer`` -> ``consumer``
+        (summed over all channels between the pair)."""
+        raise NotImplementedError
+
+
+class UniformEstimate(CostEstimate):
+    """Every task computes ``seconds``; every edge carries ``nbytes``.
+
+    With all tasks equal the planner optimizes purely for graph shape:
+    critical-path depth and co-locating communicating tasks.
+    """
+
+    def __init__(self, seconds: float = 1.0, nbytes: float = 0.0) -> None:
+        if seconds < 0 or nbytes < 0:
+            raise ValueError("estimates must be non-negative")
+        self.seconds = seconds
+        self.nbytes = nbytes
+
+    def compute_seconds(self, task: Task) -> float:
+        return self.seconds
+
+    def edge_bytes(self, producer: TaskId, consumer: TaskId) -> float:
+        return self.nbytes
+
+
+class CallbackWeightEstimate(CostEstimate):
+    """Per-callback compute weights (the task type is the cost class).
+
+    Args:
+        weights: callback id -> estimated compute seconds.
+        default: seconds for callback ids not in ``weights``.
+        nbytes: flat per-edge byte estimate.
+    """
+
+    def __init__(
+        self,
+        weights: Mapping[CallbackId, float],
+        default: float = 0.0,
+        nbytes: float = 0.0,
+    ) -> None:
+        self._weights = dict(weights)
+        self._default = default
+        self._nbytes = nbytes
+
+    def compute_seconds(self, task: Task) -> float:
+        return self._weights.get(task.callback, self._default)
+
+    def edge_bytes(self, producer: TaskId, consumer: TaskId) -> float:
+        return self._nbytes
+
+
+class ModelEstimate(CostEstimate):
+    """Adapt a :class:`~repro.runtimes.costs.CostModel` into an estimate.
+
+    The model is queried with empty inputs and zero wall time — exactly
+    what analytic models that dispatch on the task (id, callback, or
+    workload geometry) need.  Models that read the actual payloads raise;
+    those tasks get ``default`` seconds instead (profile the run and use
+    :class:`ProfiledEstimate` for full fidelity).
+    """
+
+    def __init__(
+        self, model: CostModel, default: float = 0.0, nbytes: float = 0.0
+    ) -> None:
+        self._model = model
+        self._default = default
+        self._nbytes = nbytes
+
+    def compute_seconds(self, task: Task) -> float:
+        try:
+            return max(0.0, self._model.duration(task, [], 0.0))
+        except Exception:
+            return self._default
+
+    def edge_bytes(self, producer: TaskId, consumer: TaskId) -> float:
+        return self._nbytes
+
+
+class ProfiledEstimate(CostEstimate):
+    """Estimates measured from an observed baseline run.
+
+    Args:
+        task_seconds: task id -> measured compute seconds.
+        edge_nbytes: (producer, consumer) -> measured payload bytes.
+        callback_seconds: callback id -> mean seconds, the fallback for
+            tasks absent from ``task_seconds`` (e.g. when profiling a
+            smaller instance of the same workload).
+        default_nbytes: fallback for unprofiled edges.
+    """
+
+    def __init__(
+        self,
+        task_seconds: Mapping[TaskId, float],
+        edge_nbytes: Mapping[tuple[TaskId, TaskId], float],
+        callback_seconds: Mapping[CallbackId, float] | None = None,
+        default_nbytes: float = 0.0,
+    ) -> None:
+        self._task_seconds = dict(task_seconds)
+        self._edge_nbytes = dict(edge_nbytes)
+        self._callback_seconds = dict(callback_seconds or {})
+        self._default_nbytes = default_nbytes
+
+    @classmethod
+    def from_events(cls, events: Iterable[Event]) -> "ProfiledEstimate":
+        """Mine a profile from a run's event stream.
+
+        Per-task compute comes from ``task_finished`` durations (the last
+        attempt wins, so retried tasks keep their successful timing);
+        per-edge bytes sum every ``message_sent`` between the pair
+        (multi-channel edges accumulate).  Any sink that buffered the
+        stream works — typically a
+        :class:`~repro.obs.events.ListSink` attached to a baseline run.
+        """
+        task_seconds: dict[TaskId, float] = {}
+        edge_nbytes: dict[tuple[TaskId, TaskId], float] = {}
+        for e in events:
+            if e.type == TASK_FINISHED and e.task >= 0:
+                task_seconds[e.task] = e.dur
+            elif e.type == MESSAGE_SENT and e.task >= 0 and e.dst_task >= 0:
+                key = (e.task, e.dst_task)
+                edge_nbytes[key] = edge_nbytes.get(key, 0.0) + e.nbytes
+        return cls(task_seconds, edge_nbytes)
+
+    def compute_seconds(self, task: Task) -> float:
+        s = self._task_seconds.get(task.id)
+        if s is not None:
+            return s
+        return self._callback_seconds.get(task.callback, 0.0)
+
+    def edge_bytes(self, producer: TaskId, consumer: TaskId) -> float:
+        return self._edge_nbytes.get((producer, consumer), self._default_nbytes)

@@ -1,0 +1,280 @@
+"""Cost-aware static placement: the HEFT-style list-scheduling planner.
+
+:func:`plan_placement` turns graph structure, a cost estimate, and the
+machine's network model into an optimized
+:class:`~repro.core.taskmap.TaskMap` — the classic HEFT recipe
+(Topcuoglu et al.): rank every task by its *upward rank* (critical-path
+distance to the sinks, communication included), then greedily assign each
+task, in rank order, to the shard finishing it earliest.  The result is a
+:class:`PlannedMap`, a plain explicit task map carrying its planning
+metadata, usable anywhere a task map is accepted.
+
+Two structural builders complement the planner when no cost information
+exists:
+
+* :func:`locality_map` — sources blocked contiguously, every other task
+  co-located with its first producer; generalizes the merge-tree
+  locality map's "keep the vertical chain on one rank" rule to any DAG.
+* :func:`overdecomposition_map` — round-robin over contiguous chunks,
+  trading :class:`~repro.core.taskmap.ModuloMap`'s balance against
+  :class:`~repro.core.taskmap.BlockMap`'s locality ("distributing tasks
+  among fewer ranks provides a direct trade-off between distributed and
+  shared memory parallelism").
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.errors import TaskMapError
+from repro.core.graph import TaskGraph
+from repro.core.ids import ShardId, TaskId, is_real_task
+from repro.core.taskmap import RangeMap
+from repro.runtimes.costs import DEFAULT_COSTS, CostModel, RuntimeCosts
+from repro.sched.estimate import CostEstimate, ModelEstimate, UniformEstimate
+from repro.sim.machine import SHAHEEN_II, MachineSpec
+from repro.util.partition import split_range
+
+
+class PlannedMap(RangeMap):
+    """An explicit task map produced by a planner, with its provenance.
+
+    Attributes:
+        strategy: short name of the producing planner (``"heft"``, ...).
+        plan_seconds: wall seconds the planner spent.
+        est_makespan: the planner's own makespan estimate (virtual
+            seconds) — an optimistic bound, not a simulation result.
+    """
+
+    def __init__(
+        self,
+        shard_count: int,
+        assignment,
+        *,
+        strategy: str = "planned",
+        plan_seconds: float = 0.0,
+        est_makespan: float = 0.0,
+    ) -> None:
+        super().__init__(shard_count, assignment)
+        self.strategy = strategy
+        self.plan_seconds = plan_seconds
+        self.est_makespan = est_makespan
+
+
+def _contiguous_ids(graph: TaskGraph) -> list[TaskId]:
+    """The graph's id space, verified contiguous (task maps require it)."""
+    ids = sorted(graph.task_ids())
+    if ids and (ids[0] != 0 or ids[-1] != len(ids) - 1):
+        raise TaskMapError(
+            "plan_placement requires a contiguous id space 0..size-1 "
+            f"(got ids spanning [{ids[0]}, {ids[-1]}] for {len(ids)} tasks)"
+        )
+    return ids
+
+
+def plan_placement(
+    graph: TaskGraph,
+    n_shards: int,
+    cost_model: CostModel | None = None,
+    machine: MachineSpec = SHAHEEN_II,
+    *,
+    costs: RuntimeCosts = DEFAULT_COSTS,
+    estimator: CostEstimate | None = None,
+    cores_per_shard: int = 1,
+) -> PlannedMap:
+    """HEFT-style list scheduling: an optimized static placement.
+
+    Args:
+        graph: the dataflow to place.
+        n_shards: number of ranks/shards to place onto.
+        cost_model: analytic compute model to estimate from (wrapped in
+            :class:`~repro.sched.estimate.ModelEstimate`); ignored when
+            ``estimator`` is given.
+        machine: network/latency model the communication estimate uses.
+        costs: runtime overhead constants (message setup, serialization).
+        estimator: explicit cost estimate — pass
+            :class:`~repro.sched.estimate.ProfiledEstimate` for placement
+            from a measured baseline run.
+        cores_per_shard: parallel cores modeled per shard (match the
+            controller's ``cores_per_proc``).
+
+    Returns:
+        A :class:`PlannedMap` assigning every task to a shard, carrying
+        ``plan_seconds`` / ``est_makespan`` metadata.
+
+    Determinism: ties in both the priority order and the shard choice
+    break toward the lower task id / shard id, so a given (graph,
+    estimate, machine) always yields the same map.
+    """
+    if n_shards <= 0:
+        raise TaskMapError(f"n_shards must be positive, got {n_shards}")
+    t0 = time.perf_counter()
+    if estimator is None:
+        estimator = (
+            ModelEstimate(cost_model)
+            if cost_model is not None
+            else UniformEstimate()
+        )
+    graph = graph.cached()
+    ids = _contiguous_ids(graph)
+    if not ids:
+        return PlannedMap(
+            n_shards, [], strategy="heft",
+            plan_seconds=time.perf_counter() - t0,
+        )
+    speed = machine.core_speed
+    tasks = {tid: graph.task(tid) for tid in ids}
+    w = {
+        tid: estimator.compute_seconds(t) / speed + costs.dispatch_overhead
+        for tid, t in tasks.items()
+    }
+
+    # Estimated cost of one edge when it crosses ranks: message setup,
+    # serialize/deserialize on both sides, and the wire itself.  On-rank
+    # edges are free (the in-memory message optimization).
+    def remote_cost(nbytes: float) -> float:
+        return (
+            costs.message_overhead
+            + machine.inter_latency
+            + nbytes / machine.inter_bandwidth
+            + 2.0 * nbytes / costs.serialize_bandwidth
+        )
+
+    consumers: dict[TaskId, list[TaskId]] = {}
+    comm: dict[tuple[TaskId, TaskId], float] = {}
+    for tid, t in tasks.items():
+        outs = []
+        for channel in t.outgoing:
+            for dst in channel:
+                if is_real_task(dst):
+                    outs.append(dst)
+                    key = (tid, dst)
+                    if key not in comm:
+                        comm[key] = remote_cost(
+                            estimator.edge_bytes(tid, dst)
+                        )
+        consumers[tid] = outs
+
+    # Upward ranks in reverse topological order (rounds() already gives
+    # the dependency levels and raises on cycles).
+    rounds = graph.rounds()
+    rank: dict[TaskId, float] = {}
+    level: dict[TaskId, int] = {}
+    for lvl, rnd in enumerate(rounds):
+        for tid in rnd:
+            level[tid] = lvl
+    for rnd in reversed(rounds):
+        for tid in rnd:
+            best = 0.0
+            for dst in consumers[tid]:
+                r = comm[(tid, dst)] + rank[dst]
+                if r > best:
+                    best = r
+            rank[tid] = w[tid] + best
+
+    # List scheduling: decreasing upward rank; the level tie-break keeps
+    # the order topological even when ranks tie (all-zero estimates).
+    order = sorted(ids, key=lambda t: (-rank[t], level[t], t))
+    core_free = [[0.0] * cores_per_shard for _ in range(n_shards)]
+    finish: dict[TaskId, float] = {}
+    place: dict[TaskId, ShardId] = {}
+    for tid in order:
+        t = tasks[tid]
+        producers = [p for p in t.incoming if is_real_task(p)]
+        best_s, best_eft, best_core = 0, float("inf"), 0
+        for s in range(n_shards):
+            ready = 0.0
+            for p in producers:
+                arrive = finish[p]
+                if place[p] != s:
+                    arrive += comm[(p, tid)]
+                if arrive > ready:
+                    ready = arrive
+            cores = core_free[s]
+            core = min(range(cores_per_shard), key=cores.__getitem__)
+            eft = max(ready, cores[core]) + w[tid]
+            if eft < best_eft:
+                best_s, best_eft, best_core = s, eft, core
+        place[tid] = best_s
+        finish[tid] = best_eft
+        core_free[best_s][best_core] = best_eft
+    return PlannedMap(
+        n_shards,
+        [place[tid] for tid in ids],
+        strategy="heft",
+        plan_seconds=time.perf_counter() - t0,
+        est_makespan=max(finish.values()),
+    )
+
+
+def locality_map(graph: TaskGraph, n_shards: int) -> PlannedMap:
+    """Producer-following placement: keep dataflow chains on one shard.
+
+    Sources (tasks with no real producer) are blocked contiguously over
+    the shards; every downstream task lands on the shard of its *first*
+    producer.  This generalizes the merge-tree locality map's rule — the
+    heavy vertical chains never cross the network, and only the joins'
+    secondary inputs do.
+    """
+    if n_shards <= 0:
+        raise TaskMapError(f"n_shards must be positive, got {n_shards}")
+    t0 = time.perf_counter()
+    graph = graph.cached()
+    ids = _contiguous_ids(graph)
+    place: dict[TaskId, ShardId] = {}
+    rounds = graph.rounds()
+    sources = [
+        tid
+        for rnd in rounds
+        for tid in rnd
+        if not any(is_real_task(p) for p in graph.task(tid).incoming)
+    ]
+    for i, tid in enumerate(sources):
+        # Contiguous blocks of the source list (BlockMap over sources).
+        base, extra = divmod(len(sources), n_shards)
+        pivot = extra * (base + 1)
+        if i < pivot:
+            place[tid] = i // (base + 1)
+        elif base == 0:
+            place[tid] = max(0, extra - 1)
+        else:
+            place[tid] = extra + (i - pivot) // base
+    for rnd in rounds:
+        for tid in rnd:
+            if tid in place:
+                continue
+            first = next(
+                p for p in graph.task(tid).incoming if is_real_task(p)
+            )
+            place[tid] = place[first]
+    return PlannedMap(
+        n_shards,
+        [place[tid] for tid in ids],
+        strategy="locality",
+        plan_seconds=time.perf_counter() - t0,
+    )
+
+
+def overdecomposition_map(
+    n_shards: int, task_count: int, factor: int = 4
+) -> PlannedMap:
+    """Round-robin over contiguous chunks: ``factor`` chunks per shard.
+
+    ``factor=1`` degenerates to :class:`~repro.core.taskmap.BlockMap`
+    (pure locality); a large factor approaches
+    :class:`~repro.core.taskmap.ModuloMap` (pure balance).  The sweet
+    spot keeps id-adjacent tasks co-located while still interleaving
+    coarse chunks for balance — the standard over-decomposition trade.
+    """
+    if n_shards <= 0:
+        raise TaskMapError(f"n_shards must be positive, got {n_shards}")
+    if factor <= 0:
+        raise TaskMapError(f"factor must be positive, got {factor}")
+    chunks = min(max(1, task_count), n_shards * factor)
+    table: list[ShardId] = [0] * task_count
+    for c in range(chunks):
+        lo, hi = split_range(task_count, chunks, c)
+        shard = c % n_shards
+        for tid in range(lo, hi):
+            table[tid] = shard
+    return PlannedMap(n_shards, table, strategy="overdecomposition")

@@ -60,11 +60,13 @@ CONTROLLERS: dict[str, Callable] = {
     "legion_spmd": lambda: LegionSPMDController(PROCS, cost_model=_make_cost()),
     "legion_index": lambda: LegionIndexController(PROCS, cost_model=_make_cost()),
     # Transient faults: locks the retry path's timing and accounting.
+    # (The modern spelling of the original faults=/fault_retry_delay=
+    # kwargs — legacy_policy keeps it bit-exact, the goldens prove it.)
     "mpi_faults": lambda: MPIController(
         PROCS,
         cost_model=_make_cost(),
-        faults={0: 2, 7: 1},
-        fault_retry_delay=0.0003,
+        fault_plan=_legacy_faults_plan(),
+        retry_policy=_legacy_faults_policy(),
     ),
     # Seeded chaos plans (see repro.faults): lock the full recovery
     # machinery — rank death, re-placement, lineage replay, backoff.
@@ -82,6 +84,18 @@ CONTROLLERS: dict[str, Callable] = {
         retry_policy=_chaos_policy(),
     ),
 }
+
+
+def _legacy_faults_plan():
+    from repro.faults import FaultPlan
+
+    return FaultPlan(task_faults={0: 2, 7: 1})
+
+
+def _legacy_faults_policy():
+    from repro.faults import legacy_policy
+
+    return legacy_policy(0.0003)
 
 
 def _chaos_plan():

@@ -203,11 +203,14 @@ class TestRetryConformance:
 
 
 class TestLegacyShim:
-    """``faults=`` / ``fault_retry_delay=`` map onto the subsystem."""
+    """``faults=`` / ``fault_retry_delay=`` map onto the subsystem (and
+    warn: the spelling is deprecated in favor of ``fault_plan=`` /
+    ``retry_policy=``)."""
 
     def test_shim_equals_explicit_plan(self):
-        g1, c1 = build(MPIController, faults={0: 2, 7: 1},
-                       fault_retry_delay=0.003)
+        with pytest.warns(DeprecationWarning, match="fault_plan="):
+            g1, c1 = build(MPIController, faults={0: 2, 7: 1},
+                           fault_retry_delay=0.003)
         g2, c2 = build(
             MPIController,
             fault_plan=FaultPlan(task_faults={0: 2, 7: 1}),
@@ -221,14 +224,16 @@ class TestLegacyShim:
     def test_shim_budget_resets_between_runs(self):
         # The documented per-run consumption semantics of the shim
         # (mirrors test_runtimes_faults.py::test_fault_budget_resets...).
-        g, c = build(MPIController, faults={0: 1})
+        with pytest.warns(DeprecationWarning, match="fault_plan="):
+            g, c = build(MPIController, faults={0: 1})
         run(c, g)
         run(c, g)
         assert c.retries == 1
 
     def test_shim_and_plan_are_mutually_exclusive(self):
-        with pytest.raises(ControllerError, match="not both"):
-            MPIController(2, faults={0: 1}, fault_plan=FaultPlan())
+        with pytest.warns(DeprecationWarning, match="fault_plan="):
+            with pytest.raises(ControllerError, match="not both"):
+                MPIController(2, faults={0: 1}, fault_plan=FaultPlan())
 
 
 class TestLinkFaults:

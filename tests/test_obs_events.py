@@ -69,12 +69,18 @@ class TestEvent:
         assert ev.type == "overhead" and ev.t == 1.0
 
     def test_vocabulary_contains_all_types(self):
-        from repro.obs import FAULT_VOCABULARY
+        from repro.obs import FAULT_VOCABULARY, SCHED_VOCABULARY
 
         assert CORE_VOCABULARY < VOCABULARY
-        assert VOCABULARY - CORE_VOCABULARY == {MIGRATION} | FAULT_VOCABULARY
+        assert (
+            VOCABULARY - CORE_VOCABULARY
+            == {MIGRATION} | FAULT_VOCABULARY | SCHED_VOCABULARY
+        )
         assert FAULT_VOCABULARY == {
             "fault.injected", "task.retry", "rank.dead", "task.migrated",
+        }
+        assert SCHED_VOCABULARY == {
+            "sched.planned", "sched.migrated", "sched.steal",
         }
 
 
@@ -163,6 +169,8 @@ class TestCharmMigrationEvents:
         assert len(lb) == c.lb_rounds
         # Migration metrics ride along on the snapshot.
         # (re-run result is the last run; counters match the properties)
-        from repro.obs import FAULT_VOCABULARY
+        from repro.obs import FAULT_VOCABULARY, SCHED_VOCABULARY
 
-        assert sink.types() == VOCABULARY - FAULT_VOCABULARY
+        # Charm's built-in balancer keeps the legacy `migration` events;
+        # sched.* appears only with an explicit planner/balancer opt-in.
+        assert sink.types() == VOCABULARY - FAULT_VOCABULARY - SCHED_VOCABULARY

@@ -152,3 +152,88 @@ def test_parent_poison_fires_with_context_sink(ctor, poisoned_parents):
     c.add_sink(ListSink(wants_context=True))
     with pytest.raises(AssertionError, match="parent list built"):
         run_reduction(c)
+
+
+def _scheduled_runs():
+    """Unobserved runs that exercise every scheduler emission site:
+    planned placement, periodic migration, and work stealing."""
+    from repro.core.taskmap import RangeMap
+    from repro.sched import (
+        PeriodicGreedyBalancer,
+        WorkStealingBalancer,
+        plan_placement,
+    )
+
+    g = Reduction(16, 4)
+    pinned = RangeMap(4, [0] * g.size())
+    return [
+        ("planned", MPIController(4), plan_placement(g, 4)),
+        (
+            "stealing",
+            MPIController(4, balancer=WorkStealingBalancer()),
+            pinned,
+        ),
+        (
+            "periodic",
+            MPIController(
+                4,
+                balancer=PeriodicGreedyBalancer(
+                    period=1e-6, round_cost=1e-9
+                ),
+            ),
+            pinned,
+        ),
+    ]
+
+
+def run_scheduled(name):
+    for n, c, tmap in _scheduled_runs():
+        if n != name:
+            continue
+        g = Reduction(16, 4)
+        c.initialize(g, tmap)
+        c.register_callback(g.LEAF, lambda ins, tid: [ins[0]])
+        add = lambda ins, tid: [Payload(sum(p.data for p in ins))]
+        c.register_callback(g.REDUCE, add)
+        c.register_callback(g.ROOT, add)
+        return c, g, c.run(
+            {t: Payload(i + 1) for i, t in enumerate(g.leaf_ids())}
+        )
+    raise KeyError(name)
+
+
+SCHED_IDS = ["planned", "stealing", "periodic"]
+
+
+@pytest.mark.parametrize("name", SCHED_IDS)
+def test_unobserved_scheduler_paths_allocate_no_events(name, poisoned):
+    _, g, result = run_scheduled(name)
+    assert result.stats.tasks_executed == g.size()
+
+
+@pytest.mark.parametrize("name", SCHED_IDS)
+def test_unobserved_scheduler_paths_build_no_labels(name, poisoned_labels):
+    _, g, result = run_scheduled(name)
+    assert result.stats.tasks_executed == g.size()
+
+
+@pytest.mark.parametrize("name", ["stealing", "periodic"])
+def test_scheduler_poison_fires_when_observed(name, poisoned):
+    from repro.core.taskmap import RangeMap
+    from repro.sched import PeriodicGreedyBalancer, WorkStealingBalancer
+
+    bal = (
+        WorkStealingBalancer()
+        if name == "stealing"
+        else PeriodicGreedyBalancer(period=1e-6, round_cost=1e-9)
+    )
+    c = MPIController(4, balancer=bal)
+    c.add_sink(ListSink())
+    g = Reduction(16, 4)
+    c.initialize(g, RangeMap(4, [0] * g.size()))
+    c.register_callback(g.LEAF, lambda ins, tid: [ins[0]])
+    add = lambda ins, tid: [Payload(sum(p.data for p in ins))]
+    c.register_callback(g.REDUCE, add)
+    c.register_callback(g.ROOT, add)
+    with pytest.raises(AssertionError, match="unobserved run"):
+        c.run({t: Payload(i + 1) for i, t in enumerate(g.leaf_ids())})

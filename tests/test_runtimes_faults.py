@@ -1,4 +1,12 @@
-"""Fault injection: idempotent tasks survive transient re-execution."""
+"""Fault injection: idempotent tasks survive transient re-execution.
+
+Exercises the *deprecated* ``faults=``/``fault_retry_delay=`` spelling on
+purpose — the shim must stay bit-exact (and warn) until it is removed;
+``tests/test_faults_conformance.py`` covers the modern ``fault_plan=``
+API.
+"""
+
+import contextlib
 
 import numpy as np
 import pytest
@@ -9,14 +17,24 @@ from repro.runtimes import CharmController, MPIController
 from repro.runtimes.costs import CallableCost
 
 
+def deprecated_kwargs():
+    return pytest.warns(DeprecationWarning, match="fault_plan=")
+
+
 def run(ctor, faults=None, retry_delay=0.0, leaves=8):
     g = Reduction(leaves, 2)
-    c = ctor(
-        4,
-        cost_model=CallableCost(lambda t, i: 0.05),
-        faults=faults,
-        fault_retry_delay=retry_delay,
+    expect_warning = (
+        deprecated_kwargs()
+        if faults is not None or retry_delay != 0.0
+        else contextlib.nullcontext()
     )
+    with expect_warning:
+        c = ctor(
+            4,
+            cost_model=CallableCost(lambda t, i: 0.05),
+            faults=faults,
+            fault_retry_delay=retry_delay,
+        )
     c.initialize(g)
     c.register_callback(g.LEAF, lambda ins, tid: [ins[0]])
     add = lambda ins, tid: [Payload(sum(p.data for p in ins))]
@@ -64,7 +82,8 @@ class TestFaultInjection:
 
         wl = MergeTreeWorkload(small_field, 8, 0.5, valence=2)
         some_tasks = list(wl.graph.task_ids())[::5]
-        c = MPIController(4, faults={t: 1 for t in some_tasks})
+        with deprecated_kwargs():
+            c = MPIController(4, faults={t: 1 for t in some_tasks})
         seg = wl.assemble(wl.run(c))
         assert np.array_equal(seg, reference_segmentation(small_field, 0.5))
         assert c.retries == len(some_tasks)

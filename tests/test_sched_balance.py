@@ -1,0 +1,180 @@
+"""Dynamic balancing strategies (`repro.sched.balance`).
+
+Charm++'s extracted periodic balancer must stay bit-identical to the
+historical built-in; the strategies must be swappable on any simulated
+backend; work stealing must rescue idle ranks under skewed placement.
+"""
+
+import pytest
+
+from repro.core.payload import Payload
+from repro.core.taskmap import ModuloMap, RangeMap
+from repro.graphs import DataParallel, Reduction
+from repro.obs import MIGRATION, SCHED_MIGRATED, SCHED_STEAL, ListSink
+from repro.runtimes import DEFAULT_COSTS, CharmController, MPIController
+from repro.runtimes.costs import CallableCost
+from repro.sched import (
+    NullBalancer,
+    PeriodicGreedyBalancer,
+    WorkStealingBalancer,
+)
+
+N_PES = 4
+
+
+def skewed_charm(balancer=None, sink=None):
+    """The skewed DataParallel workload that historically triggers
+    Charm++ migrations (every 4th task is 1000x heavier)."""
+    heavy = CallableCost(
+        lambda task, ins: 1.0 if task.id % N_PES == 0 else 0.001
+    )
+    costs = DEFAULT_COSTS.with_(charm_lb_period=0.1)
+    kwargs = {} if balancer is None else {"balancer": balancer}
+    c = CharmController(N_PES, costs=costs, cost_model=heavy, **kwargs)
+    if sink is not None:
+        c.add_sink(sink)
+    g = DataParallel(64)
+    c.initialize(g)
+    c.register_callback(g.WORK, lambda ins, tid: [ins[0]])
+    r = c.run({t: Payload(1) for t in range(64)})
+    return c, r
+
+
+def run_mpi(balancer=None, task_map=None, sink=None, n_tasks=32):
+    g = DataParallel(n_tasks)
+    kwargs = {} if balancer is None else {"balancer": balancer}
+    c = MPIController(
+        N_PES,
+        cost_model=CallableCost(lambda t, i: 0.01),
+        **kwargs,
+    )
+    if sink is not None:
+        c.add_sink(sink)
+    c.initialize(g, task_map)
+    c.register_callback(g.WORK, lambda ins, tid: [Payload(ins[0].data + 1)])
+    r = c.run({t: Payload(t) for t in range(n_tasks)})
+    return g, c, r
+
+
+class TestCharmExtraction:
+    def test_explicit_periodic_balancer_is_bit_identical(self):
+        """The extracted strategy IS the old built-in: same events, same
+        makespan, same migrations, on the migration-heavy workload."""
+        s_default, s_explicit = ListSink(), ListSink()
+        c1, r1 = skewed_charm(sink=s_default)
+        c2, r2 = skewed_charm(PeriodicGreedyBalancer(), sink=s_explicit)
+        assert r1.makespan == r2.makespan
+        assert c1.migrations == c2.migrations > 0
+        assert s_default.events == s_explicit.events
+
+    def test_builtin_keeps_legacy_metrics(self):
+        _, r = skewed_charm()
+        assert r.metrics.counters["migrations"] > 0
+        assert r.metrics.counters["lb_rounds"] > 0
+        # The generic opt-in counters stay absent on the default path.
+        assert "tasks_stolen" not in r.metrics.counters
+
+    def test_explicit_balancer_reports_generic_metrics(self):
+        bal = PeriodicGreedyBalancer()
+        c, r = skewed_charm(bal)
+        assert r.metrics.counters["lb_rounds"] == bal.rounds() > 0
+        assert r.metrics.counters["tasks_migrated_lb"] == bal.migrations() > 0
+        assert r.metrics.counters["tasks_stolen"] == 0
+
+    def test_null_balancer_disables_charm_lb(self):
+        sink = ListSink()
+        c, r = skewed_charm(NullBalancer(), sink=sink)
+        assert c.migrations == 0
+        assert c.lb_rounds == 0
+        assert not sink.by_type(MIGRATION)
+        assert not [
+            e for e in sink.by_type("overhead") if e.category == "lb"
+        ]
+        # Without leveling, the skewed placement runs slower.
+        _, r_lb = skewed_charm()
+        assert r.makespan > r_lb.makespan
+
+
+class TestWorkStealing:
+    def test_idle_ranks_steal_from_the_backlog(self):
+        pinned = RangeMap(N_PES, [0] * 32)  # everything lands on rank 0
+        sink = ListSink()
+        bal = WorkStealingBalancer()
+        g, c, r = run_mpi(bal, task_map=pinned, sink=sink)
+        assert bal.stolen() > 0
+        assert r.metrics.counters["tasks_stolen"] == bal.stolen()
+        steals = sink.by_type(SCHED_STEAL)
+        assert len(steals) == bal.stolen()
+        for ev in steals:
+            assert ev.proc == 0 and ev.dst_proc != 0
+        # Stolen work actually executed elsewhere: correctness holds and
+        # the pinned single-rank run is slower without stealing.
+        assert all(
+            r.output(t).data == t + 1 for t in range(g.size())
+        )
+        _, _, r_pinned = run_mpi(task_map=pinned)
+        assert r.makespan < r_pinned.makespan
+
+    def test_balanced_placement_steals_nothing(self):
+        bal = WorkStealingBalancer(min_queue=10)
+        g, c, r = run_mpi(bal, task_map=ModuloMap(N_PES, 32))
+        assert bal.stolen() == 0
+        assert r.metrics.counters["tasks_stolen"] == 0
+
+    def test_min_queue_validation(self):
+        with pytest.raises(ValueError, match="min_queue"):
+            WorkStealingBalancer(min_queue=0)
+
+
+class TestPeriodicOnMPI:
+    def test_periodic_balancer_migrates_on_mpi(self):
+        pinned = RangeMap(N_PES, [0] * 32)
+        sink = ListSink()
+        bal = PeriodicGreedyBalancer(period=0.005, round_cost=1e-6)
+        g, c, r = run_mpi(bal, task_map=pinned, sink=sink)
+        assert bal.migrations() > 0
+        migrated = sink.by_type(SCHED_MIGRATED)
+        assert len(migrated) == bal.migrations()
+        for ev in migrated:
+            assert ev.proc != ev.dst_proc
+        assert r.metrics.counters["tasks_migrated_lb"] == bal.migrations()
+        assert r.stats.get("lb") > 0.0
+        assert all(r.output(t).data == t + 1 for t in range(g.size()))
+
+    def test_period_zero_disables(self):
+        bal = PeriodicGreedyBalancer(period=0.0)
+        _, _, r = run_mpi(bal, task_map=RangeMap(N_PES, [0] * 32))
+        assert bal.rounds() == 0 and bal.migrations() == 0
+
+    def test_balancer_state_resets_between_runs(self):
+        pinned = RangeMap(N_PES, [0] * 32)
+        bal = WorkStealingBalancer()
+        g, c, r1 = run_mpi(bal, task_map=pinned)
+        first = bal.stolen()
+        assert first > 0
+        r2 = c.run({t: Payload(t) for t in range(g.size())})
+        assert bal.stolen() <= first  # re-installed, not accumulated
+        assert r2.metrics.counters["tasks_stolen"] == bal.stolen()
+
+
+class TestReductionWithBalancers:
+    @pytest.mark.parametrize(
+        "bal",
+        [NullBalancer(), WorkStealingBalancer(),
+         PeriodicGreedyBalancer(period=0.01, round_cost=1e-6)],
+        ids=["null", "steal", "periodic"],
+    )
+    def test_dependencies_respected_under_balancing(self, bal):
+        g = Reduction(64, 4)
+        c = MPIController(
+            N_PES,
+            cost_model=CallableCost(lambda t, i: 0.01),
+            balancer=bal,
+        )
+        c.initialize(g, RangeMap(N_PES, [0] * g.size()))
+        c.register_callback(g.LEAF, lambda ins, tid: [ins[0]])
+        add = lambda ins, tid: [Payload(sum(p.data for p in ins))]
+        c.register_callback(g.REDUCE, add)
+        c.register_callback(g.ROOT, add)
+        r = c.run({t: Payload(1) for t in g.leaf_ids()})
+        assert r.output(g.root_id).data == 64

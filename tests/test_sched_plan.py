@@ -1,0 +1,236 @@
+"""The static placement planner (`repro.sched.plan_placement`) and its
+cost estimators.
+
+Includes the headline acceptance check: on the paper's merge-tree
+(Fig. 6) and rendering (Fig. 10a) workload points, the HEFT-planned map
+achieves a simulated makespan no worse than the round-robin `ModuloMap`
+default — strictly better where the task costs are heterogeneous.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import TaskMapError
+from repro.core.payload import Payload
+from repro.core.taskmap import BlockMap, ModuloMap, validate_taskmap
+from repro.graphs import DataParallel, Reduction
+from repro.obs import ListSink
+from repro.runtimes import MPIController
+from repro.runtimes.costs import CallableCost
+from repro.sched import (
+    CallbackWeightEstimate,
+    ModelEstimate,
+    PlannedMap,
+    ProfiledEstimate,
+    UniformEstimate,
+    locality_map,
+    overdecomposition_map,
+    plan_placement,
+)
+
+
+def run_reduction(controller, g=None):
+    g = g or Reduction(16, 4)
+    controller.register_callback(g.LEAF, lambda ins, tid: [ins[0]])
+    add = lambda ins, tid: [Payload(sum(p.data for p in ins))]
+    controller.register_callback(g.REDUCE, add)
+    controller.register_callback(g.ROOT, add)
+    return g, controller.run(
+        {t: Payload(i + 1) for i, t in enumerate(g.leaf_ids())}
+    )
+
+
+class TestPlanPlacement:
+    def test_produces_a_valid_total_map(self):
+        g = Reduction(16, 4)
+        pm = plan_placement(g, 4)
+        validate_taskmap(pm, g.task_ids())
+        assert isinstance(pm, PlannedMap)
+        assert pm.strategy == "heft"
+        assert pm.plan_seconds >= 0.0
+        assert pm.est_makespan > 0.0
+
+    def test_deterministic(self):
+        g = Reduction(64, 4)
+        a = plan_placement(g, 8)
+        b = plan_placement(g, 8)
+        assert [a.shard(t) for t in g.task_ids()] == [
+            b.shard(t) for t in g.task_ids()
+        ]
+
+    def test_flat_graph_balances_perfectly(self):
+        g = DataParallel(16)
+        pm = plan_placement(g, 4, estimator=UniformEstimate())
+        loads = [0] * 4
+        for t in g.task_ids():
+            loads[pm.shard(t)] += 1
+        assert loads == [4, 4, 4, 4]
+
+    def test_heavy_tasks_spread_across_shards(self):
+        # 4 heavy + 12 light independent tasks on 4 shards: HEFT must
+        # put each heavy task on its own shard.
+        g = DataParallel(16)
+        heavy = CallableCost(lambda t, i: 100.0 if t.id < 4 else 1.0)
+        pm = plan_placement(g, 4, cost_model=heavy)
+        assert len({pm.shard(t) for t in range(4)}) == 4
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(TaskMapError, match="positive"):
+            plan_placement(Reduction(4, 2), 0)
+
+    def test_cores_per_shard_shortens_estimate(self):
+        g = DataParallel(32)
+        one = plan_placement(g, 4, cores_per_shard=1)
+        four = plan_placement(g, 4, cores_per_shard=4)
+        assert four.est_makespan < one.est_makespan
+
+    def test_planned_map_runs_end_to_end(self):
+        g = Reduction(16, 4)
+        pm = plan_placement(g, 4)
+        c = MPIController(4)
+        c.initialize(g, pm)
+        _, r = run_reduction(c, g)
+        assert r.output(g.root_id).data == 136
+
+    def test_planned_run_emits_sched_planned_and_gauge(self):
+        from repro.obs import SCHED_PLANNED
+
+        g = Reduction(16, 4)
+        pm = plan_placement(g, 4)
+        sink = ListSink()
+        c = MPIController(4, sinks=[sink])
+        c.initialize(g, pm)
+        _, r = run_reduction(c, g)
+        planned = sink.by_type(SCHED_PLANNED)
+        assert len(planned) == 1
+        assert planned[0].category == "heft"
+        assert planned[0].dur == pm.est_makespan
+        assert r.metrics.gauges["placement_plan_seconds"] == pm.plan_seconds
+
+    def test_unplanned_run_has_no_sched_metrics(self):
+        c = MPIController(4)
+        g = Reduction(16, 4)
+        c.initialize(g, ModuloMap(4, g.size()))
+        _, r = run_reduction(c, g)
+        assert "placement_plan_seconds" not in r.metrics.gauges
+        assert "lb_rounds" not in r.metrics.counters
+
+
+class TestStructuralMaps:
+    def test_locality_follows_first_producer(self):
+        g = Reduction(64, 4).cached()
+        pm = locality_map(g, 8)
+        validate_taskmap(pm, g.task_ids())
+        assert pm.strategy == "locality"
+        from repro.core.ids import is_real_task
+
+        for tid in g.task_ids():
+            producers = [
+                p for p in g.task(tid).incoming if is_real_task(p)
+            ]
+            if producers:
+                assert pm.shard(tid) == pm.shard(producers[0])
+
+    def test_overdecomposition_extremes(self):
+        n, count = 4, 64
+        block = overdecomposition_map(n, count, factor=1)
+        modulo = overdecomposition_map(n, count, factor=count)
+        bm, mm = BlockMap(n, count), ModuloMap(n, count)
+        assert [block.shard(t) for t in range(count)] == [
+            bm.shard(t) for t in range(count)
+        ]
+        assert [modulo.shard(t) for t in range(count)] == [
+            mm.shard(t) for t in range(count)
+        ]
+
+    def test_overdecomposition_interleaves_chunks(self):
+        pm = overdecomposition_map(2, 8, factor=2)
+        assert [pm.shard(t) for t in range(8)] == [0, 0, 1, 1, 0, 0, 1, 1]
+        with pytest.raises(TaskMapError, match="positive"):
+            overdecomposition_map(2, 8, factor=0)
+
+
+class TestEstimators:
+    def test_uniform(self):
+        g = Reduction(4, 2).cached()
+        est = UniformEstimate(2.5, nbytes=10.0)
+        assert est.compute_seconds(g.task(0)) == 2.5
+        assert est.edge_bytes(0, 1) == 10.0
+        with pytest.raises(ValueError):
+            UniformEstimate(-1.0)
+
+    def test_callback_weights(self):
+        g = Reduction(4, 2).cached()
+        est = CallbackWeightEstimate({g.LEAF: 3.0}, default=0.5)
+        leaf = g.leaf_ids()[0]
+        assert est.compute_seconds(g.task(leaf)) == 3.0
+        assert est.compute_seconds(g.task(g.root_id)) == 0.5
+
+    def test_model_estimate_falls_back_on_payload_models(self):
+        g = Reduction(4, 2).cached()
+        ok = ModelEstimate(CallableCost(lambda t, i: t.id + 1.0))
+        assert ok.compute_seconds(g.task(2)) == 3.0
+        needs_inputs = ModelEstimate(
+            CallableCost(lambda t, i: i[0].data), default=7.0
+        )
+        assert needs_inputs.compute_seconds(g.task(2)) == 7.0
+
+    def test_profiled_from_events_measures_a_run(self):
+        sink = ListSink()
+        cost = CallableCost(lambda t, i: 0.01 * (t.id + 1))
+        c = MPIController(4, cost_model=cost, sinks=[sink])
+        g = Reduction(16, 4)
+        c.initialize(g, None)
+        _, _ = run_reduction(c, g)
+        est = ProfiledEstimate.from_events(sink.events)
+        for tid in g.task_ids():
+            assert est.compute_seconds(g.cached().task(tid)) == pytest.approx(
+                0.01 * (tid + 1)
+            )
+        # Every real dataflow edge was measured with positive traffic.
+        root = g.root_id
+        some_leaf = g.leaf_ids()[0]
+        assert est.edge_bytes(some_leaf, root) >= 0.0
+
+
+class TestPlannerBeatsModulo:
+    """The acceptance criterion: HEFT-planned makespan <= ModuloMap on
+    the paper's workload points, strictly better on the merge tree."""
+
+    def test_fig6_merge_tree_point(self):
+        from repro.analysis.mergetree import MergeTreeWorkload
+
+        rng = np.random.default_rng(7)
+        field = rng.random((24, 24, 24))
+        wl = MergeTreeWorkload(field, 64, threshold=0.5, valence=4,
+                               sim_shape=(512, 512, 512))
+        g, cores = wl.graph, 8
+        sink = ListSink()
+        baseline = MPIController(cores, cost_model=wl.cost_model(),
+                                 sinks=[sink])
+        r_mod = wl.run(baseline, ModuloMap(cores, g.size()))
+        pm = plan_placement(
+            g, cores,
+            estimator=ProfiledEstimate.from_events(sink.events),
+        )
+        r_heft = wl.run(
+            MPIController(cores, cost_model=wl.cost_model()), pm
+        )
+        assert r_heft.makespan < r_mod.makespan
+
+    def test_fig10a_rendering_point(self):
+        from repro.analysis.rendering import RenderingWorkload
+
+        rng = np.random.default_rng(3)
+        field = rng.random((24, 24, 24))
+        wl = RenderingWorkload(field, 32, image_shape=(16, 16),
+                               mode="reduction", valence=2,
+                               sim_image_shape=(2048, 2048),
+                               sim_shape=(1024, 1024, 1024))
+        g, cores = wl.graph, 8
+        cm = wl.cost_model()
+        r_mod = wl.run(MPIController(cores, cost_model=cm),
+                       ModuloMap(cores, g.size()))
+        pm = plan_placement(g, cores, estimator=ModelEstimate(cm))
+        r_heft = wl.run(MPIController(cores, cost_model=cm), pm)
+        assert r_heft.makespan <= r_mod.makespan
