@@ -21,6 +21,12 @@ observability events into one file — Chrome trace-event JSON by default
 ``python -m repro.obs summarize``), JSONL when the path ends in
 ``.jsonl``.  All runs of the process share the file; each run becomes
 its own process track.
+
+Flight recording: set ``REPRO_FLIGHT_DIR=<dir>`` to arm the telemetry
+flight recorder (:mod:`repro.obs.telemetry`) on every benchmarked run.
+Clean runs write nothing; a run that crashes or injects a fault dumps
+its last events to ``<dir>`` for post-mortem (CI uploads the directory
+as an artifact on failure).
 """
 
 from __future__ import annotations
@@ -59,11 +65,17 @@ def trace_exporter() -> EventSink | None:
 
 
 def observe(controller):
-    """Attach the ``REPRO_TRACE`` exporter (when configured) and return
-    the controller, so benchmark call sites stay one-liners."""
+    """Attach the ``REPRO_TRACE`` exporter and the ``REPRO_FLIGHT_DIR``
+    flight recorder (when configured) and return the controller, so
+    benchmark call sites stay one-liners."""
     exporter = trace_exporter()
     if exporter is not None:
         controller.add_sink(exporter)
+    flight_dir = os.environ.get("REPRO_FLIGHT_DIR")
+    if flight_dir and getattr(controller, "telemetry", None) is None:
+        from repro.obs.telemetry import TelemetryConfig
+
+        controller.telemetry = TelemetryConfig(flight_dir=flight_dir)
     return controller
 
 

@@ -9,6 +9,11 @@ regression beyond the threshold or any determinism drift.
 diffed against ``--baseline-traces DIR`` when given (``python -m
 repro.obs diff`` style: which tasks/phases moved, compute vs. network
 vs. wait), falling back to a single-run attribution report.
+
+``--ledger PATH`` appends each benchmark's numbers to the cross-run
+JSONL ledger (:mod:`repro.obs.telemetry.ledger`) so ``python -m
+repro.obs trends`` can flag drift across many runs on the same machine —
+a longer-memory complement to the single-baseline ``--check``.
 """
 
 from __future__ import annotations
@@ -33,6 +38,21 @@ from benchmarks.perf.suite import (
 
 def _trace_name(bench: str) -> str:
     return f"trace_{bench}.jsonl"
+
+
+def _append_ledger(ledger_path: Path, report: dict) -> None:
+    """Record each benchmark's metrics in the cross-run trends ledger."""
+    from repro.obs.telemetry import Ledger
+
+    ledger = Ledger(str(ledger_path))
+    for name, entry in report.get("benchmarks", {}).items():
+        metrics = {
+            k: float(v)
+            for k, v in entry.items()
+            if isinstance(v, (int, float))
+        }
+        ledger.append(name, "perf", metrics, meta={"reps": report.get("reps")})
+    print(f"[perf] ledger updated: {ledger_path}")
 
 
 def _capture_traces(trace_dir: Path, names: list[str]) -> dict[str, Path]:
@@ -115,11 +135,18 @@ def main(argv: list[str] | None = None) -> int:
         help="trace dir of the baseline run; on --check failure the "
         "regression is diffed against it (which tasks/phases moved)",
     )
+    parser.add_argument(
+        "--ledger", type=Path, metavar="PATH",
+        help="append each benchmark's numbers to this cross-run JSONL "
+        "ledger (inspect with: python -m repro.obs trends PATH)",
+    )
     args = parser.parse_args(argv)
 
     report = run_suite(reps=args.reps, only=args.only)
     write_report(report, args.output)
     print(f"[perf] report written to {args.output}")
+    if args.ledger is not None:
+        _append_ledger(args.ledger, report)
 
     names = args.only or list(BENCHMARKS)
     captured: dict[str, Path] = {}

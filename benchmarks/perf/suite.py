@@ -133,11 +133,59 @@ def bench_placement_plan(reps: int, leaves: int = 1024, shards: int = 256) -> di
     }
 
 
+def bench_sketch_quantiles(reps: int, n_samples: int = 100_000) -> dict:
+    """Telemetry sketch ingest rate and accuracy on a heavy-tailed stream.
+
+    Feeds a fixed 100k-sample lognormal stream (seeded, so the bucket
+    layout is deterministic) into a 1%-relative-error
+    :class:`~repro.obs.telemetry.QuantileSketch` and verifies p50/p95/p99
+    land within the bound of the exact rank-based percentiles.  The
+    reported ``buckets`` field is the sketch's entire memory footprint —
+    a few hundred buckets summarizing 100k samples (O(buckets), not
+    O(n)) — and is a determinism field: any drift in the bucket layout
+    means the sketch math changed.
+    """
+    import random
+
+    from repro.obs.telemetry import QuantileSketch
+
+    rng = random.Random(0xBABE1F)
+    samples = [rng.lognormvariate(0.0, 2.0) for _ in range(n_samples)]
+
+    def once() -> QuantileSketch:
+        sk = QuantileSketch(rel_err=0.01)
+        observe = sk.observe  # hot-loop bind, as the controllers do
+        for x in samples:
+            observe(x)
+        return sk
+
+    seconds, sk = _best_of(reps, once)
+    exact = sorted(samples)
+    errs = {}
+    for q in (0.50, 0.95, 0.99):
+        e = exact[int(q * (n_samples - 1))]
+        errs[q] = abs(sk.quantile(q) - e) / e
+    worst = max(errs.values())
+    if worst > sk.rel_err:
+        raise RuntimeError(
+            f"sketch quantile error {worst:.4%} exceeds the "
+            f"{sk.rel_err:.0%} bound (per-q: {errs})"
+        )
+    return {
+        "seconds": round(seconds, 6),
+        "samples": n_samples,
+        "samples_per_sec": round(n_samples / seconds),
+        "buckets": sk.n_buckets,
+        "p99_rel_err": round(errs[0.99], 6),
+    }
+
+
 BENCHMARKS: dict[str, Callable[[int], dict]] = {
     "engine_events": bench_engine_events,
     "controller_tasks": bench_controller_tasks,
     "fig6_point": bench_fig6_point,
     "placement_plan": bench_placement_plan,
+    "sketch_quantiles": bench_sketch_quantiles,
 }
 
 #: Benchmarks whose run can be re-captured as an event trace (the
@@ -243,6 +291,7 @@ DETERMINISM_FIELDS = {
     "controller_tasks": ("tasks",),
     "engine_events": ("events",),
     "placement_plan": ("tasks", "est_makespan"),
+    "sketch_quantiles": ("samples", "buckets", "p99_rel_err"),
 }
 
 

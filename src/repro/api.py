@@ -72,7 +72,10 @@ def run(
         sinks: observability sinks attached for this run.
         **kwargs: forwarded to the controller constructor —
             ``cost_model``, ``machine``, ``costs``, ``cores_per_proc``,
-            ``fault_plan``, ``retry_policy``, ``balancer``, ...
+            ``fault_plan``, ``retry_policy``, ``balancer``,
+            ``telemetry`` (``True`` or a
+            :class:`~repro.obs.telemetry.TelemetryConfig` for streaming
+            p50/p95/p99 latency sketches and the flight recorder), ...
 
     Returns:
         The :class:`~repro.runtimes.result.RunResult` with the returned

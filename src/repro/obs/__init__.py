@@ -14,6 +14,11 @@ diff / slo), including critical-path attribution
 (:mod:`repro.obs.spans`), per-rank resource timelines
 (:mod:`repro.obs.timeline`), and trace diffing (:mod:`repro.obs.diff`).
 
+For production-scale capture there is a bounded-memory telemetry layer
+(:mod:`repro.obs.telemetry`): streaming quantile sketches, head+tail
+trace sampling (:class:`SamplingSink`), an always-on flight recorder,
+and a cross-run metrics ledger behind ``python -m repro.obs trends``.
+
 Quick start::
 
     from repro.obs import ChromeTraceExporter, ListSink, critical_path
@@ -75,6 +80,14 @@ from repro.obs.metrics import (
     MetricsSnapshot,
     TimeSeries,
 )
+from repro.obs.telemetry import (
+    FlightRecorder,
+    Ledger,
+    QuantileSketch,
+    SamplingSink,
+    TelemetryConfig,
+    when,
+)
 from repro.obs.spans import (
     CausalDag,
     TaskSpan,
@@ -100,9 +113,11 @@ __all__ = [
     "EventSink",
     "FAULT_INJECTED",
     "FAULT_VOCABULARY",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "JsonlExporter",
+    "Ledger",
     "ListSink",
     "MESSAGE_DELIVERED",
     "MESSAGE_SENT",
@@ -117,17 +132,20 @@ __all__ = [
     "OVERHEAD",
     "ObsHub",
     "PathStep",
+    "QuantileSketch",
     "RANK_DEAD",
     "RUN_FINISHED",
     "RUN_STARTED",
     "RunDiff",
     "RunTimelines",
+    "SamplingSink",
     "TASK_ENQUEUED",
     "TASK_FINISHED",
     "TASK_MIGRATED",
     "TASK_RETRY",
     "TASK_STARTED",
     "TaskSpan",
+    "TelemetryConfig",
     "TimeSeries",
     "VOCABULARY",
     "ascii_timeline",
@@ -145,4 +163,5 @@ __all__ = [
     "resource_timelines",
     "split_runs",
     "svg_timeline",
+    "when",
 ]

@@ -18,8 +18,18 @@ error):
   delta with critical-path (compute/network/wait) attribution, phase and
   per-task deltas, new/removed tasks, fault-recovery overhead.
 * ``slo <trace> <spec.json>`` — assert declarative bounds (e.g.
-  ``{"max_idle_fraction": 0.5, "max_recovery_tail_seconds": 1.0}``);
-  exits 1 on violation.
+  ``{"max_idle_fraction": 0.5, "max_task_seconds_p99": 0.05}``);
+  exits 1 on violation.  Percentile metrics (``task_seconds_p99`` &c.)
+  come from streaming quantile sketches, and a spec made entirely of
+  streaming-computable metrics is evaluated in one pass without ever
+  materializing the trace.
+* ``trends <ledger.jsonl>`` — cross-run regression check over a
+  telemetry ledger (see :mod:`repro.obs.telemetry.ledger`); exits 1
+  when any metric regressed beyond the threshold vs its fingerprint's
+  recent history.
+
+``summarize`` and ``slo`` read JSONL traces as a stream — one run's
+events in memory at a time — so they scale to logs far larger than RAM.
 """
 
 from __future__ import annotations
@@ -28,11 +38,13 @@ import argparse
 import json
 import os
 import sys
+from typing import Iterator
 
 from repro.obs.critical_path import critical_path
 from repro.obs.events import RUN_STARTED, Event
-from repro.obs.export import load_events, split_runs
+from repro.obs.export import iter_events, iter_runs, load_events, split_runs
 from repro.obs.spans import folded_stacks, recovery_accounting
+from repro.obs.telemetry.triggers import RunStreamStats
 
 
 def _run_label(run: list[Event], index: int) -> str:
@@ -48,6 +60,20 @@ def _load(path: str) -> list[Event]:
     if not events:
         raise ValueError(f"{path}: no events found")
     return events
+
+
+def _stream_runs(path: str) -> Iterator[list[Event]]:
+    """Stream a trace one run at a time (JSONL never fully in memory).
+
+    Raises ValueError (after yielding nothing) when the file holds no
+    events, matching :func:`_load`'s contract.
+    """
+    n = 0
+    for run in iter_runs(iter_events(path)):
+        n += 1
+        yield run
+    if n == 0:
+        raise ValueError(f"{path}: no events found")
 
 
 def summarize_run(run: list[Event], index: int, top: int, show_gantt: bool) -> str:
@@ -126,12 +152,12 @@ def summarize_run(run: list[Event], index: int, top: int, show_gantt: bool) -> s
 
 
 def _cmd_summarize(args: argparse.Namespace) -> int:
-    events = _load(args.trace)
-    blocks = [
-        summarize_run(run, i, args.top, args.gantt)
-        for i, run in enumerate(split_runs(events))
-    ]
-    _print("\n\n".join(blocks))
+    # Runs are summarized as they stream off disk: peak memory is one
+    # run's events, however many runs (or gigabytes) the log holds.
+    for i, run in enumerate(_stream_runs(args.trace)):
+        if i:
+            _print("")
+        _print(summarize_run(run, i, args.top, args.gantt))
     return 0
 
 
@@ -227,7 +253,13 @@ def _slo_metrics(run: list[Event]) -> dict[str, float]:
     cp = critical_path(run)
     rec = recovery_accounting(run)
     makespan = tl.makespan
-    return {
+    # Percentile (and other streaming) metrics come from one sketch-backed
+    # pass; they overlap the timeline-derived names below, which win.
+    stats = RunStreamStats()
+    for ev in run:
+        stats.observe(ev)
+    metrics = stats.metrics()
+    metrics.update({
         "makespan": makespan,
         "idle_fraction": tl.idle_fraction(),
         "utilization_mean": tl.utilization_mean(),
@@ -245,16 +277,16 @@ def _slo_metrics(run: list[Event]) -> dict[str, float]:
         "rank_deaths": rec["rank_deaths"],
         "wasted_seconds": rec["wasted_seconds"],
         "recovery_tail_seconds": rec["recovery_tail_seconds"],
-    }
+    })
+    return metrics
 
 
-def check_slo(run: list[Event], spec: dict) -> list[str]:
-    """Evaluate one run against a declarative bound spec.
+def _eval_spec(metrics: dict[str, float], spec: dict) -> list[str]:
+    """Check ``max_<name>`` / ``min_<name>`` bounds against a metric dict.
 
     Returns the violations as human-readable strings (empty = pass).
     Raises ValueError for unknown spec keys.
     """
-    metrics = _slo_metrics(run)
     violations = []
     for key, bound in spec.items():
         if key.startswith("max_"):
@@ -277,8 +309,35 @@ def check_slo(run: list[Event], spec: dict) -> list[str]:
     return violations
 
 
+def check_slo(run: list[Event], spec: dict) -> list[str]:
+    """Evaluate one run against a declarative bound spec.
+
+    Returns the violations as human-readable strings (empty = pass).
+    Raises ValueError for unknown spec keys.
+    """
+    return _eval_spec(_slo_metrics(run), spec)
+
+
+def _spec_is_streaming(spec: dict) -> bool:
+    """True when every bound is over a streaming-computable metric."""
+    streaming = RunStreamStats.metric_names()
+    return all(
+        (key.startswith(("max_", "min_")) and key[4:] in streaming)
+        for key in spec
+    )
+
+
+def _report_slo(label: str, i: int, violations: list[str], n: int) -> bool:
+    if violations:
+        print(f"FAIL {label} (run {i}):")
+        for v in violations:
+            print(f"  {v}")
+        return True
+    print(f"ok   {label} (run {i}): {n} bound(s) hold")
+    return False
+
+
 def _cmd_slo(args: argparse.Namespace) -> int:
-    events = _load(args.trace)
     try:
         with open(args.spec) as fp:
             spec = json.load(fp)
@@ -287,17 +346,66 @@ def _cmd_slo(args: argparse.Namespace) -> int:
     if not isinstance(spec, dict):
         raise ValueError(f"{args.spec}: SLO spec must be a JSON object")
     failed = False
-    for i, run in enumerate(split_runs(events)):
-        label = _run_label(run, i)
-        violations = check_slo(run, spec)
-        if violations:
-            failed = True
-            print(f"FAIL {label} (run {i}):")
-            for v in violations:
-                print(f"  {v}")
-        else:
-            print(f"ok   {label} (run {i}): {len(spec)} bound(s) hold")
+    if _spec_is_streaming(spec):
+        # Pure streaming pass: O(sketch buckets) memory regardless of
+        # trace size — no run is ever materialized.
+        stats: RunStreamStats | None = None
+        label = ""
+        i = 0
+        seen = False
+
+        def _finish() -> None:
+            nonlocal failed, i
+            failed |= _report_slo(
+                label or f"run {i}", i,
+                _eval_spec(stats.metrics(), spec), len(spec),
+            )
+            i += 1
+
+        for ev in iter_events(args.trace):
+            seen = True
+            if ev.type == RUN_STARTED:
+                if stats is not None:
+                    _finish()
+                stats = RunStreamStats()
+                label = ev.label
+            elif stats is None:  # legacy stream without run_started
+                stats = RunStreamStats()
+                label = ""
+            stats.observe(ev)
+        if not seen:
+            raise ValueError(f"{args.trace}: no events found")
+        if stats is not None:
+            _finish()
+        return 1 if failed else 0
+    for i, run in enumerate(_stream_runs(args.trace)):
+        failed |= _report_slo(
+            _run_label(run, i), i, check_slo(run, spec), len(spec)
+        )
     return 1 if failed else 0
+
+
+def _cmd_trends(args: argparse.Namespace) -> int:
+    from repro.obs.telemetry.ledger import (
+        Ledger,
+        detect_regressions,
+        render_trends,
+    )
+
+    entries = Ledger(args.ledger).read()
+    if not entries:
+        raise ValueError(f"{args.ledger}: empty or missing ledger")
+    regressions = detect_regressions(
+        entries,
+        threshold=args.threshold,
+        window=args.window,
+        min_history=args.min_history,
+        metrics=args.metric or None,
+    )
+    _print(
+        render_trends(entries, regressions, threshold=args.threshold)
+    )
+    return 1 if regressions else 0
 
 
 def _print(text: str) -> None:
@@ -386,6 +494,34 @@ def main(argv: list[str] | None = None) -> int:
         help='JSON object of bounds, e.g. {"max_idle_fraction": 0.5}',
     )
     p_slo.set_defaults(fn=_cmd_slo)
+
+    p_tr = sub.add_parser(
+        "trends",
+        help="flag cross-run metric regressions in a telemetry ledger "
+        "(exit 1 on regression)",
+    )
+    p_tr.add_argument(
+        "ledger", help="JSONL ledger written by repro.obs.telemetry.Ledger"
+    )
+    p_tr.add_argument(
+        "--threshold", type=float, default=0.3, metavar="FRAC",
+        help="relative change that counts as a regression (default 0.3)",
+    )
+    p_tr.add_argument(
+        "--window", type=int, default=8, metavar="N",
+        help="baseline window: preceding runs whose median is compared "
+        "(default 8)",
+    )
+    p_tr.add_argument(
+        "--min-history", type=int, default=1, metavar="N",
+        help="minimum prior runs of a fingerprint before judging "
+        "(default 1)",
+    )
+    p_tr.add_argument(
+        "--metric", action="append", metavar="NAME",
+        help="only check this metric (repeatable; default: all shared)",
+    )
+    p_tr.set_defaults(fn=_cmd_trends)
 
     args = parser.parse_args(argv)
     try:

@@ -20,7 +20,7 @@ Both formats are recognised by :func:`load_events`, which the
 from __future__ import annotations
 
 import json
-from typing import IO, Iterable
+from typing import IO, Iterable, Iterator
 
 from repro.obs.events import (
     MESSAGE_DELIVERED,
@@ -195,12 +195,15 @@ def events_from_chrome(doc: dict) -> list[Event]:
 
 def events_from_jsonl(lines: Iterable[str]) -> list[Event]:
     """Parse a JSONL event log."""
-    events = []
+    return list(iter_events_jsonl(lines))
+
+
+def iter_events_jsonl(lines: Iterable[str]) -> Iterator[Event]:
+    """Stream a JSONL event log one event at a time."""
     for line in lines:
         line = line.strip()
         if line:
-            events.append(Event.from_dict(json.loads(line)))
-    return events
+            yield Event.from_dict(json.loads(line))
 
 
 def load_events(path: str) -> list[Event]:
@@ -228,6 +231,58 @@ def load_events(path: str) -> list[Event]:
         raise ValueError(f"{path}: not a Chrome trace or JSONL event log")
 
 
+def iter_events(path: str) -> Iterator[Event]:
+    """Stream an event log without materializing it.
+
+    JSONL files — the telemetry-scale format — are read line by line in
+    O(1) memory; Chrome traces are a single JSON document, so they fall
+    back to :func:`load_events` (full parse) transparently.  The CLI
+    subcommands that can work single-pass (``summarize``, ``slo``)
+    consume this, so multi-gigabyte JSONL traces never sit in memory.
+
+    Raises:
+        ValueError: when the file is neither format (raised on first
+            iteration — generators are lazy).
+    """
+    with open(path) as fp:
+        head = fp.read(1)
+        fp.seek(0)
+        if head == "{":
+            first = fp.readline()
+            try:
+                obj = json.loads(first)
+            except json.JSONDecodeError:
+                obj = None  # multi-line JSON document: Chrome trace
+            if isinstance(obj, dict) and "type" in obj and "t" in obj:
+                yield Event.from_dict(obj)
+                yield from iter_events_jsonl(fp)
+                return
+            # Chrome traces (even single-line ones) need the full parse.
+            yield from load_events(path)
+            return
+        if head in ("[", ""):
+            yield from load_events(path)
+            return
+        raise ValueError(f"{path}: not a Chrome trace or JSONL event log")
+
+
+def iter_runs(events: Iterable[Event]) -> Iterator[list[Event]]:
+    """Stream run partitions from a (possibly streaming) event source.
+
+    Like :func:`split_runs`, but holds only one run's events at a time —
+    pairs with :func:`iter_events` so per-run analyses over a huge
+    multi-run log never see more than the largest single run.
+    """
+    current: list[Event] = []
+    for ev in events:
+        if ev.type == RUN_STARTED and current:
+            yield current
+            current = []
+        current.append(ev)
+    if current:
+        yield current
+
+
 def split_runs(events: Iterable[Event]) -> list[list[Event]]:
     """Partition a multi-run stream at ``run_started`` boundaries.
 
@@ -251,6 +306,9 @@ __all__ = [
     "JsonlExporter",
     "events_from_chrome",
     "events_from_jsonl",
+    "iter_events",
+    "iter_events_jsonl",
+    "iter_runs",
     "load_events",
     "split_runs",
 ]

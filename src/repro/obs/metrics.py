@@ -17,6 +17,11 @@ Instruments:
 * :class:`TimeSeries` — step-function samples over virtual time; the
   store behind the resource timelines (:mod:`repro.obs.timeline`), which
   are derived offline from an event stream, never on the hot path.
+  Optional ``max_samples`` bounds memory by deterministic decimation.
+* :class:`~repro.obs.telemetry.sketch.QuantileSketch` — streaming
+  percentiles with a relative-error guarantee, registered via
+  :meth:`MetricsRegistry.sketch`.  Only built when a controller opts
+  into telemetry, so clean-run snapshots stay bit-identical.
 """
 
 from __future__ import annotations
@@ -24,6 +29,8 @@ from __future__ import annotations
 import math
 from bisect import bisect_right
 from dataclasses import dataclass, field
+
+from repro.obs.telemetry.sketch import DEFAULT_REL_ERR, QuantileSketch
 
 
 class Counter:
@@ -113,13 +120,26 @@ class TimeSeries:
     the value holds until the next sample.  Sample times must be
     non-decreasing (event-stream builders sort first); equal-time
     samples collapse to the last write, keeping the series canonical.
+
+    ``max_samples`` (off by default, so existing series — and the
+    goldens derived from them — are bit-identical) bounds memory: when
+    the store exceeds it, every other interior sample is dropped.  The
+    survivors keep their exact ``(t, v)`` pairs and their order, so the
+    result is still a valid step function with the same first and final
+    values; resolution halves between the retained steps.  Decimation
+    is purely index-based — deterministic for a deterministic stream.
     """
 
-    __slots__ = ("times", "values")
+    __slots__ = ("times", "values", "max_samples")
 
-    def __init__(self) -> None:
+    def __init__(self, max_samples: int | None = None) -> None:
+        if max_samples is not None and max_samples < 2:
+            raise ValueError(
+                f"max_samples must be >= 2, got {max_samples}"
+            )
         self.times: list[float] = []
         self.values: list[float] = []
+        self.max_samples = max_samples
 
     def sample(self, t: float, v: float) -> None:
         times = self.times
@@ -135,6 +155,18 @@ class TimeSeries:
                 return
         times.append(t)
         self.values.append(v)
+        if self.max_samples is not None and len(times) > self.max_samples:
+            self._decimate()
+
+    def _decimate(self) -> None:
+        """Drop every other interior sample (first and last survive)."""
+        times, values = self.times, self.values
+        n = len(times)
+        keep = list(range(0, n - 1, 2))
+        if keep[-1] != n - 1:
+            keep.append(n - 1)
+        self.times = [times[i] for i in keep]
+        self.values = [values[i] for i in keep]
 
     def __len__(self) -> int:
         return len(self.times)
@@ -184,12 +216,29 @@ class MetricsSnapshot:
     gauges: dict[str, float] = field(default_factory=dict)
     histograms: dict[str, dict] = field(default_factory=dict)
     timeseries: dict[str, dict] = field(default_factory=dict)
+    #: Serialized quantile sketches (:meth:`QuantileSketch.to_dict`),
+    #: present only on telemetry-enabled runs.
+    sketches: dict[str, dict] = field(default_factory=dict)
 
     def counter(self, name: str, default: float = 0) -> float:
         return self.counters.get(name, default)
 
     def gauge(self, name: str, default: float = 0.0) -> float:
         return self.gauges.get(name, default)
+
+    def quantile(self, name: str, q: float, default: float = 0.0) -> float:
+        """Read quantile ``q`` from sketch ``name`` (within its rel_err).
+
+        Common quantiles are precomputed in the serialized form; any
+        other ``q`` is answered by rebuilding the sketch.
+        """
+        d = self.sketches.get(name)
+        if d is None:
+            return default
+        key = {0.50: "p50", 0.95: "p95", 0.99: "p99"}.get(q)
+        if key is not None and key in d:
+            return d[key]
+        return QuantileSketch.from_dict(d).quantile(q)
 
     def summary(self) -> str:
         """Multi-line human-readable dump."""
@@ -202,6 +251,12 @@ class MetricsSnapshot:
             lines.append(
                 f"{name}: n={h['count']} mean={h['mean']:.6g} "
                 f"min={h['min']:.6g} max={h['max']:.6g}"
+            )
+        for name, s in sorted(self.sketches.items()):
+            lines.append(
+                f"{name}: n={s['count']} p50={s['p50']:.6g} "
+                f"p95={s['p95']:.6g} p99={s['p99']:.6g} "
+                f"max={s['max']:.6g}"
             )
         return "\n".join(lines)
 
@@ -218,6 +273,7 @@ class MetricsRegistry:
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
         self._timeseries: dict[str, TimeSeries] = {}
+        self._sketches: dict[str, QuantileSketch] = {}
 
     def counter(self, name: str) -> Counter:
         c = self._counters.get(name)
@@ -237,11 +293,26 @@ class MetricsRegistry:
             h = self._histograms[name] = Histogram()
         return h
 
-    def timeseries(self, name: str) -> TimeSeries:
+    def timeseries(
+        self, name: str, max_samples: int | None = None
+    ) -> TimeSeries:
         ts = self._timeseries.get(name)
         if ts is None:
-            ts = self._timeseries[name] = TimeSeries()
+            ts = self._timeseries[name] = TimeSeries(max_samples)
         return ts
+
+    def sketch(
+        self, name: str, rel_err: float = DEFAULT_REL_ERR
+    ) -> QuantileSketch:
+        """Get-or-create a streaming quantile sketch.
+
+        Only telemetry-enabled runs call this — a registry with no
+        sketches snapshots exactly as before, so goldens are unchanged.
+        """
+        sk = self._sketches.get(name)
+        if sk is None:
+            sk = self._sketches[name] = QuantileSketch(rel_err)
+        return sk
 
     def snapshot(self) -> MetricsSnapshot:
         """Copy every instrument into a plain :class:`MetricsSnapshot`."""
@@ -251,5 +322,8 @@ class MetricsRegistry:
             histograms={k: h.snapshot() for k, h in self._histograms.items()},
             timeseries={
                 k: ts.to_dict() for k, ts in self._timeseries.items()
+            },
+            sketches={
+                k: sk.to_dict() for k, sk in self._sketches.items()
             },
         )

@@ -1,0 +1,120 @@
+"""Bounded-memory telemetry: sketches, sampling, flight recorder, ledger.
+
+The production-telemetry layer of :mod:`repro.obs`.  Where the base
+observability stack records *everything* (full event streams, complete
+traces), this package aggregates at the source so memory stays bounded
+no matter how many runs or events flow through:
+
+* :class:`QuantileSketch` — streaming p50/p95/p99 in O(buckets) memory
+  with a guaranteed relative-error bound.
+* :mod:`~repro.obs.telemetry.triggers` — declarative "when condition"
+  predicates (:func:`when`, :class:`FaultTrigger`,
+  :class:`SloBreachTrigger`) that decide which runs deserve attention.
+* :class:`SamplingSink` — head + tail-based trace sampling under a byte
+  budget: triggered runs always kept, clean runs coin-flipped.
+* :class:`FlightRecorder` — an always-on ring buffer of recent events,
+  dumped to disk only when a trigger fires or the run aborts.
+* :class:`Ledger` — a cross-run JSONL record of metric snapshots with
+  regression detection (``python -m repro.obs trends``).
+
+Controllers opt in with ``telemetry=True`` (or a
+:class:`TelemetryConfig`); the default is off, preserving the
+zero-cost-when-unobserved contract and bit-identical event streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.telemetry.flight import DEFAULT_CAPACITY, FlightRecorder
+from repro.obs.telemetry.ledger import (
+    HIGHER_IS_BETTER,
+    Ledger,
+    default_machine,
+    detect_regressions,
+    fingerprint,
+    metrics_from_snapshot,
+    render_trends,
+)
+from repro.obs.telemetry.sampling import SamplingSink
+from repro.obs.telemetry.sketch import DEFAULT_REL_ERR, QuantileSketch
+from repro.obs.telemetry.triggers import (
+    FaultTrigger,
+    MetricTrigger,
+    RunStreamStats,
+    SloBreachTrigger,
+    Trigger,
+    TriggerSet,
+    when,
+)
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "DEFAULT_REL_ERR",
+    "FaultTrigger",
+    "FlightRecorder",
+    "HIGHER_IS_BETTER",
+    "Ledger",
+    "MetricTrigger",
+    "QuantileSketch",
+    "RunStreamStats",
+    "SamplingSink",
+    "SloBreachTrigger",
+    "TelemetryConfig",
+    "Trigger",
+    "TriggerSet",
+    "default_machine",
+    "detect_regressions",
+    "fingerprint",
+    "metrics_from_snapshot",
+    "render_trends",
+    "when",
+]
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """What a controller's built-in telemetry should collect.
+
+    Pass to a controller as ``telemetry=TelemetryConfig(...)`` (or
+    ``telemetry=True`` for the defaults).  With telemetry on, the run
+    feeds latency sketches (task compute, message latency, queue wait)
+    into its :class:`~repro.obs.metrics.MetricsRegistry` — surfaced on
+    ``RunResult.metrics.sketches`` — and, if ``flight_dir`` is set,
+    attaches a :class:`FlightRecorder` that dumps recent events when a
+    trigger fires or the run raises.
+
+    Attributes:
+        rel_err: relative-error bound of the latency sketches.
+        flight_dir: directory for flight-recorder dumps (None disables
+            the recorder entirely).
+        flight_capacity: ring size of the flight recorder, in events.
+        triggers: extra dump predicates for the flight recorder —
+            ``when()`` condition strings, SLO spec dicts, or
+            :class:`Trigger` instances (faults always trigger).
+    """
+
+    rel_err: float = DEFAULT_REL_ERR
+    flight_dir: str | None = None
+    flight_capacity: int = DEFAULT_CAPACITY
+    triggers: tuple = field(default=())
+
+    @classmethod
+    def coerce(cls, value) -> "TelemetryConfig | None":
+        """Normalize a controller's ``telemetry=`` argument.
+
+        ``None``/``False`` -> None (off), ``True`` -> defaults, a
+        :class:`TelemetryConfig` passes through, a dict becomes kwargs.
+        """
+        if value is None or value is False:
+            return None
+        if value is True:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, dict):
+            return cls(**value)
+        raise TypeError(
+            f"telemetry must be None, bool, dict, or TelemetryConfig, "
+            f"got {type(value).__name__}"
+        )

@@ -1,0 +1,137 @@
+"""Flight recorder: a bounded ring of recent events, dumped on anomaly.
+
+A :class:`FlightRecorder` is an :class:`~repro.obs.events.EventSink`
+holding only the last ``capacity`` events in a ring buffer — constant
+memory however long the run.  When a trigger fires (fault injected, SLO
+breach, ``when()`` condition) or the run aborts with an exception, the
+ring is dumped to disk: a ``flight-NNNN.jsonl`` event file readable by
+every ``python -m repro.obs`` subcommand, plus a
+``flight-NNNN.manifest.json`` sidecar recording why, when, and what was
+captured.  Clean runs write nothing.
+
+This is the post-mortem story for *unobserved* production runs: attach
+a recorder (cheaply — no full trace is retained) and the moments before
+any anomaly are on disk without having planned for it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+
+from repro.obs.events import RUN_FINISHED, Event, EventSink
+from repro.obs.telemetry.sketch import DEFAULT_REL_ERR
+from repro.obs.telemetry.triggers import FaultTrigger, TriggerSet
+
+__all__ = ["FlightRecorder", "DEFAULT_CAPACITY"]
+
+#: Default ring size: enough tail to reconstruct the failure
+#: neighbourhood, small enough to be always-on.
+DEFAULT_CAPACITY = 4096
+
+
+class FlightRecorder(EventSink):
+    """Keep the last ``capacity`` events; dump them when a trigger fires.
+
+    Args:
+        out_dir: directory for dumps (created on first dump, so a clean
+            run leaves no trace on disk).
+        capacity: ring size in events.
+        triggers: extra dump predicates — :class:`Trigger` instances,
+            ``when()`` condition strings, or SLO spec dicts.
+        keep_faults: prepend a :class:`FaultTrigger` (default on).
+        rel_err: relative error of the trigger quantile sketches.
+    """
+
+    def __init__(
+        self,
+        out_dir: str,
+        *,
+        capacity: int = DEFAULT_CAPACITY,
+        triggers: "tuple | list" = (),
+        keep_faults: bool = True,
+        rel_err: float = DEFAULT_REL_ERR,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.out_dir = out_dir
+        self.capacity = capacity
+        all_triggers: list = [FaultTrigger()] if keep_faults else []
+        all_triggers.extend(triggers)
+        self.triggers = TriggerSet(all_triggers, rel_err=rel_err)
+        self.ring: deque[Event] = deque(maxlen=capacity)
+        #: Paths of every dump written, in order.
+        self.dumps: list[str] = []
+        self._run_idx = 0
+        self._seen = 0  # events observed this run (ring may be smaller)
+
+    def emit(self, event: Event) -> None:
+        self.ring.append(event)
+        self._seen += 1
+        self.triggers.observe(event)
+        if event.type == RUN_FINISHED:
+            self.triggers.check()
+            if self.triggers.fired:
+                self._dump(self.triggers.reasons())
+            self._end_run()
+
+    def abort(self, exc: BaseException | None = None) -> str | None:
+        """Dump unconditionally — the run died mid-stream.
+
+        Controllers call this from their exception path; the dump
+        captures the events leading up to the crash.  Returns the dump
+        path (None if the ring is empty).
+        """
+        if not self._seen:
+            return None
+        reasons = [f"abort: {type(exc).__name__}: {exc}" if exc else "abort"]
+        self.triggers.check()
+        reasons.extend(self.triggers.reasons())
+        path = self._dump(reasons)
+        self._end_run()
+        return path
+
+    def close(self) -> None:
+        # A truncated stream with a fired trigger still gets its dump
+        # (e.g. the process is exiting through sink teardown).
+        if self._seen:
+            self.triggers.check()
+            if self.triggers.fired:
+                self._dump(self.triggers.reasons())
+            self._end_run()
+
+    # ------------------------------------------------------------------ #
+
+    def _end_run(self) -> None:
+        self.ring.clear()
+        self._seen = 0
+        self._run_idx += 1
+        self.triggers.start_run()
+
+    def _dump(self, reasons: list[str]) -> str:
+        os.makedirs(self.out_dir, exist_ok=True)
+        stem = f"flight-{len(self.dumps):04d}"
+        path = os.path.join(self.out_dir, stem + ".jsonl")
+        with open(path, "w", encoding="utf-8") as fh:
+            for e in self.ring:
+                fh.write(json.dumps(e.to_dict(), separators=(",", ":")))
+                fh.write("\n")
+        manifest = {
+            "run": self._run_idx,
+            "reasons": reasons,
+            "events_captured": len(self.ring),
+            "events_seen": self._seen,
+            "capacity": self.capacity,
+            "truncated": self._seen > len(self.ring),
+            "metrics": self.triggers.stats.metrics(),
+        }
+        with open(
+            os.path.join(self.out_dir, stem + ".manifest.json"),
+            "w",
+            encoding="utf-8",
+        ) as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        self.dumps.append(path)
+        return path

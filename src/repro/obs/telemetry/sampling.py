@@ -1,0 +1,174 @@
+"""Head + tail-based trace sampling under a byte budget.
+
+:class:`SamplingSink` wraps any :class:`~repro.obs.events.EventSink`
+and decides *per run* whether the wrapped sink sees the trace at all.
+The decision is tail-based — made at ``run_finished``, when the whole
+run is known — so anomalous runs are never lost to an up-front coin
+flip:
+
+* **Triggered runs are always kept**: an injected fault, an SLO breach,
+  a user-declared ``when(metric > θ)`` condition
+  (:mod:`repro.obs.telemetry.triggers`), or membership in the
+  slowest-*k* runs seen so far.
+* **Clean runs are head-sampled**: kept with ``probability`` under a
+  deterministic per-run coin (seeded by ``seed`` and the run ordinal,
+  so re-running a suite reproduces the identical keep/drop pattern),
+  and only while the cumulative bytes of kept clean traces stay under
+  ``budget_bytes``.
+
+Memory is one run's events (released at each decision); dropped traces
+cost nothing downstream.  Every decision is recorded in
+:attr:`SamplingSink.decisions` for audit.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import random
+
+from repro.obs.events import RUN_FINISHED, Event, EventSink
+from repro.obs.telemetry.sketch import DEFAULT_REL_ERR
+from repro.obs.telemetry.triggers import FaultTrigger, TriggerSet
+
+__all__ = ["SamplingSink"]
+
+
+def _trace_nbytes(events: list[Event]) -> int:
+    """Serialized size of a trace, as its JSONL export would measure it."""
+    return sum(
+        len(json.dumps(e.to_dict(), separators=(",", ":"))) + 1
+        for e in events
+    )
+
+
+class SamplingSink(EventSink):
+    """Forward whole runs to ``inner``, or drop them, by tail decision.
+
+    Args:
+        inner: the sink that receives kept traces (exporter, ListSink...).
+        probability: head-sampling rate for clean runs (0 drops all
+            clean runs, 1 keeps every run the budget allows).
+        budget_bytes: ceiling on cumulative serialized bytes of *clean*
+            kept traces; ``None`` means unbounded.  Triggered traces
+            are exempt — anomalies are kept even over budget.
+        triggers: extra keep predicates — :class:`Trigger` instances,
+            ``when()``-style condition strings, or SLO spec dicts
+            (see :class:`~repro.obs.telemetry.triggers.TriggerSet`).
+        keep_faults: prepend a :class:`FaultTrigger` (default on).
+        slowest_k: additionally keep any run ranking among the *k*
+            largest makespans seen so far (0 disables).
+        seed: keep/drop decisions derive from ``Random(f"{seed}:{run}")``
+            — stable across processes and ``PYTHONHASHSEED``.
+        rel_err: relative error of the trigger quantile sketches.
+    """
+
+    def __init__(
+        self,
+        inner: EventSink,
+        *,
+        probability: float = 0.1,
+        budget_bytes: int | None = None,
+        triggers: "tuple | list" = (),
+        keep_faults: bool = True,
+        slowest_k: int = 0,
+        seed: int = 0,
+        rel_err: float = DEFAULT_REL_ERR,
+    ) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1], got {probability}"
+            )
+        self.inner = inner
+        self.probability = probability
+        self.budget_bytes = budget_bytes
+        all_triggers: list = [FaultTrigger()] if keep_faults else []
+        all_triggers.extend(triggers)
+        self.triggers = TriggerSet(all_triggers, rel_err=rel_err)
+        self.slowest_k = slowest_k
+        self.seed = seed
+        #: Audit log: one dict per completed run
+        #: (run ordinal, kept, reasons, nbytes, n_events).
+        self.decisions: list[dict] = []
+        self.kept_runs = 0
+        self.dropped_runs = 0
+        self.clean_bytes_kept = 0
+        self._buffer: list[Event] = []
+        self._run_idx = 0
+        # Min-heap of the k largest makespans seen (streaming top-k).
+        self._slowest: list[float] = []
+
+    # The wrapped sink decides whether causal parents are threaded.
+    @property
+    def wants_context(self) -> bool:  # type: ignore[override]
+        return getattr(self.inner, "wants_context", False)
+
+    def emit(self, event: Event) -> None:
+        self._buffer.append(event)
+        self.triggers.observe(event)
+        if event.type == RUN_FINISHED:
+            self._decide()
+
+    def close(self) -> None:
+        if self._buffer:  # truncated run (aborted mid-stream): decide anyway
+            self._decide()
+        self.inner.close()
+
+    # ------------------------------------------------------------------ #
+    # The tail decision
+    # ------------------------------------------------------------------ #
+
+    def _is_slowest(self, makespan: float) -> bool:
+        """Streaming top-k membership: is this run among the k slowest?"""
+        k = self.slowest_k
+        if k <= 0:
+            return False
+        if len(self._slowest) < k:
+            heapq.heappush(self._slowest, makespan)
+            return True
+        if makespan > self._slowest[0]:
+            heapq.heapreplace(self._slowest, makespan)
+            return True
+        return False
+
+    def _decide(self) -> None:
+        events, self._buffer = self._buffer, []
+        run = self._run_idx
+        self._run_idx += 1
+        self.triggers.check()
+        reasons = self.triggers.reasons()
+        if self._is_slowest(self.triggers.stats.makespan):
+            reasons.append(f"slowest-{self.slowest_k}")
+        kept = bool(reasons)
+        nbytes = 0
+        if not kept and self.probability > 0.0:
+            # Deterministic per-run coin: the string seed hashes via
+            # sha512, independent of PYTHONHASHSEED.
+            coin = random.Random(f"{self.seed}:{run}").random()
+            if coin < self.probability:
+                nbytes = _trace_nbytes(events)
+                budget = self.budget_bytes
+                if budget is None or self.clean_bytes_kept + nbytes <= budget:
+                    kept = True
+                    reasons.append(f"head p={self.probability:g}")
+                    self.clean_bytes_kept += nbytes
+                else:
+                    reasons.append("over budget")
+        if kept:
+            self.kept_runs += 1
+            if not nbytes:
+                nbytes = _trace_nbytes(events)
+            inner = self.inner
+            for e in events:
+                inner.emit(e)
+        else:
+            self.dropped_runs += 1
+        self.decisions.append(
+            {
+                "run": run,
+                "kept": kept,
+                "reasons": reasons,
+                "nbytes": nbytes if kept else 0,
+                "n_events": len(events),
+            }
+        )

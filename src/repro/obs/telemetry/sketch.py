@@ -1,0 +1,198 @@
+"""Streaming quantile sketches with bounded relative error.
+
+A :class:`QuantileSketch` is a DDSketch-style mergeable summary: samples
+land in geometric buckets ``gamma**i`` with ``gamma = (1+a)/(1-a)``, so
+any quantile read back is within relative error ``a`` of the exact
+rank-based quantile of the stream — while memory stays O(buckets),
+independent of the stream length.  This is the instrument behind the
+telemetry pipeline's p50/p95/p99 latencies: a run observes millions of
+task/message durations without retaining a single event.
+
+The math, for reference: a sample ``x > 0`` maps to bucket
+``ceil(log(x, gamma))``; reading back the bucket midpoint in log space,
+``2 * gamma**i / (gamma + 1)``, lands within a factor ``(1±a)`` of every
+sample in the bucket.  Exact ``count`` / ``sum`` / ``min`` / ``max``
+ride along so means and extremes are never quantized.
+
+No repro imports — the module is dependency-free so
+:mod:`repro.obs.metrics` can register sketches without import cycles.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["QuantileSketch", "DEFAULT_REL_ERR"]
+
+#: Default relative-error bound (1%): p99 reads back within 1% of exact.
+DEFAULT_REL_ERR = 0.01
+
+#: Bucket-count ceiling before the low end collapses (DDSketch's
+#: "collapsing lowest" strategy).  2048 buckets at 1% relative error
+#: cover ~17 orders of magnitude — far beyond any latency range here —
+#: so collapse is a memory backstop, not an accuracy concession.
+DEFAULT_MAX_BUCKETS = 2048
+
+
+class QuantileSketch:
+    """Mergeable streaming quantile summary with relative-error bounds.
+
+    Args:
+        rel_err: guaranteed relative accuracy ``a`` of :meth:`quantile`
+            (``0 < a < 1``); smaller is more accurate and more buckets.
+        max_buckets: memory ceiling; when exceeded, the lowest buckets
+            collapse into one (small values lose resolution first, which
+            is the right trade for latency tails).
+    """
+
+    __slots__ = (
+        "rel_err", "max_buckets", "gamma", "_log_gamma",
+        "count", "total", "min", "max", "zeros", "buckets",
+    )
+
+    def __init__(
+        self,
+        rel_err: float = DEFAULT_REL_ERR,
+        max_buckets: int = DEFAULT_MAX_BUCKETS,
+    ) -> None:
+        if not 0.0 < rel_err < 1.0:
+            raise ValueError(f"rel_err must be in (0, 1), got {rel_err}")
+        if max_buckets < 2:
+            raise ValueError(f"max_buckets must be >= 2, got {max_buckets}")
+        self.rel_err = rel_err
+        self.max_buckets = max_buckets
+        self.gamma = (1.0 + rel_err) / (1.0 - rel_err)
+        self._log_gamma = math.log(self.gamma)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.zeros = 0  # samples <= 0 (latencies clamp negatives to zero)
+        self.buckets: dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Ingest
+    # ------------------------------------------------------------------ #
+
+    def observe(self, x: float) -> None:
+        """Add one sample (negatives clamp to the zero bucket)."""
+        self.count += 1
+        self.total += x
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+        if x <= 0.0:
+            self.zeros += 1
+            return
+        i = math.ceil(math.log(x) / self._log_gamma)
+        b = self.buckets
+        try:
+            b[i] += 1
+        except KeyError:
+            b[i] = 1
+            if len(b) > self.max_buckets:
+                self._collapse()
+
+    def _collapse(self) -> None:
+        """Fold the two lowest buckets together (memory backstop)."""
+        lo = sorted(self.buckets)
+        first, second = lo[0], lo[1]
+        self.buckets[second] += self.buckets.pop(first)
+
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold another sketch of the same ``rel_err`` into this one."""
+        if other.gamma != self.gamma:
+            raise ValueError(
+                f"cannot merge sketches with different rel_err "
+                f"({self.rel_err} vs {other.rel_err})"
+            )
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        self.zeros += other.zeros
+        b = self.buckets
+        for i, n in other.buckets.items():
+            b[i] = b.get(i, 0) + n
+        while len(b) > self.max_buckets:
+            self._collapse()
+
+    # ------------------------------------------------------------------ #
+    # Read-back
+    # ------------------------------------------------------------------ #
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (0 <= q <= 1), within ``rel_err`` of exact.
+
+        "Exact" means the rank-based quantile of the observed stream:
+        element ``floor(q * (count - 1))`` of the sorted samples.
+        Returns 0.0 for an empty sketch.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = int(q * (self.count - 1)) + 1  # 1-based target rank
+        if rank <= self.zeros:
+            return 0.0
+        seen = self.zeros
+        gamma = self.gamma
+        for i in sorted(self.buckets):
+            seen += self.buckets[i]
+            if seen >= rank:
+                # Log-space bucket midpoint: within (1 ± rel_err) of
+                # every sample the bucket holds.
+                return 2.0 * gamma ** i / (gamma + 1.0)
+        return self.max  # float fuzz fallback; rank <= count always
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def n_buckets(self) -> int:
+        """Live bucket count — the sketch's actual memory footprint."""
+        return len(self.buckets) + (1 if self.zeros else 0)
+
+    def __len__(self) -> int:
+        return self.count
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form; round-trips through :meth:`from_dict`."""
+        return {
+            "rel_err": self.rel_err,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "zeros": self.zeros,
+            # JSON object keys are strings; sorted for stable output.
+            "buckets": {str(i): self.buckets[i] for i in sorted(self.buckets)},
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "QuantileSketch":
+        """Rebuild a sketch from :meth:`to_dict` output."""
+        sk = cls(rel_err=d.get("rel_err", DEFAULT_REL_ERR))
+        sk.count = int(d.get("count", 0))
+        sk.total = float(d.get("total", 0.0))
+        if sk.count:
+            sk.min = float(d.get("min", math.inf))
+            sk.max = float(d.get("max", -math.inf))
+        sk.zeros = int(d.get("zeros", 0))
+        sk.buckets = {int(i): int(n) for i, n in d.get("buckets", {}).items()}
+        return sk
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"QuantileSketch(n={self.count}, p50={self.quantile(0.5):.6g}, "
+            f"p99={self.quantile(0.99):.6g}, buckets={self.n_buckets})"
+        )

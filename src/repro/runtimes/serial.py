@@ -39,6 +39,7 @@ from repro.obs.events import (
 )
 from repro.obs.hub import ObsHub
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import FlightRecorder, TelemetryConfig
 from repro.runtimes.controller import Controller
 from repro.runtimes.result import RunResult
 from repro.sim.trace import Trace
@@ -60,16 +61,21 @@ class SerialController(Controller):
         sinks: observability sinks receiving the run's lifecycle events.
         collect_trace: keep a full span trace on the result (all spans on
             proc 0, wall-clock timeline).
+        telemetry: bounded-memory telemetry (see
+            :mod:`repro.obs.telemetry`); same contract as the simulated
+            controllers — off by default, zero allocations when off.
     """
 
     def __init__(
         self,
         sinks: Sequence[EventSink] = (),
         collect_trace: bool = False,
+        telemetry: "TelemetryConfig | bool | dict | None" = None,
     ) -> None:
         super().__init__()
         self._sinks.extend(sinks)
         self.collect_trace = collect_trace
+        self.telemetry = TelemetryConfig.coerce(telemetry)
 
     def _execute(
         self,
@@ -82,15 +88,35 @@ class SerialController(Controller):
         if self.collect_trace:
             trace = Trace()
             run_sinks.append(trace)
+        metrics = MetricsRegistry()
+        # Telemetry is strictly opt-in: sketches / the flight recorder
+        # only exist when asked for (tests/test_obs_overhead.py poisons
+        # their constructors on the default path).
+        tel = self.telemetry
+        flight = None
+        if tel is None:
+            t_task = t_queue = t_msg = None
+        else:
+            t_task = metrics.sketch("task_seconds", tel.rel_err)
+            t_queue = metrics.sketch("queue_wait_seconds", tel.rel_err)
+            t_msg = metrics.sketch("message_seconds", tel.rel_err)
+            if tel.flight_dir:
+                flight = FlightRecorder(
+                    tel.flight_dir,
+                    capacity=tel.flight_capacity,
+                    triggers=tel.triggers,
+                    rel_err=tel.rel_err,
+                )
+                run_sinks.append(flight)
         obs = ObsHub(run_sinks)
         # Causal-parent tracking is opt-in per sink (exporters ask for
         # it); plain sinks keep the exact historical event shapes.
         ctx = obs.wants_context if run_sinks else False
         arrived: dict[TaskId, list[TaskId]] = {}
-        metrics = MetricsRegistry()
         m_task_seconds = metrics.histogram("task_compute_seconds")
         m_message_bytes = metrics.histogram("message_nbytes")
         queue_peak = 0
+        enq_at: dict[TaskId, float] = {}
 
         result = RunResult(trace=trace)
         slots: dict[TaskId, list[Payload | None]] = {}
@@ -117,6 +143,8 @@ class SerialController(Controller):
                 ready.append(tid)
                 if len(ready) > queue_peak:
                     queue_peak = len(ready)
+                if t_queue is not None:
+                    enq_at[tid] = wall_total
                 if obs:
                     obs.emit(
                         Event(TASK_ENQUEUED, wall_total, proc=0, task=tid)
@@ -140,15 +168,25 @@ class SerialController(Controller):
                 task = graph.task(tid)
                 t_start = wall_total
                 t0 = time.perf_counter()
-                outputs = registry.invoke(
-                    task.callback,
-                    [p for p in slots.pop(tid)],  # type: ignore[misc]
-                    tid,
-                    task.n_outputs,
-                )
+                try:
+                    outputs = registry.invoke(
+                        task.callback,
+                        [p for p in slots.pop(tid)],  # type: ignore[misc]
+                        tid,
+                        task.n_outputs,
+                    )
+                except BaseException as exc:
+                    if flight is not None:
+                        flight.abort(exc)
+                    raise
                 elapsed = time.perf_counter() - t0
                 wall_total += elapsed
                 m_task_seconds.observe(elapsed)
+                if t_task is not None:
+                    t_task.observe(elapsed)
+                    t_queue.observe(
+                        max(0.0, t_start - enq_at.pop(tid, t_start))
+                    )
                 result.stats.add_callback(task.callback, elapsed)
                 executed += 1
                 if obs:
@@ -216,14 +254,21 @@ class SerialController(Controller):
                             )
                         deposit(dst, slot_list[idx], payload)
                         m_message_bytes.observe(payload.nbytes)
+                        if t_msg is not None:
+                            # In-process handoff: zero-latency delivery,
+                            # kept so serial sketch sets match simulated.
+                            t_msg.observe(0.0)
                         result.stats.messages += 1
                         result.stats.bytes_sent += payload.nbytes
         if executed != graph.size():
             stuck = [t for t, r in remaining.items() if r > 0][:8]
-            raise ControllerError(
+            err = ControllerError(
                 f"dataflow stalled: executed {executed} of {graph.size()} "
                 f"tasks; waiting tasks include {stuck}"
             )
+            if flight is not None:
+                flight.abort(err)
+            raise err
         result.stats.tasks_executed = executed
         result.stats.makespan = wall_total
         result.stats.add("compute", wall_total)

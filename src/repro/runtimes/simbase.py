@@ -56,6 +56,7 @@ from repro.obs.events import (
 )
 from repro.obs.hub import ObsHub
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import FlightRecorder, TelemetryConfig
 from repro.runtimes.controller import Controller
 from repro.runtimes.costs import DEFAULT_COSTS, CostModel, NullCost, RuntimeCosts
 from repro.runtimes.result import RunResult
@@ -83,11 +84,14 @@ class _PhysicalTask:
 
     __slots__ = (
         "task", "slots", "remaining", "cursor", "queued", "slot_map",
-        "attempt", "attempts", "arrived",
+        "attempt", "attempts", "arrived", "enq_t",
     )
 
     def __init__(self, task: Task) -> None:
         self.task = task
+        # Last enqueue timestamp; only written on telemetry-enabled runs
+        # (feeds the queue-wait sketch in _start_task).
+        self.enq_t = 0.0
         n = task.n_inputs
         self.slots: list[Payload | None] = [None] * n
         self.remaining = n
@@ -160,6 +164,16 @@ class SimController(Controller):
         sinks: observability sinks receiving the run's structured
             lifecycle events (see :mod:`repro.obs.events`); equivalent to
             calling :meth:`~repro.runtimes.controller.Controller.add_sink`.
+        telemetry: bounded-memory telemetry (see
+            :mod:`repro.obs.telemetry`).  ``True`` or a
+            :class:`~repro.obs.telemetry.TelemetryConfig` feeds
+            streaming quantile sketches — task compute, queue wait,
+            message latency — into ``RunResult.metrics.sketches``
+            without retaining events, and (when ``flight_dir`` is set)
+            attaches a flight recorder that dumps the recent event ring
+            on faults, trigger conditions, or exceptions.  Default off:
+            clean runs allocate no telemetry objects and their metric
+            snapshots / event streams are bit-identical.
     """
 
     def __init__(
@@ -177,9 +191,11 @@ class SimController(Controller):
         retry_policy: RetryPolicy | None = None,
         balancer: "Balancer | None" = None,
         sinks: Sequence[EventSink] = (),
+        telemetry: "TelemetryConfig | bool | dict | None" = None,
     ) -> None:
         super().__init__()
         self._sinks.extend(sinks)
+        self.telemetry = TelemetryConfig.coerce(telemetry)
         if n_procs <= 0:
             raise ControllerError(f"n_procs must be positive, got {n_procs}")
         self.n_procs = n_procs
@@ -290,6 +306,28 @@ class SimController(Controller):
             # Span tracing is an event sink like any other consumer.
             trace = Trace()
             sinks.append(trace)
+        metrics = self._metrics = MetricsRegistry()
+        # Telemetry is strictly opt-in: on the default path no sketch,
+        # ring buffer, or trigger object is ever constructed (enforced
+        # by tests/test_obs_overhead.py) and the metric snapshot keeps
+        # its exact historical shape.
+        tel = self.telemetry
+        self._tel_flight = None
+        if tel is None:
+            self._t_task = self._t_queue = None
+            msg_sketch = None
+        else:
+            self._t_task = metrics.sketch("task_seconds", tel.rel_err)
+            self._t_queue = metrics.sketch("queue_wait_seconds", tel.rel_err)
+            msg_sketch = metrics.sketch("message_seconds", tel.rel_err)
+            if tel.flight_dir:
+                self._tel_flight = FlightRecorder(
+                    tel.flight_dir,
+                    capacity=tel.flight_capacity,
+                    triggers=tel.triggers,
+                    rel_err=tel.rel_err,
+                )
+                sinks.append(self._tel_flight)
         hub = ObsHub(sinks)
         # `None` rather than an empty hub when unobserved: the hot-path
         # guards become a C-level identity test instead of calling
@@ -299,7 +337,6 @@ class SimController(Controller):
         # sink gate: only pay the per-deposit parent tracking when some
         # sink (an exporter, typically) asked for causal context.
         self._ctx = hub.wants_context if sinks else False
-        metrics = self._metrics = MetricsRegistry()
         self._m_task_seconds = metrics.histogram("task_compute_seconds")
         self._m_message_bytes = metrics.histogram("message_nbytes")
         self._queue_peak = [0] * self.n_procs
@@ -313,6 +350,7 @@ class SimController(Controller):
             obs=hub,
             link_faults=plan.link_table() if plan is not None else None,
             retry=self.retry_policy,
+            latency_sketch=msg_sketch,
         )
         self._result = RunResult(trace=trace)
         # Per-run hot-path caches: the category hooks return constants
@@ -394,17 +432,24 @@ class SimController(Controller):
             # left without any work would otherwise never be pumped, so
             # an idle-stealing balancer would never see them.
             self._engine.call_at(0.0, self._probe_idle)
-        self._engine.run()
-
-        if len(self._done) != self._total:
-            stuck = [
-                t for t, pt in self._ptasks.items() if pt.remaining > 0
-            ][:8]
-            raise SimulationError(
-                f"{type(self).__name__}: dataflow stalled after "
-                f"{len(self._done)}/{self._total} tasks "
-                f"(waiting tasks include {stuck})"
-            )
+        try:
+            self._engine.run()
+            if len(self._done) != self._total:
+                stuck = [
+                    t for t, pt in self._ptasks.items() if pt.remaining > 0
+                ][:8]
+                raise SimulationError(
+                    f"{type(self).__name__}: dataflow stalled after "
+                    f"{len(self._done)}/{self._total} tasks "
+                    f"(waiting tasks include {stuck})"
+                )
+        except BaseException as exc:
+            # The run died mid-stream: the flight recorder's ring holds
+            # the moments leading up to the failure — dump it before
+            # propagating so the post-mortem survives the crash.
+            if self._tel_flight is not None:
+                self._tel_flight.abort(exc)
+            raise
         stats = self._result.stats
         stats.makespan = self._finish_time
         stats.tasks_executed = self._executed
@@ -552,6 +597,8 @@ class SimController(Controller):
         ready.append(tid)
         if len(ready) > self._queue_peak[proc]:
             self._queue_peak[proc] = len(ready)
+        if self._t_queue is not None:
+            pt.enq_t = self._engine._now
         obs = self._obs
         if obs is not None:
             obs.emit(
@@ -627,6 +674,10 @@ class SimController(Controller):
     def _start_task(self, proc: int, tid: TaskId) -> None:
         pt = self._ptasks[tid]
         self._busy[proc] += 1
+        if self._t_queue is not None:
+            self._t_queue.observe(
+                max(0.0, self._engine._now - pt.enq_t)
+            )
         stash = pt.attempt
         if stash is None:
             task = pt.task
@@ -654,6 +705,8 @@ class SimController(Controller):
             outputs, compute, overhead = stash
         cat_time = self._cat_time
         self._m_task_seconds.observe(compute)
+        if self._t_task is not None:
+            self._t_task.observe(compute)
         if self._fault_budget and self._fault_budget.get(tid, 0) > 0:
             # Transient failure: the attempt consumes its full time but
             # its outputs are discarded; the task retries (idempotence).

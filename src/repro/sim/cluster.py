@@ -61,7 +61,7 @@ class Cluster:
         "procs_per_node", "_cores", "_nics", "_core_speed", "_observed",
         "_single_core", "bytes_sent", "messages_sent",
         "_link_faults", "_retry", "messages_dropped",
-        "messages_retransmitted", "first_drop_time",
+        "messages_retransmitted", "first_drop_time", "_latency_sketch",
     )
 
     def __init__(
@@ -74,6 +74,7 @@ class Cluster:
         obs: ObsHub = NULL_HUB,
         link_faults: "LinkFaultTable | None" = None,
         retry: "RetryPolicy | None" = None,
+        latency_sketch=None,
     ) -> None:
         if n_procs <= 0:
             raise SimulationError(f"n_procs must be positive, got {n_procs}")
@@ -122,6 +123,10 @@ class Cluster:
         self.messages_dropped = 0
         self.messages_retransmitted = 0
         self.first_drop_time: float | None = None
+        # Telemetry: a QuantileSketch observing send-to-delivery latency
+        # per message.  None on the clean path (zero-cost when off) —
+        # the controller installs it only when telemetry is enabled.
+        self._latency_sketch = latency_sketch
 
     # ------------------------------------------------------------------ #
     # Topology
@@ -249,6 +254,8 @@ class Cluster:
         if src == dst:
             t = engine._now
             heappush(engine._heap, (t, engine._next_seq(), fn, args))
+            if self._latency_sketch is not None:
+                self._latency_sketch.observe(0.0)
             if self._observed:
                 self._emit_message(
                     src, dst, nbytes, t, t, label, src_task, dst_task
@@ -282,6 +289,8 @@ class Cluster:
         nic.jobs_served += 1
         deliver = inj_end + latency
         heappush(engine._heap, (deliver, engine._next_seq(), fn, args))
+        if self._latency_sketch is not None:
+            self._latency_sketch.observe(deliver - start)
         if self._observed:
             self._emit_message(
                 src, dst, nbytes, start, deliver, label, src_task, dst_task

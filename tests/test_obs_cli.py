@@ -289,3 +289,113 @@ class TestSlo:
         spec.write_text("[1, 2]")
         assert main(["slo", str(path), str(spec)]) == 2
         assert "JSON object" in capsys.readouterr().err
+
+
+class TestSloPercentiles:
+    """Percentile bounds are answered from streaming sketches — the
+    telemetry tentpole's ``obs slo`` surface."""
+
+    def write_spec(self, tmp_path, spec):
+        p = tmp_path / "slo.json"
+        p.write_text(json.dumps(spec))
+        return p
+
+    def test_percentile_bounds_pass(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", JsonlExporter)
+        spec = self.write_spec(tmp_path, {
+            "max_task_seconds_p99": 1.0,
+            "max_queue_wait_seconds_p95": 10.0,
+            "min_tasks_finished": 21,
+        })
+        assert main(["slo", str(path), str(spec)]) == 0
+        assert "3 bound(s) hold" in capsys.readouterr().out
+
+    def test_percentile_breach_exits_1(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", JsonlExporter)
+        # Every task computes 0.01s, so p99 ~ 0.01 >> 1e-9.
+        spec = self.write_spec(tmp_path, {"max_task_seconds_p99": 1e-9})
+        assert main(["slo", str(path), str(spec)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "max_task_seconds_p99" in out
+
+    def test_percentile_bounds_on_chrome_trace(self, tmp_path):
+        path = write_trace(tmp_path / "t.json", ChromeTraceExporter)
+        spec = self.write_spec(tmp_path, {"max_task_seconds_p99": 1.0})
+        assert main(["slo", str(path), str(spec)]) == 0
+
+    def test_mixed_timeline_and_percentile_spec(self, tmp_path, capsys):
+        # idle_fraction needs the timeline path; percentile bounds ride
+        # along on the same merged metric dict.
+        path = write_trace(tmp_path / "t.jsonl", JsonlExporter)
+        spec = self.write_spec(tmp_path, {
+            "max_idle_fraction": 1.0,
+            "max_task_seconds_p99": 1.0,
+        })
+        assert main(["slo", str(path), str(spec)]) == 0
+        assert "2 bound(s) hold" in capsys.readouterr().out
+
+    def test_unknown_percentile_metric_exits_2(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", JsonlExporter)
+        spec = self.write_spec(tmp_path, {"max_task_seconds_p77": 1.0})
+        assert main(["slo", str(path), str(spec)]) == 2
+        assert "unknown SLO metric" in capsys.readouterr().err
+
+    def test_multi_run_trace_checks_every_run(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", JsonlExporter, runs=3)
+        spec = self.write_spec(tmp_path, {"min_tasks_finished": 21})
+        assert main(["slo", str(path), str(spec)]) == 0
+        assert capsys.readouterr().out.count("ok ") == 3
+
+
+class TestTrends:
+    def seed_ledger(self, tmp_path, values, metric="seconds"):
+        from repro.obs.telemetry import Ledger
+
+        path = tmp_path / "ledger.jsonl"
+        ledger = Ledger(str(path))
+        for i, v in enumerate(values):
+            ledger.append("w", "mpi", {metric: v}, machine="m", ts=float(i))
+        return path
+
+    def test_clean_ledger_exits_0(self, tmp_path, capsys):
+        path = self.seed_ledger(tmp_path, [1.0, 1.01, 0.99, 1.0])
+        assert main(["trends", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "ledger: 4 runs" in out
+        assert "no regressions beyond 30%" in out
+
+    def test_seeded_regression_exits_1(self, tmp_path, capsys):
+        path = self.seed_ledger(tmp_path, [1.0, 1.0, 1.0, 1.0, 1.45])
+        assert main(["trends", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION w/mpi/m seconds: rose 45.0%" in out
+
+    def test_threshold_flag(self, tmp_path):
+        path = self.seed_ledger(tmp_path, [1.0, 1.0, 1.2])
+        assert main(["trends", str(path)]) == 0  # 20% < default 30%
+        assert main(["trends", str(path), "--threshold", "0.1"]) == 1
+
+    def test_metric_filter_flag(self, tmp_path):
+        from repro.obs.telemetry import Ledger
+
+        path = tmp_path / "ledger.jsonl"
+        ledger = Ledger(str(path))
+        for i, (a, b) in enumerate([(1.0, 1.0), (1.0, 1.0), (1.0, 9.0)]):
+            ledger.append("w", "mpi", {"x": a, "y": b}, machine="m", ts=float(i))
+        assert main(["trends", str(path), "--metric", "x"]) == 0
+        assert main(["trends", str(path), "--metric", "y"]) == 1
+
+    def test_min_history_flag(self, tmp_path):
+        path = self.seed_ledger(tmp_path, [1.0, 2.0])
+        assert main(["trends", str(path), "--min-history", "3"]) == 0
+        assert main(["trends", str(path), "--min-history", "1"]) == 1
+
+    def test_missing_ledger_exits_2(self, tmp_path, capsys):
+        assert main(["trends", str(tmp_path / "nope.jsonl")]) == 2
+        assert "empty or missing" in capsys.readouterr().err
+
+    def test_corrupt_ledger_exits_2(self, tmp_path, capsys):
+        p = tmp_path / "bad.jsonl"
+        p.write_text("{not json\n")
+        assert main(["trends", str(p)]) == 2
+        assert "corrupt" in capsys.readouterr().err

@@ -16,6 +16,7 @@ from repro.obs import (
     load_events,
     split_runs,
 )
+from repro.obs.export import iter_events, iter_runs
 from repro.runtimes import MPIController
 
 
@@ -240,3 +241,60 @@ class TestLoadEvents:
     def test_split_runs_without_markers_is_one_run(self):
         evs = [Event("task_finished", 1.0, task=0, dur=1.0)]
         assert split_runs(evs) == [evs]
+
+
+class TestStreamingReaders:
+    """iter_events / iter_runs must agree exactly with the materializing
+    load_events / split_runs on every on-disk format."""
+
+    def test_iter_events_matches_load_events_jsonl(self, traced_run):
+        _, jpath, sink, _ = traced_run
+        assert list(iter_events(str(jpath))) == load_events(str(jpath))
+        assert list(iter_events(str(jpath))) == sink.events
+
+    def test_iter_events_matches_load_events_chrome(self, traced_run):
+        cpath, _, _, _ = traced_run
+        assert list(iter_events(str(cpath))) == load_events(str(cpath))
+
+    def test_iter_events_is_lazy_on_jsonl(self, traced_run):
+        _, jpath, sink, _ = traced_run
+        it = iter_events(str(jpath))
+        assert next(it) == sink.events[0]  # first event without full read
+
+    def test_iter_events_rejects_garbage(self, tmp_path):
+        p = tmp_path / "garbage.txt"
+        p.write_text("not a trace\n")
+        with pytest.raises(ValueError):
+            list(iter_events(str(p)))
+
+    def test_iter_events_empty_file(self, tmp_path):
+        p = tmp_path / "empty.jsonl"
+        p.write_text("")
+        assert list(iter_events(str(p))) == []
+
+    def test_iter_runs_matches_split_runs(self, tmp_path):
+        jpath = tmp_path / "two.jsonl"
+        jsonl = JsonlExporter(str(jpath))
+        c = MPIController(4)
+        c.add_sink(jsonl)
+        run_reduction(c)
+        run_reduction(c)
+        jsonl.close()
+        streamed = list(iter_runs(iter_events(str(jpath))))
+        assert streamed == split_runs(load_events(str(jpath)))
+        assert len(streamed) == 2
+
+    def test_iter_runs_without_markers_is_one_run(self):
+        evs = [Event("task_finished", 1.0, task=0, dur=1.0)]
+        assert list(iter_runs(iter(evs))) == [evs]
+
+    def test_iter_runs_yields_incrementally(self):
+        def gen():
+            yield Event("run_started", 0.0)
+            yield Event("run_finished", 1.0)
+            yield Event("run_started", 0.0)
+            raise AssertionError("second run must not be consumed yet")
+
+        it = iter_runs(gen())
+        first = next(it)
+        assert [e.type for e in first] == ["run_started", "run_finished"]

@@ -15,12 +15,16 @@ def run_flat(c):
     return c.run({t: Payload(1) for t in range(8)})
 
 
-def fresh(monkeypatch, path):
+def fresh(monkeypatch, path, flight_dir=None):
     monkeypatch.setattr(harness, "_trace_exporter", None)
     if path is None:
         monkeypatch.delenv("REPRO_TRACE", raising=False)
     else:
         monkeypatch.setenv("REPRO_TRACE", str(path))
+    if flight_dir is None:
+        monkeypatch.delenv("REPRO_FLIGHT_DIR", raising=False)
+    else:
+        monkeypatch.setenv("REPRO_FLIGHT_DIR", str(flight_dir))
 
 
 def test_no_env_means_no_exporter(monkeypatch):
@@ -52,3 +56,29 @@ def test_observed_runs_land_in_the_file(monkeypatch, tmp_path):
     events = load_events(str(path))
     assert sum(1 for e in events if e.type == "run_started") == 2
     assert sum(1 for e in events if e.type == "task_finished") == 16
+
+
+def test_no_env_means_no_flight_telemetry(monkeypatch):
+    fresh(monkeypatch, None)
+    c = harness.observe(MPIController(2))
+    assert c.telemetry is None
+
+
+def test_flight_env_arms_the_recorder(monkeypatch, tmp_path):
+    flight = tmp_path / "flight"
+    fresh(monkeypatch, None, flight_dir=flight)
+    c = harness.observe(MPIController(2))
+    assert c.telemetry is not None
+    assert c.telemetry.flight_dir == str(flight)
+    # A clean observed run still leaves the dump directory untouched.
+    run_flat(c)
+    assert not flight.exists()
+
+
+def test_flight_env_respects_explicit_telemetry(monkeypatch, tmp_path):
+    from repro.obs.telemetry import TelemetryConfig
+
+    fresh(monkeypatch, None, flight_dir=tmp_path / "flight")
+    mine = TelemetryConfig(rel_err=0.05)
+    c = harness.observe(MPIController(2, telemetry=mine))
+    assert c.telemetry is mine

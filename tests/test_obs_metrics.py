@@ -77,11 +77,85 @@ class TestInstruments:
         assert r.counter("a") is r.counter("a")
         assert r.gauge("b") is r.gauge("b")
         assert r.histogram("c") is r.histogram("c")
+        assert r.sketch("d") is r.sketch("d")
         r.counter("a").inc(2)
         snap = r.snapshot()
         assert snap.counter("a") == 2
         assert snap.counter("missing", -1) == -1
         assert "a = 2" in snap.summary()
+
+    def test_sketch_snapshot_and_quantile_readback(self):
+        r = MetricsRegistry()
+        sk = r.sketch("task_seconds", rel_err=0.01)
+        for x in range(1, 1001):
+            sk.observe(x / 1000.0)
+        snap = r.snapshot()
+        d = snap.sketches["task_seconds"]
+        assert d["count"] == 1000
+        # Precomputed keys answer the common quantiles directly...
+        assert snap.quantile("task_seconds", 0.99) == d["p99"]
+        assert d["p99"] == pytest.approx(0.991, rel=0.011)
+        # ...and arbitrary q rebuilds the sketch.
+        assert snap.quantile("task_seconds", 0.75) == pytest.approx(
+            0.75, rel=0.011
+        )
+        assert snap.quantile("missing", 0.99, default=-1.0) == -1.0
+        assert "task_seconds: n=1000" in snap.summary()
+
+    def test_registry_without_sketches_snapshots_empty(self):
+        snap = MetricsRegistry().snapshot()
+        assert snap.sketches == {}
+
+
+class TestTimeSeriesDecimation:
+    def make(self, n, max_samples=None):
+        from repro.obs.metrics import TimeSeries
+
+        ts = TimeSeries(max_samples)
+        for i in range(n):
+            ts.sample(float(i), float(i * 10))
+        return ts
+
+    def test_default_is_unbounded(self):
+        ts = self.make(5000)
+        assert len(ts) == 5000
+
+    def test_bounded_series_stays_bounded(self):
+        ts = self.make(5000, max_samples=64)
+        assert len(ts) <= 64
+
+    def test_survivors_keep_exact_pairs_and_endpoints(self):
+        ts = self.make(1000, max_samples=50)
+        assert ts.times[0] == 0.0 and ts.values[0] == 0.0
+        assert ts.times[-1] == 999.0 and ts.values[-1] == 9990.0
+        for t, v in zip(ts.times, ts.values):
+            assert v == t * 10  # exact original pairs, never interpolated
+        assert ts.times == sorted(ts.times)
+        assert ts.final == 9990.0
+
+    def test_decimation_is_deterministic(self):
+        a, b = self.make(777, max_samples=32), self.make(777, max_samples=32)
+        assert a.times == b.times and a.values == b.values
+
+    def test_step_semantics_survive(self):
+        ts = self.make(100, max_samples=16)
+        # value_at between retained steps returns the preceding survivor.
+        i = len(ts.times) // 2
+        mid = (ts.times[i] + ts.times[i + 1]) / 2
+        assert ts.value_at(mid) == ts.values[i]
+
+    def test_max_samples_validated(self):
+        from repro.obs.metrics import TimeSeries
+
+        with pytest.raises(ValueError, match="max_samples"):
+            TimeSeries(1)
+
+    def test_registry_threads_max_samples(self):
+        r = MetricsRegistry()
+        ts = r.timeseries("queue_depth", max_samples=8)
+        for i in range(100):
+            ts.sample(float(i), 1.0)
+        assert len(r.timeseries("queue_depth")) <= 8
 
 
 @pytest.mark.parametrize(

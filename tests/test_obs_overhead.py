@@ -154,6 +154,68 @@ def test_parent_poison_fires_with_context_sink(ctor, poisoned_parents):
         run_reduction(c)
 
 
+@pytest.fixture
+def poisoned_telemetry(monkeypatch):
+    """Make any telemetry object construction raise.
+
+    The telemetry layer (sketches, triggers, the flight-recorder ring)
+    is strictly opt-in via ``telemetry=``; these poisons prove a clean
+    run — observed or not — constructs none of it.
+    """
+    import repro.obs.telemetry.flight as flight
+    from repro.obs.telemetry import (
+        FaultTrigger,
+        FlightRecorder,
+        QuantileSketch,
+        TriggerSet,
+    )
+
+    def boom(what):
+        def _boom(*a, **k):
+            raise AssertionError(f"{what} constructed without telemetry=")
+
+        return _boom
+
+    monkeypatch.setattr(QuantileSketch, "__init__", boom("QuantileSketch"))
+    monkeypatch.setattr(FlightRecorder, "__init__", boom("FlightRecorder"))
+    monkeypatch.setattr(TriggerSet, "__init__", boom("TriggerSet"))
+    monkeypatch.setattr(FaultTrigger, "__init__", boom("FaultTrigger"))
+    # The recorder's ring buffer, via the flight module's own deque ref
+    # (poisoning collections.deque itself would break the controllers'
+    # legitimate ready queues).
+    monkeypatch.setattr(flight, "deque", boom("flight-recorder ring"))
+
+
+@pytest.mark.parametrize("ctor", ALL, ids=IDS)
+def test_clean_run_constructs_no_telemetry(ctor, poisoned_telemetry):
+    g, result = run_reduction(ctor())
+    assert result.stats.tasks_executed == g.size()
+    assert result.metrics.sketches == {}
+
+
+@pytest.mark.parametrize("ctor", ALL, ids=IDS)
+def test_observed_run_constructs_no_telemetry(ctor, poisoned_telemetry):
+    # Event observation alone must not drag the telemetry layer in.
+    c = ctor()
+    c.add_sink(ListSink())
+    g, result = run_reduction(c)
+    assert result.stats.tasks_executed == g.size()
+    assert result.metrics.sketches == {}
+
+
+@pytest.mark.parametrize(
+    "ctor",
+    [
+        lambda: SerialController(telemetry=True),
+        lambda: MPIController(4, telemetry=True),
+    ],
+    ids=["serial", "mpi"],
+)
+def test_telemetry_poison_fires_when_opted_in(ctor, poisoned_telemetry):
+    with pytest.raises(AssertionError, match="constructed without"):
+        run_reduction(ctor())
+
+
 def _scheduled_runs():
     """Unobserved runs that exercise every scheduler emission site:
     planned placement, periodic migration, and work stealing."""

@@ -1,0 +1,191 @@
+"""Cross-run ledger: append/read round-trips, median-baseline regression
+detection in both metric directions, and the corrupt-line contract."""
+
+import json
+
+import pytest
+
+from repro.obs.telemetry import (
+    HIGHER_IS_BETTER,
+    Ledger,
+    default_machine,
+    detect_regressions,
+    fingerprint,
+    metrics_from_snapshot,
+    render_trends,
+)
+
+
+def seed(ledger, values, metric="seconds", workload="w", machine="m"):
+    for i, v in enumerate(values):
+        ledger.append(workload, "mpi", {metric: v}, machine=machine, ts=float(i))
+
+
+class TestLedgerIO:
+    def test_append_read_round_trip(self, tmp_path):
+        ledger = Ledger(str(tmp_path / "ledger.jsonl"))
+        rec = ledger.append(
+            "merge_tree",
+            "mpi",
+            {"makespan": 1.5, "tasks_finished": 21},
+            machine="ci",
+            meta={"reps": 3},
+            ts=1000.0,
+        )
+        assert rec["fingerprint"] == fingerprint("merge_tree", "mpi", "ci")
+        (back,) = ledger.read()
+        assert back == rec
+        assert back["metrics"]["makespan"] == 1.5
+        assert back["meta"] == {"reps": 3}
+        assert back["ts"] == 1000.0
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert Ledger(str(tmp_path / "absent.jsonl")).read() == []
+
+    def test_append_creates_parent_dirs(self, tmp_path):
+        ledger = Ledger(str(tmp_path / "deep" / "dir" / "l.jsonl"))
+        ledger.append("w", "r", {"x": 1.0})
+        assert len(ledger.read()) == 1
+
+    def test_default_machine_stamped(self, tmp_path):
+        ledger = Ledger(str(tmp_path / "l.jsonl"))
+        rec = ledger.append("w", "r", {"x": 1.0})
+        assert rec["machine"] == default_machine()
+        assert rec["fingerprint"].endswith(default_machine())
+
+    def test_corrupt_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "l.jsonl"
+        ledger = Ledger(str(path))
+        ledger.append("w", "r", {"x": 1.0})
+        with open(path, "a") as fh:
+            fh.write("{not json\n")
+        with pytest.raises(ValueError, match=r"l\.jsonl:2: corrupt"):
+            ledger.read()
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "l.jsonl"
+        ledger = Ledger(str(path))
+        ledger.append("w", "r", {"x": 1.0})
+        with open(path, "a") as fh:
+            fh.write("\n\n")
+        ledger.append("w", "r", {"x": 2.0})
+        assert len(ledger.read()) == 2
+
+
+class TestRegressionDetection:
+    def test_seeded_regression_flagged(self, tmp_path):
+        ledger = Ledger(str(tmp_path / "l.jsonl"))
+        seed(ledger, [1.0, 1.02, 0.98, 1.01, 1.45])
+        (r,) = detect_regressions(ledger.read(), threshold=0.3)
+        assert r["metric"] == "seconds"
+        assert r["baseline"] == pytest.approx(1.005)
+        assert r["value"] == 1.45
+        assert r["change"] > 0.3
+        assert r["n_baseline"] == 4
+
+    def test_within_threshold_not_flagged(self, tmp_path):
+        ledger = Ledger(str(tmp_path / "l.jsonl"))
+        seed(ledger, [1.0, 1.0, 1.0, 1.2])
+        assert detect_regressions(ledger.read(), threshold=0.3) == []
+
+    def test_higher_is_better_inverts(self, tmp_path):
+        assert "tasks_per_second" in HIGHER_IS_BETTER
+        ledger = Ledger(str(tmp_path / "l.jsonl"))
+        seed(ledger, [100.0, 100.0, 100.0, 60.0], metric="tasks_per_second")
+        (r,) = detect_regressions(ledger.read(), threshold=0.3)
+        assert r["metric"] == "tasks_per_second"
+        assert r["change"] < 0  # a drop is the regression
+        # A throughput *rise* must not be flagged.
+        ledger2 = Ledger(str(tmp_path / "l2.jsonl"))
+        seed(ledger2, [100.0, 100.0, 100.0, 160.0], metric="tasks_per_second")
+        assert detect_regressions(ledger2.read(), threshold=0.3) == []
+
+    def test_median_baseline_shrugs_off_one_outlier(self, tmp_path):
+        """One historically-noisy run must not poison the baseline."""
+        ledger = Ledger(str(tmp_path / "l.jsonl"))
+        seed(ledger, [1.0, 9.0, 1.0, 1.0, 1.0, 1.05])
+        assert detect_regressions(ledger.read(), threshold=0.3) == []
+
+    def test_window_bounds_history(self, tmp_path):
+        # Old slow era outside the window: only the recent fast runs
+        # form the baseline, so the latest slow run is a regression.
+        ledger = Ledger(str(tmp_path / "l.jsonl"))
+        seed(ledger, [5.0] * 10 + [1.0, 1.0, 1.0] + [1.6])
+        (r,) = detect_regressions(ledger.read(), threshold=0.3, window=3)
+        assert r["baseline"] == 1.0
+
+    def test_min_history_gates_judgement(self, tmp_path):
+        ledger = Ledger(str(tmp_path / "l.jsonl"))
+        seed(ledger, [1.0, 2.0])
+        assert detect_regressions(ledger.read(), min_history=3) == []
+        assert len(detect_regressions(ledger.read(), min_history=1)) == 1
+
+    def test_fingerprints_never_cross_compare(self, tmp_path):
+        ledger = Ledger(str(tmp_path / "l.jsonl"))
+        seed(ledger, [1.0, 1.0], machine="a")
+        seed(ledger, [50.0, 50.0], machine="b")  # slow machine, steady
+        assert detect_regressions(ledger.read(), threshold=0.3) == []
+
+    def test_zero_baseline_skipped(self, tmp_path):
+        ledger = Ledger(str(tmp_path / "l.jsonl"))
+        seed(ledger, [0.0, 0.0, 5.0], metric="faults_injected")
+        assert detect_regressions(ledger.read(), threshold=0.3) == []
+
+    def test_metric_filter(self, tmp_path):
+        ledger = Ledger(str(tmp_path / "l.jsonl"))
+        for i, (a, b) in enumerate([(1.0, 1.0), (1.0, 1.0), (2.0, 2.0)]):
+            ledger.append("w", "r", {"x": a, "y": b}, machine="m", ts=float(i))
+        both = detect_regressions(ledger.read(), threshold=0.3)
+        assert {r["metric"] for r in both} == {"x", "y"}
+        only_x = detect_regressions(ledger.read(), threshold=0.3, metrics=["x"])
+        assert [r["metric"] for r in only_x] == ["x"]
+
+    def test_threshold_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="threshold"):
+            detect_regressions([], threshold=0.0)
+
+
+class TestRendering:
+    def test_render_flags_and_counts(self, tmp_path):
+        ledger = Ledger(str(tmp_path / "l.jsonl"))
+        seed(ledger, [1.0, 1.0, 1.0, 1.5])
+        entries = ledger.read()
+        regs = detect_regressions(entries, threshold=0.3)
+        text = render_trends(entries, regs, threshold=0.3)
+        assert "ledger: 4 runs across 1 fingerprints" in text
+        assert "REGRESSION w/mpi/m seconds: rose 50.0%" in text
+
+    def test_render_clean_ledger(self, tmp_path):
+        ledger = Ledger(str(tmp_path / "l.jsonl"))
+        seed(ledger, [1.0, 1.0])
+        text = render_trends(ledger.read(), [], threshold=0.3)
+        assert "no regressions beyond 30%" in text
+
+
+class TestSnapshotFlattening:
+    def test_metrics_from_snapshot_flattens_sketches(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("tasks_executed").inc(21)
+        reg.gauge("utilization_mean").set(0.8)
+        sk = reg.sketch("task_seconds")
+        for x in (0.1, 0.2, 0.3, 0.4):
+            sk.observe(x)
+        flat = metrics_from_snapshot(reg.snapshot())
+        assert flat["tasks_executed"] == 21.0
+        assert flat["utilization_mean"] == 0.8
+        assert flat["task_seconds_count"] == 4.0
+        assert flat["task_seconds_mean"] == pytest.approx(0.25)
+        assert flat["task_seconds_max"] == 0.4
+        for p in ("p50", "p95", "p99"):
+            assert f"task_seconds_{p}" in flat
+
+    def test_flattened_snapshot_is_ledger_appendable(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.sketch("task_seconds").observe(0.5)
+        ledger = Ledger(str(tmp_path / "l.jsonl"))
+        rec = ledger.append("w", "r", metrics_from_snapshot(reg.snapshot()))
+        assert json.loads(json.dumps(rec)) == rec

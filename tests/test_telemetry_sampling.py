@@ -1,0 +1,191 @@
+"""Tail-based trace sampling: triggered runs are always kept, clean runs
+are dropped deterministically under the byte budget, and every decision
+is audited."""
+
+import pytest
+
+from repro.obs import ListSink
+from repro.obs.events import (
+    FAULT_INJECTED,
+    RUN_FINISHED,
+    RUN_STARTED,
+    TASK_FINISHED,
+    Event,
+)
+from repro.obs.telemetry import SamplingSink, when
+
+
+def make_run(n_tasks=5, makespan=1.0, fault=False, task_dur=0.05):
+    evs = [Event(RUN_STARTED, 0.0, label="run")]
+    for i in range(n_tasks):
+        evs.append(
+            Event(TASK_FINISHED, 0.1 * (i + 1), proc=0, task=i, dur=task_dur)
+        )
+    if fault:
+        evs.append(
+            Event(FAULT_INJECTED, 0.5, proc=0, task=1, category="task")
+        )
+    evs.append(Event(RUN_FINISHED, makespan, dur=makespan))
+    return evs
+
+
+def feed(sink, runs):
+    for run in runs:
+        for ev in run:
+            sink.emit(ev)
+
+
+class TestTailRetention:
+    def test_fault_runs_all_kept_clean_mostly_dropped(self):
+        """The acceptance shape: 100% of fault traces retained while the
+        budget + probability drop >= 90% of clean traces."""
+        runs = [make_run(fault=(i % 5 == 0)) for i in range(50)]
+        inner = ListSink()
+        sampler = SamplingSink(inner, probability=0.05, budget_bytes=2000)
+        feed(sampler, runs)
+        sampler.close()
+
+        fault_idx = {i for i in range(50) if i % 5 == 0}
+        kept = {d["run"] for d in sampler.decisions if d["kept"]}
+        assert fault_idx <= kept, "every fault trace must survive"
+        clean_kept = kept - fault_idx
+        n_clean = 50 - len(fault_idx)
+        assert len(clean_kept) <= n_clean * 0.1
+        # The inner sink saw exactly the kept runs, whole and in order.
+        n_started = sum(1 for e in inner.events if e.type == RUN_STARTED)
+        assert n_started == len(kept) == sampler.kept_runs
+        assert sampler.dropped_runs == 50 - len(kept)
+
+    def test_fault_reason_names_the_event(self):
+        sampler = SamplingSink(ListSink(), probability=0.0)
+        feed(sampler, [make_run(fault=True)])
+        (decision,) = sampler.decisions
+        assert decision["kept"]
+        assert any(r.startswith("fault: fault.injected") for r in decision["reasons"])
+
+    def test_keep_faults_off_drops_fault_runs(self):
+        sampler = SamplingSink(ListSink(), probability=0.0, keep_faults=False)
+        feed(sampler, [make_run(fault=True)])
+        assert sampler.kept_runs == 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_decisions(self):
+        runs = [make_run(fault=(i % 7 == 0)) for i in range(40)]
+        outcomes = []
+        for _ in range(2):
+            sampler = SamplingSink(ListSink(), probability=0.3, seed=42)
+            feed(sampler, runs)
+            outcomes.append([d["kept"] for d in sampler.decisions])
+        assert outcomes[0] == outcomes[1]
+        assert any(outcomes[0]) and not all(outcomes[0])
+
+    def test_different_seed_different_pattern(self):
+        runs = [make_run() for _ in range(64)]
+        patterns = []
+        for seed in (0, 1):
+            sampler = SamplingSink(ListSink(), probability=0.5, seed=seed)
+            feed(sampler, runs)
+            patterns.append([d["kept"] for d in sampler.decisions])
+        assert patterns[0] != patterns[1]
+
+    def test_probability_extremes(self):
+        runs = [make_run() for _ in range(10)]
+        keep_all = SamplingSink(ListSink(), probability=1.0)
+        feed(keep_all, runs)
+        assert keep_all.kept_runs == 10
+        keep_none = SamplingSink(ListSink(), probability=0.0)
+        feed(keep_none, runs)
+        assert keep_none.kept_runs == 0
+
+
+class TestBudget:
+    def test_budget_caps_clean_traces(self):
+        runs = [make_run() for _ in range(20)]
+        nbytes_per_run = None
+        sampler = SamplingSink(ListSink(), probability=1.0, budget_bytes=10**9)
+        feed(sampler, runs[:1])
+        nbytes_per_run = sampler.decisions[0]["nbytes"]
+
+        budget = int(nbytes_per_run * 2.5)  # room for exactly two runs
+        sampler = SamplingSink(ListSink(), probability=1.0, budget_bytes=budget)
+        feed(sampler, runs)
+        assert sampler.kept_runs == 2
+        assert sampler.clean_bytes_kept <= budget
+        over = [d for d in sampler.decisions if "over budget" in d["reasons"]]
+        assert len(over) == 18
+
+    def test_triggered_runs_exempt_from_budget(self):
+        sampler = SamplingSink(ListSink(), probability=0.0, budget_bytes=1)
+        feed(sampler, [make_run(fault=True) for _ in range(5)])
+        assert sampler.kept_runs == 5
+
+
+class TestTriggers:
+    def test_when_condition_keeps_matching_runs(self):
+        sampler = SamplingSink(
+            ListSink(),
+            probability=0.0,
+            triggers=[when("makespan > 2.0")],
+            keep_faults=False,
+        )
+        feed(sampler, [make_run(makespan=1.0), make_run(makespan=3.0)])
+        kept = [d for d in sampler.decisions if d["kept"]]
+        assert len(kept) == 1 and kept[0]["run"] == 1
+        assert any("when(makespan > 2)" in r for r in kept[0]["reasons"])
+
+    def test_slo_spec_dict_trigger(self):
+        sampler = SamplingSink(
+            ListSink(),
+            probability=0.0,
+            triggers=[{"max_tasks_finished": 3}],
+            keep_faults=False,
+        )
+        feed(sampler, [make_run(n_tasks=2), make_run(n_tasks=8)])
+        kept = [d for d in sampler.decisions if d["kept"]]
+        assert len(kept) == 1 and kept[0]["run"] == 1
+
+    def test_slowest_k_keeps_the_tail(self):
+        sampler = SamplingSink(
+            ListSink(), probability=0.0, slowest_k=2, keep_faults=False
+        )
+        feed(sampler, [make_run(makespan=float(m)) for m in (5, 1, 2, 7, 3)])
+        kept = {d["run"] for d in sampler.decisions if d["kept"]}
+        # Streaming top-2: each run is kept iff it ranks among the two
+        # slowest *seen so far* — 5 and 1 fill the heap, 2 displaces 1,
+        # 7 displaces 2, and 3 (vs heap {5, 7}) is the only drop.
+        assert kept == {0, 1, 2, 3}
+        slowest = [d for d in sampler.decisions if "slowest-2" in d["reasons"]]
+        assert {d["run"] for d in slowest} == kept
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError, match="probability"):
+            SamplingSink(ListSink(), probability=1.5)
+
+
+class TestSinkProtocol:
+    def test_wants_context_forwards_inner(self):
+        assert SamplingSink(ListSink()).wants_context is False
+        assert SamplingSink(ListSink(wants_context=True)).wants_context is True
+
+    def test_close_decides_truncated_run_and_closes_inner(self):
+        closed = []
+        inner = ListSink()
+        inner.close = lambda: closed.append(True)
+        sampler = SamplingSink(inner, probability=0.0)
+        # A fault run whose stream never saw run_finished (crash).
+        sampler.emit(Event(RUN_STARTED, 0.0))
+        sampler.emit(Event(FAULT_INJECTED, 0.5, task=1, category="task"))
+        sampler.close()
+        assert closed == [True]
+        assert sampler.kept_runs == 1
+        assert inner.events[0].type == RUN_STARTED
+
+    def test_audit_log_shape(self):
+        sampler = SamplingSink(ListSink(), probability=1.0)
+        feed(sampler, [make_run(n_tasks=3)])
+        (d,) = sampler.decisions
+        assert d["run"] == 0 and d["kept"]
+        assert d["n_events"] == 5  # start + 3 tasks + finish
+        assert d["nbytes"] > 0
+        assert d["reasons"] == ["head p=0.1"] or d["reasons"] == ["head p=1"]

@@ -1,0 +1,182 @@
+"""QuantileSketch: the relative-error guarantee must hold on adversarial
+streams (sorted, reversed, heavy-tailed, constant, hypothesis-generated),
+merging must equal single-stream observation, and the collapse backstop
+must cap memory without corrupting the tail quantiles."""
+
+import json
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.telemetry import QuantileSketch
+
+QS = (0.0, 0.25, 0.50, 0.90, 0.95, 0.99, 1.0)
+
+
+def exact_quantile(sorted_xs, q):
+    """The rank-based quantile the sketch is specified against."""
+    return sorted_xs[int(q * (len(sorted_xs) - 1))]
+
+
+def assert_within_bound(sk, xs, rel_err):
+    xs_sorted = sorted(xs)
+    for q in QS:
+        exact = exact_quantile(xs_sorted, q)
+        approx = sk.quantile(q)
+        if exact <= 0.0:
+            assert approx == 0.0, f"q={q}: zero-rank must read back 0.0"
+        else:
+            # Tiny absolute slack for float fuzz at bucket boundaries.
+            assert abs(approx - exact) <= rel_err * exact + 1e-12, (
+                f"q={q}: |{approx} - {exact}| exceeds {rel_err:.0%} bound"
+            )
+
+
+def adversarial_streams():
+    rng = random.Random(7)
+    n = 10_000
+    return {
+        "sorted": [i / 1000.0 for i in range(1, n + 1)],
+        "reversed": [i / 1000.0 for i in range(n, 0, -1)],
+        "heavy-tailed": [rng.lognormvariate(0.0, 2.0) for _ in range(n)],
+        "constant": [0.25] * n,
+    }
+
+
+class TestRelativeErrorBound:
+    @pytest.mark.parametrize("name", sorted(adversarial_streams()))
+    @pytest.mark.parametrize("rel_err", [0.005, 0.01, 0.05])
+    def test_adversarial_streams(self, name, rel_err):
+        xs = adversarial_streams()[name]
+        sk = QuantileSketch(rel_err=rel_err)
+        for x in xs:
+            sk.observe(x)
+        assert_within_bound(sk, xs, rel_err)
+        # The memory claim: buckets, not samples.
+        assert sk.n_buckets <= len(xs) / 4
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        xs=st.lists(
+            st.floats(min_value=1e-9, max_value=1e9),
+            min_size=1,
+            max_size=200,
+        ),
+        rel_err=st.sampled_from([0.005, 0.01, 0.05]),
+    )
+    def test_property_random_streams(self, xs, rel_err):
+        sk = QuantileSketch(rel_err=rel_err)
+        for x in xs:
+            sk.observe(x)
+        assert_within_bound(sk, xs, rel_err)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        xs=st.lists(
+            st.floats(min_value=-10.0, max_value=10.0),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    def test_property_streams_with_nonpositives(self, xs):
+        """Negatives/zeros land in the zeros bucket and still rank first."""
+        sk = QuantileSketch(rel_err=0.01)
+        for x in xs:
+            sk.observe(x)
+        assert sk.count == len(xs)
+        assert sk.zeros == sum(1 for x in xs if x <= 0.0)
+        assert sk.min == min(xs) and sk.max == max(xs)
+        assert_within_bound(sk, xs, 0.01)
+
+
+class TestMerge:
+    def test_merge_equals_single_stream(self):
+        rng = random.Random(11)
+        xs = [rng.lognormvariate(0.0, 1.5) for _ in range(5000)]
+        whole = QuantileSketch()
+        left, right = QuantileSketch(), QuantileSketch()
+        for i, x in enumerate(xs):
+            whole.observe(x)
+            (left if i % 2 else right).observe(x)
+        left.merge(right)
+        assert left.count == whole.count
+        assert left.total == pytest.approx(whole.total)
+        assert left.buckets == whole.buckets
+        for q in QS:
+            assert left.quantile(q) == whole.quantile(q)
+
+    def test_merge_rejects_mismatched_rel_err(self):
+        a, b = QuantileSketch(rel_err=0.01), QuantileSketch(rel_err=0.05)
+        with pytest.raises(ValueError, match="different rel_err"):
+            a.merge(b)
+
+
+class TestCollapse:
+    def test_bucket_ceiling_holds_and_tail_survives(self):
+        """A stream spanning many decades overflows a tiny bucket budget;
+        the low end collapses, the p95/p99 tail stays within bound."""
+        xs = [10.0 ** (i % 12 - 6) * (1 + (i % 7) / 10) for i in range(4000)]
+        sk = QuantileSketch(rel_err=0.01, max_buckets=64)
+        for x in xs:
+            sk.observe(x)
+        assert len(sk.buckets) <= 64
+        xs_sorted = sorted(xs)
+        for q in (0.95, 0.99):
+            exact = exact_quantile(xs_sorted, q)
+            assert abs(sk.quantile(q) - exact) <= 0.01 * exact + 1e-12
+        # Exact aggregates are never quantized, collapse or not.
+        assert sk.count == len(xs)
+        assert sk.min == min(xs) and sk.max == max(xs)
+
+
+class TestSerialization:
+    def test_round_trip_preserves_quantiles(self):
+        sk = QuantileSketch(rel_err=0.02)
+        for x in (0.0, 0.1, 0.5, 2.0, 2.0, 9.0, -1.0):
+            sk.observe(x)
+        d = json.loads(json.dumps(sk.to_dict()))  # must be JSON-clean
+        back = QuantileSketch.from_dict(d)
+        assert back.rel_err == sk.rel_err
+        assert back.count == sk.count
+        assert back.zeros == sk.zeros
+        assert back.buckets == sk.buckets
+        for q in QS:
+            assert back.quantile(q) == sk.quantile(q)
+
+    def test_to_dict_carries_precomputed_percentiles(self):
+        sk = QuantileSketch()
+        for x in range(1, 101):
+            sk.observe(float(x))
+        d = sk.to_dict()
+        for p, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+            assert d[p] == sk.quantile(q)
+
+    def test_empty_round_trip(self):
+        back = QuantileSketch.from_dict(QuantileSketch().to_dict())
+        assert back.count == 0
+        assert back.quantile(0.99) == 0.0
+        assert back.mean == 0.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.1, 2.0])
+    def test_rel_err_out_of_range(self, bad):
+        with pytest.raises(ValueError, match="rel_err"):
+            QuantileSketch(rel_err=bad)
+
+    def test_max_buckets_too_small(self):
+        with pytest.raises(ValueError, match="max_buckets"):
+            QuantileSketch(max_buckets=1)
+
+    def test_quantile_out_of_range(self):
+        with pytest.raises(ValueError, match="quantile"):
+            QuantileSketch().quantile(1.5)
+
+    def test_len_is_count(self):
+        sk = QuantileSketch()
+        sk.observe(1.0)
+        sk.observe(2.0)
+        assert len(sk) == 2
