@@ -133,6 +133,98 @@ def bench_placement_plan(reps: int, leaves: int = 1024, shards: int = 256) -> di
     }
 
 
+def bench_plan_vectorized(
+    reps: int, leaves: int = 4096, shards: int = 512
+) -> dict:
+    """Planner throughput at scale: a 4× larger merge tree than the
+    fig-6 point, exercising the vectorized rank sweep and batched EFT
+    on ~35k tasks / 512 shards."""
+    from repro.graphs import MergeTreeGraph
+    from repro.sched import UniformEstimate, plan_placement
+
+    g = MergeTreeGraph(leaves, 4).cached()
+    est = UniformEstimate(1e-4, nbytes=1e6)
+
+    def once():
+        return plan_placement(g, shards, estimator=est)
+
+    seconds, pm = _best_of(reps, once)
+    return {
+        "seconds": round(seconds, 6),
+        "tasks": g.size(),
+        "tasks_per_sec": round(g.size() / seconds),
+        "est_makespan": pm.est_makespan,
+    }
+
+
+def bench_plan_cache_hit(reps: int, leaves: int = 1024, shards: int = 256) -> dict:
+    """Warm-cache replan cost on the fig-6 point.
+
+    A cold plan is measured once, then the timed runs hit the
+    fingerprint-keyed :class:`~repro.sched.compile.PlanCache` — a few
+    attribute reads and a dict probe.  The suite enforces the >=100×
+    cold/warm speedup inline (like the sketch accuracy bound): a
+    slower warm path means fingerprint memoization broke.
+    """
+    from repro.graphs import MergeTreeGraph
+    from repro.sched import PlanCache, UniformEstimate, plan_placement
+
+    g = MergeTreeGraph(leaves, 4).cached()
+    est = UniformEstimate(1e-4, nbytes=1e6)
+    cache = PlanCache(4)
+    t0 = time.perf_counter()
+    cold_pm = plan_placement(g, shards, estimator=est, cache=cache)
+    cold = time.perf_counter() - t0
+
+    def once():
+        return plan_placement(g, shards, estimator=est, cache=cache)
+
+    seconds, pm = _best_of(reps, once)
+    if pm is not cold_pm:
+        raise RuntimeError("plan cache did not return the cached map")
+    speedup = cold / seconds
+    if speedup < 100.0:
+        raise RuntimeError(
+            f"warm-cache replan only {speedup:.0f}x faster than a cold "
+            f"plan (cold {cold:.4f}s, warm {seconds:.6f}s); need >=100x"
+        )
+    return {
+        "seconds": round(seconds, 9),
+        "cold_seconds": round(cold, 6),
+        "speedup": round(speedup),
+        "tasks": g.size(),
+        "est_makespan": pm.est_makespan,
+    }
+
+
+def bench_compiled_events(reps: int, n_events: int = 200_000) -> dict:
+    """Static-schedule throughput: the same tick workload as
+    ``engine_events`` driven through :meth:`Engine.replay` (one cursor,
+    no per-event heap ops) — the compiled run plan's dispatch path."""
+    from repro.sim.engine import Engine
+
+    def once() -> int:
+        eng = Engine()
+        fired = 0
+
+        def tick() -> None:
+            nonlocal fired
+            fired += 1
+
+        entries = [(i * 1e-6, tick, ()) for i in range(n_events)]
+        eng.replay(entries)
+        return fired
+
+    seconds, fired = _best_of(reps, once)
+    if fired != n_events:
+        raise RuntimeError(f"replay dropped events: {fired}/{n_events}")
+    return {
+        "seconds": round(seconds, 6),
+        "events": n_events,
+        "events_per_sec": round(n_events / seconds),
+    }
+
+
 def bench_sketch_quantiles(reps: int, n_samples: int = 100_000) -> dict:
     """Telemetry sketch ingest rate and accuracy on a heavy-tailed stream.
 
@@ -182,9 +274,12 @@ def bench_sketch_quantiles(reps: int, n_samples: int = 100_000) -> dict:
 
 BENCHMARKS: dict[str, Callable[[int], dict]] = {
     "engine_events": bench_engine_events,
+    "compiled_events": bench_compiled_events,
     "controller_tasks": bench_controller_tasks,
     "fig6_point": bench_fig6_point,
     "placement_plan": bench_placement_plan,
+    "plan_vectorized": bench_plan_vectorized,
+    "plan_cache_hit": bench_plan_cache_hit,
     "sketch_quantiles": bench_sketch_quantiles,
 }
 
@@ -290,8 +385,23 @@ DETERMINISM_FIELDS = {
     "fig6_point": ("makespan", "tasks_executed"),
     "controller_tasks": ("tasks",),
     "engine_events": ("events",),
+    "compiled_events": ("events",),
     "placement_plan": ("tasks", "est_makespan"),
+    "plan_vectorized": ("tasks", "est_makespan"),
+    "plan_cache_hit": ("tasks", "est_makespan"),
     "sketch_quantiles": ("samples", "buckets", "p99_rel_err"),
+}
+
+#: Absolute throughput floors (field, minimum) asserted by --check in
+#: addition to the relative wall-time comparison: the tentpole speedups
+#: must not silently erode.  Values leave generous headroom below the
+#: reference machine's numbers (~263k planned tasks/sec, ~5M replayed
+#: events/sec) so slower CI hosts still clear them.
+FLOORS: dict[str, tuple[str, float]] = {
+    # ISSUE 7 acceptance: >50k planned tasks/sec on the fig-6 point.
+    "placement_plan": ("tasks_per_sec", 50_000),
+    # ISSUE 7 acceptance: >=2x the 642k events/sec interpreted baseline.
+    "compiled_events": ("events_per_sec", 1_284_118),
 }
 
 
@@ -318,13 +428,23 @@ def check_against_baseline(
     """Compare a fresh report against a baseline; return failure messages.
 
     A benchmark fails when its wall time exceeds the baseline by more
-    than ``threshold`` (fraction), or when any determinism field
-    differs.  Benchmarks present in only one of the two reports are
-    skipped (the suite may grow over time).
+    than ``threshold`` (fraction), when any determinism field differs,
+    or when a :data:`FLOORS` throughput floor is missed.  Benchmarks
+    present in only one of the two reports are skipped (the suite may
+    grow over time); floors apply to whatever the fresh report ran.
     """
     failures: list[str] = []
     base_benches = baseline.get("benchmarks", {})
     for name, entry in report.get("benchmarks", {}).items():
+        floor = FLOORS.get(name)
+        if floor is not None:
+            field, minimum = floor
+            value = entry.get(field, 0)
+            if value < minimum:
+                failures.append(
+                    f"{name}: {field} {value:,} below the "
+                    f"{minimum:,.0f} floor"
+                )
         base = base_benches.get(name)
         if base is None:
             continue

@@ -75,7 +75,11 @@ def run(
             ``fault_plan``, ``retry_policy``, ``balancer``,
             ``telemetry`` (``True`` or a
             :class:`~repro.obs.telemetry.TelemetryConfig` for streaming
-            p50/p95/p99 latency sketches and the flight recorder), ...
+            p50/p95/p99 latency sketches and the flight recorder),
+            ``compile`` (``True`` to lower static runs into cached
+            ahead-of-time plans reused across invocations — see
+            :mod:`repro.sched.compile`; results are bit-identical and
+            dynamic runs fall back automatically), ...
 
     Returns:
         The :class:`~repro.runtimes.result.RunResult` with the returned

@@ -43,6 +43,7 @@ from repro.obs.events import (
     RUN_FINISHED,
     RUN_STARTED,
     SCHED_MIGRATED,
+    PLAN_FALLBACK,
     SCHED_PLANNED,
     SCHED_STEAL,
     SCHED_VOCABULARY,
@@ -123,6 +124,7 @@ __all__ = [
     "MESSAGE_SENT",
     "MIGRATION",
     "SCHED_MIGRATED",
+    "PLAN_FALLBACK",
     "SCHED_PLANNED",
     "SCHED_STEAL",
     "SCHED_VOCABULARY",

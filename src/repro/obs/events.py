@@ -70,12 +70,20 @@ SCHED_MIGRATED = "sched.migrated"
 #: An idle proc stole a queued task (``proc`` is the victim,
 #: ``dst_proc`` the thief); the matching ``sched.migrated`` follows.
 SCHED_STEAL = "sched.steal"
+#: A ``compile=True`` run could not take the compiled fast path and fell
+#: back to the interpreted engine; ``category`` names the blocker
+#: (``"faults"``, ``"balancer"``, ``"telemetry"``, or ``"backend"``).
+#: Emitted only when compilation was requested, so clean streams are
+#: unchanged.
+PLAN_FALLBACK = "plan.fallback"
 
 #: Events emitted only by the scheduling layer (:mod:`repro.sched`);
-#: they appear in a stream only when a planned map or balancer is
-#: installed (Charm++'s built-in balancer keeps its legacy ``migration``
-#: events for compatibility).
-SCHED_VOCABULARY = frozenset({SCHED_PLANNED, SCHED_MIGRATED, SCHED_STEAL})
+#: they appear in a stream only when a planned map, balancer, or
+#: ``compile=`` request is installed (Charm++'s built-in balancer keeps
+#: its legacy ``migration`` events for compatibility).
+SCHED_VOCABULARY = frozenset(
+    {SCHED_PLANNED, SCHED_MIGRATED, SCHED_STEAL, PLAN_FALLBACK}
+)
 
 #: The complete event vocabulary shared by all backends.
 VOCABULARY = (

@@ -39,6 +39,10 @@ from repro.sim.resource import Resource
 class LegionSPMDController(SimController):
     """Task-graph execution on the simulated Legion runtime, SPMD style."""
 
+    # Placement is a static task map: compiled run plans apply (the
+    # launcher pipeline stays dynamic either way).
+    _compiled_placement = True
+
     def _post_initialize(self) -> None:
         assert self._graph is not None
         if self._task_map is None:
@@ -63,6 +67,11 @@ class LegionSPMDController(SimController):
         # Recovery re-shards the task: later launches go through the
         # surviving shard's launcher and cores.
         self._shard_cache[tid] = proc
+
+    def _install_compiled_placement(self, plan) -> None:
+        # The plan already flattened the task map: prefill the memo so
+        # _proc_of never consults the map during the run.
+        self._shard_cache = dict(enumerate(plan.proc))
 
     # ------------------------------------------------------------------ #
     # Launch pipeline

@@ -32,6 +32,9 @@ class MPIController(SimController):
     (the paper's default round-robin allocation).
     """
 
+    # Placement is a static task map: compiled run plans apply.
+    _compiled_placement = True
+
     def _post_initialize(self) -> None:
         assert self._graph is not None
         if self._task_map is None:
@@ -61,6 +64,11 @@ class MPIController(SimController):
         # Static re-map: recovery pins the task's shard over the task map
         # (the cache is authoritative on every later shard() lookup).
         self._shard_cache[tid] = proc
+
+    def _install_compiled_placement(self, plan) -> None:
+        # The plan already flattened the task map: prefill the memo so
+        # _proc_of never consults the map during the run.
+        self._shard_cache = dict(enumerate(plan.proc))
 
     def _serialize_cost(self, sproc: int, dproc: int, payload: Payload) -> float:
         if sproc == dproc and self.costs.mpi_in_memory:

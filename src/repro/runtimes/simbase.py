@@ -41,6 +41,7 @@ from repro.faults.policy import DEFAULT_RETRY_POLICY, RetryPolicy, legacy_policy
 from repro.obs.events import (
     FAULT_INJECTED,
     OVERHEAD,
+    PLAN_FALLBACK,
     RANK_DEAD,
     RUN_FINISHED,
     RUN_STARTED,
@@ -67,6 +68,7 @@ from repro.sim.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (repro.sched imports us)
     from repro.sched.balance import Balancer
+    from repro.sched.compile import CompiledPlan
 
 
 def _task_label(tid: TaskId, suffix: str = "") -> str:
@@ -117,6 +119,32 @@ class _PhysicalTask:
         # (outputs, compute, overhead) of the first dispatch; reused by
         # fault retries so inputs can be released at first dispatch.
         self.attempt: tuple[list[Payload], float, float] | None = None
+
+    @classmethod
+    def from_template(
+        cls,
+        task: Task,
+        n_inputs: int,
+        slot_map: dict[TaskId, list[int]],
+    ) -> "_PhysicalTask":
+        """Stamp a physical task from a compiled plan's template.
+
+        Field-for-field identical to ``__init__`` but skips re-deriving
+        ``n_inputs`` and the slot map — the plan computed them once and
+        the dict is shared read-only across runs.
+        """
+        pt = cls.__new__(cls)
+        pt.task = task
+        pt.enq_t = 0.0
+        pt.slots = [None] * n_inputs
+        pt.remaining = n_inputs
+        pt.attempts = 0
+        pt.arrived = None
+        pt.cursor = {}
+        pt.queued = False
+        pt.slot_map = slot_map
+        pt.attempt = None
+        return pt
 
 
 class SimController(Controller):
@@ -174,7 +202,25 @@ class SimController(Controller):
             on faults, trigger conditions, or exceptions.  Default off:
             clean runs allocate no telemetry objects and their metric
             snapshots / event streams are bit-identical.
+        compile: opt into the ahead-of-time run plan (see
+            :mod:`repro.sched.compile`): static-placement backends lower
+            the (graph, task map, machine) into a cached
+            :class:`~repro.sched.compile.CompiledPlan` — preallocated
+            physical-task templates, placement table, replayed initial
+            deposits — reused across runs via the process-wide
+            :data:`~repro.sched.compile.PLAN_CACHE`.  Results are
+            bit-identical to the interpreted path.  Runs that need
+            dynamic behavior (``fault_plan=``, ``balancer=``,
+            ``telemetry=``, or a dynamic-placement backend) fall back
+            automatically, emitting a ``plan.fallback`` event when
+            observed.
     """
+
+    #: True on backends whose placement is a static task map the compiled
+    #: plan can prefill (MPI-style ``_shard_cache``); dynamic-placement
+    #: backends (Charm++, Legion index-launch) keep it False and always
+    #: fall back.
+    _compiled_placement = False
 
     def __init__(
         self,
@@ -192,6 +238,7 @@ class SimController(Controller):
         balancer: "Balancer | None" = None,
         sinks: Sequence[EventSink] = (),
         telemetry: "TelemetryConfig | bool | dict | None" = None,
+        compile: bool = False,
     ) -> None:
         super().__init__()
         self._sinks.extend(sinks)
@@ -232,6 +279,7 @@ class SimController(Controller):
         self.fault_plan = fault_plan
         self.retry_policy = retry_policy
         self.balancer = balancer
+        self.compile = compile
         # True when the balancer is the backend's own default (Charm++):
         # the backend then keeps its legacy counters/events and the
         # generic scheduler metrics stay out of clean-run snapshots.
@@ -261,6 +309,70 @@ class SimController(Controller):
 
     def _prepare_run(self) -> None:
         """Called once per run before initial inputs are deposited."""
+
+    def _install_compiled_placement(self, plan: "CompiledPlan") -> None:
+        """Prefill the backend's placement state from a compiled plan.
+
+        Only called on backends with ``_compiled_placement = True``,
+        after :meth:`_prepare_run`.
+        """
+        raise NotImplementedError  # pragma: no cover - backends override
+
+    # ------------------------------------------------------------------ #
+    # Compiled fast path (opt-in via compile=True)
+    # ------------------------------------------------------------------ #
+
+    def _compile_blocker(self) -> str | None:
+        """Why this run cannot take the compiled fast path (or ``None``).
+
+        The compiled plan assumes a fully static run: any source of
+        dynamic behavior — fault injection, a balancer (including
+        Charm++'s built-in one), telemetry instrumentation, or a backend
+        whose placement is not a static task map — forces the
+        interpreted path.
+        """
+        if not type(self)._compiled_placement or self._task_map is None:
+            return "backend"
+        if self.fault_plan is not None:
+            return "faults"
+        if self.balancer is not None:
+            return "balancer"
+        if self.telemetry is not None:
+            return "telemetry"
+        return None
+
+    def _resolve_compiled_plan(
+        self, graph: TaskGraph
+    ) -> tuple["CompiledPlan | None", str | None]:
+        """The run's compiled plan (cached or freshly lowered), or the
+        fallback reason."""
+        reason = self._compile_blocker()
+        if reason is not None:
+            return None, reason
+        from repro.sched.compile import (
+            PLAN_CACHE,
+            compile_plan,
+            run_plan_key,
+        )
+
+        ppn = self.procs_per_node
+        if ppn is None:
+            ppn = max(1, self.machine.cores_per_node // self.cores_per_proc)
+        key = run_plan_key(
+            graph, self._task_map, self.machine, self.n_procs, ppn
+        )
+        plan = PLAN_CACHE.get(key)
+        if plan is None:
+            plan = compile_plan(
+                graph,
+                self._task_map,
+                self.machine,
+                self.costs,
+                procs_per_node=ppn,
+                cores_per_proc=self.cores_per_proc,
+            )
+            PLAN_CACHE.put(key, plan)
+        return plan, None
 
     def _on_ready(self, tid: TaskId) -> None:
         """A task's inputs are complete; default: enqueue on its proc."""
@@ -412,6 +524,20 @@ class SimController(Controller):
                         label=f"planned placement ({tm.strategy})",
                     )
                 )
+        cplan = None
+        if self.compile:
+            cplan, fallback = self._resolve_compiled_plan(graph)
+            if cplan is None and obs:
+                # Narrate the fallback only when compilation was asked
+                # for, so clean streams keep their exact shape.
+                obs.emit(
+                    Event(
+                        PLAN_FALLBACK,
+                        0.0,
+                        category=fallback,
+                        label=f"compiled plan unavailable: {fallback}",
+                    )
+                )
         self._prepare_run()
         bal = self.balancer
         if bal is not None:
@@ -422,11 +548,43 @@ class SimController(Controller):
         if plan is not None:
             for death in plan.rank_deaths:
                 self._engine.call_at(death.at, self._rank_death, death.proc)
+        if cplan is not None:
+            # Stamp every physical task from the plan's templates (no
+            # per-task slot-map derivation or Task materialization) and
+            # hand the backend its placement table.
+            ptasks = self._ptasks
+            from_template = _PhysicalTask.from_template
+            tpl_tasks = cplan.tasks
+            tpl_inputs = cplan.n_inputs
+            tpl_maps = cplan.slot_maps
+            for tid in range(cplan.n):
+                ptasks[tid] = from_template(
+                    tpl_tasks[tid], tpl_inputs[tid], tpl_maps[tid]
+                )
+            self._install_compiled_placement(cplan)
         if inputs:
-            # One batched time-zero event instead of one per source task:
-            # the deposits run in the same (sorted) order, so every
-            # downstream event keeps its relative (time, seq) position.
-            self._engine.call_at(0.0, self._deposit_initial, sorted(inputs.items()))
+            if cplan is not None:
+                # The compiled path replays the deposits through the
+                # engine's static-schedule cursor: the whole batch
+                # reserves its seq block up front, so the relative
+                # (time, seq) order — and therefore every downstream
+                # event — is identical to the batched event below.
+                self._initial_deposited = True
+                deposit = self._deposit
+                entries = [
+                    (0.0, deposit, (tid, EXTERNAL, payload))
+                    for tid in cplan.sources
+                    for payload in inputs[tid]
+                ]
+                self._engine.replay(entries)
+            else:
+                # One batched time-zero event instead of one per source
+                # task: the deposits run in the same (sorted) order, so
+                # every downstream event keeps its relative (time, seq)
+                # position.
+                self._engine.call_at(
+                    0.0, self._deposit_initial, sorted(inputs.items())
+                )
         if self._idle_hook is not None:
             # Scheduled after the initial deposits: procs the task map
             # left without any work would otherwise never be pumped, so

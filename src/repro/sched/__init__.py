@@ -18,6 +18,11 @@ hand-rolled maps the controllers shipped with:
   per-callback weights, an existing :class:`~repro.runtimes.costs.CostModel`,
   or a profile measured from an observed baseline run
   (:meth:`ProfiledEstimate.from_events`).
+* **Plan compilation** (:mod:`repro.sched.compile`): lowering a static
+  ``(graph, task_map, machine)`` into a :class:`CompiledPlan` the
+  simulated controllers replay without re-deriving per-task state, and
+  the fingerprint-keyed LRU :class:`PlanCache` (:data:`PLAN_CACHE`)
+  reusing planner and compiler artifacts across ``repro.run()`` calls.
 * **Dynamic balancing** (:mod:`repro.sched.balance`): the
   :class:`Balancer` strategy interface generalizing Charm++'s periodic
   load balancer so *any* simulated controller can opt in via
@@ -38,6 +43,12 @@ from repro.sched.balance import (
     PeriodicGreedyBalancer,
     WorkStealingBalancer,
 )
+from repro.sched.compile import (
+    PLAN_CACHE,
+    CompiledPlan,
+    PlanCache,
+    compile_plan,
+)
 from repro.sched.estimate import (
     CallbackWeightEstimate,
     CostEstimate,
@@ -55,14 +66,18 @@ from repro.sched.plan import (
 __all__ = [
     "Balancer",
     "CallbackWeightEstimate",
+    "CompiledPlan",
     "CostEstimate",
     "ModelEstimate",
     "NullBalancer",
+    "PLAN_CACHE",
     "PeriodicGreedyBalancer",
+    "PlanCache",
     "PlannedMap",
     "ProfiledEstimate",
     "UniformEstimate",
     "WorkStealingBalancer",
+    "compile_plan",
     "locality_map",
     "overdecomposition_map",
     "plan_placement",

@@ -47,6 +47,16 @@ class CostEstimate:
         (summed over all channels between the pair)."""
         raise NotImplementedError
 
+    def fingerprint(self) -> tuple:
+        """Hashable identity for the plan cache.
+
+        The default is *instance* identity — safe for arbitrary
+        estimators (two distinct instances never share a cache entry,
+        even if they would answer identically).  Value-based estimators
+        override this so equal-valued instances hit the same plan.
+        """
+        return (type(self).__name__, id(self))
+
 
 class UniformEstimate(CostEstimate):
     """Every task computes ``seconds``; every edge carries ``nbytes``.
@@ -66,6 +76,9 @@ class UniformEstimate(CostEstimate):
 
     def edge_bytes(self, producer: TaskId, consumer: TaskId) -> float:
         return self.nbytes
+
+    def fingerprint(self) -> tuple:
+        return ("uniform", self.seconds, self.nbytes)
 
 
 class CallbackWeightEstimate(CostEstimate):
@@ -93,6 +106,14 @@ class CallbackWeightEstimate(CostEstimate):
     def edge_bytes(self, producer: TaskId, consumer: TaskId) -> float:
         return self._nbytes
 
+    def fingerprint(self) -> tuple:
+        return (
+            "callback-weight",
+            frozenset(self._weights.items()),
+            self._default,
+            self._nbytes,
+        )
+
 
 class ModelEstimate(CostEstimate):
     """Adapt a :class:`~repro.runtimes.costs.CostModel` into an estimate.
@@ -119,6 +140,10 @@ class ModelEstimate(CostEstimate):
 
     def edge_bytes(self, producer: TaskId, consumer: TaskId) -> float:
         return self._nbytes
+
+    def fingerprint(self) -> tuple:
+        # The wrapped model is arbitrary code: identity, not value.
+        return ("model", id(self._model), self._default, self._nbytes)
 
 
 class ProfiledEstimate(CostEstimate):
@@ -174,3 +199,12 @@ class ProfiledEstimate(CostEstimate):
 
     def edge_bytes(self, producer: TaskId, consumer: TaskId) -> float:
         return self._edge_nbytes.get((producer, consumer), self._default_nbytes)
+
+    def fingerprint(self) -> tuple:
+        return (
+            "profiled",
+            frozenset(self._task_seconds.items()),
+            frozenset(self._edge_nbytes.items()),
+            frozenset(self._callback_seconds.items()),
+            self._default_nbytes,
+        )

@@ -252,8 +252,10 @@ class Cluster:
         self.bytes_sent += nbytes
         engine = self.engine
         if src == dst:
+            # In-memory delivery is due immediately: append to the
+            # engine's sorted due-FIFO instead of a heap round trip.
             t = engine._now
-            heappush(engine._heap, (t, engine._next_seq(), fn, args))
+            engine._due.append((t, engine._next_seq(), fn, args))
             if self._latency_sketch is not None:
                 self._latency_sketch.observe(0.0)
             if self._observed:

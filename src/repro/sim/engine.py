@@ -14,13 +14,28 @@ are that fast path; :meth:`Engine.at` / :meth:`Engine.after` layer the
 cancellable :class:`Event` handle API on top by pushing
 ``(time, seq, None, handle)`` entries that the loop checks for
 cancellation before firing.
+
+Two further fast paths avoid the heap entirely while preserving the
+``(time, seq)`` total order:
+
+* Events scheduled *at the current time* (same-rank message delivery is
+  the big producer) go through a FIFO of already-due entries instead of
+  a ``heappush``/``heappop`` round trip — an entry appended at ``now``
+  with a fresh ``seq`` is by construction ``>=`` every entry already in
+  the FIFO and ``<`` nothing it could be reordered against, so the FIFO
+  stays sorted for free.  :meth:`Engine.call_now` is the explicit entry
+  point; :meth:`Engine.call_at` reroutes automatically.
+* :meth:`Engine.replay` feeds a presorted static schedule (a compiled
+  run plan's deposits, a trace) through a plain cursor, merging against
+  any dynamically scheduled events by ``(time, seq)``.
 """
 
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from heapq import heappop, heappush
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 from repro.core.errors import SimulationError
 
@@ -58,12 +73,16 @@ class Engine:
         assert eng.now == 1.0
     """
 
-    __slots__ = ("_heap", "_now", "_seq", "_next_seq", "_running")
+    __slots__ = ("_heap", "_due", "_now", "_seq", "_next_seq", "_running")
 
     def __init__(self) -> None:
         # Entries: (time, seq, fn, args) — or (time, seq, None, Event)
         # for cancellable events scheduled through at()/after().
         self._heap: list[tuple] = []
+        # Already-due FIFO: entries appended at the then-current time.
+        # Invariant: sorted by (time, seq) — times are non-decreasing
+        # (now never goes backwards) and seqs are strictly increasing.
+        self._due: deque[tuple] = deque()
         self._now = 0.0
         self._seq = itertools.count()
         self._next_seq = self._seq.__next__
@@ -77,7 +96,7 @@ class Engine:
     @property
     def pending(self) -> int:
         """Number of events still queued (including cancelled ones)."""
-        return len(self._heap)
+        return len(self._heap) + len(self._due)
 
     # ------------------------------------------------------------------ #
     # Scheduling
@@ -94,14 +113,29 @@ class Engine:
             SimulationError: when scheduling into the past.
         """
         now = self._now
-        if time < now:
+        if time <= now:
             if time < now - 1e-12:
                 raise SimulationError(
                     f"cannot schedule event at {time} before now={now}"
                 )
-            time = now
+            # Already due: skip the heap, append to the sorted FIFO.
+            self._due.append((now, self._next_seq(), fn, args))
+            return now
         heappush(self._heap, (time, self._next_seq(), fn, args))
         return time
+
+    def call_now(self, fn: Callable[..., Any], *args: Any) -> float:
+        """Schedule ``fn(*args)`` at the current virtual time (fast path).
+
+        Equivalent to ``call_at(now, fn, *args)`` but skips the heap: an
+        event created at ``now`` orders after everything already due and
+        before nothing it could displace, so it lands in a plain FIFO.
+        The cluster's same-rank message delivery uses this — the dominant
+        event source on dense graphs.  Returns the fire time (``now``).
+        """
+        now = self._now
+        self._due.append((now, self._next_seq(), fn, args))
+        return now
 
     def call_after(
         self, delay: float, fn: Callable[..., Any], *args: Any
@@ -150,8 +184,14 @@ class Engine:
     def step(self) -> bool:
         """Fire the next event.  Returns False when the queue is empty."""
         heap = self._heap
-        while heap:
-            time, _seq, fn, args = heappop(heap)
+        due = self._due
+        while heap or due:
+            # The due FIFO is sorted, so a (time, seq) tuple compare of
+            # the two heads picks the global minimum (seq is unique).
+            if due and (not heap or due[0] < heap[0]):
+                time, _seq, fn, args = due.popleft()
+            else:
+                time, _seq, fn, args = heappop(heap)
             if fn is None:
                 if args.cancelled:
                     continue
@@ -171,11 +211,21 @@ class Engine:
             raise SimulationError("Engine.run is not re-entrant")
         self._running = True
         heap = self._heap
+        due = self._due
         try:
             if until is None:
-                # Hot loop: pop-and-fire with no peeking.
-                while heap:
-                    time, _seq, fn, args = heappop(heap)
+                # Hot loop: pop-and-fire with no peeking.  The due FIFO
+                # (usually empty or the head) merges by tuple compare.
+                while True:
+                    if due:
+                        if heap and heap[0] < due[0]:
+                            time, _seq, fn, args = heappop(heap)
+                        else:
+                            time, _seq, fn, args = due.popleft()
+                    elif heap:
+                        time, _seq, fn, args = heappop(heap)
+                    else:
+                        break
                     if fn is None:
                         if args.cancelled:
                             continue
@@ -183,11 +233,14 @@ class Engine:
                     self._now = time
                     fn(*args)
             else:
-                while heap:
-                    nxt = heap[0]
-                    if nxt[2] is None and nxt[3].cancelled:
-                        heappop(heap)
-                        continue
+                while heap or due:
+                    if due and (not heap or due[0] < heap[0]):
+                        nxt = due[0]
+                    else:
+                        nxt = heap[0]
+                        if nxt[2] is None and nxt[3].cancelled:
+                            heappop(heap)
+                            continue
                     if nxt[0] > until:
                         self._now = until
                         break
@@ -195,6 +248,86 @@ class Engine:
                 else:
                     if until > self._now:
                         self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def replay(self, entries: Sequence[tuple]) -> float:
+        """Fire a presorted static schedule without per-event heap ops.
+
+        ``entries`` is a sequence of ``(time, fn, args)`` tuples with
+        non-decreasing times, none in the past.  This is the compiled
+        fast path: the whole batch reserves a contiguous ``seq`` block up
+        front (so its entries order exactly as if they had been scheduled
+        one by one before anything they spawn) and is then driven by a
+        plain cursor.  Events the entries schedule *dynamically* are
+        merged in by ``(time, seq)`` — a dynamic event fires mid-replay
+        only when it is due strictly before the next static entry.
+        Dynamic events left over when the schedule is exhausted stay
+        queued for a subsequent :meth:`run`.
+
+        Returns the virtual time after the last fired entry.
+
+        Raises:
+            SimulationError: re-entrant call, unsorted times, or an entry
+                scheduled into the past.
+        """
+        if self._running:
+            raise SimulationError("Engine.replay is not re-entrant")
+        n = len(entries)
+        if n == 0:
+            return self._now
+        if entries[0][0] < self._now - 1e-12:
+            raise SimulationError(
+                f"replay entry at {entries[0][0]} before now={self._now}"
+            )
+        prev = entries[0][0]
+        for e in entries:
+            if e[0] < prev:
+                raise SimulationError(
+                    f"replay entries not time-sorted ({e[0]} after {prev})"
+                )
+            prev = e[0]
+        # Reserve the seq block for the whole batch so dynamically
+        # scheduled events (seq >= base + n) order after every static
+        # entry at the same timestamp — identical to scheduling the
+        # batch up front and draining through the heap.
+        base = self._next_seq()
+        self._seq = itertools.count(base + n)
+        self._next_seq = self._seq.__next__
+        heap = self._heap
+        due = self._due
+        self._running = True
+        try:
+            for i in range(n):
+                time, fn, args = entries[i]
+                if time < self._now:
+                    time = self._now  # clamp within the 1e-12 epsilon
+                seq = base + i
+                # Drain dynamic events due strictly before this entry.
+                while True:
+                    if due and (not heap or due[0] < heap[0]):
+                        nxt = due[0]
+                        if (nxt[0], nxt[1]) > (time, seq):
+                            break
+                        due.popleft()
+                        dfn, dargs = nxt[2], nxt[3]
+                    elif heap:
+                        nxt = heap[0]
+                        if (nxt[0], nxt[1]) > (time, seq):
+                            break
+                        heappop(heap)
+                        dfn, dargs = nxt[2], nxt[3]
+                    else:
+                        break
+                    if dfn is None:
+                        if dargs.cancelled:
+                            continue
+                        dfn, dargs = dargs.fn, dargs.args
+                    self._now = nxt[0]
+                    dfn(*dargs)
+                self._now = time
+                fn(*args)
         finally:
             self._running = False
         return self._now

@@ -1,0 +1,129 @@
+"""Compiled run plans ≡ the interpreted engine, bit for bit.
+
+``compile=True`` lowers a static run into a cached
+:class:`~repro.sched.compile.CompiledPlan` the engine replays without
+per-event scheduling (see ``docs/performance.md``).  These tests require
+the fast path to be *invisible* in every observable output — makespan,
+stats, metrics, and the complete event stream — across the golden
+workloads, and pin the automatic-fallback rules for runs the plan cannot
+represent (fault injection, balancers, telemetry, dynamic-placement
+backends).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.payload import Payload
+from repro.graphs import Reduction
+from repro.obs import ListSink
+from repro.obs.events import PLAN_FALLBACK
+from repro.runtimes import MPIController
+from repro.sched.balance import PeriodicGreedyBalancer
+from repro.sched.compile import PLAN_CACHE
+
+from tests.golden_workloads import CONTROLLERS, PROCS, run_workload
+
+# Which workloads take the compiled fast path, and why the rest fall
+# back.  The blocker check is ordered backend -> faults -> balancer ->
+# telemetry, so charm_chaos reports "backend" (dynamic placement) even
+# though it also injects faults.
+COMPILED = ("mpi", "blocking", "legion_spmd")
+FALLBACK = {
+    "charm": "backend",
+    "legion_index": "backend",
+    "charm_chaos": "backend",
+    "mpi_faults": "faults",
+    "mpi_chaos": "faults",
+}
+
+
+def _record(name: str, *, compiled: bool):
+    controller = CONTROLLERS[name]()
+    controller.compile = compiled
+    g, sink, result = run_workload(controller)
+    fallbacks = [e for e in sink.events if e.type == PLAN_FALLBACK]
+    events = [e.to_dict() for e in sink.events if e.type != PLAN_FALLBACK]
+    return {
+        "root": result.output(g.root_id).data,
+        "makespan": result.stats.makespan,
+        "tasks_executed": result.stats.tasks_executed,
+        "messages": result.stats.messages,
+        "bytes_sent": result.stats.bytes_sent,
+        "category_time": dict(result.stats.category_time),
+        "callback_time": dict(result.stats.callback_time),
+        "events": events,
+        "counters": dict(result.metrics.counters),
+        "gauges": dict(result.metrics.gauges),
+        "histograms": dict(result.metrics.histograms),
+    }, fallbacks
+
+
+@pytest.mark.parametrize(
+    "name", [n for n in sorted(CONTROLLERS) if n != "serial"]
+)
+def test_compile_bit_identical(name: str) -> None:
+    interpreted, base_fb = _record(name, compiled=False)
+    assert base_fb == [], "interpreted runs never narrate fallbacks"
+    compiled, fallbacks = _record(name, compiled=True)
+    # Every observable output matches exactly (floats included).
+    for key in interpreted:
+        assert compiled[key] == interpreted[key], f"{name}: {key} diverged"
+    if name in COMPILED:
+        assert fallbacks == [], f"{name}: expected the compiled fast path"
+    else:
+        assert [e.category for e in fallbacks] == [FALLBACK[name]]
+        assert fallbacks[0].t == 0.0
+
+
+def _reduction_run(**kwargs):
+    g = Reduction(8, 2)
+    sink = ListSink()
+    c = MPIController(PROCS, compile=True, sinks=[sink], **kwargs)
+    c.initialize(g)
+    c.register_callback(g.LEAF, lambda ins, tid: [ins[0]])
+    c.register_callback(g.REDUCE, lambda ins, tid: [ins[0]])
+    c.register_callback(g.ROOT, lambda ins, tid: [ins[0]])
+    c.run({tid: Payload([1.0]) for tid in g.leaf_ids()})
+    return [e for e in sink.events if e.type == PLAN_FALLBACK]
+
+
+def test_fallback_on_balancer() -> None:
+    (event,) = _reduction_run(balancer=PeriodicGreedyBalancer(period=0.01))
+    assert event.category == "balancer"
+
+
+def test_fallback_on_telemetry() -> None:
+    (event,) = _reduction_run(telemetry=True)
+    assert event.category == "telemetry"
+
+
+def test_no_fallback_event_when_static() -> None:
+    assert _reduction_run() == []
+
+
+def test_plan_cache_reused_across_runs() -> None:
+    PLAN_CACHE.clear()
+    first, _ = _record("mpi", compiled=True)
+    misses, hits = PLAN_CACHE.misses, PLAN_CACHE.hits
+    assert misses >= 1
+    second, _ = _record("mpi", compiled=True)
+    assert PLAN_CACHE.misses == misses, "second run recompiled the plan"
+    assert PLAN_CACHE.hits > hits
+    assert second == first
+
+
+def test_facade_compile_kwarg() -> None:
+    import repro
+
+    g = Reduction(8, 2)
+    callbacks = {
+        g.LEAF: lambda ins, tid: [ins[0]],
+        g.REDUCE: lambda ins, tid: [ins[0]],
+        g.ROOT: lambda ins, tid: [ins[0]],
+    }
+    inputs = {tid: Payload([float(tid)]) for tid in g.leaf_ids()}
+    plain = repro.run(g, callbacks, inputs, "mpi", PROCS)
+    fast = repro.run(g, callbacks, inputs, "mpi", PROCS, compile=True)
+    assert fast.stats.makespan == plain.stats.makespan
+    assert fast.output(g.root_id).data == plain.output(g.root_id).data

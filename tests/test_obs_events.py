@@ -81,6 +81,7 @@ class TestEvent:
         }
         assert SCHED_VOCABULARY == {
             "sched.planned", "sched.migrated", "sched.steal",
+            "plan.fallback",
         }
 
 
