@@ -272,6 +272,72 @@ def bench_sketch_quantiles(reps: int, n_samples: int = 100_000) -> dict:
     }
 
 
+def bench_local_calibration(
+    reps: int, leaves: int = 256, valence: int = 4
+) -> dict:
+    """The calibration loop: real run -> profiled cost model -> replay.
+
+    Runs a reduction on the local (real-core) thread pool with a
+    buffering sink, mines the trace into a profiled cost model
+    (:func:`repro.runtimes.calibrate.profile_cost_model`), then replays
+    the same graph on the simulated MPI controller under that model —
+    same worker/rank count — and reports the sim-predicted makespan next
+    to the measured one.  ``seconds`` is the real pool's wall time (best
+    of ``reps``, so the regression check still guards dispatch-loop
+    overhead); ``prediction_ratio`` is predicted/measured — informational
+    only, since the measured side is host noise.  The replayed outputs
+    must match the real run's bit-for-bit or the benchmark errors out.
+    """
+    from repro.core.payload import Payload
+    from repro.graphs import Reduction
+    from repro.obs import ListSink
+    from repro.runtimes import LocalPoolController, MPIController
+    from repro.runtimes.calibrate import profile_cost_model
+
+    workers = 2
+    g = Reduction(leaves, valence)
+    add = lambda ins, tid: [Payload(sum(p.data for p in ins))]
+    callbacks = {
+        g.LEAF: lambda ins, tid: [ins[0]],
+        g.REDUCE: add,
+        g.ROOT: add,
+    }
+    inputs = {t: Payload(1) for t in g.leaf_ids()}
+
+    def run_with(controller):
+        controller.initialize(g, None)
+        for cid, fn in callbacks.items():
+            controller.register_callback(cid, fn)
+        return controller.run(inputs)
+
+    def real_once():
+        sink = ListSink()
+        pool = LocalPoolController(
+            n_workers=workers, mode="thread", sinks=[sink]
+        )
+        return run_with(pool), sink
+
+    seconds, (measured, sink) = _best_of(reps, real_once)
+    cost = profile_cost_model(sink.events)
+    predicted = run_with(MPIController(workers, cost_model=cost))
+    if predicted.output(g.root_id).data != measured.output(g.root_id).data:
+        raise RuntimeError(
+            "calibrated replay diverged from the measured run: "
+            f"{predicted.output(g.root_id).data!r} != "
+            f"{measured.output(g.root_id).data!r}"
+        )
+    wall = measured.stats.makespan
+    return {
+        "seconds": round(seconds, 6),
+        "tasks": measured.stats.tasks_executed,
+        "measured_makespan": round(wall, 6),
+        "predicted_makespan": round(predicted.makespan, 6),
+        "prediction_ratio": round(predicted.makespan / wall, 4)
+        if wall > 0
+        else 0.0,
+    }
+
+
 BENCHMARKS: dict[str, Callable[[int], dict]] = {
     "engine_events": bench_engine_events,
     "compiled_events": bench_compiled_events,
@@ -281,6 +347,7 @@ BENCHMARKS: dict[str, Callable[[int], dict]] = {
     "plan_vectorized": bench_plan_vectorized,
     "plan_cache_hit": bench_plan_cache_hit,
     "sketch_quantiles": bench_sketch_quantiles,
+    "local_calibration": bench_local_calibration,
 }
 
 #: Benchmarks whose run can be re-captured as an event trace (the
@@ -390,6 +457,9 @@ DETERMINISM_FIELDS = {
     "plan_vectorized": ("tasks", "est_makespan"),
     "plan_cache_hit": ("tasks", "est_makespan"),
     "sketch_quantiles": ("samples", "buckets", "p99_rel_err"),
+    # Makespans are wall-clock on the real side, so only the task count
+    # is determinism-checkable here.
+    "local_calibration": ("tasks",),
 }
 
 #: Absolute throughput floors (field, minimum) asserted by --check in

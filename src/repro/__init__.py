@@ -9,8 +9,8 @@ Subpackages:
 * :mod:`repro.graphs` -- stock dataflow graphs (reduction, broadcast,
   binary swap, neighbor, merge tree, ...).
 * :mod:`repro.runtimes` -- the runtime controllers (Serial, MPI, Charm++,
-  Legion SPMD, Legion index-launch) and the name registry
-  (:data:`repro.runtimes.REGISTRY`).
+  Legion SPMD, Legion index-launch, plus the real-core local pool) and
+  the name registry (:data:`repro.runtimes.REGISTRY`).
 * :mod:`repro.sched` -- pluggable scheduling: cost-aware placement
   planning (:func:`repro.sched.plan_placement`) and dynamic balancers.
 * :mod:`repro.sim` -- the discrete-event cluster substrate.
@@ -38,8 +38,9 @@ Quickstart — one import, one call::
     assert result.output(graph.root_id).data == 16
 
 Swap ``runtime="mpi"`` for any registry name — ``"serial"``,
-``"blocking-mpi"``, ``"charm"``, ``"legion-spmd"``, ``"legion-index"`` —
-to execute the same graph on a different runtime model.  The underlying
+``"blocking-mpi"``, ``"charm"``, ``"legion-spmd"``, ``"legion-index"``,
+``"local"`` — to execute the same graph on a different runtime model
+(``"local"`` runs it for real, on the host's cores).  The underlying
 controller protocol (``initialize`` / ``register_callback`` / ``run``)
 remains available for staged setups; see :mod:`repro.runtimes`.
 """

@@ -62,13 +62,17 @@ def run(
         inputs: payloads for every EXTERNAL input slot, keyed by task id.
         runtime: a :data:`repro.runtimes.REGISTRY` name (``"serial"``,
             ``"mpi"``, ``"blocking-mpi"``, ``"charm"``, ``"legion-spmd"``,
-            ``"legion-index"``) or a controller class.
+            ``"legion-index"``, ``"local"``) or a controller class.
+            ``"local"`` is the only backend that executes on the host's
+            real cores (see :mod:`repro.runtimes.local`); the rest
+            simulate a cluster on a virtual clock.
         n_procs: simulated cluster size (required except for
-            ``"serial"``).
+            ``"serial"``; for ``"local"`` it is the optional worker-pool
+            size).
         task_map: explicit placement for the backends that take one
-            (``mpi``, ``blocking-mpi``, ``legion-spmd``); pass a
-            :func:`repro.sched.plan_placement` result for cost-aware
-            placement.
+            (``mpi``, ``blocking-mpi``, ``legion-spmd``, ``local``);
+            pass a :func:`repro.sched.plan_placement` result for
+            cost-aware placement.
         sinks: observability sinks attached for this run.
         **kwargs: forwarded to the controller constructor —
             ``cost_model``, ``machine``, ``costs``, ``cores_per_proc``,

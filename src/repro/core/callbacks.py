@@ -32,6 +32,44 @@ class SupportsCallbacks(Protocol):
     def callbacks(self) -> list[CallbackId]: ...
 
 
+def validate_outputs(
+    cid: CallbackId,
+    outputs: list[Payload] | None,
+    task_id: TaskId,
+    n_outputs: int,
+) -> list[Payload]:
+    """Check a callback's return value against the task's output arity.
+
+    Shared by :meth:`CallbackRegistry.invoke` and the local pool backend's
+    worker-side execution (where no registry object exists — the callback
+    travels to the worker alone), so both report identical errors.
+
+    Raises:
+        CallbackError: when the callback returned anything other than a
+            list of ``n_outputs`` payloads.
+    """
+    if outputs is None and n_outputs == 0:
+        return []
+    if not isinstance(outputs, list) or len(outputs) != n_outputs:
+        got = (
+            "None"
+            if outputs is None
+            else f"{type(outputs).__name__} of length "
+            f"{len(outputs) if hasattr(outputs, '__len__') else '?'}"
+        )
+        raise CallbackError(
+            f"task {task_id} (callback {cid}) must return a list of "
+            f"{n_outputs} payloads, got {got}"
+        )
+    for i, out in enumerate(outputs):
+        if not isinstance(out, Payload):
+            raise CallbackError(
+                f"task {task_id} (callback {cid}) output channel {i} is "
+                f"a {type(out).__name__}, expected Payload"
+            )
+    return outputs
+
+
 class CallbackRegistry:
     """Maps callback ids to implementations.
 
@@ -99,24 +137,4 @@ class CallbackRegistry:
                 list of ``n_outputs`` payloads.
         """
         fn = self.resolve(cid)
-        outputs = fn(inputs, task_id)
-        if outputs is None and n_outputs == 0:
-            return []
-        if not isinstance(outputs, list) or len(outputs) != n_outputs:
-            got = (
-                "None"
-                if outputs is None
-                else f"{type(outputs).__name__} of length "
-                f"{len(outputs) if hasattr(outputs, '__len__') else '?'}"
-            )
-            raise CallbackError(
-                f"task {task_id} (callback {cid}) must return a list of "
-                f"{n_outputs} payloads, got {got}"
-            )
-        for i, out in enumerate(outputs):
-            if not isinstance(out, Payload):
-                raise CallbackError(
-                    f"task {task_id} (callback {cid}) output channel {i} is "
-                    f"a {type(out).__name__}, expected Payload"
-                )
-        return outputs
+        return validate_outputs(cid, fn(inputs, task_id), task_id, n_outputs)

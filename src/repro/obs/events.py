@@ -70,10 +70,12 @@ SCHED_MIGRATED = "sched.migrated"
 #: An idle proc stole a queued task (``proc`` is the victim,
 #: ``dst_proc`` the thief); the matching ``sched.migrated`` follows.
 SCHED_STEAL = "sched.steal"
-#: A ``compile=True`` run could not take the compiled fast path and fell
-#: back to the interpreted engine; ``category`` names the blocker
+#: A requested plan-level feature could not apply and the run degraded
+#: gracefully: a ``compile=True`` run fell back to the interpreted
+#: engine, or the local (real-core) backend ignored a feature that only
+#: exists on the simulated clusters.  ``category`` names the blocker
 #: (``"faults"``, ``"balancer"``, ``"telemetry"``, or ``"backend"``).
-#: Emitted only when compilation was requested, so clean streams are
+#: Emitted only when the feature was requested, so clean streams are
 #: unchanged.
 PLAN_FALLBACK = "plan.fallback"
 

@@ -12,11 +12,15 @@ One controller per runtime model, all sharing the
   task launchers, phase barriers.
 * :class:`~repro.runtimes.legion.LegionIndexController` — rounds of
   noninterfering tasks issued as index launches.
+* :class:`~repro.runtimes.local.LocalPoolController` — real execution on
+  the host's cores (process/thread/inline pools), no simulation at all.
 
 The distributed controllers execute on the discrete-event substrate in
 :mod:`repro.sim`; their construction parameters (cluster size, machine
 model, cost model, overhead constants) are documented on
-:class:`~repro.runtimes.simbase.SimController`.
+:class:`~repro.runtimes.simbase.SimController`.  The local controller is
+the odd one out: it measures wall-clock reality instead of predicting
+it, and :mod:`repro.runtimes.calibrate` closes the loop between the two.
 """
 
 from repro.runtimes.blocking import BlockingMPIController
@@ -25,6 +29,7 @@ from repro.runtimes.calibrate import (
     calibrate_registration,
     calibrate_rendering,
     measure_rate,
+    profile_cost_model,
 )
 from repro.runtimes.charm import CharmController
 from repro.runtimes.controller import Controller
@@ -38,6 +43,7 @@ from repro.runtimes.costs import (
     RuntimeCosts,
 )
 from repro.runtimes.legion import LegionIndexController, LegionSPMDController
+from repro.runtimes.local import LocalPoolController
 from repro.runtimes.mpi import MPIController
 from repro.runtimes.registry import (
     REGISTRY,
@@ -65,6 +71,7 @@ __all__ = [
     "DEFAULT_COSTS",
     "LegionIndexController",
     "LegionSPMDController",
+    "LocalPoolController",
     "MPIController",
     "MeasuredCost",
     "NullCost",
@@ -83,6 +90,7 @@ __all__ = [
     "coerce_controller",
     "make_controller",
     "measure_rate",
+    "profile_cost_model",
     "replay_task",
     "resolve_runtime",
     "verify_recording",

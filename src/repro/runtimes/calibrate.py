@@ -37,6 +37,33 @@ def measure_rate(fn: Callable[[], None], units: float, repeats: int = 3) -> floa
     return best / units
 
 
+def profile_cost_model(events):
+    """Cost model replaying a measured run's per-task compute seconds.
+
+    ``events`` is a buffered event stream — typically a
+    :class:`~repro.obs.ListSink`'s ``events`` from a
+    :class:`~repro.runtimes.LocalPoolController` run on real cores — or
+    an already-built :class:`~repro.sched.ProfiledEstimate`.  The
+    returned :class:`~repro.runtimes.costs.CallableCost` charges each
+    task its measured ``task_finished`` duration, so any simulated
+    controller replays the real run's compute profile and its virtual
+    makespan becomes a prediction of measured wall time.  This closes
+    the loop in the other direction from the ``calibrate_*`` kernels:
+    instead of fitting analytic constants, the whole trace becomes the
+    model (the ``local_calibration`` perf benchmark reports how close
+    the prediction lands).
+    """
+    from repro.runtimes.costs import CallableCost
+    from repro.sched.estimate import ProfiledEstimate
+
+    profile = (
+        events
+        if isinstance(events, ProfiledEstimate)
+        else ProfiledEstimate.from_events(events)
+    )
+    return CallableCost(lambda task, inputs: profile.compute_seconds(task))
+
+
 def calibrate_merge_tree(block_side: int = 24, seed: int = 0):
     """Measure the merge-tree kernels; returns
     :class:`~repro.analysis.mergetree.MergeTreeCostParams`."""

@@ -1,0 +1,784 @@
+"""Local pool controller: real execution on the host's cores.
+
+Every other backend in :mod:`repro.runtimes` *simulates* parallelism on
+a discrete-event virtual clock inside one process.  This controller is
+the real thing: the same abstract ``TaskGraph``/``TaskMap`` program is
+executed by a :class:`concurrent.futures.ProcessPoolExecutor` (or a
+thread pool, or inline in the calling thread) on the host's actual
+cores, with payloads pickled through the executors' call/result queues
+on their way between worker processes.
+
+The execution model is a dependency-driven coordinator, in the spirit of
+Parsl's DataFlowKernel: the coordinator owns the dataflow state (input
+slots, readiness, routing cursors — the exact bookkeeping of the serial
+reference), dispatches each task the moment its inputs are complete, and
+routes returned payloads to consumer slots.  Because callbacks are pure
+functions of their inputs and slot filling is determined by graph
+structure alone (per-``(producer, consumer)`` cursors fill slots in
+channel order), **outputs are bit-identical to the serial reference
+regardless of worker scheduling** — the cross-runtime conformance suite
+(``tests/test_runtime_conformance.py``) proves it.
+
+Three modes, one code path:
+
+* ``"process"`` — a real process pool; callbacks and payload data must
+  be picklable (module-level functions, plain data / numpy arrays).
+* ``"thread"`` — a thread pool in the coordinator's process: no
+  pickling, real concurrency for callbacks that release the GIL.
+* ``"inline"`` — a degenerate executor running each task at submission
+  time in the calling thread: fully deterministic (serial-equivalent
+  event order), the mode of choice for tests and debugging.
+
+Placement: with no task map the pool is a single shared work queue and
+any free worker slot takes the lowest ready task id.  With a task map
+(including :func:`repro.sched.plan_placement`'s ``PlannedMap`` and
+:func:`repro.sched.locality_map`) shards are folded onto
+``min(n_workers, shard_count)`` *shard groups*, one single-worker
+executor per group, so placement decisions — locality, planned
+co-residency — hold on the real pool exactly as they do on the
+simulated clusters.
+
+Fault tolerance composes: a :class:`~repro.faults.FaultPlan`'s transient
+task faults are injected into real attempts (the attempt runs, its
+outputs are discarded) and retried under the controller's
+:class:`~repro.faults.RetryPolicy` with the same accounting — counters,
+events, wasted-time categories — as the simulated controllers.  Rank
+deaths and link faults describe simulated hardware and are rejected
+loudly.  When a ``retry_policy`` is *explicitly* installed, real
+callback exceptions are retried under the same budget (the local
+backend's genuinely-transient-failure story); without one they
+propagate, exactly like every other backend.
+
+Observability: wall-clock lifecycle events through the standard
+:mod:`repro.obs` vocabulary (timestamps are real seconds since run
+start), so timelines, flamegraphs, trace diffs, metrics sketches, and
+the SLO CLI work unchanged.  Feed a run's events to
+:meth:`repro.sched.ProfiledEstimate.from_events` to close the loop from
+measured reality back into the planner — see
+:func:`repro.runtimes.calibrate.profile_cost_model` and the
+``local_calibration`` perf benchmark.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import pickle
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from typing import Sequence
+
+from repro.core.callbacks import CallbackRegistry, validate_outputs
+from repro.core.errors import ControllerError, FaultError
+from repro.core.graph import TaskGraph
+from repro.core.ids import TNULL, TaskId, is_real_task
+from repro.core.payload import Payload
+from repro.core.taskmap import TaskMap
+from repro.faults import DEFAULT_RETRY_POLICY, FaultPlan, RetryPolicy
+from repro.obs.events import (
+    FAULT_INJECTED,
+    MESSAGE_DELIVERED,
+    MESSAGE_SENT,
+    OVERHEAD,
+    PLAN_FALLBACK,
+    RUN_FINISHED,
+    RUN_STARTED,
+    SCHED_PLANNED,
+    TASK_ENQUEUED,
+    TASK_FINISHED,
+    TASK_RETRY,
+    TASK_STARTED,
+    Event,
+    EventSink,
+)
+from repro.obs.hub import ObsHub
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import FlightRecorder, TelemetryConfig
+from repro.runtimes.controller import Controller
+from repro.runtimes.result import RunResult
+from repro.sim.trace import Trace
+
+#: Execution modes, cheapest-to-debug first.
+MODES = ("inline", "thread", "process")
+
+#: Default stall deadline (real seconds without a single completion):
+#: generous for real work, small enough that a deadlocked pool fails the
+#: suite instead of hanging it.
+DEFAULT_IDLE_TIMEOUT = 120.0
+
+#: Causal-parent accumulator, gated like the serial controller's (only
+#: called when a context-requesting sink observes the run).
+_parent_list = list
+
+
+def _is_transport_error(exc: BaseException) -> bool:
+    """True for process-pool transport failures (vs. callback bugs).
+
+    The stdlib reports an unpicklable work item as whatever the pickler
+    raised — ``PicklingError``, but also ``AttributeError: Can't pickle
+    local object ...`` or ``TypeError: cannot pickle ...`` — and a died
+    worker as ``BrokenProcessPool``.
+    """
+    if isinstance(exc, (BrokenProcessPool, pickle.PicklingError)):
+        return True
+    return (
+        isinstance(exc, (AttributeError, TypeError))
+        and "pickle" in str(exc).lower()
+    )
+
+
+def default_workers() -> int:
+    """Worker count when none is given: the host's cores, capped.
+
+    The cap keeps accidental ``repro.run(runtime="local")`` calls from
+    forking a 128-process pool on a big box; pass ``n_procs``/
+    ``n_workers`` explicitly to use more.
+    """
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+def _pool_run(fn, payloads, cid, tid, n_outputs, fail):
+    """One attempt, executed inside a worker (module-level: picklable).
+
+    Returns ``(outputs, elapsed_seconds, faulted)``.  An injected fault
+    (``fail=True``) still runs the callback — real compute is consumed
+    and discarded, mirroring the simulated controllers' "transient
+    failure after full compute time" semantics — but returns no outputs.
+    Output-arity validation happens worker-side so a misbehaving
+    callback is reported from the attempt that ran it.
+    """
+    t0 = time.perf_counter()
+    outputs = validate_outputs(cid, fn(payloads, tid), tid, n_outputs)
+    elapsed = time.perf_counter() - t0
+    if fail:
+        return None, elapsed, True
+    return outputs, elapsed, False
+
+
+class _InlineExecutor:
+    """Degenerate executor: run the work at submission time, inline.
+
+    Gives the pool coordinator a third backend with zero concurrency —
+    submission order *is* completion order, so an inline run executes
+    tasks in exactly the serial reference's ready order.
+    """
+
+    def submit(self, fn, /, *args) -> Future:
+        f: Future = Future()
+        try:
+            f.set_result(fn(*args))
+        except BaseException as exc:  # delivered via future, like a pool
+            f.set_exception(exc)
+        return f
+
+    def shutdown(self, wait: bool = True, *, cancel_futures: bool = False) -> None:
+        pass
+
+
+class LocalPoolController(Controller):
+    """Execute the dataflow on real cores (registry name ``"local"``).
+
+    Args:
+        n_workers: concurrent worker slots (pool size).  ``None`` picks
+            :func:`default_workers`.  With a task map installed, shards
+            fold onto ``min(n_workers, shard_count)`` pinned groups.
+        mode: ``"process"`` (default), ``"thread"``, or ``"inline"``.
+        sinks: observability sinks receiving wall-clock lifecycle events.
+        collect_trace: keep a full span trace on the result.
+        telemetry: bounded-memory telemetry, same contract as every
+            other controller (off by default).
+        fault_plan: transient task faults to inject into real attempts.
+            Rank deaths and link faults describe simulated hardware and
+            raise :class:`~repro.core.errors.ControllerError`.
+        retry_policy: backoff/budget for fault recovery.  Explicitly
+            passing one also opts real callback exceptions into the
+            retry budget (genuine transient-failure tolerance); without
+            one, exceptions propagate.
+        balancer: accepted for config portability but inapplicable — the
+            pool's dispatch is already dynamic; the run degrades
+            gracefully and narrates it with a ``plan.fallback`` event.
+        compile: accepted for config portability; compiled run plans
+            replay *simulated* deposit schedules, so real runs fall back
+            (with a ``plan.fallback`` event) and execute normally.
+        idle_timeout: real seconds without a single completion before
+            the run is declared stuck and fails fast (a deadlocked or
+            died-silently pool surfaces as a
+            :class:`~repro.core.errors.ControllerError`, not a hang).
+    """
+
+    def __init__(
+        self,
+        n_workers: int | None = None,
+        mode: str = "process",
+        *,
+        sinks: Sequence[EventSink] = (),
+        collect_trace: bool = False,
+        telemetry: "TelemetryConfig | bool | dict | None" = None,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
+        balancer=None,
+        compile: bool = False,
+        idle_timeout: float | None = DEFAULT_IDLE_TIMEOUT,
+    ) -> None:
+        super().__init__()
+        if mode not in MODES:
+            raise ControllerError(
+                f"unknown local mode {mode!r}; valid modes: {', '.join(MODES)}"
+            )
+        if n_workers is None:
+            n_workers = 1 if mode == "inline" else default_workers()
+        if n_workers < 1:
+            raise ControllerError(
+                f"n_workers must be >= 1, got {n_workers}"
+            )
+        if fault_plan is not None and (
+            fault_plan.rank_deaths or fault_plan.link_faults
+        ):
+            raise ControllerError(
+                "the local backend runs on real processes: rank deaths and "
+                "link faults are simulated-hardware constructs; keep the "
+                "plan's transient task faults or pick a simulated runtime "
+                "such as 'mpi'"
+            )
+        self.n_workers = n_workers
+        self.mode = mode
+        self._sinks.extend(sinks)
+        self.collect_trace = collect_trace
+        self.telemetry = TelemetryConfig.coerce(telemetry)
+        self._fault_plan = fault_plan
+        self._retry_exceptions = retry_policy is not None
+        self._policy = retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
+        self.balancer = balancer
+        self.compile = bool(compile)
+        self.idle_timeout = idle_timeout
+        #: Retry count of the last run, same accounting as the simulated
+        #: controllers' ``.retries``.
+        self.retries = 0
+
+    # ------------------------------------------------------------------ #
+    # Pools and placement
+    # ------------------------------------------------------------------ #
+
+    def _group_of(self, tm: TaskMap | None, n_groups: int):
+        """``tid -> shard group``: folded task-map shard, or None (any)."""
+        if tm is None:
+            return None
+        if tm.shard_count <= n_groups:
+            return tm.shard
+        return lambda tid: tm.shard(tid) % n_groups
+
+    def _make_pools(self, n_groups: int, pinned: bool) -> list:
+        if self.mode == "inline":
+            return [_InlineExecutor() for _ in range(n_groups if pinned else 1)]
+        cls = ThreadPoolExecutor if self.mode == "thread" else ProcessPoolExecutor
+        if not pinned:
+            return [cls(max_workers=self.n_workers)]
+        # One single-worker executor per shard group: per-group FIFO
+        # order and real co-residency, the pool analogue of a rank.
+        return [cls(max_workers=1) for _ in range(n_groups)]
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def _execute(
+        self,
+        graph: TaskGraph,
+        registry: CallbackRegistry,
+        inputs: dict[TaskId, list[Payload]],
+    ) -> RunResult:
+        run_sinks = list(self._sinks)
+        trace = None
+        if self.collect_trace:
+            trace = Trace()
+            run_sinks.append(trace)
+        metrics = MetricsRegistry()
+        tel = self.telemetry
+        flight = None
+        if tel is None:
+            t_task = t_queue = t_msg = None
+        else:
+            t_task = metrics.sketch("task_seconds", tel.rel_err)
+            t_queue = metrics.sketch("queue_wait_seconds", tel.rel_err)
+            t_msg = metrics.sketch("message_seconds", tel.rel_err)
+            if tel.flight_dir:
+                flight = FlightRecorder(
+                    tel.flight_dir,
+                    capacity=tel.flight_capacity,
+                    triggers=tel.triggers,
+                    rel_err=tel.rel_err,
+                )
+                run_sinks.append(flight)
+        obs = ObsHub(run_sinks)
+        ctx = obs.wants_context if run_sinks else False
+
+        tm = self._task_map
+        pinned = tm is not None
+        n_groups = min(self.n_workers, tm.shard_count) if pinned else 1
+        n_slots = n_groups if pinned else self.n_workers
+        group_of = self._group_of(tm, n_groups)
+        pools = self._make_pools(n_groups, pinned)
+
+        result = RunResult(trace=trace)
+        try:
+            self._run_pools(
+                graph, registry, inputs, pools, pinned, n_slots, group_of,
+                obs, ctx, metrics, result, t_task, t_queue, t_msg, flight,
+            )
+        except BaseException as exc:
+            if flight is not None:
+                flight.abort(exc)
+            self._shutdown_pools(pools, graceful=False)
+            raise
+        self._shutdown_pools(pools, graceful=True)
+        result.metrics = metrics.snapshot()
+        return result
+
+    #: Seconds a worker process gets to exit at shutdown before it is
+    #: killed.  All futures are resolved by then, so a healthy worker
+    #: exits in milliseconds; only a wedged fork ever runs the clock.
+    POOL_JOIN_TIMEOUT = 10.0
+
+    def _shutdown_pools(self, pools: list, *, graceful: bool) -> None:
+        """Tear the executors down without ever hanging the coordinator.
+
+        ``shutdown(wait=True)`` on a process pool joins its workers; a
+        worker wedged at fork time (forked while a parent thread held a
+        lock — rare, but real on busy fork-start-method hosts) would
+        hang the run, and a leaked non-daemon worker hangs the
+        interpreter at exit.  Process pools therefore get a bounded
+        join: ask politely, then ``kill()`` whatever is left.  Thread
+        and inline pools keep the plain waiting shutdown (their workers
+        cannot be killed, and on the success path every future is
+        already resolved).
+        """
+        if self.mode != "process":
+            for pool in pools:
+                pool.shutdown(wait=graceful, cancel_futures=not graceful)
+            return
+        procs = []
+        for pool in pools:
+            live = getattr(pool, "_processes", None)
+            if live:
+                procs.extend(live.values())
+            pool.shutdown(wait=False, cancel_futures=True)
+        deadline = time.monotonic() + (
+            self.POOL_JOIN_TIMEOUT if graceful else 1.0
+        )
+        for p in procs:
+            p.join(max(0.0, deadline - time.monotonic()))
+        stuck = [p for p in procs if p.is_alive()]
+        for p in stuck:
+            p.kill()
+        for p in stuck:
+            p.join(1.0)
+
+    def _run_pools(
+        self,
+        graph: TaskGraph,
+        registry: CallbackRegistry,
+        inputs: dict[TaskId, list[Payload]],
+        pools: list,
+        pinned: bool,
+        n_slots: int,
+        group_of,
+        obs: ObsHub,
+        ctx: bool,
+        metrics: MetricsRegistry,
+        result: RunResult,
+        t_task,
+        t_queue,
+        t_msg,
+        flight,
+    ) -> None:
+        policy = self._policy
+        self.retries = 0
+        inline = self.mode == "inline"
+        fault_budget = (
+            self._fault_plan.task_budget() if self._fault_plan else None
+        )
+        m_task_seconds = metrics.histogram("task_compute_seconds")
+        m_message_bytes = metrics.histogram("message_nbytes")
+
+        t0 = time.perf_counter()
+        now = lambda: time.perf_counter() - t0
+
+        slots: dict[TaskId, list[Payload | None]] = {}
+        remaining: dict[TaskId, int] = {}
+        arrived: dict[TaskId, list[TaskId]] = {}
+        enq_at: dict[TaskId, float] = {}
+        attempts: dict[TaskId, int] = {}
+        # Inputs of in-flight tasks, kept so a failed attempt can retry
+        # from the same payloads (tasks are idempotent by contract).
+        stash: dict[TaskId, list[Payload]] = {}
+        # Per (producer, consumer) pair, the next slot index to fill, so
+        # multi-channel edges between the same pair stay ordered — the
+        # invariant that makes outputs placement- and schedule-invariant.
+        cursor: dict[tuple[TaskId, TaskId], int] = {}
+
+        ready: list[TaskId] = []  # heap of dispatchable task ids
+        delayed: list[tuple[float, TaskId]] = []  # retry backoff heap
+        pending: dict[Future, tuple[int, TaskId, int]] = {}  # fut -> (seq, tid, slot)
+        free = list(range(n_slots))  # free worker slots, lowest-first
+        heapq.heapify(free)
+        seq = 0
+        executed = 0
+        retries = 0
+        faults_injected = 0
+        queue_peak = 0
+        busy = [0.0] * n_slots  # per-slot compute seconds (utilization)
+        compute_total = 0.0
+        wasted_total = 0.0
+        total = graph.size()
+
+        def ensure(tid: TaskId) -> None:
+            if tid not in slots:
+                t = graph.task(tid)
+                slots[tid] = [None] * t.n_inputs
+                remaining[tid] = t.n_inputs
+
+        def deposit(tid: TaskId, slot: int, payload: Payload) -> None:
+            nonlocal queue_peak
+            ensure(tid)
+            if slots[tid][slot] is not None:
+                raise ControllerError(
+                    f"task {tid} input slot {slot} filled twice"
+                )
+            slots[tid][slot] = payload
+            remaining[tid] -= 1
+            if remaining[tid] == 0:
+                heapq.heappush(ready, tid)
+                depth = len(ready) + len(pending)
+                if depth > queue_peak:
+                    queue_peak = depth
+                if t_queue is not None:
+                    enq_at[tid] = now()
+                if obs:
+                    obs.emit(
+                        Event(
+                            TASK_ENQUEUED, now(),
+                            proc=group_of(tid) if pinned else -1, task=tid,
+                        )
+                    )
+
+        def submit(tid: TaskId, slot: int) -> None:
+            nonlocal seq
+            task = graph.task(tid)
+            fail = False
+            if fault_budget and fault_budget.get(tid, 0) > 0:
+                fault_budget[tid] -= 1
+                fail = True
+            fn = registry.resolve(task.callback)
+            if tid in slots:  # first attempt: take the buffered inputs
+                remaining.pop(tid, None)
+                stash[tid] = slots.pop(tid)  # type: ignore[assignment]
+            payloads = stash[tid]
+            pool = pools[slot] if pinned else pools[0]
+            fut = pool.submit(
+                _pool_run, fn, payloads, task.callback, tid,
+                task.n_outputs, fail,
+            )
+            pending[fut] = (seq, tid, slot)
+            seq += 1
+
+        def emit_attempt(
+            tid: TaskId, slot: int, tc: float, elapsed: float, suffix: str = ""
+        ) -> None:
+            """The overhead / started / finished triple of one attempt."""
+            start = max(0.0, tc - elapsed)
+            label = f"t{tid}{suffix}"
+            category = "wasted" if suffix else "dispatch"
+            obs.emit(
+                Event(OVERHEAD, start, proc=slot, task=tid, category=category)
+            )
+            if ctx:
+                arr = arrived.get(tid)
+                obs.emit(
+                    Event(
+                        TASK_STARTED, start, proc=slot, task=tid, label=label,
+                        parents=tuple(arr) if arr else (),
+                    )
+                )
+            else:
+                obs.emit(
+                    Event(TASK_STARTED, start, proc=slot, task=tid, label=label)
+                )
+            obs.emit(
+                Event(
+                    TASK_FINISHED, tc, proc=slot, task=tid, dur=elapsed,
+                    label=label,
+                )
+            )
+
+        def fail_attempt(
+            tid: TaskId, slot: int, tc: float, elapsed: float,
+            category: str, suffix: str,
+        ) -> None:
+            """Account one failed attempt and schedule (or refuse) a retry."""
+            nonlocal retries, faults_injected, wasted_total
+            retries += 1
+            faults_injected += 1
+            attempts[tid] = attempts.get(tid, 0) + 1
+            wasted_total += elapsed
+            busy[slot] += elapsed
+            if obs:
+                obs.emit(
+                    Event(
+                        FAULT_INJECTED, max(0.0, tc - elapsed), proc=slot,
+                        task=tid, category=category, label=f"t{tid} fault",
+                    )
+                )
+                emit_attempt(tid, slot, tc, elapsed, suffix)
+            if not policy.allows_attempt(attempts[tid]):
+                raise FaultError(
+                    f"task {tid} failed {attempts[tid]} attempts "
+                    f"(RetryPolicy.max_attempts={policy.max_attempts})"
+                )
+            delay = policy.delay(tid, attempts[tid])
+            if obs:
+                obs.emit(
+                    Event(
+                        TASK_RETRY, tc,
+                        proc=group_of(tid) if pinned else -1, task=tid,
+                        dur=delay, label=f"t{tid} retry #{attempts[tid]}",
+                    )
+                )
+            heapq.heappush(delayed, (tc + delay, tid))
+
+        def route(tid: TaskId, slot: int, outputs: list[Payload]) -> None:
+            task = graph.task(tid)
+            for ch, (channel, payload) in enumerate(
+                zip(task.outgoing, outputs)
+            ):
+                if not channel or TNULL in channel:
+                    result.outputs.setdefault(tid, {})[ch] = payload
+                for dst in channel:
+                    if not is_real_task(dst):
+                        continue
+                    ensure(dst)
+                    key = (tid, dst)
+                    dst_task = graph.task(dst)
+                    slot_list = dst_task.input_slots_from(tid)
+                    idx = cursor.get(key, 0)
+                    if idx >= len(slot_list):
+                        raise ControllerError(
+                            f"task {tid} sent more messages to {dst} "
+                            f"than it has slots"
+                        )
+                    cursor[key] = idx + 1
+                    if ctx:
+                        arr = arrived.get(dst)
+                        if arr is None:
+                            arr = arrived[dst] = _parent_list()
+                        arr.append(tid)
+                    if obs:
+                        tnow = now()
+                        edge = dict(
+                            proc=slot,
+                            dst_proc=group_of(dst) if pinned else -1,
+                            task=tid, dst_task=dst, nbytes=payload.nbytes,
+                            label=f"t{tid}->t{dst}",
+                        )
+                        obs.emit(Event(MESSAGE_SENT, tnow, **edge))
+                        obs.emit(Event(MESSAGE_DELIVERED, tnow, **edge))
+                    deposit(dst, slot_list[idx], payload)
+                    m_message_bytes.observe(payload.nbytes)
+                    if t_msg is not None:
+                        # Coordinator handoff: the payload is available
+                        # to the consumer the instant it is routed.
+                        t_msg.observe(0.0)
+                    result.stats.messages += 1
+                    result.stats.bytes_sent += payload.nbytes
+
+        # -------------------------------------------------------------- #
+
+        if obs:
+            obs.emit(Event(RUN_STARTED, 0.0, label=type(self).__name__))
+            tm = self._task_map
+            plan_seconds = getattr(tm, "plan_seconds", None)
+            if plan_seconds is not None:
+                obs.emit(
+                    Event(
+                        SCHED_PLANNED, 0.0,
+                        dur=getattr(tm, "est_makespan", 0.0),
+                        category=getattr(tm, "strategy", "planned"),
+                        label=f"planned placement ({tm.strategy})",
+                    )
+                )
+            if self.compile:
+                obs.emit(
+                    Event(
+                        PLAN_FALLBACK, 0.0, category="backend",
+                        label="compiled plan unavailable: backend",
+                    )
+                )
+            if self.balancer is not None:
+                obs.emit(
+                    Event(
+                        PLAN_FALLBACK, 0.0, category="balancer",
+                        label="balancer inapplicable: pool dispatch is "
+                        "already dynamic",
+                    )
+                )
+        for tid, payloads in sorted(inputs.items()):
+            task = graph.task(tid)
+            for slot, payload in zip(task.external_inputs(), payloads):
+                deposit(tid, slot, payload)
+
+        last_progress = time.perf_counter()
+        while executed < total:
+            tnow = now()
+            while delayed and delayed[0][0] <= tnow:
+                _, tid = heapq.heappop(delayed)
+                heapq.heappush(ready, tid)
+            # Dispatch: lowest ready id to the lowest free slot (pinned
+            # tasks wait for their own group's slot).  Inline mode has no
+            # real slots — work runs in the calling thread at submission —
+            # so a full drain executes exactly the serial reference's
+            # sorted ready batches.
+            if inline:
+                while ready:
+                    tid = heapq.heappop(ready)
+                    submit(tid, group_of(tid) if pinned else 0)
+            elif pinned:
+                if ready and free:
+                    held: list[TaskId] = []
+                    free_set = {s for s in free}
+                    while ready and free_set:
+                        tid = heapq.heappop(ready)
+                        g = group_of(tid)
+                        if g in free_set:
+                            free_set.discard(g)
+                            submit(tid, g)
+                        else:
+                            held.append(tid)
+                    free[:] = sorted(free_set)
+                    heapq.heapify(free)
+                    for tid in held:
+                        heapq.heappush(ready, tid)
+            else:
+                while ready and free:
+                    submit(heapq.heappop(ready), heapq.heappop(free))
+            if not pending:
+                if delayed:
+                    pause = max(0.0, delayed[0][0] - now())
+                    if pause:
+                        time.sleep(min(pause, 0.05))
+                    continue
+                stuck = sorted(t for t, r in remaining.items() if r > 0)[:8]
+                raise ControllerError(
+                    f"dataflow stalled: executed {executed} of {total} "
+                    f"tasks; waiting tasks include {stuck}"
+                )
+            timeout = self.idle_timeout
+            if delayed:
+                pause = max(0.0, delayed[0][0] - now())
+                timeout = pause if timeout is None else min(timeout, pause)
+            done, _ = wait(pending, timeout=timeout, return_when=FIRST_COMPLETED)
+            if not done:
+                if delayed and delayed[0][0] <= now():
+                    continue  # woke up to release a due retry
+                idle = time.perf_counter() - last_progress
+                if self.idle_timeout is not None and idle >= self.idle_timeout:
+                    raise ControllerError(
+                        f"local pool made no progress for {idle:.1f}s "
+                        f"({len(pending)} attempt(s) in flight, mode="
+                        f"{self.mode}); deadlocked or killed workers?"
+                    )
+                continue
+            last_progress = time.perf_counter()
+            # Completion order is scheduler-dependent; processing in
+            # submission order keeps the coordinator's own bookkeeping
+            # (routing, readiness) deterministic for a given arrival set.
+            for fut in sorted(done, key=lambda f: pending[f][0]):
+                _, tid, slot = pending.pop(fut)
+                # One completion frees exactly one slot (pinned groups
+                # never hold more than one attempt in flight; inline mode
+                # never consumed one).
+                if not inline:
+                    heapq.heappush(free, slot)
+                tc = now()
+                exc = fut.exception()
+                if exc is not None:
+                    fatal = self.mode == "process" and _is_transport_error(exc)
+                    retryable = (
+                        self._retry_exceptions
+                        and not fatal
+                        and not isinstance(exc, ControllerError)
+                    )
+                    if not retryable:
+                        if fatal:
+                            raise ControllerError(
+                                f"worker pool broke while running task {tid}: "
+                                f"{exc}; in process mode callbacks and "
+                                f"payload data must be picklable (see "
+                                f"docs/runtimes.md)"
+                            ) from exc
+                        raise exc
+                    fail_attempt(
+                        tid, slot, tc, 0.0, "error", " (failed attempt)"
+                    )
+                    continue
+                outputs, elapsed, faulted = fut.result()
+                m_task_seconds.observe(elapsed)
+                if t_task is not None:
+                    t_task.observe(elapsed)
+                    t_queue.observe(
+                        max(0.0, (tc - elapsed) - enq_at.pop(tid, tc - elapsed))
+                    )
+                if faulted:
+                    fail_attempt(
+                        tid, slot, tc, elapsed, "task", " (failed attempt)"
+                    )
+                    continue
+                executed += 1
+                stash.pop(tid, None)
+                busy[slot] += elapsed
+                compute_total += elapsed
+                result.stats.add_callback(graph.task(tid).callback, elapsed)
+                if obs:
+                    emit_attempt(tid, slot, tc, elapsed)
+                route(tid, slot, outputs)
+
+        makespan = now()
+        result.stats.tasks_executed = executed
+        result.stats.makespan = makespan
+        result.stats.add("compute", compute_total)
+        if wasted_total:
+            result.stats.add("wasted", wasted_total)
+        self.retries = retries
+        if obs:
+            obs.emit(
+                Event(
+                    RUN_FINISHED, makespan, dur=makespan,
+                    label=type(self).__name__,
+                )
+            )
+        metrics.counter("tasks_executed").inc(executed)
+        metrics.counter("messages_sent").inc(result.stats.messages)
+        metrics.counter("bytes_sent").inc(result.stats.bytes_sent)
+        metrics.counter("retries").inc(retries)
+        if self._fault_plan is not None or self._retry_exceptions:
+            metrics.counter("faults_injected").inc(faults_injected)
+        plan_seconds = getattr(self._task_map, "plan_seconds", None)
+        if plan_seconds is not None:
+            metrics.gauge("placement_plan_seconds").set(plan_seconds)
+        metrics.gauge("queue_depth_peak").set(float(queue_peak))
+        metrics.gauge("queue_depth_peak_mean").set(float(queue_peak))
+        metrics.gauge("pool_workers").set(float(self.n_workers))
+        if makespan > 0 and n_slots > 0:
+            util = [b / makespan for b in busy]
+            mean = sum(util) / n_slots
+            metrics.gauge("utilization_mean").set(mean)
+            metrics.gauge("utilization_max").set(max(util))
+            metrics.gauge("utilization_min").set(min(util))
+            metrics.gauge("imbalance").set(
+                (max(util) / mean) if mean > 0 else 1.0
+            )

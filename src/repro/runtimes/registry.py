@@ -13,11 +13,16 @@ no simulated cluster, so :func:`make_controller` silently drops the
 timing-fidelity knobs (``cost_model``, ``machine``, ``costs``, ...) for
 it but refuses semantics-bearing ones (``fault_plan``, ``balancer``):
 a quick ``runtime="serial"`` sanity run of a simulated configuration
-works, while a config that *needs* the simulator fails loudly.
+works, while a config that *needs* the simulator fails loudly.  The
+local (real-core) backend gets the same treatment for the simulated
+clusters' fidelity knobs: ``n_procs`` becomes the worker-pool size and
+the cluster-timing knobs are dropped, so one configuration dict ports
+between simulated and real execution.
 """
 
 from __future__ import annotations
 
+import difflib
 from typing import Mapping
 
 from repro.core.errors import ControllerError
@@ -25,10 +30,12 @@ from repro.runtimes.blocking import BlockingMPIController
 from repro.runtimes.charm import CharmController
 from repro.runtimes.controller import Controller
 from repro.runtimes.legion import LegionIndexController, LegionSPMDController
+from repro.runtimes.local import LocalPoolController
 from repro.runtimes.mpi import MPIController
 from repro.runtimes.serial import SerialController
 
-#: Stable runtime names, as documented in the paper's controller roster.
+#: Stable runtime names, as documented in the paper's controller roster
+#: (six simulated-or-serial engines plus the real-core ``"local"`` pool).
 REGISTRY: Mapping[str, type[Controller]] = {
     "serial": SerialController,
     "mpi": MPIController,
@@ -36,6 +43,7 @@ REGISTRY: Mapping[str, type[Controller]] = {
     "charm": CharmController,
     "legion-spmd": LegionSPMDController,
     "legion-index": LegionIndexController,
+    "local": LocalPoolController,
 }
 
 #: Constructor kwargs the serial controller has no meaning for and
@@ -51,6 +59,11 @@ _SERIAL_IGNORED = frozenset(
     }
 )
 
+#: Simulated-cluster fidelity knobs the local (real-core) backend
+#: silently drops: real cores keep their own time, so a simulated
+#: configuration runs on the pool with its timing model ignored.
+_LOCAL_IGNORED = _SERIAL_IGNORED - {"n_procs"}
+
 
 def resolve_runtime(runtime: str | type[Controller]) -> type[Controller]:
     """Resolve a registry name (or pass a controller class through).
@@ -62,9 +75,12 @@ def resolve_runtime(runtime: str | type[Controller]) -> type[Controller]:
         return runtime
     cls = REGISTRY.get(runtime)  # type: ignore[arg-type]
     if cls is None:
-        names = ", ".join(sorted(REGISTRY))
+        names = sorted(REGISTRY)
+        close = difflib.get_close_matches(str(runtime), names, n=1)
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
         raise ControllerError(
-            f"unknown runtime {runtime!r}; valid names: {names}"
+            f"unknown runtime {runtime!r}; valid names: "
+            f"{', '.join(names)}{hint}"
         )
     return cls
 
@@ -79,7 +95,9 @@ def make_controller(
     Args:
         runtime: a :data:`REGISTRY` name or a controller class.
         n_procs: simulated cluster size; required by every simulated
-            backend, meaningless (and ignored) for ``"serial"``.
+            backend, meaningless (and ignored) for ``"serial"``, and the
+            worker-pool size for ``"local"`` (optional — the pool picks
+            a sensible default).
         **kwargs: forwarded to the controller constructor (``cost_model``,
             ``machine``, ``fault_plan``, ``balancer``, ``sinks``, ...).
             ``None``-valued kwargs are treated as "not given".
@@ -105,6 +123,13 @@ def make_controller(
         for k in _SERIAL_IGNORED:
             kwargs.pop(k, None)
         return SerialController(**kwargs)
+    if cls is LocalPoolController:
+        for k in _LOCAL_IGNORED:
+            kwargs.pop(k, None)
+        kwargs.pop("n_procs", None)
+        if n_procs is not None:
+            kwargs.setdefault("n_workers", n_procs)
+        return LocalPoolController(**kwargs)
     kwargs.pop("n_procs", None)
     if n_procs is None:
         raise ControllerError(

@@ -2,10 +2,47 @@
 
 from __future__ import annotations
 
+import os
+import signal
+
 import numpy as np
 import pytest
 
 from repro.data import hcci_proxy
+
+#: Hard deadline (seconds) for tests marked ``@pytest.mark.parallel``.
+#: Generous next to their normal runtime, small next to a CI job hanging
+#: until its global timeout.  Override with REPRO_PARALLEL_DEADLINE.
+PARALLEL_DEADLINE = float(os.environ.get("REPRO_PARALLEL_DEADLINE", "120"))
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    """Hard per-test deadline for ``@pytest.mark.parallel`` tests.
+
+    The environment has no pytest-timeout, so this is the equivalent
+    built from SIGALRM: the signal interrupts the main thread even while
+    it is blocked in a pool ``wait()``, turning a deadlocked pool into a
+    clean failure with a traceback instead of a hung suite.  SIGALRM is
+    POSIX-only; elsewhere the marker degrades to a no-op.
+    """
+    marked = item.get_closest_marker("parallel") is not None
+    if not marked or not hasattr(signal, "SIGALRM"):
+        return (yield)
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"parallel test exceeded the {PARALLEL_DEADLINE:.0f}s hard "
+            f"deadline (likely a deadlocked or stuck pool)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, PARALLEL_DEADLINE)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")

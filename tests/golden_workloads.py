@@ -28,6 +28,7 @@ from repro.runtimes import (
     CharmController,
     LegionIndexController,
     LegionSPMDController,
+    LocalPoolController,
     MPIController,
     SerialController,
 )
@@ -82,6 +83,22 @@ CONTROLLERS: dict[str, Callable] = {
         costs=DEFAULT_COSTS.with_(charm_lb_period=0.0005),
         fault_plan=_chaos_plan(),
         retry_policy=_chaos_policy(),
+    ),
+    # Real execution (repro.runtimes.local): no virtual clock, so like
+    # "serial" the records keep only deterministic structure/aggregates.
+    # Inline mode executes in the serial reference's ready order and
+    # locks the full event structure; the thread and process pools lock
+    # payload routing and metric aggregates under real concurrency.
+    "local_inline": lambda: LocalPoolController(n_workers=1, mode="inline"),
+    "local_thread": lambda: LocalPoolController(n_workers=3, mode="thread"),
+    "local_process": lambda: LocalPoolController(n_workers=2, mode="process"),
+    # Transient faults on the real pool: locks retry accounting parity
+    # with the simulated controllers (same counters for the same plan).
+    "local_faults": lambda: LocalPoolController(
+        n_workers=3,
+        mode="thread",
+        fault_plan=_legacy_faults_plan(),
+        retry_policy=_legacy_faults_policy(),
     ),
 }
 
@@ -138,12 +155,12 @@ def _reduce(ins, tid):
     return [Payload(merged)]
 
 
-def run_workload(controller):
+def run_workload(controller, task_map=None):
     """Run the golden reduction on ``controller``; returns (graph, sink, result)."""
     g = Reduction(LEAVES, VALENCE)
     sink = ListSink()
     controller.add_sink(sink)
-    controller.initialize(g)
+    controller.initialize(g, task_map)
     controller.register_callback(g.LEAF, _leaf)
     controller.register_callback(g.REDUCE, _reduce)
     controller.register_callback(g.ROOT, _reduce)
@@ -165,12 +182,15 @@ def golden_record(name: str) -> dict:
         "messages": result.stats.messages,
         "bytes_sent": result.stats.bytes_sent,
     }
-    if name == "serial":
+    if name == "serial" or name.startswith("local"):
         # Wall-clock timeline: keep the deterministic structure only.
-        rec["event_structure"] = [
-            {k: v for k, v in e.to_dict().items() if k not in ("t", "dur")}
-            for e in sink.events
-        ]
+        # Thread/process pools complete tasks in scheduler order, so
+        # only the fully deterministic inline mode locks event structure.
+        if name in ("serial", "local_inline"):
+            rec["event_structure"] = [
+                {k: v for k, v in e.to_dict().items() if k not in ("t", "dur")}
+                for e in sink.events
+            ]
         rec["counters"] = dict(result.metrics.counters)
         rec["message_nbytes"] = result.metrics.histograms["message_nbytes"]
     else:

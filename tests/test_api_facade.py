@@ -40,7 +40,15 @@ def dataparallel_spec():
 
 def hand_built(name, g, callbacks, inputs):
     cls = REGISTRY[name]
-    c = cls() if name == "serial" else cls(4)
+    if name == "serial":
+        c = cls()
+    elif name == "local":
+        # Thread mode: these specs use closures, which cannot cross a
+        # process boundary (tests/test_runtime_conformance.py covers the
+        # process pool with picklable callbacks).
+        c = cls(4, mode="thread")
+    else:
+        c = cls(4)
     c.initialize(g, None)
     for cid, fn in callbacks.items():
         c.register_callback(cid, fn)
@@ -54,7 +62,8 @@ def hand_built(name, g, callbacks, inputs):
 class TestEveryRuntimeByName:
     def test_matches_hand_built_controller(self, name, spec):
         g, callbacks, inputs, probe, expected = spec()
-        r = repro.run(g, callbacks, inputs, runtime=name, n_procs=4)
+        kwargs = {"mode": "thread"} if name == "local" else {}
+        r = repro.run(g, callbacks, inputs, runtime=name, n_procs=4, **kwargs)
         assert isinstance(r, RunResult)
         assert r.output(probe).data == expected
         ref = hand_built(name, g, callbacks, inputs)
@@ -65,7 +74,7 @@ class TestEveryRuntimeByName:
         }
         assert flat(r) == flat(ref)
         assert r.stats.tasks_executed == ref.stats.tasks_executed == g.size()
-        if name != "serial":  # serial timing is wall clock, not virtual
+        if name not in ("serial", "local"):  # their timing is wall clock
             assert r.makespan == ref.makespan
             assert dict(r.stats.category_time) == dict(
                 ref.stats.category_time
@@ -76,7 +85,7 @@ class TestRegistry:
     def test_registry_has_the_documented_roster(self):
         assert NAMES == sorted(
             ["serial", "mpi", "blocking-mpi", "charm",
-             "legion-spmd", "legion-index"]
+             "legion-spmd", "legion-index", "local"]
         )
 
     def test_resolve_passes_classes_through(self):
@@ -90,8 +99,28 @@ class TestRegistry:
             resolve_runtime("spark")
         msg = str(exc.value)
         assert "spark" in msg
+        assert len(NAMES) == 7
         for name in NAMES:
             assert name in msg
+
+    def test_unknown_name_suggests_the_closest_match(self):
+        with pytest.raises(ControllerError, match="did you mean 'local'"):
+            resolve_runtime("locale")
+        with pytest.raises(ControllerError, match="did you mean 'mpi'"):
+            resolve_runtime("mpl")
+
+    def test_local_accepts_n_procs_as_pool_size_and_drops_sim_knobs(self):
+        from repro.runtimes import LocalPoolController
+
+        c = make_controller(
+            "local", n_procs=3,
+            cost_model=CallableCost(lambda t, i: 1.0),
+            machine=None, mode="inline",
+        )
+        assert isinstance(c, LocalPoolController)
+        assert c.n_workers == 3 and c.mode == "inline"
+        # n_procs is optional for the pool: the default size kicks in.
+        assert make_controller("local").n_workers >= 1
 
     def test_simulated_runtime_requires_n_procs(self):
         with pytest.raises(ControllerError, match="n_procs"):

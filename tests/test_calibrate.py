@@ -65,3 +65,64 @@ class TestCalibrators:
         )
         r = wl.run(MPIController(4, cost_model=wl.cost_model()))
         assert r.makespan > 0
+
+
+@pytest.mark.parallel
+class TestProfileCostModel:
+    """The trace-replay side of calibration: real run -> simulated run."""
+
+    def _spec(self):
+        from repro.core.payload import Payload
+        from repro.graphs import Reduction
+
+        g = Reduction(16, 2)
+        add = lambda ins, tid: [Payload(sum(p.data for p in ins))]  # noqa: E731
+        callbacks = {
+            g.LEAF: lambda ins, tid: [ins[0]],
+            g.REDUCE: add,
+            g.ROOT: add,
+        }
+        inputs = {t: Payload(1) for t in g.leaf_ids()}
+        return g, callbacks, inputs
+
+    def _run(self, controller, g, callbacks, inputs):
+        controller.initialize(g, None)
+        for cid, fn in callbacks.items():
+            controller.register_callback(cid, fn)
+        return controller.run(inputs)
+
+    def test_replay_charges_measured_task_seconds(self):
+        from repro.obs import ListSink
+        from repro.runtimes import (
+            LocalPoolController,
+            MPIController,
+            profile_cost_model,
+        )
+
+        g, callbacks, inputs = self._spec()
+        sink = ListSink()
+        pool = LocalPoolController(n_workers=2, mode="thread", sinks=[sink])
+        measured = self._run(pool, g, callbacks, inputs)
+        cost = profile_cost_model(sink.events)
+        predicted = self._run(
+            MPIController(2, cost_model=cost), g, callbacks, inputs
+        )
+        assert predicted.output(g.root_id) == measured.output(g.root_id)
+        total = sum(
+            e.dur for e in sink.events if e.type == "task_finished"
+        )
+        assert predicted.stats.category_time["compute"] == pytest.approx(
+            total
+        )
+
+    def test_accepts_a_prebuilt_estimate(self):
+        from repro.graphs import Reduction
+        from repro.runtimes import profile_cost_model
+        from repro.sched import ProfiledEstimate
+
+        g = Reduction(4, 2)
+        leaf = sorted(g.leaf_ids())[0]
+        est = ProfiledEstimate({g.root_id: 2.0}, {})
+        cost = profile_cost_model(est)
+        assert cost.duration(g.task(g.root_id), [], 0.0) == 2.0
+        assert cost.duration(g.task(leaf), [], 0.0) == 0.0

@@ -1,0 +1,240 @@
+"""Property tests for the real-execution backend.
+
+Two claims, quantified over the space of random DAGs:
+
+* **Schedule invariance** — whatever the worker count, mode, or pinning,
+  the local pool's outputs are identical to the serial reference.  Real
+  thread/process schedulers explore interleavings no simulated
+  controller ever produces, so this is the strongest determinism
+  evidence in the suite.
+* **Fault-accounting parity** — a transient-fault plan injected into
+  real attempts is retried under :class:`~repro.faults.RetryPolicy` with
+  exactly the accounting the simulated controllers report for the same
+  plan: retry/fault counters, FaultError on budget exhaustion, and
+  unchanged outputs.
+
+Hypothesis cases run on the inline/thread modes (closures are fine
+in-process); the process pool — where callbacks must pickle — is covered
+by fixed-seed sweeps with a picklable callback.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import FaultError
+from repro.core.payload import Payload
+from repro.core.taskmap import ModuloMap
+from repro.faults import FaultPlan, RetryPolicy
+from repro.runtimes import (
+    LocalPoolController,
+    MPIController,
+    SerialController,
+)
+from tests.test_property_random_dags import RandomLayeredGraph, run_on
+
+pytestmark = pytest.mark.parallel
+
+#: A fast retry policy so injected faults don't stretch wall time.
+FAST_RETRY = RetryPolicy(max_attempts=8, backoff_base=1e-5, spread=0.0)
+
+
+class HashCallback:
+    """Picklable equivalent of the random-DAG hashing closure."""
+
+    def __init__(self, graph: RandomLayeredGraph) -> None:
+        self._n_outputs = {
+            tid: graph.task(tid).n_outputs for tid in graph.task_ids()
+        }
+
+    def __call__(self, inputs: list[Payload], tid: int) -> list[Payload]:
+        h = hashlib.sha256()
+        h.update(str(tid).encode())
+        for p in inputs:
+            h.update(str(p.data).encode())
+        digest = h.hexdigest()
+        return [
+            Payload(f"{digest}:{c}") for c in range(self._n_outputs[tid])
+        ]
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    st.lists(st.integers(1, 6), min_size=1, max_size=5),
+    st.integers(0, 10_000),
+    st.sampled_from([1, 2, 5]),
+)
+def test_thread_pool_identical_to_serial(sizes, seed, n_workers):
+    graph = RandomLayeredGraph(sizes, seed)
+    graph.validate()
+    reference = run_on(graph, SerialController)
+    assert reference
+    got = run_on(
+        graph,
+        lambda: LocalPoolController(n_workers=n_workers, mode="thread"),
+    )
+    assert got == reference
+
+
+@settings(deadline=None, max_examples=15)
+@given(
+    st.lists(st.integers(1, 6), min_size=1, max_size=5),
+    st.integers(0, 10_000),
+    st.integers(1, 6),
+)
+def test_pinned_inline_identical_to_serial(sizes, seed, n_shards):
+    graph = RandomLayeredGraph(sizes, seed)
+    reference = run_on(graph, SerialController)
+
+    def ctor():
+        c = LocalPoolController(n_workers=3, mode="inline")
+        real_init = c.initialize
+        c.initialize = lambda g, tm=None: real_init(
+            g, ModuloMap(n_shards, g.size())
+        )
+        return c
+
+    assert run_on(graph, ctor) == reference
+
+
+@pytest.mark.parametrize("seed", [0, 7, 1234])
+def test_process_pool_identical_to_serial(seed):
+    graph = RandomLayeredGraph([4, 5, 3, 4], seed)
+    cb = HashCallback(graph)
+
+    def run_with(ctor):
+        c = ctor()
+        c.initialize(graph)
+        c.register_callback(0, cb)
+        inputs = {
+            tid: [
+                Payload(f"seed-{tid}-{s}")
+                for s in range(len(graph.task(tid).external_inputs()))
+            ]
+            for tid in graph.task_ids()
+            if graph.task(tid).external_inputs()
+        }
+        result = c.run(inputs)
+        return {
+            (tid, ch): p.data
+            for tid, by_ch in result.outputs.items()
+            for ch, p in by_ch.items()
+        }
+
+    reference = run_with(SerialController)
+    got = run_with(
+        lambda: LocalPoolController(n_workers=3, mode="process")
+    )
+    assert got == reference
+
+
+class TestFaultParity:
+    """Transient faults on real attempts: simulated-controller accounting."""
+
+    @settings(deadline=None, max_examples=15)
+    @given(
+        st.lists(st.integers(2, 5), min_size=2, max_size=4),
+        st.integers(0, 10_000),
+        st.data(),
+    )
+    def test_outputs_unchanged_and_budget_fully_retried(
+        self, sizes, seed, data
+    ):
+        graph = RandomLayeredGraph(sizes, seed)
+        reference = run_on(graph, SerialController)
+        tids = sorted(graph.task_ids())
+        victims = data.draw(
+            st.dictionaries(
+                st.sampled_from(tids), st.integers(1, 2), max_size=4
+            )
+        )
+        plan = FaultPlan(task_faults=victims)
+        budget = sum(victims.values())
+        for mode in ("inline", "thread"):
+            c = LocalPoolController(
+                n_workers=2,
+                mode=mode,
+                fault_plan=plan,
+                retry_policy=FAST_RETRY,
+            )
+            assert run_on(graph, lambda: c) == reference
+            assert c.retries == budget
+
+    @pytest.mark.parametrize("mode", ["inline", "thread", "process"])
+    def test_counters_match_simulated_mpi(self, mode):
+        from tests.golden_workloads import run_workload
+
+        plan = FaultPlan(task_faults={0: 2, 7: 1, 40: 1})
+        make_policy = lambda: RetryPolicy(  # noqa: E731
+            max_attempts=8, backoff_base=1e-5, spread=0.0
+        )
+        g, _, sim = run_workload(
+            MPIController(4, fault_plan=plan, retry_policy=make_policy())
+        )
+        local = LocalPoolController(
+            n_workers=3, mode=mode, fault_plan=plan,
+            retry_policy=make_policy(),
+        )
+        _, _, real = run_workload(local)
+        for counter in ("retries", "faults_injected", "tasks_executed"):
+            assert real.metrics.counters[counter] == (
+                sim.metrics.counters[counter]
+            ), counter
+        assert real.output(g.root_id) == sim.output(g.root_id)
+
+    @pytest.mark.parametrize("mode", ["inline", "thread"])
+    def test_budget_exhaustion_raises_fault_error(self, mode):
+        graph = RandomLayeredGraph([3, 2], 42)
+        plan = FaultPlan(task_faults={0: 10})
+        c = LocalPoolController(
+            n_workers=2,
+            mode=mode,
+            fault_plan=plan,
+            retry_policy=RetryPolicy(max_attempts=3, backoff_base=1e-5),
+        )
+        with pytest.raises(FaultError, match="failed 3 attempts"):
+            run_on(graph, lambda: c)
+
+    def test_exception_retry_needs_explicit_policy(self):
+        graph = RandomLayeredGraph([2, 1], 3)
+
+        class Flaky:
+            calls = 0
+
+        def flaky(inputs, tid):
+            Flaky.calls += 1
+            if Flaky.calls == 1:
+                raise RuntimeError("transient glitch")
+            h = hashlib.sha256(str((tid, [p.data for p in inputs])).encode())
+            return [
+                Payload(h.hexdigest())
+                for _ in range(graph.task(tid).n_outputs)
+            ]
+
+        def run(policy):
+            Flaky.calls = 0
+            c = LocalPoolController(
+                n_workers=1, mode="thread", retry_policy=policy
+            )
+            c.initialize(graph)
+            c.register_callback(0, flaky)
+            inputs = {
+                tid: [
+                    Payload(f"s{tid}.{i}")
+                    for i in range(len(graph.task(tid).external_inputs()))
+                ]
+                for tid in graph.task_ids()
+                if graph.task(tid).external_inputs()
+            }
+            return c.run(inputs)
+
+        # Without a policy the real exception propagates untouched.
+        with pytest.raises(RuntimeError, match="transient glitch"):
+            run(None)
+        # With one, the glitch is absorbed and accounted as a retry.
+        c_result = run(FAST_RETRY)
+        assert c_result.stats.tasks_executed == graph.size()

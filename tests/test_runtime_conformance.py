@@ -1,0 +1,188 @@
+"""Cross-runtime conformance: real execution matches the serial reference.
+
+The paper's portability claim, applied to the one backend that is not a
+simulation: the golden workloads run on ``repro.runtimes.local`` in every
+mode (inline, thread pool, real process pool), over every placement
+style (shared queue, modulo map, HEFT-planned map), and the payloads
+routed to the caller are **bit-identical** to the serial reference —
+regardless of worker count or scheduling order.
+
+These tests use real concurrency, so the whole module carries
+``@pytest.mark.parallel`` and runs under the hard deadline registered in
+``tests/conftest.py``: a deadlocked pool fails fast instead of hanging
+the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.payload import Payload
+from repro.core.taskmap import ModuloMap
+from repro.graphs import Broadcast, KWayMerge, Reduction
+from repro.obs import VOCABULARY, ListSink
+from repro.runtimes import LocalPoolController, SerialController
+from repro.runtimes.local import MODES
+from repro.sched import plan_placement
+from tests.golden_workloads import PROCS, run_workload
+
+pytestmark = pytest.mark.parallel
+
+#: Worker counts exercised per mode: degenerate single slot, a couple of
+#: slots, and oversubscription (more slots than this container has cores).
+WORKER_COUNTS = (1, 4)
+
+
+def _outputs(result) -> dict[tuple[int, int], Payload]:
+    return {
+        (tid, ch): p
+        for tid, by_ch in result.outputs.items()
+        for ch, p in by_ch.items()
+    }
+
+
+def assert_identical(local_result, serial_result) -> None:
+    """Payload-for-payload equality, element-wise on array data."""
+    got, want = _outputs(local_result), _outputs(serial_result)
+    assert got.keys() == want.keys()
+    for key in want:
+        assert got[key] == want[key], f"payload diverged at {key}"
+    assert (
+        local_result.stats.tasks_executed == serial_result.stats.tasks_executed
+    )
+    assert local_result.stats.messages == serial_result.stats.messages
+    assert local_result.stats.bytes_sent == serial_result.stats.bytes_sent
+
+
+@pytest.fixture(scope="module")
+def serial_ref():
+    return run_workload(SerialController())
+
+
+class TestGoldenWorkload:
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("n_workers", WORKER_COUNTS)
+    def test_bit_identical_to_serial(self, serial_ref, mode, n_workers):
+        _, _, serial = serial_ref
+        _, _, local = run_workload(
+            LocalPoolController(n_workers=n_workers, mode=mode)
+        )
+        assert_identical(local, serial)
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_modulo_placement_bit_identical(self, serial_ref, mode):
+        g, _, serial = serial_ref
+        pinned = LocalPoolController(n_workers=3, mode=mode)
+        _, _, local = run_workload(pinned, task_map=ModuloMap(PROCS, g.size()))
+        assert_identical(local, serial)
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_planned_placement_bit_identical(self, serial_ref, mode):
+        g, _, serial = serial_ref
+        plan = plan_placement(g, PROCS)
+        sink = ListSink()
+        controller = LocalPoolController(n_workers=3, mode=mode)
+        controller.add_sink(sink)
+        _, _, local = run_workload(controller, task_map=plan)
+        assert_identical(local, serial)
+        planned = [e for e in sink.events if e.type == "sched.planned"]
+        assert len(planned) == 1, "planned map must announce itself"
+        assert local.metrics.gauges["placement_plan_seconds"] >= 0.0
+
+
+class TestEventStream:
+    def test_inline_event_structure_matches_serial(self, serial_ref):
+        _, serial_sink, _ = serial_ref
+        controller = LocalPoolController(n_workers=1, mode="inline")
+        _, sink, _ = run_workload(controller)
+        got = [(e.type, e.task) for e in sink.events]
+        want = [(e.type, e.task) for e in serial_sink.events]
+        assert got == want
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_vocabulary_and_multiset(self, serial_ref, mode):
+        _, serial_sink, _ = serial_ref
+        controller = LocalPoolController(n_workers=4, mode=mode)
+        _, sink, _ = run_workload(controller)
+        assert {e.type for e in sink.events} <= VOCABULARY
+        # Concurrency may reorder the stream but never change what ran:
+        # the (type, task) multiset is schedule-invariant.
+        got = sorted((e.type, e.task) for e in sink.events)
+        want = sorted((e.type, e.task) for e in serial_sink.events)
+        assert got == want
+
+    def test_wall_clock_timestamps_are_real(self):
+        controller = LocalPoolController(n_workers=2, mode="thread")
+        _, sink, result = run_workload(controller)
+        finishes = [e for e in sink.events if e.type == "task_finished"]
+        assert finishes and all(e.t >= 0.0 for e in finishes)
+        assert result.stats.makespan >= max(e.t for e in finishes) - 1e-9
+
+
+class _Spread:
+    """Picklable fan-out callback: one derived payload per output channel."""
+
+    def __init__(self, graph):
+        self._n_outputs = {
+            tid: graph.task(tid).n_outputs for tid in graph.task_ids()
+        }
+
+    def __call__(self, inputs, tid):
+        merged: list[float] = []
+        for p in inputs:
+            merged.extend(p.data)
+        return [
+            Payload([float(tid), float(ch)] + merged)
+            for ch in range(self._n_outputs[tid])
+        ]
+
+
+def _run_spread(graph, controller):
+    cb = _Spread(graph)
+    controller.initialize(graph)
+    for cid in graph.callbacks():
+        controller.register_callback(cid, cb)
+    inputs = {
+        tid: [
+            Payload([float(tid) + 0.5 * s])
+            for s in range(len(graph.task(tid).external_inputs()))
+        ]
+        for tid in graph.task_ids()
+        if graph.task(tid).external_inputs()
+    }
+    return controller.run(inputs)
+
+
+STOCK_GRAPHS = {
+    "broadcast": lambda: Broadcast(16, 2),
+    "kway_merge": lambda: KWayMerge(27, 3),
+    "deep_reduction": lambda: Reduction(64, 2),
+}
+
+
+class TestStockGraphs:
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("name", sorted(STOCK_GRAPHS))
+    def test_bit_identical_to_serial(self, name, mode):
+        graph = STOCK_GRAPHS[name]()
+        serial = _run_spread(graph, SerialController())
+        local = _run_spread(
+            graph, LocalPoolController(n_workers=3, mode=mode)
+        )
+        assert_identical(local, serial)
+
+
+def test_repro_run_facade_default_process_pool():
+    """The acceptance path: ``repro.run(runtime="local")`` on real cores."""
+    import repro
+    from tests.golden_workloads import LEAVES, VALENCE, _leaf, _reduce
+
+    g = Reduction(LEAVES, VALENCE)
+    callbacks = {g.LEAF: _leaf, g.REDUCE: _reduce, g.ROOT: _reduce}
+    inputs = {
+        tid: Payload([float(tid) + 0.25 * j for j in range(tid % 3 + 1)])
+        for tid in g.leaf_ids()
+    }
+    serial = repro.run(g, callbacks, inputs, runtime="serial")
+    real = repro.run(g, callbacks, inputs, runtime="local", n_procs=2)
+    assert_identical(real, serial)

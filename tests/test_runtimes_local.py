@@ -1,0 +1,184 @@
+"""Unit tests for the local (real-core) pool controller.
+
+The cross-runtime conformance and property suites prove the big claim —
+bit-identical outputs under real concurrency; this file covers the
+backend's own contract: constructor validation, graceful degradation
+events, observability composition, stall detection, and the
+process-mode pickling error story.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.errors import ControllerError
+from repro.core.payload import Payload
+from repro.faults import FaultPlan
+from repro.faults.plan import RankDeath
+from repro.graphs import Reduction
+from repro.obs import ListSink
+from repro.runtimes import LocalPoolController, make_controller
+from repro.runtimes.local import default_workers
+from repro.sched import plan_placement
+from tests.golden_workloads import _leaf, _reduce, run_workload
+
+pytestmark = pytest.mark.parallel
+
+
+class TestConstruction:
+    def test_unknown_mode_is_rejected(self):
+        with pytest.raises(ControllerError, match="inline, thread, process"):
+            LocalPoolController(mode="gpu")
+
+    def test_worker_count_must_be_positive(self):
+        with pytest.raises(ControllerError, match="n_workers"):
+            LocalPoolController(n_workers=0)
+
+    def test_default_worker_count_is_bounded(self):
+        assert 1 <= default_workers() <= 8
+        assert make_controller("local").n_workers == default_workers()
+
+    def test_rank_deaths_and_link_faults_are_rejected(self):
+        plan = FaultPlan(rank_deaths=[RankDeath(proc=1, at=0.5)])
+        with pytest.raises(ControllerError, match="real processes"):
+            LocalPoolController(fault_plan=plan)
+
+    def test_transient_task_faults_are_accepted(self):
+        LocalPoolController(fault_plan=FaultPlan(task_faults={0: 1}))
+
+
+class TestGracefulDegradation:
+    def test_compile_request_falls_back_with_event(self):
+        c = LocalPoolController(n_workers=2, mode="inline", compile=True)
+        _, sink, result = run_workload(c)
+        fallbacks = [e for e in sink.events if e.type == "plan.fallback"]
+        assert len(fallbacks) == 1
+        assert fallbacks[0].category == "backend"
+        assert result.stats.tasks_executed == 63
+
+    def test_balancer_request_falls_back_with_event(self):
+        c = LocalPoolController(
+            n_workers=2, mode="inline", balancer=object()
+        )
+        _, sink, result = run_workload(c)
+        fallbacks = [e for e in sink.events if e.type == "plan.fallback"]
+        assert len(fallbacks) == 1
+        assert fallbacks[0].category == "balancer"
+        assert result.stats.tasks_executed == 63
+
+    def test_clean_run_emits_no_fallback(self):
+        _, sink, _ = run_workload(LocalPoolController(n_workers=2, mode="inline"))
+        assert not [e for e in sink.events if e.type == "plan.fallback"]
+
+
+class TestObservability:
+    def test_telemetry_sketches_are_populated(self):
+        c = LocalPoolController(n_workers=2, mode="thread", telemetry=True)
+        _, _, result = run_workload(c)
+        for name in ("task_seconds", "queue_wait_seconds", "message_seconds"):
+            assert name in result.metrics.sketches
+        assert result.metrics.quantile("task_seconds", 0.5) >= 0.0
+
+    def test_planned_map_sets_gauge_even_without_sinks(self):
+        g = Reduction(8, 2)
+        plan = plan_placement(g, 3)
+        c = LocalPoolController(n_workers=2, mode="inline")
+        c.initialize(g, plan)
+        c.register_callback(g.LEAF, _leaf)
+        c.register_callback(g.REDUCE, _reduce)
+        c.register_callback(g.ROOT, _reduce)
+        inputs = {tid: Payload([1.0]) for tid in g.leaf_ids()}
+        result = c.run(inputs)
+        assert result.metrics.gauges["placement_plan_seconds"] >= 0.0
+
+    def test_pool_metrics_report_utilization_and_workers(self):
+        c = LocalPoolController(n_workers=2, mode="thread")
+        _, _, result = run_workload(c)
+        gauges = result.metrics.gauges
+        assert gauges["pool_workers"] == 2.0
+        assert 0.0 <= gauges["utilization_mean"] <= 1.0 + 1e-9
+        assert gauges["imbalance"] >= 1.0 - 1e-9
+
+    def test_makespan_is_real_wall_time(self):
+        delay = 0.05
+
+        def sleepy(ins, tid):
+            time.sleep(delay)
+            return [Payload(list(ins[0].data))]
+
+        g = Reduction(2, 2)
+        c = LocalPoolController(n_workers=1, mode="thread")
+        c.initialize(g)
+        c.register_callback(g.LEAF, sleepy)
+        c.register_callback(g.REDUCE, _reduce)
+        c.register_callback(g.ROOT, _reduce)
+        result = c.run({tid: Payload([1.0]) for tid in g.leaf_ids()})
+        # One worker, two sleepy leaves: at least 2 * delay of wall time.
+        assert result.stats.makespan >= 2 * delay
+
+
+class TestFailFast:
+    def test_idle_timeout_turns_a_stuck_pool_into_an_error(self):
+        def stuck(ins, tid):
+            time.sleep(5.0)
+            return [Payload([0.0])]
+
+        g = Reduction(2, 2)
+        c = LocalPoolController(n_workers=2, mode="thread", idle_timeout=0.2)
+        c.initialize(g)
+        for cid in (g.LEAF, g.REDUCE, g.ROOT):
+            c.register_callback(cid, stuck)
+        t0 = time.perf_counter()
+        with pytest.raises(ControllerError, match="no progress"):
+            c.run({tid: Payload([1.0]) for tid in g.leaf_ids()})
+        assert time.perf_counter() - t0 < 3.0
+
+    # CPython 3.11's executor management thread races terminate_broken
+    # against the submit-side pickling failure and re-sets an exception
+    # on the already-finished future (InvalidStateError in that thread).
+    # Harmless — the run already failed with the right error.
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+    )
+    def test_process_mode_reports_unpicklable_callbacks(self):
+        g = Reduction(4, 2)
+        c = LocalPoolController(n_workers=2, mode="process")
+        c.initialize(g)
+        unpicklable = lambda ins, tid: [Payload(list(ins[0].data))]  # noqa: E731
+        c.register_callback(g.LEAF, unpicklable)
+        c.register_callback(g.REDUCE, _reduce)
+        c.register_callback(g.ROOT, _reduce)
+        with pytest.raises(ControllerError, match="picklable"):
+            c.run({tid: Payload([1.0]) for tid in g.leaf_ids()})
+
+    def test_callback_exceptions_propagate_without_retry_policy(self):
+        def boom(ins, tid):
+            raise ValueError("user bug, not a fault")
+
+        g = Reduction(2, 2)
+        c = LocalPoolController(n_workers=1, mode="thread")
+        c.initialize(g)
+        for cid in (g.LEAF, g.REDUCE, g.ROOT):
+            c.register_callback(cid, boom)
+        with pytest.raises(ValueError, match="user bug"):
+            c.run({tid: Payload([1.0]) for tid in g.leaf_ids()})
+
+
+class TestReuse:
+    def test_controller_reruns_cleanly(self):
+        c = LocalPoolController(n_workers=2, mode="thread")
+        _, _, first = run_workload(c)
+        assert first.stats.tasks_executed == 63
+        g = Reduction(32, 2)
+        c2 = LocalPoolController(n_workers=2, mode="thread")
+        c2.initialize(g)
+        c2.register_callback(g.LEAF, _leaf)
+        c2.register_callback(g.REDUCE, _reduce)
+        c2.register_callback(g.ROOT, _reduce)
+        inputs = {tid: Payload([2.0]) for tid in g.leaf_ids()}
+        a = c2.run(inputs)
+        b = c2.run(inputs)
+        assert a.output(g.root_id) == b.output(g.root_id)
+        assert a.stats.tasks_executed == b.stats.tasks_executed == 63
