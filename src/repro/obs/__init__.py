@@ -35,6 +35,7 @@ from repro.obs.events import (
     CORE_VOCABULARY,
     FAULT_INJECTED,
     FAULT_VOCABULARY,
+    LIVE_VOCABULARY,
     MESSAGE_DELIVERED,
     MESSAGE_SENT,
     MIGRATION,
@@ -51,11 +52,21 @@ from repro.obs.events import (
     TASK_FINISHED,
     TASK_MIGRATED,
     TASK_RETRY,
+    TASK_RUNNING,
     TASK_STARTED,
     VOCABULARY,
+    WORKER_HEARTBEAT,
     Event,
     EventSink,
     ListSink,
+)
+from repro.obs.live import (
+    LiveBus,
+    LiveConfig,
+    ProgressTracker,
+    StragglerDetector,
+    attach_live,
+    prometheus_text,
 )
 from repro.obs.export import (
     ChromeTraceExporter,
@@ -118,8 +129,11 @@ __all__ = [
     "Gauge",
     "Histogram",
     "JsonlExporter",
+    "LIVE_VOCABULARY",
     "Ledger",
     "ListSink",
+    "LiveBus",
+    "LiveConfig",
     "MESSAGE_DELIVERED",
     "MESSAGE_SENT",
     "MIGRATION",
@@ -134,6 +148,7 @@ __all__ = [
     "OVERHEAD",
     "ObsHub",
     "PathStep",
+    "ProgressTracker",
     "QuantileSketch",
     "RANK_DEAD",
     "RUN_FINISHED",
@@ -141,16 +156,20 @@ __all__ = [
     "RunDiff",
     "RunTimelines",
     "SamplingSink",
+    "StragglerDetector",
     "TASK_ENQUEUED",
     "TASK_FINISHED",
     "TASK_MIGRATED",
     "TASK_RETRY",
+    "TASK_RUNNING",
     "TASK_STARTED",
     "TaskSpan",
     "TelemetryConfig",
     "TimeSeries",
     "VOCABULARY",
+    "WORKER_HEARTBEAT",
     "ascii_timeline",
+    "attach_live",
     "attribution_report",
     "causal_dag",
     "critical_path",
@@ -160,6 +179,7 @@ __all__ = [
     "events_from_jsonl",
     "folded_stacks",
     "load_events",
+    "prometheus_text",
     "recovery_accounting",
     "render_diff",
     "resource_timelines",

@@ -27,6 +27,14 @@ error):
   telemetry ledger (see :mod:`repro.obs.telemetry.ledger`); exits 1
   when any metric regressed beyond the threshold vs its fingerprint's
   recent history.
+* ``watch <dir|file>`` — live terminal view of an *in-flight* run
+  (progress bars, per-rank state, straggler/stall alerts) from the
+  status snapshots a ``live=``-armed run writes (``$REPRO_LIVE_DIR``);
+  ``--once`` prints one frame and exits (headless CI mode).
+* ``serve <dir|file>`` — Prometheus text-format HTTP endpoint
+  (``/metrics``) over the same snapshots: run progress/ETA gauges,
+  ``MetricsRegistry`` counters, sketch p50/p95/p99 summaries.
+  ``--once`` prints the exposition to stdout instead of binding.
 
 ``summarize`` and ``slo`` read JSONL traces as a stream — one run's
 events in memory at a time — so they scale to logs far larger than RAM.
@@ -408,6 +416,84 @@ def _cmd_trends(args: argparse.Namespace) -> int:
     return 1 if regressions else 0
 
 
+def _wait_for_status(path: str, timeout: float) -> list[str]:
+    """Poll for status snapshots up to ``timeout`` seconds.
+
+    Lets ``watch``/``serve --once`` be started *before* (or race with)
+    the run they observe — the pattern CI uses.  Raises the usual
+    ValueError when nothing appears in time.
+    """
+    import time as _time
+
+    from repro.obs.live import find_status
+
+    deadline = _time.monotonic() + max(0.0, timeout)
+    while True:
+        try:
+            return find_status(path)
+        except ValueError:
+            if _time.monotonic() >= deadline:
+                raise
+            _time.sleep(0.1)
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.obs.live import read_status, render_status
+
+    paths = _wait_for_status(args.status, args.timeout)
+    if args.once:
+        blocks = [
+            render_status(read_status(p), width=args.width) for p in paths
+        ]
+        _print("\n\n".join(blocks))
+        return 0
+    try:
+        while True:
+            paths = _wait_for_status(args.status, args.timeout)
+            blocks = []
+            finished = True
+            for p in paths:
+                status = read_status(p)
+                blocks.append(render_status(status, width=args.width))
+                if status.get("state") == "running":
+                    finished = False
+            if not args.no_clear and sys.stdout.isatty():
+                sys.stdout.write("\x1b[2J\x1b[H")
+            _print("\n\n".join(blocks))
+            if finished:
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs.live import (
+        LiveMetricsServer,
+        prometheus_text,
+        read_status,
+    )
+
+    if args.once:
+        paths = _wait_for_status(args.status, args.timeout)
+        _print(prometheus_text([read_status(p) for p in paths]))
+        return 0
+    if not os.path.exists(args.status):
+        raise ValueError(f"{args.status}: no such file or directory")
+    server = LiveMetricsServer(args.status, addr=args.addr, port=args.port)
+    server.start()
+    print(f"serving {server.url} (Ctrl-C to stop)", flush=True)
+    try:
+        server.join()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
 def _print(text: str) -> None:
     try:
         print(text)
@@ -522,6 +608,65 @@ def main(argv: list[str] | None = None) -> int:
         help="only check this metric (repeatable; default: all shared)",
     )
     p_tr.set_defaults(fn=_cmd_trends)
+
+    p_watch = sub.add_parser(
+        "watch",
+        help="live terminal view of an in-flight run "
+        "(status dir from live=/$REPRO_LIVE_DIR)",
+    )
+    p_watch.add_argument(
+        "status",
+        help="status directory (live-*.json) or a single status file",
+    )
+    p_watch.add_argument(
+        "--once", action="store_true",
+        help="print one frame and exit (headless/CI mode)",
+    )
+    p_watch.add_argument(
+        "--interval", type=float, default=0.5, metavar="SEC",
+        help="refresh period (default 0.5)",
+    )
+    p_watch.add_argument(
+        "--width", type=int, default=40, metavar="COLS",
+        help="progress-bar width (default 40)",
+    )
+    p_watch.add_argument(
+        "--timeout", type=float, default=0.0, metavar="SEC",
+        help="wait up to SEC for the first snapshot to appear "
+        "(default 0: fail immediately)",
+    )
+    p_watch.add_argument(
+        "--no-clear", action="store_true",
+        help="append frames instead of clearing the screen",
+    )
+    p_watch.set_defaults(fn=_cmd_watch)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="Prometheus text endpoint (/metrics) over live status "
+        "snapshots",
+    )
+    p_srv.add_argument(
+        "status",
+        help="status directory (live-*.json) or a single status file",
+    )
+    p_srv.add_argument(
+        "--addr", default="127.0.0.1", metavar="HOST",
+        help="bind address (default 127.0.0.1)",
+    )
+    p_srv.add_argument(
+        "--port", type=int, default=9464, metavar="PORT",
+        help="bind port; 0 picks a free one (default 9464)",
+    )
+    p_srv.add_argument(
+        "--once", action="store_true",
+        help="print the exposition to stdout and exit (no server)",
+    )
+    p_srv.add_argument(
+        "--timeout", type=float, default=0.0, metavar="SEC",
+        help="with --once, wait up to SEC for the first snapshot",
+    )
+    p_srv.set_defaults(fn=_cmd_serve)
 
     args = parser.parse_args(argv)
     try:

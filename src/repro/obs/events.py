@@ -87,6 +87,22 @@ SCHED_VOCABULARY = frozenset(
     {SCHED_PLANNED, SCHED_MIGRATED, SCHED_STEAL, PLAN_FALLBACK}
 )
 
+#: A task's callback began executing *right now* (real time, reported
+#: by the worker that runs it).  Unlike ``task_started`` — which the
+#: local backend emits retroactively when the attempt's future resolves
+#: — this event exists so in-flight monitors see work the moment it
+#: lands on a core.
+TASK_RUNNING = "task.running"
+#: Periodic worker liveness beacon; ``proc`` is the worker slot.
+#: Silence past the configured timeout raises a stall alert.
+WORKER_HEARTBEAT = "worker.heartbeat"
+
+#: Events that exist only on the live bus (:mod:`repro.obs.live`).
+#: They are deliberately *not* part of :data:`VOCABULARY`: sinks never
+#: receive them, so recorded traces — and the golden determinism
+#: streams — are byte-identical whether or not a run is being watched.
+LIVE_VOCABULARY = frozenset({TASK_RUNNING, WORKER_HEARTBEAT})
+
 #: The complete event vocabulary shared by all backends.
 VOCABULARY = (
     frozenset(

@@ -1,0 +1,127 @@
+"""LiveBus: the thread-safe fan-out behind in-flight observability.
+
+A :class:`LiveBus` carries a run's event stream to subscribers *while
+the run executes*: the controller's coordinator thread (and, in process
+mode, a drainer thread relaying worker heartbeats) publishes, and any
+number of monitor threads — the status writer, an interactive UI, a
+test — each own a :class:`Subscription` they drain at their leisure.
+
+Design constraints, in order:
+
+* **Never hurt the run.**  ``publish`` takes one per-subscription lock,
+  appends to a bounded deque, and returns; it cannot block on a slow
+  consumer and it never raises into the controller.  When a queue is
+  full the *oldest* event is dropped and counted — a live view wants
+  the present, not the past, and the drop counter keeps the loss
+  honest.
+* **Zero cost when nobody subscribes.**  A run that is not being
+  watched never constructs a bus at all (see
+  :func:`repro.obs.live.attach_live`); the poison guards in
+  ``tests/test_obs_overhead.py`` enforce it the same way they do for
+  events and telemetry.
+* **Lock-free publish against the subscriber list.**  Subscriptions are
+  held in an immutable tuple swapped under a lock on (un)subscribe, so
+  ``publish`` iterates a plain tuple snapshot with no list lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from repro.obs.events import Event
+
+__all__ = ["LiveBus", "Subscription", "DEFAULT_QUEUE"]
+
+#: Default per-subscription queue bound, in events.  Deep enough that a
+#: 4 Hz drain loop keeps up with tens of thousands of events per second;
+#: small enough that an abandoned subscription stays O(queue) memory.
+DEFAULT_QUEUE = 4096
+
+
+class Subscription:
+    """One subscriber's bounded, thread-safe event queue.
+
+    Obtained from :meth:`LiveBus.subscribe`; drained with
+    :meth:`drain`.  ``dropped`` counts events evicted because the queue
+    was full when they arrived — an exact tally, surfaced in live
+    status snapshots and the Prometheus exposition so consumers know
+    when their view is lossy.
+    """
+
+    __slots__ = ("maxlen", "dropped", "closed", "_q", "_lock")
+
+    def __init__(self, maxlen: int = DEFAULT_QUEUE) -> None:
+        if maxlen < 1:
+            raise ValueError(f"queue bound must be >= 1, got {maxlen}")
+        self.maxlen = maxlen
+        self.dropped = 0
+        self.closed = False
+        self._q: deque[Event] = deque()
+        self._lock = threading.Lock()
+
+    def offer(self, event: Event) -> None:
+        """Enqueue one event, evicting the oldest when full."""
+        with self._lock:
+            if self.closed:
+                return
+            if len(self._q) >= self.maxlen:
+                self._q.popleft()
+                self.dropped += 1
+            self._q.append(event)
+
+    def drain(self, max_events: int | None = None) -> list[Event]:
+        """Pop queued events (oldest first); empty list when idle."""
+        with self._lock:
+            if max_events is None or len(self._q) <= max_events:
+                out = list(self._q)
+                self._q.clear()
+            else:
+                out = [self._q.popleft() for _ in range(max_events)]
+        return out
+
+    def close(self) -> None:
+        """Stop accepting events and release the queue (idempotent)."""
+        with self._lock:
+            self.closed = True
+            self._q.clear()
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+
+class LiveBus:
+    """Thread-safe pub/sub fan-out for one (or more) in-flight runs.
+
+    Publishers call :meth:`publish` from any thread; each subscriber
+    drains its own :class:`Subscription`.  The bus itself holds no
+    events — all buffering lives in the per-subscriber queues.
+    """
+
+    __slots__ = ("_subs", "_lock")
+
+    def __init__(self) -> None:
+        self._subs: tuple[Subscription, ...] = ()
+        self._lock = threading.Lock()
+
+    @property
+    def active(self) -> bool:
+        """True when at least one subscription is attached."""
+        return bool(self._subs)
+
+    def subscribe(self, maxlen: int = DEFAULT_QUEUE) -> Subscription:
+        sub = Subscription(maxlen)
+        with self._lock:
+            self._subs = self._subs + (sub,)
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        """Detach and close one subscription (idempotent)."""
+        sub.close()
+        with self._lock:
+            self._subs = tuple(s for s in self._subs if s is not sub)
+
+    def publish(self, event: Event) -> None:
+        """Offer one event to every current subscriber (never blocks)."""
+        for sub in self._subs:
+            sub.offer(event)

@@ -1,0 +1,373 @@
+"""Fold a live event stream into progress, ETA, and alerts.
+
+:class:`ProgressTracker` is the reducer between the raw
+:class:`~repro.obs.live.bus.LiveBus` stream and everything a human (or
+scraper) wants to know about an in-flight run: how far along it is,
+when it will finish, which tasks are on a core right now, and whether
+anything looks wrong.  "Wrong" is judged by a
+:class:`StragglerDetector` — a task running longer than ``k×`` its
+expected duration — and by worker-heartbeat silence.
+
+Expected durations come from the same cost estimates the planner uses
+(:class:`repro.sched.estimate.CostEstimate`, e.g. a
+:class:`~repro.sched.estimate.ProfiledEstimate` mined from a previous
+run); without one, the detector falls back to the online median of the
+durations it has already seen, so a lone slow task still stands out
+against its siblings.
+
+All timestamps are *run-relative seconds* on whatever clock the run
+uses — wall seconds since run start for the ``local`` backend, virtual
+seconds for the simulated ones (their replay flows through the same
+bus, so a virtual-time run is watchable with the same machinery).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.events import (
+    FAULT_INJECTED,
+    MESSAGE_SENT,
+    RUN_FINISHED,
+    RUN_STARTED,
+    TASK_ENQUEUED,
+    TASK_FINISHED,
+    TASK_RETRY,
+    TASK_RUNNING,
+    TASK_STARTED,
+    WORKER_HEARTBEAT,
+    Event,
+)
+
+__all__ = [
+    "Alert",
+    "ProgressTracker",
+    "StragglerDetector",
+    "DEFAULT_STRAGGLER_FACTOR",
+    "DEFAULT_MIN_STRAGGLER_SECONDS",
+    "DEFAULT_HEARTBEAT_TIMEOUT",
+]
+
+#: A task is a straggler when it has been running longer than
+#: ``factor × expected`` seconds.
+DEFAULT_STRAGGLER_FACTOR = 4.0
+#: ...but never flag anything faster than this, whatever the estimate:
+#: tiny tasks jitter by multiples of themselves on a busy host.
+DEFAULT_MIN_STRAGGLER_SECONDS = 0.05
+#: Heartbeat silence (seconds) before a worker counts as stalled.
+DEFAULT_HEARTBEAT_TIMEOUT = 5.0
+
+#: Failed attempts carry this label suffix in both the local and the
+#: simulated backends; their ``task_finished`` events are wasted work,
+#: not progress.
+_FAILED_SUFFIX = "(failed attempt)"
+
+#: Cap on the completed-duration sample backing the online median.
+_MEDIAN_SAMPLE = 1024
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One detector finding, sticky for the rest of the run.
+
+    ``kind`` is ``"straggler"`` (a task exceeded its threshold) or
+    ``"stall"`` (a worker went heartbeat-silent).  ``seconds`` is the
+    observed elapsed/silent time when the alert fired, ``threshold``
+    the bound it crossed.
+    """
+
+    kind: str
+    t: float
+    task: int = -1
+    rank: int = -1
+    seconds: float = 0.0
+    threshold: float = 0.0
+    message: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "t": self.t,
+            "task": self.task,
+            "rank": self.rank,
+            "seconds": self.seconds,
+            "threshold": self.threshold,
+            "message": self.message,
+        }
+
+
+class StragglerDetector:
+    """Expected-duration oracle: planned estimates, then online median.
+
+    ``estimates`` maps task id -> expected compute seconds (typically
+    built from a :class:`~repro.sched.estimate.CostEstimate` at arm
+    time).  Tasks without an estimate are judged against the median of
+    the durations completed so far; with no information at all the
+    detector abstains (returns ``None``) rather than guess.
+    """
+
+    def __init__(
+        self,
+        estimates: dict[int, float] | None = None,
+        factor: float = DEFAULT_STRAGGLER_FACTOR,
+        min_seconds: float = DEFAULT_MIN_STRAGGLER_SECONDS,
+    ) -> None:
+        self.estimates = dict(estimates) if estimates else {}
+        self.factor = factor
+        self.min_seconds = min_seconds
+        self._sample: list[float] = []
+
+    def observe_completed(self, dur: float) -> None:
+        """Feed one successfully completed task's compute seconds."""
+        if len(self._sample) < _MEDIAN_SAMPLE:
+            self._sample.append(dur)
+
+    def expected(self, task: int) -> float | None:
+        """Expected compute seconds for ``task`` (None = no basis)."""
+        est = self.estimates.get(task)
+        if est is not None:
+            return est
+        if self._sample:
+            s = sorted(self._sample)
+            return s[len(s) // 2]
+        return None
+
+    def threshold(self, task: int) -> float | None:
+        """Running time beyond which ``task`` counts as a straggler."""
+        expected = self.expected(task)
+        if expected is None:
+            return None
+        return max(self.factor * expected, self.min_seconds)
+
+
+class ProgressTracker:
+    """Streaming reducer over a run's live event stream.
+
+    Feed events (in arrival order) with :meth:`observe`, ask for alert
+    re-evaluation with :meth:`check`, and render the whole state as a
+    JSON-able dict with :meth:`snapshot`.  Not thread-safe by itself —
+    drive it from one consumer thread (the
+    :class:`~repro.obs.live.status.LiveStatusWriter` does).
+    """
+
+    def __init__(
+        self,
+        total: int,
+        n_ranks: int = 0,
+        *,
+        detector: StragglerDetector | None = None,
+        heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+    ) -> None:
+        self.total = total
+        self.n_ranks = n_ranks
+        self.detector = detector if detector is not None else StragglerDetector()
+        self.heartbeat_timeout = heartbeat_timeout
+        self.run_label = ""
+        self.finished = False
+        self.makespan: float | None = None
+        self.queued = 0
+        self.messages = 0
+        self.bytes_sent = 0
+        self.faults = 0
+        self.retries = 0
+        self.last_event_t = 0.0
+        #: task id -> (rank, start t) of attempts on a core right now.
+        self.running: dict[int, tuple[int, float]] = {}
+        #: rank -> last heartbeat t (only process-pool workers beat).
+        self.heartbeats: dict[int, float] = {}
+        self.rank_done: dict[int, int] = {}
+        self._done: set[int] = set()
+        #: expected-seconds already completed (drives the weighted ETA).
+        self._done_expected = 0.0
+        #: (kind, key) -> Alert; stragglers stay forever, stalls clear
+        #: when the worker's heartbeat resumes.
+        self._alerts: dict[tuple[str, int], Alert] = {}
+
+    # ------------------------------------------------------------------ #
+    # Event folding
+    # ------------------------------------------------------------------ #
+
+    @property
+    def done(self) -> int:
+        return len(self._done)
+
+    def observe(self, ev: Event) -> None:
+        """Fold one event into the state (events in arrival order)."""
+        if ev.t > self.last_event_t:
+            self.last_event_t = ev.t
+        kind = ev.type
+        if kind == TASK_RUNNING or kind == TASK_STARTED:
+            if ev.task not in self._done:
+                self.running[ev.task] = (ev.proc, ev.t)
+                if self.queued:
+                    self.queued -= 1
+        elif kind == TASK_FINISHED:
+            self.running.pop(ev.task, None)
+            if not ev.label.endswith(_FAILED_SUFFIX):
+                if ev.task not in self._done:
+                    self._done.add(ev.task)
+                    self.rank_done[ev.proc] = self.rank_done.get(ev.proc, 0) + 1
+                    self.detector.observe_completed(ev.dur)
+                    expected = self.detector.estimates.get(ev.task)
+                    if expected is not None:
+                        self._done_expected += expected
+        elif kind == TASK_ENQUEUED:
+            self.queued += 1
+        elif kind == MESSAGE_SENT:
+            self.messages += 1
+            self.bytes_sent += ev.nbytes
+        elif kind == WORKER_HEARTBEAT:
+            prev = self.heartbeats.get(ev.proc)
+            if prev is None or ev.t > prev:
+                self.heartbeats[ev.proc] = ev.t
+        elif kind == RUN_STARTED:
+            self.run_label = ev.label
+        elif kind == RUN_FINISHED:
+            self.finished = True
+            self.makespan = ev.dur
+            self.running.clear()
+        elif kind == FAULT_INJECTED:
+            self.faults += 1
+        elif kind == TASK_RETRY:
+            self.retries += 1
+
+    # ------------------------------------------------------------------ #
+    # Detection
+    # ------------------------------------------------------------------ #
+
+    def check(self, now: float) -> list[Alert]:
+        """Re-evaluate alerts at time ``now``; returns the *new* ones."""
+        fresh: list[Alert] = []
+        det = self.detector
+        for task, (rank, since) in self.running.items():
+            key = ("straggler", task)
+            if key in self._alerts:
+                continue
+            elapsed = now - since
+            threshold = det.threshold(task)
+            if threshold is not None and elapsed > threshold:
+                expected = det.expected(task)
+                alert = Alert(
+                    "straggler", now, task=task, rank=rank,
+                    seconds=elapsed, threshold=threshold,
+                    message=(
+                        f"task {task} running {elapsed:.3g}s on rank "
+                        f"{rank} > {threshold:.3g}s "
+                        f"({det.factor:g}x expected {expected:.3g}s)"
+                    ),
+                )
+                self._alerts[key] = alert
+                fresh.append(alert)
+        if not self.finished:
+            for rank, last in self.heartbeats.items():
+                key = ("stall", rank)
+                silent = now - last
+                if silent > self.heartbeat_timeout:
+                    if key not in self._alerts:
+                        alert = Alert(
+                            "stall", now, rank=rank, seconds=silent,
+                            threshold=self.heartbeat_timeout,
+                            message=(
+                                f"worker {rank}: no heartbeat for "
+                                f"{silent:.3g}s "
+                                f"(timeout {self.heartbeat_timeout:g}s)"
+                            ),
+                        )
+                        self._alerts[key] = alert
+                        fresh.append(alert)
+                else:
+                    # The worker came back: a stall (unlike a straggler)
+                    # is a condition, not an incident — clear it.
+                    self._alerts.pop(key, None)
+        return fresh
+
+    @property
+    def alerts(self) -> list[Alert]:
+        """All currently-standing alerts, oldest first."""
+        return sorted(self._alerts.values(), key=lambda a: a.t)
+
+    # ------------------------------------------------------------------ #
+    # Derived views
+    # ------------------------------------------------------------------ #
+
+    def progress(self) -> float:
+        return self.done / self.total if self.total else 1.0
+
+    def eta(self, now: float) -> float | None:
+        """Estimated seconds to completion (None = no basis yet).
+
+        With per-task estimates, remaining *expected work* over the
+        observed completion rate of expected work — so finishing the
+        cheap half fast does not produce a rosy ETA for the expensive
+        half.  Without estimates, plain remaining-count over rate.
+        """
+        if self.finished:
+            return 0.0
+        if self.done == 0 or now <= 0:
+            return None
+        estimates = self.detector.estimates
+        if estimates and self._done_expected > 0:
+            remaining = sum(
+                s for t, s in estimates.items() if t not in self._done
+            )
+            rate = self._done_expected / now
+            return remaining / rate if rate > 0 else None
+        rate = self.done / now
+        remaining = max(0, self.total - self.done)
+        return remaining / rate if rate > 0 else None
+
+    def snapshot(self, now: float) -> dict:
+        """The whole state as a JSON-able dict (status-file payload)."""
+        det = self.detector
+        running = sorted(
+            (
+                {
+                    "task": task,
+                    "rank": rank,
+                    "since": since,
+                    "elapsed": max(0.0, now - since),
+                    "expected": det.expected(task),
+                }
+                for task, (rank, since) in self.running.items()
+            ),
+            key=lambda r: -r["elapsed"],
+        )[:64]
+        ranks = sorted(
+            set(self.rank_done)
+            | set(self.heartbeats)
+            | {r for r, _ in self.running.values()}
+            | set(range(self.n_ranks))
+        )
+        running_of: dict[int, int] = {}
+        for rank, _ in self.running.values():
+            running_of[rank] = running_of.get(rank, 0) + 1
+        return {
+            "t": now,
+            "run": self.run_label,
+            "total": self.total,
+            "done": self.done,
+            "queued": self.queued,
+            "progress": self.progress(),
+            "eta": self.eta(now),
+            "finished": self.finished,
+            "makespan": self.makespan,
+            "messages": self.messages,
+            "bytes_sent": self.bytes_sent,
+            "faults": self.faults,
+            "retries": self.retries,
+            "running": running,
+            "ranks": [
+                {
+                    "rank": r,
+                    "done": self.rank_done.get(r, 0),
+                    "running": running_of.get(r, 0),
+                    "heartbeat_age": (
+                        max(0.0, now - self.heartbeats[r])
+                        if r in self.heartbeats
+                        else None
+                    ),
+                }
+                for r in ranks
+            ],
+            "alerts": [a.to_dict() for a in self.alerts],
+        }

@@ -1,0 +1,333 @@
+"""Arming the live plane, and the status-file writer behind it.
+
+``repro.run(..., live=True)`` (or the ``REPRO_LIVE_DIR`` environment
+variable) arms a run for in-flight observation: the controller gets a
+:class:`~repro.obs.live.bus.LiveBus` tapped into its
+:class:`~repro.obs.hub.ObsHub`, and — when a status directory is
+configured — a :class:`LiveStatusWriter` thread that drains the bus
+through a :class:`~repro.obs.live.progress.ProgressTracker` and writes
+an atomic JSON snapshot every ``interval`` seconds.  ``python -m
+repro.obs watch`` and ``serve`` read those snapshots from another
+process; in-process consumers can subscribe to ``LiveRun.bus``
+directly.
+
+The gate is :func:`attach_live`: on an unarmed run it returns ``None``
+before constructing *anything* — no bus, no queue, no tracker — which
+is what lets ``tests/test_obs_overhead.py`` poison every constructor in
+this package and still run the whole suite's unobserved paths.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.obs.live.bus import DEFAULT_QUEUE, LiveBus, Subscription
+from repro.obs.live.progress import (
+    DEFAULT_HEARTBEAT_TIMEOUT,
+    DEFAULT_MIN_STRAGGLER_SECONDS,
+    DEFAULT_STRAGGLER_FACTOR,
+    ProgressTracker,
+    StragglerDetector,
+)
+
+__all__ = [
+    "ENV_LIVE_DIR",
+    "LiveConfig",
+    "LiveRun",
+    "LiveStatusWriter",
+    "attach_live",
+    "find_status",
+    "read_status",
+]
+
+#: Arm live monitoring from the environment: any run in the process
+#: writes status snapshots into this directory, no code change needed.
+ENV_LIVE_DIR = "REPRO_LIVE_DIR"
+
+#: Status filename for this process's current run.
+_STATUS_TEMPLATE = "live-{pid}.json"
+
+
+@dataclass(frozen=True)
+class LiveConfig:
+    """What a controller's live plane should do (``live=`` argument).
+
+    Attributes:
+        dir: status-snapshot directory for out-of-process watchers
+            (``None`` falls back to ``$REPRO_LIVE_DIR``; with neither,
+            the run still gets a bus for in-process subscribers).
+        interval: seconds between status snapshots / alert checks.
+        straggler_factor: flag a task running > this × its expected
+            duration.
+        min_straggler_seconds: never flag tasks faster than this.
+        heartbeat_interval: process-pool worker beacon period.
+        heartbeat_timeout: heartbeat silence that counts as a stall.
+        queue: per-subscription event-queue bound.
+        estimate: a :class:`repro.sched.estimate.CostEstimate` giving
+            per-task expected seconds (e.g. a ``ProfiledEstimate`` from
+            a previous run); None falls back to the online median.
+        bus: an existing :class:`LiveBus` to publish into (in-process
+            consumers subscribe before the run starts).
+    """
+
+    dir: str | None = None
+    interval: float = 0.25
+    straggler_factor: float = DEFAULT_STRAGGLER_FACTOR
+    min_straggler_seconds: float = DEFAULT_MIN_STRAGGLER_SECONDS
+    heartbeat_interval: float = 0.5
+    heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT
+    queue: int = DEFAULT_QUEUE
+    estimate: object = None
+    bus: LiveBus | None = None
+
+    @classmethod
+    def coerce(cls, value) -> "LiveConfig | None":
+        """Normalize a controller's ``live=`` argument.
+
+        ``None``/``False`` -> None (off), ``True`` -> defaults, a path
+        string -> that status directory, a dict -> kwargs, a
+        :class:`LiveConfig` passes through.
+        """
+        if value is None or value is False:
+            return None
+        if value is True:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls(dir=value)
+        if isinstance(value, dict):
+            return cls(**value)
+        raise TypeError(
+            f"live must be None, bool, str, dict, or LiveConfig, "
+            f"got {type(value).__name__}"
+        )
+
+    def resolved_dir(self) -> str | None:
+        return self.dir or os.environ.get(ENV_LIVE_DIR) or None
+
+
+class LiveStatusWriter:
+    """Background thread: bus -> tracker -> atomic JSON snapshots.
+
+    Every ``interval`` seconds it drains its subscription into the
+    tracker, re-runs alert detection, and replaces ``path`` with a
+    fresh snapshot (write-to-temp + ``os.replace``, so readers never
+    see a torn file).  ``close`` writes one final snapshot with the
+    terminal state (``finished`` or ``aborted``) before returning.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        subscription: Subscription,
+        tracker: ProgressTracker,
+        *,
+        interval: float = 0.25,
+        runtime: str = "",
+        metrics=None,
+        clock=None,
+    ) -> None:
+        self.path = path
+        self.sub = subscription
+        self.tracker = tracker
+        self.interval = interval
+        self.runtime = runtime
+        self.metrics = metrics
+        self._clock = clock
+        self._state = "running"
+        self._started_ts = time.time()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-live-status", daemon=True
+        )
+
+    def start(self) -> None:
+        os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+        self._thread.start()
+
+    def set_clock(self, clock) -> None:
+        """Install the run's clock (run-relative seconds) once known."""
+        self._clock = clock
+
+    def now(self) -> float:
+        """Run-relative 'now': the run's clock, else last event time.
+
+        The fallback covers virtual-time runs — the simulators' clocks
+        only advance with events, so the freshest event *is* now.
+        """
+        clock = self._clock
+        if clock is not None:
+            return clock()
+        return self.tracker.last_event_t
+
+    def _pump(self) -> None:
+        tracker = self.tracker
+        for ev in self.sub.drain():
+            tracker.observe(ev)
+        tracker.check(self.now())
+
+    def _write(self) -> None:
+        doc = {
+            "pid": os.getpid(),
+            "runtime": self.runtime,
+            "state": self._state,
+            "started_ts": self._started_ts,
+            "updated_ts": time.time(),
+            "dropped": self.sub.dropped,
+            **self.tracker.snapshot(self.now()),
+        }
+        if self.metrics is not None:
+            try:
+                doc["metrics"] = self.metrics.snapshot().to_dict()
+            except Exception:
+                # A half-updated registry must never kill the monitor;
+                # the next tick retries.
+                pass
+        tmp = f"{self.path}.tmp"
+        try:
+            with open(tmp, "w") as fp:
+                json.dump(doc, fp)
+            os.replace(tmp, self.path)
+        except OSError:
+            pass  # a full disk should not take the run down
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self._pump()
+            self._write()
+        self._pump()
+        self._write()
+
+    def close(self, state: str = "finished") -> None:
+        """Stop the thread and write the terminal snapshot."""
+        self._state = state
+        self._stop.set()
+        self._thread.join(timeout=max(2.0, self.interval * 8))
+        if self._thread.is_alive():  # wedged writer: last-resort snapshot
+            self._write()
+
+
+class LiveRun:
+    """Per-run handle returned by :func:`attach_live` (or ``None``).
+
+    ``bus`` is what the controller publishes into (and what in-process
+    consumers subscribe to); ``close`` tears the writer down, stamping
+    the terminal state into the last snapshot.
+    """
+
+    def __init__(
+        self,
+        bus: LiveBus,
+        writer: LiveStatusWriter | None,
+        config: LiveConfig,
+    ) -> None:
+        self.bus = bus
+        self.writer = writer
+        self.config = config
+
+    def set_clock(self, clock) -> None:
+        if self.writer is not None:
+            self.writer.set_clock(clock)
+
+    def close(self, state: str = "finished") -> None:
+        if self.writer is not None:
+            self.writer.close(state)
+
+
+def attach_live(
+    value,
+    *,
+    total: int,
+    runtime: str,
+    n_ranks: int = 0,
+    graph=None,
+    metrics=None,
+    clock=None,
+) -> LiveRun | None:
+    """Arm the live plane for one run, or return ``None`` untouched.
+
+    This is the zero-cost gate: with ``live`` unset and no
+    ``$REPRO_LIVE_DIR``, nothing in :mod:`repro.obs.live` is ever
+    constructed.  Otherwise returns a :class:`LiveRun` whose bus the
+    controller taps into its hub, with a status writer when a snapshot
+    directory is configured.
+    """
+    cfg = LiveConfig.coerce(value)
+    if cfg is None:
+        env = os.environ.get(ENV_LIVE_DIR)
+        if not env:
+            return None
+        cfg = LiveConfig(dir=env)
+    bus = cfg.bus if cfg.bus is not None else LiveBus()
+    writer = None
+    status_dir = cfg.resolved_dir()
+    if status_dir:
+        estimates = None
+        if cfg.estimate is not None and graph is not None:
+            estimates = {
+                tid: max(0.0, cfg.estimate.compute_seconds(graph.task(tid)))
+                for tid in graph.task_ids()
+            }
+        tracker = ProgressTracker(
+            total,
+            n_ranks,
+            detector=StragglerDetector(
+                estimates,
+                factor=cfg.straggler_factor,
+                min_seconds=cfg.min_straggler_seconds,
+            ),
+            heartbeat_timeout=cfg.heartbeat_timeout,
+        )
+        path = os.path.join(
+            status_dir, _STATUS_TEMPLATE.format(pid=os.getpid())
+        )
+        writer = LiveStatusWriter(
+            path,
+            bus.subscribe(cfg.queue),
+            tracker,
+            interval=cfg.interval,
+            runtime=runtime,
+            metrics=metrics,
+            clock=clock,
+        )
+        writer.start()
+    return LiveRun(bus, writer, cfg)
+
+
+# ---------------------------------------------------------------------- #
+# Reading status files (the watch/serve side)
+# ---------------------------------------------------------------------- #
+
+
+def read_status(path: str) -> dict:
+    """Load one status snapshot; ValueError on a corrupt file."""
+    try:
+        with open(path) as fp:
+            return json.load(fp)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: corrupt status file ({exc})") from exc
+
+
+def find_status(path: str) -> list[str]:
+    """Status files behind a path: the file itself, or ``dir/live-*.json``.
+
+    Raises ValueError when the path holds no snapshots (the CLI's
+    missing-input exit-2 contract).
+    """
+    if os.path.isfile(path):
+        return [path]
+    if os.path.isdir(path):
+        found = sorted(
+            os.path.join(path, name)
+            for name in os.listdir(path)
+            if name.startswith("live-") and name.endswith(".json")
+        )
+        if found:
+            return found
+        raise ValueError(f"{path}: no live status snapshots (live-*.json)")
+    raise ValueError(f"{path}: no such file or directory")

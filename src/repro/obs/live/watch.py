@@ -1,0 +1,107 @@
+"""Terminal rendering of live status snapshots (``obs watch``).
+
+Pure functions from a status dict (see
+:meth:`~repro.obs.live.progress.ProgressTracker.snapshot` plus the
+writer's envelope) to text — the CLI loop lives in
+:mod:`repro.obs.cli`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_status"]
+
+
+def _bar(fraction: float, width: int) -> str:
+    fraction = min(1.0, max(0.0, fraction))
+    filled = int(round(fraction * width))
+    return "#" * filled + "-" * (width - filled)
+
+
+def _seconds(value: float | None) -> str:
+    if value is None:
+        return "?"
+    if value >= 90:
+        return f"{value / 60:.1f}m"
+    return f"{value:.1f}s"
+
+
+def _bytes(n: int) -> str:
+    for unit in ("B", "kB", "MB", "GB"):
+        if n < 1024 or unit == "GB":
+            return f"{n:.0f}{unit}" if unit == "B" else f"{n:.1f}{unit}"
+        n /= 1024
+    return f"{n:.1f}GB"  # pragma: no cover - loop always returns
+
+
+def render_status(status: dict, width: int = 40) -> str:
+    """One snapshot as a multi-line terminal block."""
+    run = status.get("run") or status.get("runtime") or "run"
+    state = status.get("state", "running")
+    pid = status.get("pid", "?")
+    total = status.get("total", 0)
+    done = status.get("done", 0)
+    progress = status.get("progress", 0.0)
+    lines = [
+        f"== {run} (pid {pid}) [{state}] ==",
+        (
+            f"[{_bar(progress, width)}] {progress:6.1%}  "
+            f"{done}/{total} tasks  eta {_seconds(status.get('eta'))}  "
+            f"t={status.get('t', 0.0):.1f}s"
+        ),
+        (
+            f"queued {status.get('queued', 0)}  "
+            f"messages {status.get('messages', 0)}  "
+            f"bytes {_bytes(status.get('bytes_sent', 0))}  "
+            f"faults {status.get('faults', 0)}  "
+            f"retries {status.get('retries', 0)}  "
+            f"dropped {status.get('dropped', 0)}"
+        ),
+    ]
+    ranks = status.get("ranks", [])
+    if ranks:
+        # Per-rank completion bars, scaled to the busiest rank so the
+        # imbalance is the thing the eye catches.
+        top = max((r["done"] for r in ranks), default=0) or 1
+        lines.append("ranks:")
+        for r in ranks[:32]:
+            hb = r.get("heartbeat_age")
+            hb_txt = f"  hb {hb:.1f}s ago" if hb is not None else ""
+            run_txt = f"  running {r['running']}" if r.get("running") else ""
+            lines.append(
+                f"  r{r['rank']:<3} [{_bar(r['done'] / top, 16)}] "
+                f"done {r['done']}{run_txt}{hb_txt}"
+            )
+        if len(ranks) > 32:
+            lines.append(f"  ... {len(ranks) - 32} more ranks")
+    running = status.get("running", [])
+    if running:
+        lines.append("running tasks:")
+        straggler_tasks = {
+            a["task"]
+            for a in status.get("alerts", [])
+            if a["kind"] == "straggler"
+        }
+        for r in running[:8]:
+            expected = r.get("expected")
+            exp_txt = (
+                f"  (expected {expected:.3g}s)" if expected is not None else ""
+            )
+            mark = "  ** straggler" if r["task"] in straggler_tasks else ""
+            lines.append(
+                f"  t{r['task']:<6} rank {r['rank']:<3} "
+                f"{r['elapsed']:.2f}s{exp_txt}{mark}"
+            )
+        if len(running) > 8:
+            lines.append(f"  ... {len(running) - 8} more in flight")
+    alerts = status.get("alerts", [])
+    if alerts:
+        lines.append("alerts:")
+        for a in alerts[-8:]:
+            lines.append(f"  [{a['t']:8.2f}s] {a['kind']}: {a['message']}")
+    sketches = (status.get("metrics") or {}).get("sketches") or {}
+    for name, sk in sorted(sketches.items()):
+        lines.append(
+            f"{name}: n={sk.get('count', 0)} p50={sk.get('p50', 0):.3g} "
+            f"p95={sk.get('p95', 0):.3g} p99={sk.get('p99', 0):.3g}"
+        )
+    return "\n".join(lines)

@@ -260,6 +260,21 @@ class MetricsSnapshot:
             )
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        """JSON-able form of every instrument family.
+
+        This is the shape the live status writer embeds in its
+        snapshots (and ``python -m repro.obs serve`` exports as
+        Prometheus text); ``timeseries`` is omitted — per-sample series
+        belong in traces, not in a poll-every-250ms status file.
+        """
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": dict(self.histograms),
+            "sketches": dict(self.sketches),
+        }
+
 
 class MetricsRegistry:
     """Named instruments of one controller run.

@@ -62,8 +62,11 @@ measured reality back into the planner — see
 from __future__ import annotations
 
 import heapq
+import multiprocessing
 import os
 import pickle
+import signal
+import threading
 import time
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -73,6 +76,8 @@ from concurrent.futures import (
     wait,
 )
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from queue import Empty
 from typing import Sequence
 
 from repro.core.callbacks import CallbackRegistry, validate_outputs
@@ -94,11 +99,14 @@ from repro.obs.events import (
     TASK_ENQUEUED,
     TASK_FINISHED,
     TASK_RETRY,
+    TASK_RUNNING,
     TASK_STARTED,
+    WORKER_HEARTBEAT,
     Event,
     EventSink,
 )
 from repro.obs.hub import ObsHub
+from repro.obs.live import LiveConfig, attach_live
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.telemetry import FlightRecorder, TelemetryConfig
 from repro.runtimes.controller import Controller
@@ -144,6 +152,108 @@ def default_workers() -> int:
     return max(1, min(8, os.cpu_count() or 1))
 
 
+#: Worker-side live channel (process mode, live armed): installed by
+#: :func:`_live_worker_init` in each pool worker; ``None`` everywhere
+#: else, so the per-attempt check is a single global load.
+_LIVE_CHANNEL = None
+_LIVE_RANK = -1
+
+
+def _live_worker_init(channel, rank, hb_interval) -> None:
+    """Pool initializer (process mode, live armed).
+
+    Installs the worker->coordinator channel and starts the heartbeat
+    beacon thread.  ``rank`` is the shard group for pinned pools and -1
+    for the shared pool (the coordinator's drainer then assigns stable
+    per-pid pseudo-ranks).
+    """
+    global _LIVE_CHANNEL, _LIVE_RANK
+    _LIVE_CHANNEL = channel
+    _LIVE_RANK = rank
+    threading.Thread(
+        target=_heartbeat_loop,
+        args=(channel, rank, hb_interval),
+        name="repro-live-heartbeat",
+        daemon=True,
+    ).start()
+
+
+def _heartbeat_loop(channel, rank, interval) -> None:
+    while True:
+        try:
+            channel.put(("hb", -1, rank, os.getpid(), time.time()))
+        except Exception:
+            return  # coordinator closed the channel: run is over
+        time.sleep(interval)
+
+
+def _drain_live_channel(channel, bus, wall0, stop) -> None:
+    """Coordinator-side relay: worker channel messages -> live bus.
+
+    Worker messages carry wall-clock ``time.time()`` stamps (workers
+    cannot see the coordinator's ``perf_counter`` origin); ``wall0`` is
+    the wall time of the run's t=0, so published events land on the
+    same run-relative timeline as everything else.
+    """
+    pseudo: dict[int, int] = {}
+    while not stop.is_set():
+        try:
+            msg = channel.get(timeout=0.2)
+        except Empty:
+            continue
+        except (EOFError, OSError):
+            return
+        try:
+            kind, tid, rank, pid, ts = msg
+        except (TypeError, ValueError):
+            continue
+        if rank < 0:
+            rank = pseudo.setdefault(pid, len(pseudo))
+        t = max(0.0, ts - wall0)
+        if kind == "start":
+            bus.publish(Event(TASK_RUNNING, t, proc=rank, task=tid))
+        elif kind == "hb":
+            bus.publish(Event(WORKER_HEARTBEAT, t, proc=rank))
+
+
+class _Terminated(SystemExit):
+    """SIGTERM surfaced as an exception, so the run's cleanup path —
+    flight-recorder dump, live 'aborted' snapshot, pool teardown — runs
+    before the process dies (exit code stays 128+SIGTERM)."""
+
+
+@contextmanager
+def _terminate_to_exception(enabled: bool):
+    """Route SIGTERM through the run's ``except BaseException`` cleanup.
+
+    Without this, ``kill <pid>`` ends the interpreter without unwinding
+    the coordinator: the flight recorder's ring — the post-mortem of an
+    aborted run — dies with it.  Installed only when something wants
+    that cleanup (flight recorder or live plane armed), only in the
+    main thread (signal handlers cannot be set elsewhere), and always
+    restored, so nested/background runs keep the surrounding handler.
+    """
+    if (
+        not enabled
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _raise(signum, frame):
+        raise _Terminated(128 + signum)
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _raise)
+    except (ValueError, OSError):  # platform without SIGTERM delivery
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
 def _pool_run(fn, payloads, cid, tid, n_outputs, fail):
     """One attempt, executed inside a worker (module-level: picklable).
 
@@ -154,6 +264,14 @@ def _pool_run(fn, payloads, cid, tid, n_outputs, fail):
     Output-arity validation happens worker-side so a misbehaving
     callback is reported from the attempt that ran it.
     """
+    channel = _LIVE_CHANNEL
+    if channel is not None:
+        # Real-time start report: the retroactive task_started (emitted
+        # when the future resolves) is invisible to in-flight monitors.
+        try:
+            channel.put(("start", tid, _LIVE_RANK, os.getpid(), time.time()))
+        except Exception:
+            pass
     t0 = time.perf_counter()
     outputs = validate_outputs(cid, fn(payloads, tid), tid, n_outputs)
     elapsed = time.perf_counter() - t0
@@ -194,6 +312,13 @@ class LocalPoolController(Controller):
         collect_trace: keep a full span trace on the result.
         telemetry: bounded-memory telemetry, same contract as every
             other controller (off by default).
+        live: in-flight observability (:mod:`repro.obs.live`): ``True``
+            / a directory / a :class:`~repro.obs.live.LiveConfig` arms
+            a live bus plus status snapshots for ``python -m repro.obs
+            watch`` / ``serve``; in process mode workers additionally
+            report task starts and heartbeats in real time.  Off by
+            default (also armable via ``$REPRO_LIVE_DIR``), and free
+            when off.
         fault_plan: transient task faults to inject into real attempts.
             Rank deaths and link faults describe simulated hardware and
             raise :class:`~repro.core.errors.ControllerError`.
@@ -221,6 +346,7 @@ class LocalPoolController(Controller):
         sinks: Sequence[EventSink] = (),
         collect_trace: bool = False,
         telemetry: "TelemetryConfig | bool | dict | None" = None,
+        live: "LiveConfig | bool | str | dict | None" = None,
         fault_plan: FaultPlan | None = None,
         retry_policy: RetryPolicy | None = None,
         balancer=None,
@@ -252,6 +378,9 @@ class LocalPoolController(Controller):
         self._sinks.extend(sinks)
         self.collect_trace = collect_trace
         self.telemetry = TelemetryConfig.coerce(telemetry)
+        # Coerced per run by attach_live (the env var can arm it even
+        # when unset here); keep the raw value for config portability.
+        self.live = live
         self._fault_plan = fault_plan
         self._retry_exceptions = retry_policy is not None
         self._policy = retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
@@ -274,15 +403,28 @@ class LocalPoolController(Controller):
             return tm.shard
         return lambda tid: tm.shard(tid) % n_groups
 
-    def _make_pools(self, n_groups: int, pinned: bool) -> list:
+    def _make_pools(
+        self, n_groups: int, pinned: bool, live=None, live_channel=None
+    ) -> list:
         if self.mode == "inline":
             return [_InlineExecutor() for _ in range(n_groups if pinned else 1)]
         cls = ThreadPoolExecutor if self.mode == "thread" else ProcessPoolExecutor
+
+        def live_kw(rank: int) -> dict:
+            if live_channel is None:
+                return {}
+            return {
+                "initializer": _live_worker_init,
+                "initargs": (
+                    live_channel, rank, live.config.heartbeat_interval,
+                ),
+            }
+
         if not pinned:
-            return [cls(max_workers=self.n_workers)]
+            return [cls(max_workers=self.n_workers, **live_kw(-1))]
         # One single-worker executor per shard group: per-group FIFO
         # order and real co-residency, the pool analogue of a rank.
-        return [cls(max_workers=1) for _ in range(n_groups)]
+        return [cls(max_workers=1, **live_kw(g)) for g in range(n_groups)]
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -316,30 +458,66 @@ class LocalPoolController(Controller):
                     rel_err=tel.rel_err,
                 )
                 run_sinks.append(flight)
-        obs = ObsHub(run_sinks)
-        ctx = obs.wants_context if run_sinks else False
-
         tm = self._task_map
         pinned = tm is not None
         n_groups = min(self.n_workers, tm.shard_count) if pinned else 1
         n_slots = n_groups if pinned else self.n_workers
         group_of = self._group_of(tm, n_groups)
-        pools = self._make_pools(n_groups, pinned)
+
+        # The live plane: None on unarmed runs (the zero-cost gate —
+        # tests/test_obs_overhead.py poisons every live constructor).
+        live = attach_live(
+            self.live,
+            total=graph.size(),
+            runtime=type(self).__name__,
+            n_ranks=n_slots,
+            graph=graph,
+            metrics=metrics,
+        )
+        live_channel = None
+        if live is not None and self.mode == "process":
+            # Worker->coordinator side channel for real-time task
+            # starts and heartbeats, installed via pool initializer.
+            live_channel = multiprocessing.get_context().Queue()
+        obs = ObsHub(run_sinks, bus=live.bus if live is not None else None)
+        ctx = obs.wants_context if run_sinks else False
+        pools = self._make_pools(n_groups, pinned, live, live_channel)
+        self._live_drain_stop = None
+        self._live_drain_thread = None
 
         result = RunResult(trace=trace)
         try:
-            self._run_pools(
-                graph, registry, inputs, pools, pinned, n_slots, group_of,
-                obs, ctx, metrics, result, t_task, t_queue, t_msg, flight,
-            )
+            with _terminate_to_exception(
+                enabled=flight is not None or live is not None
+            ):
+                self._run_pools(
+                    graph, registry, inputs, pools, pinned, n_slots,
+                    group_of, obs, ctx, metrics, result, t_task, t_queue,
+                    t_msg, flight, live, live_channel,
+                )
         except BaseException as exc:
             if flight is not None:
                 flight.abort(exc)
+            self._stop_live(live, live_channel, "aborted")
             self._shutdown_pools(pools, graceful=False)
             raise
         self._shutdown_pools(pools, graceful=True)
         result.metrics = metrics.snapshot()
+        self._stop_live(live, live_channel, "finished")
         return result
+
+    def _stop_live(self, live, live_channel, state: str) -> None:
+        """Tear the live plane down; the final snapshot carries ``state``."""
+        if live is None:
+            return
+        stop = self._live_drain_stop
+        if stop is not None:
+            stop.set()
+            self._live_drain_thread.join(timeout=1.0)
+        if live_channel is not None:
+            live_channel.close()
+            live_channel.cancel_join_thread()
+        live.close(state)
 
     #: Seconds a worker process gets to exit at shutdown before it is
     #: killed.  All futures are resolved by then, so a healthy worker
@@ -397,6 +575,8 @@ class LocalPoolController(Controller):
         t_queue,
         t_msg,
         flight,
+        live=None,
+        live_channel=None,
     ) -> None:
         policy = self._policy
         self.retries = 0
@@ -409,6 +589,23 @@ class LocalPoolController(Controller):
 
         t0 = time.perf_counter()
         now = lambda: time.perf_counter() - t0
+
+        bus = None
+        if live is not None:
+            bus = live.bus
+            live.set_clock(now)
+            if live_channel is not None:
+                self._live_drain_stop = threading.Event()
+                self._live_drain_thread = threading.Thread(
+                    target=_drain_live_channel,
+                    args=(
+                        live_channel, bus, time.time() - now(),
+                        self._live_drain_stop,
+                    ),
+                    name="repro-live-drain",
+                    daemon=True,
+                )
+                self._live_drain_thread.start()
 
         slots: dict[TaskId, list[Payload | None]] = {}
         remaining: dict[TaskId, int] = {}
@@ -480,6 +677,13 @@ class LocalPoolController(Controller):
                 remaining.pop(tid, None)
                 stash[tid] = slots.pop(tid)  # type: ignore[assignment]
             payloads = stash[tid]
+            if bus is not None and live_channel is None:
+                # Thread/inline pools share the coordinator's process:
+                # submission *is* (or immediately precedes) the real
+                # start, so the live start report comes from here.  In
+                # process mode the worker itself reports (see
+                # _pool_run), which also captures queueing delay.
+                bus.publish(Event(TASK_RUNNING, now(), proc=slot, task=tid))
             pool = pools[slot] if pinned else pools[0]
             fut = pool.submit(
                 _pool_run, fn, payloads, task.callback, tid,

@@ -56,6 +56,7 @@ from repro.obs.events import (
     EventSink,
 )
 from repro.obs.hub import ObsHub
+from repro.obs.live import LiveConfig, attach_live
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.telemetry import FlightRecorder, TelemetryConfig
 from repro.runtimes.controller import Controller
@@ -238,11 +239,16 @@ class SimController(Controller):
         balancer: "Balancer | None" = None,
         sinks: Sequence[EventSink] = (),
         telemetry: "TelemetryConfig | bool | dict | None" = None,
+        live: "LiveConfig | bool | str | dict | None" = None,
         compile: bool = False,
     ) -> None:
         super().__init__()
         self._sinks.extend(sinks)
         self.telemetry = TelemetryConfig.coerce(telemetry)
+        # In-flight observability (repro.obs.live); coerced per run by
+        # attach_live so $REPRO_LIVE_DIR can arm it too.  Virtual-time
+        # runs replay through the same bus with virtual timestamps.
+        self.live = live
         if n_procs <= 0:
             raise ControllerError(f"n_procs must be positive, got {n_procs}")
         self.n_procs = n_procs
@@ -440,11 +446,22 @@ class SimController(Controller):
                     rel_err=tel.rel_err,
                 )
                 sinks.append(self._tel_flight)
-        hub = ObsHub(sinks)
+        # The live plane: None on unarmed runs (zero-cost gate).  The
+        # writer's clock is left unset, so "now" is the freshest event's
+        # virtual timestamp — the only meaningful clock in a simulation.
+        live = self._live_run = attach_live(
+            self.live,
+            total=graph.size(),
+            runtime=type(self).__name__,
+            n_ranks=self.n_procs,
+            graph=graph,
+            metrics=metrics,
+        )
+        hub = ObsHub(sinks, bus=live.bus if live is not None else None)
         # `None` rather than an empty hub when unobserved: the hot-path
         # guards become a C-level identity test instead of calling
         # ObsHub.__bool__ tens of thousands of times per run.
-        obs = self._obs = hub if sinks else None
+        obs = self._obs = hub if (sinks or live is not None) else None
         # Span-context threading is a second opt-in gate on top of the
         # sink gate: only pay the per-deposit parent tracking when some
         # sink (an exporter, typically) asked for causal context.
@@ -607,6 +624,8 @@ class SimController(Controller):
             # propagating so the post-mortem survives the crash.
             if self._tel_flight is not None:
                 self._tel_flight.abort(exc)
+            if live is not None:
+                live.close("aborted")
             raise
         stats = self._result.stats
         stats.makespan = self._finish_time
@@ -623,6 +642,10 @@ class SimController(Controller):
                 )
             )
         self._result.metrics = self._snapshot_metrics()
+        if live is not None:
+            # After the metric snapshot, so the terminal status file
+            # carries the finalized counters/gauges.
+            live.close("finished")
         return self._result
 
     def _snapshot_metrics(self):

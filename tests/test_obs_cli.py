@@ -399,3 +399,123 @@ class TestTrends:
         p.write_text("{not json\n")
         assert main(["trends", str(p)]) == 2
         assert "corrupt" in capsys.readouterr().err
+
+
+class TestTrendsDegenerateLedgers:
+    def test_zero_byte_ledger_exits_2(self, tmp_path, capsys):
+        p = tmp_path / "empty.jsonl"
+        p.write_text("")
+        assert main(["trends", str(p)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_corrupt_line_mid_ledger_exits_2(self, tmp_path, capsys):
+        from repro.obs.telemetry import Ledger
+
+        p = tmp_path / "mixed.jsonl"
+        ledger = Ledger(str(p))
+        ledger.append("w", "mpi", {"x": 1.0}, machine="m", ts=0.0)
+        with open(p, "a") as fp:
+            fp.write("{truncated\n")
+        assert main(["trends", str(p)]) == 2
+        assert "corrupt" in capsys.readouterr().err
+
+
+def write_live_status(tmp_path, telemetry=False):
+    """Run a tiny live-armed workload; returns the status directory."""
+    d = tmp_path / "live"
+    c = MPIController(4, live=str(d), telemetry=telemetry)
+    g = Reduction(16, 4)
+    c.initialize(g, None)
+    c.register_callback(g.LEAF, lambda ins, tid: [ins[0]])
+    add = lambda ins, tid: [Payload(sum(p.data for p in ins))]
+    c.register_callback(g.REDUCE, add)
+    c.register_callback(g.ROOT, add)
+    c.run({t: Payload(i + 1) for i, t in enumerate(g.leaf_ids())})
+    return d
+
+
+class TestWatch:
+    def test_watch_once_renders_the_snapshot(self, tmp_path, capsys):
+        d = write_live_status(tmp_path)
+        assert main(["watch", str(d), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "[finished]" in out
+        assert "21/21 tasks" in out
+        assert "ranks:" in out
+
+    def test_watch_follow_exits_when_no_run_is_live(self, tmp_path, capsys):
+        # All snapshots terminal -> one render, exit 0 (the CI pattern).
+        d = write_live_status(tmp_path)
+        assert main(["watch", str(d), "--no-clear"]) == 0
+        assert "100.0%" in capsys.readouterr().out
+
+    def test_watch_missing_path_exits_2(self, tmp_path, capsys):
+        assert main(["watch", str(tmp_path / "nope"), "--once"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_watch_empty_dir_exits_2(self, tmp_path, capsys):
+        assert main(["watch", str(tmp_path), "--once"]) == 2
+        assert "no live status" in capsys.readouterr().err
+
+    def test_watch_corrupt_snapshot_exits_2(self, tmp_path, capsys):
+        p = tmp_path / "live-1.json"
+        p.write_text("{torn write")
+        assert main(["watch", str(p), "--once"]) == 2
+        assert "corrupt" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_serve_once_prints_prometheus_text(self, tmp_path, capsys):
+        d = write_live_status(tmp_path, telemetry=True)
+        assert main(["serve", str(d), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_run_progress_ratio gauge" in out
+        assert 'repro_run_progress_ratio{run=' in out
+        assert 'quantile="0.95"' in out  # telemetry sketches exported
+        assert "repro_run_tasks_done" in out
+
+    def test_serve_missing_path_exits_2(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path / "nope"), "--once"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_empty_dir_exits_2(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path), "--once"]) == 2
+        assert "no live status" in capsys.readouterr().err
+
+    def test_http_endpoint_serves_metrics_and_health(self, tmp_path):
+        from urllib.request import urlopen
+
+        from repro.obs.live import CONTENT_TYPE, LiveMetricsServer
+
+        d = write_live_status(tmp_path)
+        server = LiveMetricsServer(str(d), port=0)
+        server.start()
+        base = f"http://{server.addr}:{server.port}"
+        try:
+            with urlopen(server.url, timeout=5) as resp:
+                assert resp.status == 200
+                assert resp.headers["Content-Type"] == CONTENT_TYPE
+                body = resp.read().decode()
+            assert "repro_live_runs 1" in body
+            assert "repro_run_progress_ratio" in body
+            with urlopen(f"{base}/healthz", timeout=5) as resp:
+                assert resp.status == 200
+        finally:
+            server.stop()
+
+    def test_http_endpoint_tolerates_a_corrupt_snapshot(self, tmp_path):
+        # A torn file must not 500 the scrape; it is simply skipped.
+        from urllib.request import urlopen
+
+        from repro.obs.live import LiveMetricsServer
+
+        d = write_live_status(tmp_path)
+        (d / "live-99999.json").write_text("{torn")
+        server = LiveMetricsServer(str(d), port=0)
+        server.start()
+        try:
+            with urlopen(server.url, timeout=5) as resp:
+                body = resp.read().decode()
+            assert "repro_live_runs 1" in body
+        finally:
+            server.stop()

@@ -233,3 +233,17 @@ class TestCharmExtras:
         m = result.metrics
         assert m.counter("migrations") == c.migrations > 0
         assert m.counter("lb_rounds") == c.lb_rounds > 0
+
+
+class TestSnapshotToDict:
+    def test_to_dict_is_json_able_and_complete(self):
+        import json
+
+        c = MPIController(4, telemetry=True)
+        _, result = run_reduction(c)
+        doc = json.loads(json.dumps(result.metrics.to_dict()))
+        assert doc["counters"]["tasks_executed"] == 21
+        assert "task_compute_seconds" in doc["histograms"]
+        assert "task_seconds" in doc["sketches"]
+        # Per-sample series stay out of the poll-friendly form.
+        assert "timeseries" not in doc

@@ -216,6 +216,87 @@ def test_telemetry_poison_fires_when_opted_in(ctor, poisoned_telemetry):
         run_reduction(ctor())
 
 
+@pytest.fixture
+def poisoned_live(monkeypatch):
+    """Make any live-plane object construction raise.
+
+    The live observability plane (bus, subscriptions, progress tracker,
+    status writer) is strictly opt-in via ``live=`` or
+    ``$REPRO_LIVE_DIR``; these poisons prove a clean run — sink-observed
+    or not — constructs none of it.
+    """
+    import repro.obs.live.bus as livebus
+    from repro.obs.live import (
+        LiveBus,
+        LiveStatusWriter,
+        ProgressTracker,
+        StragglerDetector,
+        Subscription,
+    )
+
+    monkeypatch.delenv("REPRO_LIVE_DIR", raising=False)
+
+    def boom(what):
+        def _boom(*a, **k):
+            raise AssertionError(f"{what} constructed without live=")
+
+        return _boom
+
+    monkeypatch.setattr(LiveBus, "__init__", boom("LiveBus"))
+    monkeypatch.setattr(Subscription, "__init__", boom("Subscription"))
+    monkeypatch.setattr(ProgressTracker, "__init__", boom("ProgressTracker"))
+    monkeypatch.setattr(
+        StragglerDetector, "__init__", boom("StragglerDetector")
+    )
+    monkeypatch.setattr(
+        LiveStatusWriter, "__init__", boom("LiveStatusWriter")
+    )
+    # The subscription's ring buffer, via the bus module's own deque ref
+    # (poisoning collections.deque itself would break the controllers'
+    # legitimate ready queues).
+    monkeypatch.setattr(livebus, "deque", boom("live queue"))
+
+
+def _local_inline():
+    from repro.runtimes.local import LocalPoolController
+
+    return LocalPoolController(2, mode="inline")
+
+
+LIVE_ALL = ALL + [_local_inline]
+LIVE_IDS = IDS + ["local-inline"]
+
+
+@pytest.mark.parametrize("ctor", LIVE_ALL, ids=LIVE_IDS)
+def test_clean_run_constructs_no_live_plane(ctor, poisoned_live):
+    g, result = run_reduction(ctor())
+    assert result.stats.tasks_executed == g.size()
+
+
+@pytest.mark.parametrize("ctor", LIVE_ALL, ids=LIVE_IDS)
+def test_observed_run_constructs_no_live_plane(ctor, poisoned_live):
+    # Sink observation alone must not drag the live plane in.
+    c = ctor()
+    c.add_sink(ListSink())
+    g, result = run_reduction(c)
+    assert result.stats.tasks_executed == g.size()
+
+
+@pytest.mark.parametrize(
+    "ctor",
+    [
+        lambda: MPIController(4, live=True),
+        lambda: __import__(
+            "repro.runtimes.local", fromlist=["LocalPoolController"]
+        ).LocalPoolController(2, mode="inline", live=True),
+    ],
+    ids=["mpi", "local-inline"],
+)
+def test_live_poison_fires_when_opted_in(ctor, poisoned_live):
+    with pytest.raises(AssertionError, match="constructed without"):
+        run_reduction(ctor())
+
+
 def _scheduled_runs():
     """Unobserved runs that exercise every scheduler emission site:
     planned placement, periodic migration, and work stealing."""
