@@ -338,6 +338,100 @@ def bench_local_calibration(
     }
 
 
+def bench_service_throughput(
+    reps: int, n_requests: int = 256, leaves: int = 256, valence: int = 4
+) -> dict:
+    """Run-service submission throughput, warm vs cold.
+
+    Cold: ``n_requests`` *distinct* submissions through a
+    :class:`~repro.service.RunService` worker pool — every request
+    materializes, plans (the first compiles, the rest hit the plan
+    cache), and executes.  Warm: the same count of *identical*
+    submissions spread across tenants — the fingerprint-keyed dedup
+    coalesces them onto one execution fanned back to every waiter, with
+    the compiled plan already hot.  ``seconds`` is the warm batch (best
+    of ``reps``); the >=5x warm/cold submissions-per-second ratio is
+    enforced inline, since a smaller gap means request coalescing or
+    the plan cache stopped carrying the service.
+    """
+    from repro.core.payload import Payload
+    from repro.core.taskmap import ModuloMap
+    from repro.graphs import Reduction
+    from repro.sched.compile import PLAN_CACHE
+    from repro.service import RunRequest, RunService
+
+    g = Reduction(leaves, valence)
+    add = lambda ins, tid: [Payload(sum(p.data for p in ins))]
+    callbacks = {
+        g.LEAF: lambda ins, tid: [ins[0]],
+        g.REDUCE: add,
+        g.ROOT: add,
+    }
+    options = {"task_map": ModuloMap(4, g.size()), "compile": True}
+    tenants = ("alice", "bob", "carol", "dave")
+
+    def request(scale: int, tenant: str) -> RunRequest:
+        return RunRequest(
+            g, callbacks,
+            {t: Payload((i + 1) * scale)
+             for i, t in enumerate(g.leaf_ids())},
+            runtime="mpi", n_procs=4, tenant=tenant, options=options,
+        )
+
+    PLAN_CACHE.clear()
+    with RunService(workers=4, max_queue=4 * n_requests) as svc:
+        t0 = time.perf_counter()
+        handles = [
+            svc.submit(request(k + 1, tenants[k % len(tenants)]))
+            for k in range(n_requests)
+        ]
+        cold_roots = [h.result(300).output(g.root_id).data for h in handles]
+        cold = time.perf_counter() - t0
+
+        def once():
+            hs = [
+                svc.submit(request(1, tenants[i % len(tenants)]))
+                for i in range(n_requests)
+            ]
+            return [h.result(300) for h in hs]
+
+        executed_before = svc.metrics.counter("runs_executed").value
+        seconds, results = _best_of(reps, once)
+        executed = svc.metrics.counter("runs_executed").value - executed_before
+
+    root = results[0].output(g.root_id).data
+    if any(r.output(g.root_id).data != root for r in results):
+        raise RuntimeError("coalesced submissions diverged")
+    if root != cold_roots[0]:
+        raise RuntimeError("warm run diverged from its cold twin")
+    # Coalescing is in-flight only, so a batch may legitimately split
+    # into a few executions when the shared run resolves mid-submit —
+    # but the vast majority of submissions must ride a twin.
+    if executed * 2 > reps * n_requests:
+        raise RuntimeError(
+            f"warm batches executed {executed} runs for "
+            f"{reps * n_requests} submissions; dedup should coalesce "
+            "the majority"
+        )
+    speedup = cold / seconds
+    if speedup < 5.0:
+        raise RuntimeError(
+            f"warm submissions only {speedup:.1f}x the cold rate "
+            f"(cold {cold:.4f}s, warm {seconds:.4f}s for {n_requests} "
+            "requests); need >=5x"
+        )
+    return {
+        "seconds": round(seconds, 6),
+        "cold_seconds": round(cold, 6),
+        "requests": n_requests,
+        "warm_submissions_per_sec": round(n_requests / seconds),
+        "cold_submissions_per_sec": round(n_requests / cold),
+        "speedup": round(speedup, 1),
+        "warm_runs_executed": executed,
+        "root": root,
+    }
+
+
 BENCHMARKS: dict[str, Callable[[int], dict]] = {
     "engine_events": bench_engine_events,
     "compiled_events": bench_compiled_events,
@@ -348,6 +442,7 @@ BENCHMARKS: dict[str, Callable[[int], dict]] = {
     "plan_cache_hit": bench_plan_cache_hit,
     "sketch_quantiles": bench_sketch_quantiles,
     "local_calibration": bench_local_calibration,
+    "service_throughput": bench_service_throughput,
 }
 
 #: Benchmarks whose run can be re-captured as an event trace (the
@@ -460,6 +555,9 @@ DETERMINISM_FIELDS = {
     # Makespans are wall-clock on the real side, so only the task count
     # is determinism-checkable here.
     "local_calibration": ("tasks",),
+    # The coalesced batch must keep returning the bit-identical root
+    # payload however the submissions interleave.
+    "service_throughput": ("requests", "root"),
 }
 
 #: Absolute throughput floors (field, minimum) asserted by --check in

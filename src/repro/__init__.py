@@ -16,6 +16,9 @@ Subpackages:
 * :mod:`repro.sim` -- the discrete-event cluster substrate.
 * :mod:`repro.obs` -- observability: lifecycle events, metrics, traces.
 * :mod:`repro.faults` -- fault plans and retry policies.
+* :mod:`repro.service` -- the multi-tenant run service:
+  ``submit(RunRequest) -> RunHandle`` with queueing, request
+  coalescing, and per-tenant fair-share admission.
 * :mod:`repro.analysis` -- the paper's three use cases: topological
   analysis (merge trees), distributed rendering/compositing, and volume
   registration.
@@ -45,7 +48,7 @@ controller protocol (``initialize`` / ``register_callback`` / ``run``)
 remains available for staged setups; see :mod:`repro.runtimes`.
 """
 
-from repro.api import run
+from repro.api import default_service, run, submit
 from repro.core.payload import Payload
 from repro.core.taskmap import BlockMap, ModuloMap, RangeMap, TaskMap
 from repro.graphs import Reduction
@@ -59,8 +62,15 @@ from repro.runtimes import (
     RunResult,
     SerialController,
 )
+from repro.service import (
+    RunHandle,
+    RunOptions,
+    RunRequest,
+    RunService,
+    TenantQuota,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BlockMap",
@@ -74,9 +84,16 @@ __all__ = [
     "REGISTRY",
     "RangeMap",
     "Reduction",
+    "RunHandle",
+    "RunOptions",
+    "RunRequest",
     "RunResult",
+    "RunService",
     "SerialController",
     "TaskMap",
+    "TenantQuota",
+    "default_service",
     "run",
+    "submit",
     "__version__",
 ]

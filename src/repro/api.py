@@ -1,4 +1,5 @@
-"""The one-call API: :func:`repro.run`.
+"""The one-call API: :func:`repro.run` — and its service-backed twin,
+:func:`repro.submit`.
 
 The controller protocol (construct, ``initialize``, ``register_callback``
 per task type, ``run``) mirrors the paper's Listing 1 and stays the
@@ -26,10 +27,18 @@ Every scheduling/fault/observability knob threads straight through:
 ``task_map`` (including :func:`repro.sched.plan_placement`'s planned
 maps), ``cost_model``, ``fault_plan``/``retry_policy``, ``balancer``,
 and ``sinks``.
+
+Internally ``run()`` is a thin ``submit(...).result()`` over an inline
+(zero-worker) :class:`~repro.service.RunService`: the facade and the
+multi-tenant service execute the same code path, so results are
+bit-identical between the two entry points.  :func:`repro.submit` is
+the asynchronous form — it enqueues onto a shared process-wide worker
+service and returns a :class:`~repro.service.RunHandle` immediately.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Mapping, Sequence
 
 from repro.core.callbacks import TaskCallback
@@ -38,8 +47,57 @@ from repro.core.ids import CallbackId, TaskId
 from repro.core.taskmap import TaskMap
 from repro.obs.events import EventSink
 from repro.runtimes.controller import Controller, InitialInput
-from repro.runtimes.registry import make_controller
 from repro.runtimes.result import RunResult
+from repro.service.handle import RunHandle
+from repro.service.options import RunOptions
+from repro.service.request import RunRequest
+from repro.service.service import RunService
+
+# The facade's inline executor: zero workers (submissions execute
+# synchronously in the calling thread, so exceptions and warnings
+# surface exactly where they always did), no graph sharing (each call
+# materializes its own cached view, as the pre-service facade did), no
+# telemetry sketches, no status snapshots.  Process-wide caches
+# (PLAN_CACHE, fingerprint memos) behave identically either way.
+_INLINE: RunService | None = None
+#: The shared background service behind :func:`repro.submit`.
+_SHARED: RunService | None = None
+_SERVICE_LOCK = threading.Lock()
+
+
+def _inline_service() -> RunService:
+    global _INLINE
+    svc = _INLINE
+    if svc is None:
+        with _SERVICE_LOCK:
+            svc = _INLINE
+            if svc is None:
+                svc = _INLINE = RunService(
+                    workers=0,
+                    telemetry=False,
+                    share_graphs=False,
+                    status_dir=False,
+                    name="repro-inline",
+                )
+    return svc
+
+
+def default_service() -> RunService:
+    """The lazily-created process-wide service behind :func:`submit`.
+
+    Created on first use with :data:`~repro.service.DEFAULT_WORKERS`
+    controller slots and cross-tenant graph/plan sharing enabled.  For
+    quotas, SLOs, or snapshot wiring, construct an explicit
+    :class:`~repro.service.RunService` instead.
+    """
+    global _SHARED
+    svc = _SHARED
+    if svc is None or svc.closed:
+        with _SERVICE_LOCK:
+            svc = _SHARED
+            if svc is None or svc.closed:
+                svc = _SHARED = RunService(name="repro-shared")
+    return svc
 
 
 def run(
@@ -74,7 +132,7 @@ def run(
             pass a :func:`repro.sched.plan_placement` result for
             cost-aware placement.
         sinks: observability sinks attached for this run.
-        **kwargs: forwarded to the controller constructor —
+        **kwargs: any :class:`~repro.service.RunOptions` field —
             ``cost_model``, ``machine``, ``costs``, ``cores_per_proc``,
             ``fault_plan``, ``retry_policy``, ``balancer``,
             ``telemetry`` (``True`` or a
@@ -87,7 +145,8 @@ def run(
             ``compile`` (``True`` to lower static runs into cached
             ahead-of-time plans reused across invocations — see
             :mod:`repro.sched.compile`; results are bit-identical and
-            dynamic runs fall back automatically), ...
+            dynamic runs fall back automatically), ...  Unknown names
+            are rejected with a did-you-mean hint.
 
     Returns:
         The :class:`~repro.runtimes.result.RunResult` with the returned
@@ -96,10 +155,61 @@ def run(
     Raises:
         ControllerError: unknown runtime name (the message lists the
             valid ones), missing ``n_procs``, a kwarg the chosen backend
-            does not support, or a callback/input mismatch.
+            does not support (or an unknown option name — the message
+            suggests the closest valid one), or a callback/input
+            mismatch.
     """
-    controller = make_controller(runtime, n_procs=n_procs, sinks=sinks, **kwargs)
-    controller.initialize(graph, task_map)
-    for cid, fn in callbacks.items():
-        controller.register_callback(cid, fn)
-    return controller.run(inputs)
+    options = RunOptions.from_kwargs(task_map=task_map, **kwargs)
+    request = RunRequest(
+        graph,
+        callbacks,
+        inputs,
+        runtime=runtime,
+        n_procs=n_procs,
+        options=options,
+        sinks=sinks,
+    )
+    return _inline_service().submit(request).result()
+
+
+def submit(
+    graph: TaskGraph,
+    callbacks: Mapping[CallbackId, TaskCallback],
+    inputs: Mapping[TaskId, InitialInput],
+    runtime: str | type[Controller] = "mpi",
+    n_procs: int | None = None,
+    *,
+    tenant: str = "default",
+    task_map: TaskMap | None = None,
+    sinks: Sequence[EventSink] = (),
+    service: RunService | None = None,
+    **kwargs,
+) -> RunHandle:
+    """Enqueue a run and return immediately with a handle.
+
+    Same arguments as :func:`run` plus ``tenant`` (the fair-share
+    accounting bucket) and ``service`` (an explicit
+    :class:`~repro.service.RunService`; default is the shared
+    process-wide one from :func:`default_service`).  The returned
+    :class:`~repro.service.RunHandle` resolves to exactly what
+    :func:`run` would have returned; identical concurrent submissions
+    coalesce into one execution.
+
+    Raises:
+        AdmissionError: the service rejected the submission
+            (``reason`` is ``"tenant-quota"`` or ``"queue-full"``).
+        ControllerError: unknown runtime or option name.
+    """
+    options = RunOptions.from_kwargs(task_map=task_map, **kwargs)
+    request = RunRequest(
+        graph,
+        callbacks,
+        inputs,
+        runtime=runtime,
+        n_procs=n_procs,
+        tenant=tenant,
+        options=options,
+        sinks=sinks,
+    )
+    svc = service if service is not None else default_service()
+    return svc.submit(request)

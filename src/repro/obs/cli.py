@@ -289,8 +289,12 @@ def _slo_metrics(run: list[Event]) -> dict[str, float]:
     return metrics
 
 
-def _eval_spec(metrics: dict[str, float], spec: dict) -> list[str]:
+def eval_spec(metrics: dict[str, float], spec: dict) -> list[str]:
     """Check ``max_<name>`` / ``min_<name>`` bounds against a metric dict.
+
+    The generic engine behind :func:`check_slo` (run-trace metrics) and
+    the run service's SLO enforcement (service-level metrics): any
+    metric namespace can be bounded with the same spec format.
 
     Returns the violations as human-readable strings (empty = pass).
     Raises ValueError for unknown spec keys.
@@ -323,7 +327,7 @@ def check_slo(run: list[Event], spec: dict) -> list[str]:
     Returns the violations as human-readable strings (empty = pass).
     Raises ValueError for unknown spec keys.
     """
-    return _eval_spec(_slo_metrics(run), spec)
+    return eval_spec(_slo_metrics(run), spec)
 
 
 def _spec_is_streaming(spec: dict) -> bool:
@@ -366,7 +370,7 @@ def _cmd_slo(args: argparse.Namespace) -> int:
             nonlocal failed, i
             failed |= _report_slo(
                 label or f"run {i}", i,
-                _eval_spec(stats.metrics(), spec), len(spec),
+                eval_spec(stats.metrics(), spec), len(spec),
             )
             i += 1
 

@@ -103,6 +103,42 @@ WORKER_HEARTBEAT = "worker.heartbeat"
 #: streams — are byte-identical whether or not a run is being watched.
 LIVE_VOCABULARY = frozenset({TASK_RUNNING, WORKER_HEARTBEAT})
 
+#: A request entered :meth:`~repro.service.RunService.submit`
+#: (``label`` is the tenant).
+SERVICE_SUBMITTED = "service.submitted"
+#: A submission was rejected at admission; ``category`` is the reason
+#: (``"tenant-quota"`` or ``"queue-full"``).
+SERVICE_REJECTED = "service.rejected"
+#: A submission coalesced onto an identical in-flight execution.
+SERVICE_DEDUP = "service.dedup"
+#: A queued request was withdrawn by its submitter.
+SERVICE_CANCELLED = "service.cancelled"
+#: A service execution slot picked up a request.
+SERVICE_RUN_STARTED = "service.run_started"
+#: A service execution resolved; ``dur`` is wall seconds on the slot,
+#: ``category`` is ``""`` on success or ``"error"``.
+SERVICE_RUN_FINISHED = "service.run_finished"
+#: A service-level SLO bound was violated; ``category`` carries the
+#: violation message.
+SERVICE_SLO_BREACH = "service.slo_breach"
+
+#: Events emitted only by the run service (:mod:`repro.service`) into
+#: its *service-level* sinks.  Like :data:`LIVE_VOCABULARY` they are not
+#: part of :data:`VOCABULARY`: per-run sinks attached to a controller
+#: never see them, so recorded run traces are unchanged whether a run
+#: went through ``repro.run`` or through a service.
+SERVICE_VOCABULARY = frozenset(
+    {
+        SERVICE_SUBMITTED,
+        SERVICE_REJECTED,
+        SERVICE_DEDUP,
+        SERVICE_CANCELLED,
+        SERVICE_RUN_STARTED,
+        SERVICE_RUN_FINISHED,
+        SERVICE_SLO_BREACH,
+    }
+)
+
 #: The complete event vocabulary shared by all backends.
 VOCABULARY = (
     frozenset(

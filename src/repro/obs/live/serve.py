@@ -85,6 +85,116 @@ class _Families:
         return "\n".join(lines) + "\n"
 
 
+def _registry_families(fam: "_Families", base: dict, lbl: str, status: dict) -> None:
+    """Emit a snapshot's embedded MetricsRegistry (shared by runs and
+    services)."""
+    metrics = status.get("metrics") or {}
+    for name, value in sorted((metrics.get("counters") or {}).items()):
+        fam.add(
+            f"repro_{_name(name)}_total", "counter",
+            f"MetricsRegistry counter {name}.", lbl, value,
+        )
+    for name, value in sorted((metrics.get("gauges") or {}).items()):
+        fam.add(
+            f"repro_{_name(name)}", "gauge",
+            f"MetricsRegistry gauge {name}.", lbl, value,
+        )
+    for name, sk in sorted((metrics.get("sketches") or {}).items()):
+        family = f"repro_{_name(name)}"
+        help_ = f"Telemetry quantile sketch {name}."
+        for q_label, q_key in (
+            ("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"),
+        ):
+            fam.add(
+                family, "summary", help_,
+                _labels(base, quantile=q_label), sk.get(q_key),
+            )
+        fam.add(family, "summary", help_, lbl, sk.get("total"),
+                suffix="_sum")
+        fam.add(family, "summary", help_, lbl, sk.get("count"),
+                suffix="_count")
+
+
+def _service_families(fam: "_Families", status: dict) -> None:
+    """Emit the ``repro_service_*`` families of one service snapshot."""
+    base = {
+        "service": status.get("name", "service"),
+        "pid": str(status.get("pid", "")),
+    }
+    lbl = _labels(base)
+    fam.add(
+        "repro_service_info", "gauge",
+        "Service identity; the state label carries the lifecycle phase.",
+        _labels(base, state=status.get("state", "running")), 1.0,
+    )
+    fam.add(
+        "repro_service_workers", "gauge", "Controller slots in the pool.",
+        lbl, status.get("workers"),
+    )
+    fam.add(
+        "repro_service_queue_depth", "gauge",
+        "Requests queued (admitted, not yet running).",
+        lbl, status.get("queue_depth"),
+    )
+    fam.add(
+        "repro_service_queue_max", "gauge", "Queue capacity bound.",
+        lbl, status.get("queue_max"),
+    )
+    fam.add(
+        "repro_service_running", "gauge", "Requests executing right now.",
+        lbl, status.get("running"),
+    )
+    for counter, help_ in (
+        ("submitted", "Submissions received (admitted or not)."),
+        ("admitted", "Submissions admitted to the queue."),
+        ("completed", "Handles resolved successfully."),
+        ("errors", "Handles resolved with an execution error."),
+        ("cancelled", "Queued handles withdrawn by their submitter."),
+        ("rejected", "Submissions rejected at admission."),
+        ("dedup_hits", "Submissions coalesced onto an in-flight twin."),
+        ("runs_executed", "Distinct executions performed."),
+        ("slo_breaches", "Distinct SLO violations observed."),
+    ):
+        fam.add(
+            f"repro_service_{counter}_total", "counter", help_,
+            lbl, status.get(counter),
+        )
+    for reason, n in sorted((status.get("rejected_by_reason") or {}).items()):
+        fam.add(
+            "repro_service_rejected_by_reason_total", "counter",
+            "Rejections by admission reason.",
+            _labels(base, reason=reason), n,
+        )
+    cache = status.get("cache") or {}
+    for key, help_ in (
+        ("plan_hits", "Requests that found a warm compiled plan."),
+        ("plan_misses", "Requests that compiled a plan cold."),
+        ("graph_hits", "Requests served a shared materialized graph."),
+        ("graph_misses", "Requests that materialized a graph."),
+    ):
+        fam.add(
+            f"repro_service_cache_{key}_total", "counter",
+            help_, lbl, cache.get(key),
+        )
+    for tenant, st in sorted((status.get("tenants") or {}).items()):
+        t_lbl_args = {"tenant": tenant}
+        for key, kind in (
+            ("queued", "gauge"),
+            ("outstanding", "gauge"),
+            ("submitted", "counter"),
+            ("completed", "counter"),
+            ("rejected", "counter"),
+            ("dedup", "counter"),
+        ):
+            suffix = "_total" if kind == "counter" else ""
+            fam.add(
+                f"repro_service_tenant_{key}{suffix}", kind,
+                f"Per-tenant {key}.",
+                _labels(base, **t_lbl_args), st.get(key),
+            )
+    _registry_families(fam, base, lbl, status)
+
+
 def prometheus_text(statuses: list[dict]) -> str:
     """Render status snapshots as a Prometheus exposition document."""
     fam = _Families()
@@ -93,6 +203,9 @@ def prometheus_text(statuses: list[dict]) -> str:
         "", float(len(statuses)),
     )
     for status in statuses:
+        if status.get("kind") == "service":
+            _service_families(fam, status)
+            continue
         base = {
             "run": status.get("run") or status.get("runtime") or "run",
             "pid": str(status.get("pid", "")),
@@ -170,31 +283,7 @@ def prometheus_text(statuses: list[dict]) -> str:
                 "Standing alerts by kind.",
                 _labels(base, kind=kind), float(alerts.get(kind, 0)),
             )
-        metrics = status.get("metrics") or {}
-        for name, value in sorted((metrics.get("counters") or {}).items()):
-            fam.add(
-                f"repro_{_name(name)}_total", "counter",
-                f"MetricsRegistry counter {name}.", lbl, value,
-            )
-        for name, value in sorted((metrics.get("gauges") or {}).items()):
-            fam.add(
-                f"repro_{_name(name)}", "gauge",
-                f"MetricsRegistry gauge {name}.", lbl, value,
-            )
-        for name, sk in sorted((metrics.get("sketches") or {}).items()):
-            family = f"repro_{_name(name)}"
-            help_ = f"Telemetry quantile sketch {name}."
-            for q_label, q_key in (
-                ("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"),
-            ):
-                fam.add(
-                    family, "summary", help_,
-                    _labels(base, quantile=q_label), sk.get(q_key),
-                )
-            fam.add(family, "summary", help_, lbl, sk.get("total"),
-                    suffix="_sum")
-            fam.add(family, "summary", help_, lbl, sk.get("count"),
-                    suffix="_count")
+        _registry_families(fam, base, lbl, status)
     return fam.render()
 
 

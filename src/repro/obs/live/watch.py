@@ -8,7 +8,7 @@ writer's envelope) to text — the CLI loop lives in
 
 from __future__ import annotations
 
-__all__ = ["render_status"]
+__all__ = ["render_status", "render_service_status"]
 
 
 def _bar(fraction: float, width: int) -> str:
@@ -33,8 +33,74 @@ def _bytes(n: int) -> str:
     return f"{n:.1f}GB"  # pragma: no cover - loop always returns
 
 
+def render_service_status(status: dict, width: int = 40) -> str:
+    """A run-service snapshot (``"kind": "service"``) as a text block."""
+    name = status.get("name", "service")
+    state = status.get("state", "running")
+    pid = status.get("pid", "?")
+    depth = status.get("queue_depth", 0)
+    q_max = status.get("queue_max", 0)
+    fill = depth / q_max if q_max else 0.0
+    rejected = status.get("rejected_by_reason", {})
+    cache = status.get("cache", {})
+    lines = [
+        f"== {name} (pid {pid}) [{state}] ==",
+        (
+            f"queue [{_bar(fill, width)}] {depth}/{q_max}  "
+            f"running {status.get('running', 0)}/"
+            f"{status.get('workers', 0)} workers"
+        ),
+        (
+            f"submitted {status.get('submitted', 0)}  "
+            f"completed {status.get('completed', 0)}  "
+            f"errors {status.get('errors', 0)}  "
+            f"cancelled {status.get('cancelled', 0)}  "
+            f"dedup {status.get('dedup_hits', 0)}  "
+            f"executed {status.get('runs_executed', 0)}"
+        ),
+        (
+            f"rejected {status.get('rejected', 0)} "
+            f"(quota {rejected.get('tenant-quota', 0)}, "
+            f"queue-full {rejected.get('queue-full', 0)})  "
+            f"plan cache {cache.get('plan_hits', 0)}h/"
+            f"{cache.get('plan_misses', 0)}m  "
+            f"graph cache {cache.get('graph_hits', 0)}h/"
+            f"{cache.get('graph_misses', 0)}m"
+        ),
+    ]
+    tenants = status.get("tenants", {})
+    if tenants:
+        lines.append("tenants:")
+        for tenant in sorted(tenants):
+            s = tenants[tenant]
+            quota = s.get("quota")
+            quota_txt = f"/{quota}" if quota is not None else ""
+            lines.append(
+                f"  {tenant:<12} queued {s.get('queued', 0):<4} "
+                f"outstanding {s.get('outstanding', 0)}{quota_txt:<6} "
+                f"submitted {s.get('submitted', 0):<5} "
+                f"completed {s.get('completed', 0):<5} "
+                f"rejected {s.get('rejected', 0):<4} "
+                f"dedup {s.get('dedup', 0)}"
+            )
+    alerts = status.get("alerts", [])
+    if alerts:
+        lines.append("alerts:")
+        for a in alerts[-8:]:
+            lines.append(f"  [{a['t']:8.2f}s] {a['kind']}: {a['message']}")
+    sketches = (status.get("metrics") or {}).get("sketches") or {}
+    for name, sk in sorted(sketches.items()):
+        lines.append(
+            f"{name}: n={sk.get('count', 0)} p50={sk.get('p50', 0):.3g} "
+            f"p95={sk.get('p95', 0):.3g} p99={sk.get('p99', 0):.3g}"
+        )
+    return "\n".join(lines)
+
+
 def render_status(status: dict, width: int = 40) -> str:
     """One snapshot as a multi-line terminal block."""
+    if status.get("kind") == "service":
+        return render_service_status(status, width)
     run = status.get("run") or status.get("runtime") or "run"
     state = status.get("state", "running")
     pid = status.get("pid", "?")

@@ -18,6 +18,7 @@ returned to the caller plus timing statistics.
 
 from __future__ import annotations
 
+import inspect
 from abc import ABC, abstractmethod
 from typing import Mapping, Sequence
 
@@ -47,6 +48,34 @@ class Controller(ABC):
     # ------------------------------------------------------------------ #
     # Setup
     # ------------------------------------------------------------------ #
+
+    @classmethod
+    def supported_kwargs(cls) -> "frozenset[str] | None":
+        """Constructor kwarg names this backend accepts, or ``None``.
+
+        Walks the MRO to the first ``__init__`` with a fully explicit
+        signature (subclasses that take ``*args, **kwargs`` and forward
+        — e.g. the Charm++ controller — inherit their base's roster).
+        ``None`` means the roster cannot be determined statically, and
+        callers (:func:`~repro.runtimes.registry.make_controller`)
+        skip validation and let the constructor speak for itself.
+        """
+        for klass in cls.__mro__:
+            init = klass.__dict__.get("__init__")
+            if init is None:
+                continue
+            try:
+                params = list(inspect.signature(init).parameters.values())
+            except (TypeError, ValueError):  # C-level / unsupported init
+                return None
+            if any(p.kind is p.VAR_KEYWORD for p in params):
+                continue  # forwards **kwargs: the real roster is below
+            return frozenset(
+                p.name
+                for p in params[1:]  # drop self
+                if p.kind in (p.POSITIONAL_OR_KEYWORD, p.KEYWORD_ONLY)
+            )
+        return None
 
     def add_sink(self, sink: EventSink) -> None:
         """Attach an observability sink to subsequent runs.

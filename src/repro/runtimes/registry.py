@@ -85,6 +85,36 @@ def resolve_runtime(runtime: str | type[Controller]) -> type[Controller]:
     return cls
 
 
+def _runtime_name(runtime) -> str:
+    return runtime if isinstance(runtime, str) else runtime.__name__
+
+
+def _check_kwargs(cls: type[Controller], kwargs: dict, runtime) -> None:
+    """Reject kwargs the backend's constructor does not take.
+
+    The error lists the backend's full supported roster and suggests
+    the closest valid name — a typo'd ``cost_modell`` fails with "did
+    you mean 'cost_model'?" instead of a bare ``TypeError`` from deep
+    inside the constructor.  Backends whose roster cannot be determined
+    (``supported_kwargs() is None``) skip validation.
+    """
+    supported = cls.supported_kwargs()
+    if supported is None:
+        return
+    unknown = sorted(set(kwargs) - supported)
+    if not unknown:
+        return
+    parts = []
+    for k in unknown:
+        close = difflib.get_close_matches(k, sorted(supported), n=1)
+        parts.append(f"{k!r} (did you mean {close[0]!r}?)" if close else repr(k))
+    raise ControllerError(
+        f"runtime {_runtime_name(runtime)!r} does not support "
+        f"{', '.join(parts)}; supported kwargs: "
+        f"{', '.join(sorted(supported))}"
+    )
+
+
 def make_controller(
     runtime: str | type[Controller],
     n_procs: int | None = None,
@@ -104,7 +134,9 @@ def make_controller(
 
     Raises:
         ControllerError: unknown runtime name; missing ``n_procs`` for a
-            simulated backend; or a semantics-bearing kwarg
+            simulated backend; a kwarg the backend's constructor does
+            not take (listing the backend's supported kwargs, with a
+            did-you-mean hint); or a semantics-bearing kwarg
             (``fault_plan``, ``retry_policy``, ``balancer``) passed to
             the serial controller, which cannot honor it.
     """
@@ -115,10 +147,12 @@ def make_controller(
             set(kwargs) - _SERIAL_IGNORED - {"sinks", "collect_trace"}
         )
         if unsupported:
+            supported = sorted(cls.supported_kwargs() or ())
             raise ControllerError(
                 f"the serial runtime does not support {unsupported} "
                 f"(it has no simulated cluster); pick a simulated "
-                f"runtime such as 'mpi'"
+                f"runtime such as 'mpi', or use only its supported "
+                f"kwargs: {', '.join(supported)}"
             )
         for k in _SERIAL_IGNORED:
             kwargs.pop(k, None)
@@ -129,12 +163,15 @@ def make_controller(
         kwargs.pop("n_procs", None)
         if n_procs is not None:
             kwargs.setdefault("n_workers", n_procs)
+        _check_kwargs(cls, kwargs, runtime)
         return LocalPoolController(**kwargs)
     kwargs.pop("n_procs", None)
     if n_procs is None:
         raise ControllerError(
-            f"runtime {runtime!r} needs n_procs (the simulated cluster size)"
+            f"runtime {_runtime_name(runtime)!r} needs n_procs "
+            f"(the simulated cluster size)"
         )
+    _check_kwargs(cls, kwargs, runtime)
     return cls(n_procs, **kwargs)
 
 

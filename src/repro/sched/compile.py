@@ -26,6 +26,7 @@ plan: a lookup is a few attribute reads and one dict probe.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import astuple
 from typing import TYPE_CHECKING
@@ -181,6 +182,11 @@ class PlanCache:
     instances (both immutable once built, so sharing across runs is
     safe).  ``hits`` / ``misses`` make reuse observable in tests and
     benchmarks.
+
+    Thread-safe: the run service's worker pool resolves plans from many
+    controller slots against the shared :data:`PLAN_CACHE`, so every
+    operation (including the LRU reordering inside ``get``) runs under
+    an internal lock.
     """
 
     def __init__(self, maxsize: int = 32) -> None:
@@ -190,35 +196,50 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self._lock = threading.RLock()
 
     def get(self, key: tuple):
         """The cached value for ``key``, or ``None`` (counts a miss)."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key: tuple, value) -> None:
         """Insert ``value``, evicting the least recently used entry."""
-        entries = self._entries
-        entries[key] = value
-        entries.move_to_end(key)
-        while len(entries) > self.maxsize:
-            entries.popitem(last=False)
+        with self._lock:
+            entries = self._entries
+            entries[key] = value
+            entries.move_to_end(key)
+            while len(entries) > self.maxsize:
+                entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> dict:
+        """Point-in-time ``{size, maxsize, hits, misses}`` (JSON-able)."""
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+            }
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def __contains__(self, key: tuple) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
 
 #: Process-wide default cache, shared by every controller with

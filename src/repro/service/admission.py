@@ -1,0 +1,199 @@
+"""Fair-share admission: per-tenant quotas over a bounded queue.
+
+The service's front door.  Two independent controls:
+
+* **Quotas** (:class:`TenantQuota`) bound one tenant's *outstanding*
+  work — queued plus running — so a single tenant cannot monopolize the
+  service no matter how fast it submits.  Exceeding the quota rejects
+  the submission with reason ``"tenant-quota"``.
+* **The bounded queue** (:class:`FairShareQueue`) bounds total backlog;
+  a full queue rejects with reason ``"queue-full"``.
+
+Dispatch is round-robin *across tenants*, not FIFO across requests: the
+queue keeps one deque per tenant and a rotating cursor, so a tenant
+that submitted 100 requests and a tenant that submitted 1 alternate at
+the head.  That is what "the quota'd tenant is never starved" means
+operationally — its next request is at most ``n_tenants`` dispatches
+away regardless of backlog shape.
+
+All methods expect the service's lock to be held; this module holds no
+lock of its own.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.service.handle import AdmissionError
+
+__all__ = ["FairShareQueue", "TenantQuota"]
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Admission bounds for one tenant.
+
+    Attributes:
+        max_inflight: maximum outstanding (queued + running) requests;
+            ``None`` means unbounded.
+    """
+
+    max_inflight: int | None = None
+
+    @classmethod
+    def coerce(cls, value) -> "TenantQuota":
+        """``None`` -> unbounded, an int -> ``max_inflight``, a
+        :class:`TenantQuota` passes through."""
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, int) and not isinstance(value, bool):
+            return cls(max_inflight=value)
+        raise TypeError(
+            f"quota must be None, int, or TenantQuota, "
+            f"got {type(value).__name__}"
+        )
+
+
+class FairShareQueue:
+    """Bounded multi-tenant queue with round-robin dispatch.
+
+    Entries are any objects with ``tenant`` and ``cancelled`` attributes
+    (the service's internal execution entries).  ``offer`` admits or
+    raises :class:`~repro.service.handle.AdmissionError`; ``take``
+    returns the next entry fair-share-wise, or ``None`` when empty.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 256,
+        default_quota: "TenantQuota | int | None" = None,
+        quotas: dict | None = None,
+    ) -> None:
+        if max_depth <= 0:
+            raise ValueError(f"max_depth must be positive, got {max_depth}")
+        self.max_depth = max_depth
+        self.default_quota = TenantQuota.coerce(default_quota)
+        self.quotas = {
+            tenant: TenantQuota.coerce(q) for tenant, q in (quotas or {}).items()
+        }
+        self._queues: dict[str, deque] = {}
+        self._order: list[str] = []  # round-robin rotation of tenant names
+        self._cursor = 0
+        self._depth = 0
+        #: outstanding (queued + running) per tenant, kept by the service
+        self.outstanding: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._depth
+
+    @property
+    def depth(self) -> int:
+        """Queued entries across all tenants."""
+        return self._depth
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self.quotas.get(tenant, self.default_quota)
+
+    def queued_by_tenant(self) -> dict[str, int]:
+        return {t: len(q) for t, q in self._queues.items() if q}
+
+    # ------------------------------------------------------------------ #
+    # Admission
+    # ------------------------------------------------------------------ #
+
+    def admit(self, tenant: str) -> None:
+        """Check quotas/bounds for one submission (before queueing it).
+
+        Raises:
+            AdmissionError: ``tenant-quota`` when the tenant's
+                outstanding work is at its bound, ``queue-full`` when
+                the global backlog is at capacity.
+        """
+        quota = self.quota_for(tenant)
+        held = self.outstanding.get(tenant, 0)
+        if quota.max_inflight is not None and held >= quota.max_inflight:
+            raise AdmissionError(
+                "tenant-quota",
+                f"tenant {tenant!r} has {held} outstanding request(s), "
+                f"at its quota of {quota.max_inflight}; wait for one to "
+                f"finish or raise the quota",
+            )
+        if self._depth >= self.max_depth:
+            raise AdmissionError(
+                "queue-full",
+                f"service queue is full ({self._depth}/{self.max_depth} "
+                f"queued); retry later or raise max_queue",
+            )
+
+    def push(self, entry) -> None:
+        """Enqueue an admitted entry (quota accounting included)."""
+        tenant = entry.tenant
+        q = self._queues.get(tenant)
+        if q is None:
+            q = self._queues[tenant] = deque()
+        if not q and tenant not in self._order:
+            self._order.append(tenant)
+        q.append(entry)
+        self._depth += 1
+        self.outstanding[tenant] = self.outstanding.get(tenant, 0) + 1
+
+    def take(self):
+        """The next entry, rotating across tenants; ``None`` when empty.
+
+        Cancelled entries are skipped and dropped.  The dequeued entry
+        stays *outstanding* (it is now running); the service calls
+        :meth:`release` when its execution resolves.
+        """
+        while self._depth > 0:
+            entry = self._take_round_robin()
+            if entry is None:
+                return None
+            if getattr(entry, "cancelled", False):
+                self.release(entry.tenant)
+                continue
+            return entry
+        return None
+
+    def _take_round_robin(self):
+        n = len(self._order)
+        for _ in range(n):
+            if self._cursor >= len(self._order):
+                self._cursor = 0
+            tenant = self._order[self._cursor]
+            q = self._queues.get(tenant)
+            if q:
+                entry = q.popleft()
+                self._depth -= 1
+                self._cursor += 1
+                return entry
+            # empty tenant: drop from rotation, do not advance cursor
+            self._order.pop(self._cursor)
+        return None
+
+    def release(self, tenant: str) -> None:
+        """One of ``tenant``'s outstanding requests resolved."""
+        held = self.outstanding.get(tenant, 0)
+        if held <= 1:
+            self.outstanding.pop(tenant, None)
+        else:
+            self.outstanding[tenant] = held - 1
+
+    def remove(self, entry) -> bool:
+        """Withdraw a still-queued entry (cancellation path)."""
+        q = self._queues.get(entry.tenant)
+        if q is None:
+            return False
+        try:
+            q.remove(entry)
+        except ValueError:
+            return False
+        self._depth -= 1
+        self.release(entry.tenant)
+        return True

@@ -1,0 +1,86 @@
+"""Service status snapshots for ``python -m repro.obs watch`` / ``serve``.
+
+The live plane (PR 9) watches *runs*; this module teaches it to watch a
+*service*.  A :class:`ServiceStatusWriter` thread periodically writes an
+atomic JSON snapshot (``live-service-<pid>.json`` — the ``live-*.json``
+pattern the watch/serve CLIs already glob) whose ``"kind": "service"``
+marker routes it to the service renderers in
+:mod:`repro.obs.live.watch` and :mod:`repro.obs.live.serve`.
+
+Same durability contract as :class:`~repro.obs.live.status.LiveStatusWriter`:
+write-to-temp + ``os.replace`` so scrapers never see a torn file, and a
+full disk degrades to a stale snapshot rather than taking the service
+down.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+__all__ = ["SERVICE_STATUS_TEMPLATE", "ServiceStatusWriter", "service_status_path"]
+
+#: Snapshot filename for this process's service (the ``live-`` prefix
+#: keeps it discoverable by :func:`repro.obs.live.find_status`).
+SERVICE_STATUS_TEMPLATE = "live-service-{pid}.json"
+
+
+def service_status_path(status_dir: str) -> str:
+    return os.path.join(
+        status_dir, SERVICE_STATUS_TEMPLATE.format(pid=os.getpid())
+    )
+
+
+class ServiceStatusWriter:
+    """Background thread: ``snapshot_fn() -> dict`` to atomic JSON."""
+
+    def __init__(
+        self,
+        path: str,
+        snapshot_fn,
+        *,
+        interval: float = 0.5,
+    ) -> None:
+        self.path = path
+        self.snapshot_fn = snapshot_fn
+        self.interval = interval
+        self._state = "running"
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-service-status", daemon=True
+        )
+
+    def start(self) -> None:
+        os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+        self._thread.start()
+
+    def _write(self) -> None:
+        try:
+            doc = dict(self.snapshot_fn())
+        except Exception:
+            return  # a half-updated registry must never kill the writer
+        doc["state"] = self._state
+        doc["updated_ts"] = time.time()
+        tmp = f"{self.path}.tmp"
+        try:
+            with open(tmp, "w") as fp:
+                json.dump(doc, fp)
+            os.replace(tmp, self.path)
+        except OSError:
+            pass  # a full disk should not take the service down
+
+    def _loop(self) -> None:
+        self._write()
+        while not self._stop.wait(self.interval):
+            self._write()
+        self._write()
+
+    def close(self, state: str = "closed") -> None:
+        """Stop the thread and stamp the terminal snapshot."""
+        self._state = state
+        self._stop.set()
+        self._thread.join(timeout=max(2.0, self.interval * 8))
+        if self._thread.is_alive():  # wedged writer: last-resort snapshot
+            self._write()

@@ -1,0 +1,216 @@
+"""The service's observability plane: fingerprint-keyed cache
+accounting, SLO enforcement, live snapshots, and Prometheus export.
+"""
+
+import time
+
+import pytest
+
+import repro
+from repro.core.payload import Payload
+from repro.core.taskmap import ModuloMap
+from repro.graphs import Reduction
+from repro.obs.cli import eval_spec
+from repro.obs.events import SERVICE_VOCABULARY, ListSink
+from repro.obs.live.status import find_status, read_status
+from repro.obs.live.watch import render_status
+from repro.obs.live.serve import prometheus_text
+from repro.sched.compile import PLAN_CACHE
+from repro.service import RunRequest, RunService, ServiceClosed
+
+
+def reduction_spec(scale=1):
+    g = Reduction(16, 4)
+    add = lambda ins, tid: [Payload(sum(p.data for p in ins))]
+    callbacks = {g.LEAF: lambda ins, tid: [ins[0]], g.REDUCE: add, g.ROOT: add}
+    inputs = {t: Payload((i + 1) * scale) for i, t in enumerate(g.leaf_ids())}
+    return g, callbacks, inputs
+
+
+class TestCacheAccounting:
+    def test_plan_cache_hits_are_fingerprint_keyed(self):
+        PLAN_CACHE.clear()
+        g, cb, ins = reduction_spec()
+        task_map = ModuloMap(4, g.size())
+        mk = lambda scale: RunRequest(
+            g, cb,
+            {t: Payload((i + 1) * scale)
+             for i, t in enumerate(g.leaf_ids())},
+            runtime="mpi", n_procs=4,
+            options={"task_map": task_map, "compile": True},
+        )
+        with RunService(workers=1) as svc:
+            svc.submit(mk(1)).result(30)          # cold: compiles the plan
+            svc.submit(mk(2)).result(30)          # warm: same fingerprint
+            svc.submit(mk(3)).result(30)
+            snap = svc.snapshot()
+        assert snap["cache"]["plan_misses"] == 1
+        assert snap["cache"]["plan_hits"] == 2
+        assert snap["cache"]["plan_cache"]["hits"] >= 2
+
+    def test_plan_probe_skips_non_compiled_requests(self):
+        g, cb, ins = reduction_spec()
+        with RunService(workers=1) as svc:
+            svc.submit(RunRequest(g, cb, ins, runtime="mpi",
+                                  n_procs=4)).result(30)
+            snap = svc.snapshot()
+        assert snap["cache"]["plan_hits"] == 0
+        assert snap["cache"]["plan_misses"] == 0
+
+    def test_graphs_are_shared_across_tenants(self):
+        g, cb, _ = reduction_spec()
+        mk = lambda scale, tenant: RunRequest(
+            g, cb,
+            {t: Payload((i + 1) * scale)
+             for i, t in enumerate(g.leaf_ids())},
+            runtime="mpi", n_procs=4, tenant=tenant,
+        )
+        with RunService(workers=1) as svc:
+            svc.submit(mk(1, "alice")).result(30)
+            svc.submit(mk(2, "bob")).result(30)   # distinct run, same graph
+            snap = svc.snapshot()
+        assert snap["cache"]["graph_misses"] == 1
+        assert snap["cache"]["graph_hits"] == 1
+
+    def test_stats_shape_of_the_process_plan_cache(self):
+        stats = PLAN_CACHE.stats()
+        assert set(stats) == {"size", "maxsize", "hits", "misses"}
+
+
+class TestServiceSLO:
+    def test_breach_is_counted_alerted_and_reported(self):
+        g, cb, ins = reduction_spec()
+        svc = RunService(workers=1, slo={"max_runs_executed": 0})
+        try:
+            svc.submit(RunRequest(g, cb, ins, runtime="mpi",
+                                  n_procs=4)).result(30)
+            violations = svc.slo_violations()
+            snap = svc.snapshot()
+        finally:
+            svc.close()
+        assert violations and "runs_executed" in violations[0]
+        assert snap["slo_breaches"] == 1
+        assert any(a["kind"] == "slo" for a in snap["alerts"])
+
+    def test_quantile_bounds_work_on_telemetry_sketches(self):
+        g, cb, ins = reduction_spec()
+        svc = RunService(
+            workers=1, slo={"max_submit_to_done_seconds_p99": 1e-12}
+        )
+        try:
+            svc.submit(RunRequest(g, cb, ins, runtime="mpi",
+                                  n_procs=4)).result(30)
+            assert svc.slo_violations()
+        finally:
+            svc.close()
+
+    def test_unknown_slo_metric_fails_at_construction(self):
+        with pytest.raises(ValueError, match="unknown SLO metric"):
+            RunService(workers=0, slo={"max_frobnication": 1})
+
+    def test_eval_spec_is_the_public_engine(self):
+        assert eval_spec({"x": 2.0}, {"max_x": 3.0}) == []
+        assert eval_spec({"x": 2.0}, {"min_x": 3.0}) != []
+
+
+class TestLiveSnapshots:
+    def test_status_file_is_discoverable_and_renders(self, tmp_path):
+        g, cb, ins = reduction_spec()
+        svc = RunService(workers=1, status_dir=str(tmp_path),
+                         status_interval=0.02, name="snapsvc")
+        try:
+            svc.submit(RunRequest(g, cb, ins, runtime="mpi", n_procs=4,
+                                  tenant="alice")).result(30)
+            deadline = time.monotonic() + 5
+            status = None
+            while time.monotonic() < deadline:
+                paths = find_status(str(tmp_path))
+                if paths:
+                    status = read_status(paths[0])
+                    if status.get("submitted"):
+                        break
+                time.sleep(0.02)
+        finally:
+            svc.close()
+        assert status is not None
+        assert status["kind"] == "service"
+        text = render_status(status)
+        assert "snapsvc" in text
+        assert "tenants:" in text and "alice" in text
+        # close() stamps the terminal state
+        final = read_status(find_status(str(tmp_path))[0])
+        assert final["state"] == "closed"
+
+    def test_prometheus_families(self, tmp_path):
+        g, cb, ins = reduction_spec()
+        with RunService(workers=1, name="promsvc") as svc:
+            svc.submit(RunRequest(g, cb, ins, runtime="mpi", n_procs=4,
+                                  tenant="alice")).result(30)
+            text = prometheus_text([svc.snapshot()])
+        assert 'repro_service_info{service="promsvc"' in text
+        assert "repro_service_submitted_total" in text
+        assert "repro_service_queue_depth" in text
+        assert 'tenant="alice"' in text
+        assert "repro_submit_to_done_seconds" in text  # telemetry sketch
+
+    def test_run_and_service_snapshots_coexist(self):
+        # A mixed scrape: one run status, one service status.
+        run_status = {"run": "r", "pid": 1, "progress": 0.5, "total": 4,
+                      "done": 2}
+        g, cb, ins = reduction_spec()
+        with RunService(workers=0, telemetry=False) as svc:
+            svc.submit(RunRequest(g, cb, ins, runtime="serial")).result()
+            text = prometheus_text([run_status, svc.snapshot()])
+        assert "repro_run_progress_ratio" in text
+        assert "repro_service_submitted_total" in text
+
+
+class TestServiceEvents:
+    def test_lifecycle_events_reach_service_sinks(self):
+        sink = ListSink()
+        g, cb, ins = reduction_spec()
+        with RunService(workers=1, sinks=[sink]) as svc:
+            svc.submit(RunRequest(g, cb, ins, runtime="mpi",
+                                  n_procs=4)).result(30)
+        types = sink.types()
+        assert types <= SERVICE_VOCABULARY
+        assert "service.submitted" in types
+        assert "service.run_started" in types
+        assert "service.run_finished" in types
+
+    def test_no_sinks_means_no_events_constructed(self):
+        # The zero-cost idiom: _emit returns before Event() when the
+        # sink list is empty (same contract the controllers honor).
+        g, cb, ins = reduction_spec()
+        with RunService(workers=0, telemetry=False) as svc:
+            svc.submit(RunRequest(g, cb, ins, runtime="serial")).result()
+            assert svc._sinks == []
+
+
+class TestInlineFacadeService:
+    def test_facade_service_has_no_sketches(self):
+        from repro.api import _inline_service
+
+        g, cb, ins = reduction_spec()
+        repro.run(g, cb, ins, runtime="serial")
+        svc = _inline_service()
+        assert svc.metrics.snapshot().sketches == {}
+        assert svc._status_writer is None
+
+    def test_facade_counts_submissions(self):
+        from repro.api import _inline_service
+
+        g, cb, ins = reduction_spec()
+        before = _inline_service().metrics.counter("submitted").value
+        repro.run(g, cb, ins, runtime="serial")
+        after = _inline_service().metrics.counter("submitted").value
+        assert after == before + 1
+
+    def test_closed_service_context_manager(self):
+        svc = RunService(workers=0)
+        with svc:
+            pass
+        assert svc.closed
+        g, cb, ins = reduction_spec()
+        with pytest.raises(ServiceClosed):
+            svc.submit(RunRequest(g, cb, ins, runtime="serial"))
